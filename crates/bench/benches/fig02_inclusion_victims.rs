@@ -1,0 +1,32 @@
+//! Fig 2: normalized inclusion-victim counts for the inclusive LLC under
+//! LRU, Hawkeye, and the offline MIN oracle, across L2 capacities
+//! (normalized to I-LRU-256KB).
+use std::time::Instant;
+use ziv_bench::{banner, footer, mp_suite, spec};
+use ziv_common::config::L2Size;
+use ziv_core::LlcMode;
+use ziv_replacement::PolicyKind;
+use ziv_sim::{normalized_metric, run_grid, Effort};
+
+fn main() {
+    let t0 = Instant::now();
+    banner(
+        "Fig 2",
+        "normalized inclusion-victim counts (I-LRU, I-Hawkeye, I-MIN)",
+        "Hawkeye and MIN generate far more inclusion victims than LRU at \
+         every L2 capacity; counts grow with L2 capacity",
+    );
+    let effort = Effort::from_env();
+    let wls = mp_suite(&effort, 8);
+    let mut specs = Vec::new();
+    for policy in [PolicyKind::Lru, PolicyKind::Hawkeye, PolicyKind::Min] {
+        for l2 in L2Size::TABLE1 {
+            specs.push(spec(LlcMode::Inclusive, policy, l2));
+        }
+    }
+    let grid = run_grid(&specs, &wls, effort.threads);
+    let rows =
+        normalized_metric(&grid, specs.len(), 0, |r| r.metrics.inclusion_victims as f64);
+    println!("{}", rows.to_table("incl.victims (norm)"));
+    footer(t0, grid.len());
+}

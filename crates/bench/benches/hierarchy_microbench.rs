@@ -1,0 +1,39 @@
+//! Criterion microbenchmark of the end-to-end hierarchy access path —
+//! the simulator's hot loop (L1-hit, L2-hit, and LLC-miss costs).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ziv_common::config::SystemConfig;
+use ziv_common::{Addr, CoreId};
+use ziv_core::{Access, CacheHierarchy, HierarchyConfig, LlcMode, ZivProperty};
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_access");
+    group.bench_function("l1_hit", |b| {
+        let cfg = HierarchyConfig::new(SystemConfig::scaled());
+        let mut h = CacheHierarchy::new(&cfg);
+        let a = Access::read(CoreId::new(0), Addr::new(0x4000), 0x400);
+        h.access(&a, 0, 0);
+        let mut now = 1u64;
+        b.iter(|| {
+            now += 1;
+            black_box(h.access(&a, now, now))
+        })
+    });
+    group.bench_function("ziv_streaming_misses", |b| {
+        let cfg = HierarchyConfig::new(SystemConfig::scaled())
+            .with_mode(LlcMode::Ziv(ZivProperty::LikelyDead));
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut line = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            line += 1;
+            now += 50;
+            let a = Access::read(CoreId::new(0), Addr::new(line * 64), 0x400);
+            black_box(h.access(&a, now, line))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

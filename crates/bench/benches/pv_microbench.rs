@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of the ZIV hardware-datapath stand-ins:
+//! property-vector updates and the Algorithm 1 nextRS computation
+//! (Fig 6's structures), plus the set-associative array hot paths.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ziv_cache::{PropertyVector, SetAssocArray};
+use ziv_common::{CacheGeometry, SimRng};
+
+fn bench_pv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("property_vector");
+    for sets in [128u32, 1024] {
+        let mut pv = PropertyVector::new(sets);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..sets / 4 {
+            pv.set(rng.below(sets as u64) as u32, true);
+        }
+        group.bench_function(format!("algorithm1_next_rs_{sets}_sets"), |b| {
+            b.iter(|| black_box(pv.take_next_rs()))
+        });
+        group.bench_function(format!("set_bit_{sets}_sets"), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 7) % sets;
+                pv.set(black_box(i), i.is_multiple_of(2));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_assoc_array");
+    let geom = CacheGeometry::new(1024, 16);
+    let mut arr: SetAssocArray<u64> = SetAssocArray::new(geom);
+    let mut rng = SimRng::seed_from_u64(2);
+    for set in 0..1024u32 {
+        for way in 0..16u8 {
+            arr.fill(set, way, rng.next_u64() & 0xffff, 0);
+        }
+    }
+    group.bench_function("lookup_16way", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(arr.lookup((i % 1024) as u32, i & 0xffff))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pv, bench_array);
+criterion_main!(benches);

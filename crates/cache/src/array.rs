@@ -1,0 +1,291 @@
+//! A generic set-associative tag array with per-way user state.
+
+use ziv_common::ids::{SetIdx, WayIdx};
+use ziv_common::CacheGeometry;
+
+#[derive(Debug, Clone)]
+struct Slot<S> {
+    valid: bool,
+    tag: u64,
+    state: S,
+}
+
+/// A set-associative array of tagged entries carrying user state `S`.
+///
+/// The array stores validity and tags; everything policy- or
+/// protocol-specific (dirty bits, `Relocated`/`NotInPrC` state, sharer
+/// vectors) lives in `S`, chosen by each consumer.
+#[derive(Debug, Clone)]
+pub struct SetAssocArray<S> {
+    geom: CacheGeometry,
+    slots: Vec<Slot<S>>,
+}
+
+/// A read-only view of one valid way: `(way, tag, state)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayRef<'a, S> {
+    /// Way index within the set.
+    pub way: WayIdx,
+    /// Tag stored in the way.
+    pub tag: u64,
+    /// User state of the way.
+    pub state: &'a S,
+}
+
+impl<S: Default + Clone> SetAssocArray<S> {
+    /// Creates an empty array of the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let n = geom.sets as usize * geom.ways as usize;
+        SetAssocArray {
+            geom,
+            slots: vec![Slot { valid: false, tag: 0, state: S::default() }; n],
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    #[inline]
+    fn base(&self, set: SetIdx) -> usize {
+        debug_assert!(set < self.geom.sets, "set index out of range");
+        set as usize * self.geom.ways as usize
+    }
+
+    #[inline]
+    fn idx(&self, set: SetIdx, way: WayIdx) -> usize {
+        debug_assert!(way < self.geom.ways, "way index out of range");
+        self.base(set) + way as usize
+    }
+
+    /// Finds the valid way holding `tag` in `set`, applying `filter` to
+    /// its state (the ZIV LLC looks up "only the blocks with the
+    /// Relocated state off", Section III-C1).
+    pub fn lookup_where(
+        &self,
+        set: SetIdx,
+        tag: u64,
+        mut filter: impl FnMut(&S) -> bool,
+    ) -> Option<WayIdx> {
+        let base = self.base(set);
+        (0..self.geom.ways).find(|&w| {
+            let s = &self.slots[base + w as usize];
+            s.valid && s.tag == tag && filter(&s.state)
+        })
+    }
+
+    /// Finds the valid way holding `tag` in `set`.
+    pub fn lookup(&self, set: SetIdx, tag: u64) -> Option<WayIdx> {
+        self.lookup_where(set, tag, |_| true)
+    }
+
+    /// The lowest-index invalid way of `set`, if any.
+    pub fn invalid_way(&self, set: SetIdx) -> Option<WayIdx> {
+        let base = self.base(set);
+        (0..self.geom.ways).find(|&w| !self.slots[base + w as usize].valid)
+    }
+
+    /// Whether `(set, way)` holds a valid entry.
+    pub fn is_valid(&self, set: SetIdx, way: WayIdx) -> bool {
+        self.slots[self.idx(set, way)].valid
+    }
+
+    /// Number of valid ways in `set`.
+    pub fn valid_count(&self, set: SetIdx) -> usize {
+        let base = self.base(set);
+        (0..self.geom.ways as usize).filter(|&w| self.slots[base + w].valid).count()
+    }
+
+    /// Tag stored at `(set, way)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn tag(&self, set: SetIdx, way: WayIdx) -> u64 {
+        let s = &self.slots[self.idx(set, way)];
+        assert!(s.valid, "tag() on an invalid way");
+        s.tag
+    }
+
+    /// Overwrites the tag at `(set, way)` in place. The ZIV design reuses
+    /// the tag field of a relocated block to store the location of its
+    /// sparse-directory entry (Section III-C3); this is the hook for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn set_tag(&mut self, set: SetIdx, way: WayIdx, tag: u64) {
+        let i = self.idx(set, way);
+        assert!(self.slots[i].valid, "set_tag() on an invalid way");
+        self.slots[i].tag = tag;
+    }
+
+    /// State of the entry at `(set, way)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn state(&self, set: SetIdx, way: WayIdx) -> &S {
+        let s = &self.slots[self.idx(set, way)];
+        assert!(s.valid, "state() on an invalid way");
+        &s.state
+    }
+
+    /// Mutable state of the entry at `(set, way)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn state_mut(&mut self, set: SetIdx, way: WayIdx) -> &mut S {
+        let i = self.idx(set, way);
+        assert!(self.slots[i].valid, "state_mut() on an invalid way");
+        &mut self.slots[i].state
+    }
+
+    /// Fills `(set, way)` with `tag` and `state`, returning the previous
+    /// entry's `(tag, state)` if the way was valid.
+    pub fn fill(&mut self, set: SetIdx, way: WayIdx, tag: u64, state: S) -> Option<(u64, S)> {
+        let i = self.idx(set, way);
+        let old = if self.slots[i].valid {
+            Some((self.slots[i].tag, std::mem::take(&mut self.slots[i].state)))
+        } else {
+            None
+        };
+        self.slots[i] = Slot { valid: true, tag, state };
+        old
+    }
+
+    /// Invalidates `(set, way)`, returning `(tag, state)` if it was valid.
+    pub fn invalidate(&mut self, set: SetIdx, way: WayIdx) -> Option<(u64, S)> {
+        let i = self.idx(set, way);
+        if !self.slots[i].valid {
+            return None;
+        }
+        self.slots[i].valid = false;
+        Some((self.slots[i].tag, std::mem::take(&mut self.slots[i].state)))
+    }
+
+    /// Iterates over the valid ways of `set`.
+    pub fn iter_set(&self, set: SetIdx) -> impl Iterator<Item = WayRef<'_, S>> {
+        let base = self.base(set);
+        self.slots[base..base + self.geom.ways as usize]
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid)
+            .map(|(w, s)| WayRef { way: w as WayIdx, tag: s.tag, state: &s.state })
+    }
+
+    /// Total number of valid entries across all sets (O(capacity); meant
+    /// for tests and occupancy statistics).
+    pub fn total_valid(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+}
+
+impl<S: Default + Clone> Default for SetAssocArray<S> {
+    fn default() -> Self {
+        Self::new(CacheGeometry::new(1, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    struct St {
+        dirty: bool,
+    }
+
+    fn arr() -> SetAssocArray<St> {
+        SetAssocArray::new(CacheGeometry::new(4, 2))
+    }
+
+    #[test]
+    fn starts_empty() {
+        let a = arr();
+        assert_eq!(a.total_valid(), 0);
+        assert_eq!(a.invalid_way(0), Some(0));
+        assert_eq!(a.lookup(0, 5), None);
+    }
+
+    #[test]
+    fn fill_and_lookup() {
+        let mut a = arr();
+        assert!(a.fill(1, 0, 99, St { dirty: true }).is_none());
+        assert_eq!(a.lookup(1, 99), Some(0));
+        assert_eq!(a.lookup(0, 99), None, "sets are independent");
+        assert!(a.state(1, 0).dirty);
+    }
+
+    #[test]
+    fn fill_returns_displaced_entry() {
+        let mut a = arr();
+        a.fill(1, 0, 5, St { dirty: true });
+        let old = a.fill(1, 0, 6, St::default());
+        assert_eq!(old, Some((5, St { dirty: true })));
+        assert_eq!(a.lookup(1, 5), None);
+        assert_eq!(a.lookup(1, 6), Some(0));
+    }
+
+    #[test]
+    fn invalidate_round_trips() {
+        let mut a = arr();
+        a.fill(2, 1, 7, St { dirty: true });
+        assert_eq!(a.invalidate(2, 1), Some((7, St { dirty: true })));
+        assert_eq!(a.invalidate(2, 1), None);
+        assert_eq!(a.lookup(2, 7), None);
+        assert_eq!(a.invalid_way(2), Some(0));
+    }
+
+    #[test]
+    fn lookup_where_filters() {
+        let mut a = arr();
+        a.fill(0, 0, 9, St { dirty: true });
+        assert_eq!(a.lookup_where(0, 9, |s| !s.dirty), None);
+        assert_eq!(a.lookup_where(0, 9, |s| s.dirty), Some(0));
+    }
+
+    #[test]
+    fn set_tag_rewrites_in_place() {
+        let mut a = arr();
+        a.fill(0, 1, 11, St::default());
+        a.set_tag(0, 1, 22);
+        assert_eq!(a.lookup(0, 11), None);
+        assert_eq!(a.lookup(0, 22), Some(1));
+        assert_eq!(a.tag(0, 1), 22);
+    }
+
+    #[test]
+    fn iter_set_yields_valid_ways_only() {
+        let mut a = arr();
+        a.fill(3, 1, 42, St::default());
+        let ways: Vec<_> = a.iter_set(3).map(|w| (w.way, w.tag)).collect();
+        assert_eq!(ways, vec![(1, 42)]);
+    }
+
+    #[test]
+    fn valid_count_tracks_fills() {
+        let mut a = arr();
+        assert_eq!(a.valid_count(0), 0);
+        a.fill(0, 0, 1, St::default());
+        a.fill(0, 1, 2, St::default());
+        assert_eq!(a.valid_count(0), 2);
+        assert_eq!(a.invalid_way(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way")]
+    fn state_on_invalid_panics() {
+        arr().state(0, 0);
+    }
+
+    #[test]
+    fn state_mut_mutates() {
+        let mut a = arr();
+        a.fill(0, 0, 1, St::default());
+        a.state_mut(0, 0).dirty = true;
+        assert!(a.state(0, 0).dirty);
+    }
+}

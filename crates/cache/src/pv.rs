@@ -1,0 +1,333 @@
+//! Property vectors (Section III-D1, Fig 6) and Algorithm 1.
+//!
+//! Each LLC set has one *property bit* per tracked relocation-set
+//! property (`Invalid`, `NotInPrC`, `LRUNotInPrC`, ...). The property
+//! bits of all sets in a bank form the **property vector (PV)**. A
+//! `nextRS` register points to the next round-robin set whose bit is 1 —
+//! the next relocation set — and an `emptyPV` bit short-circuits scans of
+//! all-zero vectors.
+//!
+//! The `nextRS` computation is the paper's **Algorithm 1**, which
+//! isolates the next set bit after the current position using the
+//! two's-complement identity `x & (~x + 1) == lowest set bit of x`. We
+//! implement it literally on a multi-word bit string (the hardware's wide
+//! bit-vector becomes a `Vec<u64>` with explicit carry propagation), and
+//! the unit tests check it against a naive scanning implementation.
+
+use ziv_common::ids::SetIdx;
+
+/// One property vector over the sets of an LLC bank, with its `nextRS`
+/// round-robin register and `emptyPV` bit.
+#[derive(Debug, Clone)]
+pub struct PropertyVector {
+    sets: u32,
+    words: Vec<u64>,
+    ones: u32,
+    /// Position last returned as a relocation set (the "decoded RS" input
+    /// of Algorithm 1). Starts at the last set so the first selection
+    /// wraps to the lowest set bit.
+    current_rs: u32,
+}
+
+/// `out = !a` over a multi-word bit string (bits beyond `sets` stay 0).
+fn word_not(a: &[u64], sets: u32, out: &mut [u64]) {
+    for (o, &w) in out.iter_mut().zip(a) {
+        *o = !w;
+    }
+    mask_tail(out, sets);
+}
+
+/// `out = a + 1` over a multi-word little-endian bit string.
+fn word_add1(a: &[u64], out: &mut [u64]) {
+    let mut carry = true;
+    for (o, &w) in out.iter_mut().zip(a) {
+        let (v, c) = w.overflowing_add(carry as u64);
+        *o = v;
+        carry = c;
+    }
+}
+
+/// `out = a & b`.
+fn word_and(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x & y;
+    }
+}
+
+/// Clears bits at and above `sets`.
+fn mask_tail(words: &mut [u64], sets: u32) {
+    let full = (sets / 64) as usize;
+    let rem = sets % 64;
+    if rem != 0 && full < words.len() {
+        words[full] &= (1u64 << rem) - 1;
+    }
+    for w in words.iter_mut().skip(full + usize::from(rem != 0)) {
+        *w = 0;
+    }
+}
+
+/// Position of the single set bit of a one-hot multi-word string, or
+/// `None` if the string is all zeros.
+fn one_hot_position(words: &[u64]) -> Option<u32> {
+    for (i, &w) in words.iter().enumerate() {
+        if w != 0 {
+            return Some(i as u32 * 64 + w.trailing_zeros());
+        }
+    }
+    None
+}
+
+impl PropertyVector {
+    /// Creates an all-zero PV over `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    pub fn new(sets: u32) -> Self {
+        assert!(sets > 0, "a property vector needs at least one set");
+        let words = vec![0u64; sets.div_ceil(64) as usize];
+        PropertyVector { sets, words, ones: 0, current_rs: sets - 1 }
+    }
+
+    /// Number of sets covered.
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// The `emptyPV` bit: true when no set satisfies the property.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Number of sets currently satisfying the property.
+    pub fn count_ones(&self) -> u32 {
+        self.ones
+    }
+
+    /// Reads the property bit of `set`.
+    #[inline]
+    pub fn get(&self, set: SetIdx) -> bool {
+        debug_assert!(set < self.sets);
+        self.words[(set / 64) as usize] >> (set % 64) & 1 == 1
+    }
+
+    /// Writes the property bit of `set`, updating `emptyPV` bookkeeping.
+    #[inline]
+    pub fn set(&mut self, set: SetIdx, value: bool) {
+        debug_assert!(set < self.sets);
+        let w = (set / 64) as usize;
+        let bit = 1u64 << (set % 64);
+        let was = self.words[w] & bit != 0;
+        if value && !was {
+            self.words[w] |= bit;
+            self.ones += 1;
+        } else if !value && was {
+            self.words[w] &= !bit;
+            self.ones -= 1;
+        }
+    }
+
+    /// **Algorithm 1**: computes the decoded `nextRS` — the position of
+    /// the next set bit after `current_rs` in round-robin order — without
+    /// consuming it. Returns `None` when the PV is empty.
+    pub fn peek_next_rs(&self) -> Option<SetIdx> {
+        if self.is_empty() {
+            return None;
+        }
+        let n = self.words.len();
+        // decoded_RS: one-hot at current_rs.
+        let mut decoded_rs = vec![0u64; n];
+        decoded_rs[(self.current_rs / 64) as usize] |= 1u64 << (self.current_rs % 64);
+
+        // mask <- ((~decoded_RS) + 1) & (~decoded_RS)
+        // = all bit positions strictly above current_rs.
+        let mut not_rs = vec![0u64; n];
+        // NOTE: the "+1" must ripple through the untruncated complement,
+        // so compute on the full-width complement first and mask after.
+        for (o, &w) in not_rs.iter_mut().zip(&decoded_rs) {
+            *o = !w;
+        }
+        let mut plus1 = vec![0u64; n];
+        word_add1(&not_rs, &mut plus1);
+        let mut mask = vec![0u64; n];
+        word_and(&plus1, &not_rs, &mut mask);
+        mask_tail(&mut mask, self.sets);
+
+        // upperPV <- PV & mask ; lowerPV <- PV & ~mask
+        let mut upper = vec![0u64; n];
+        word_and(&self.words, &mask, &mut upper);
+        let mut not_mask = vec![0u64; n];
+        word_not(&mask, self.sets, &mut not_mask);
+        let mut lower = vec![0u64; n];
+        word_and(&self.words, &not_mask, &mut lower);
+
+        // decoded_nextRS_{upper,lower} <- x & ((~x) + 1)  (isolate lowest set bit)
+        let isolate = |x: &[u64]| -> Vec<u64> {
+            let mut nx = vec![0u64; n];
+            for (o, &w) in nx.iter_mut().zip(x) {
+                *o = !w;
+            }
+            let mut nx1 = vec![0u64; n];
+            word_add1(&nx, &mut nx1);
+            let mut out = vec![0u64; n];
+            word_and(x, &nx1, &mut out);
+            out
+        };
+        let next_upper = isolate(&upper);
+        let next_lower = isolate(&lower);
+
+        let decoded_next = if next_upper.iter().all(|&w| w == 0) {
+            next_lower
+        } else {
+            next_upper
+        };
+        one_hot_position(&decoded_next)
+    }
+
+    /// Consumes the current `nextRS`: returns the next relocation set in
+    /// round-robin order and advances the register. `None` if empty.
+    pub fn take_next_rs(&mut self) -> Option<SetIdx> {
+        let next = self.peek_next_rs()?;
+        self.current_rs = next;
+        Some(next)
+    }
+
+    /// Naive reference implementation of the round-robin selection, used
+    /// by tests to validate Algorithm 1.
+    #[doc(hidden)]
+    pub fn reference_next_rs(&self) -> Option<SetIdx> {
+        if self.is_empty() {
+            return None;
+        }
+        for d in 1..=self.sets {
+            let pos = (self.current_rs + d) % self.sets;
+            if self.get(pos) {
+                return Some(pos);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_pv_yields_none() {
+        let mut pv = PropertyVector::new(100);
+        assert!(pv.is_empty());
+        assert_eq!(pv.take_next_rs(), None);
+    }
+
+    #[test]
+    fn single_bit_is_selected_repeatedly() {
+        let mut pv = PropertyVector::new(100);
+        pv.set(37, true);
+        assert_eq!(pv.take_next_rs(), Some(37));
+        assert_eq!(pv.take_next_rs(), Some(37));
+    }
+
+    #[test]
+    fn round_robin_over_multiple_bits() {
+        let mut pv = PropertyVector::new(256);
+        for s in [3u32, 64, 65, 200] {
+            pv.set(s, true);
+        }
+        let picks: Vec<_> = (0..8).map(|_| pv.take_next_rs().unwrap()).collect();
+        assert_eq!(picks, vec![3, 64, 65, 200, 3, 64, 65, 200]);
+    }
+
+    #[test]
+    fn clearing_bits_updates_empty_pv() {
+        let mut pv = PropertyVector::new(64);
+        pv.set(5, true);
+        assert!(!pv.is_empty());
+        pv.set(5, false);
+        assert!(pv.is_empty());
+        assert_eq!(pv.count_ones(), 0);
+    }
+
+    #[test]
+    fn idempotent_set_does_not_corrupt_count() {
+        let mut pv = PropertyVector::new(64);
+        pv.set(1, true);
+        pv.set(1, true);
+        assert_eq!(pv.count_ones(), 1);
+        pv.set(1, false);
+        pv.set(1, false);
+        assert_eq!(pv.count_ones(), 0);
+    }
+
+    #[test]
+    fn works_at_word_boundaries() {
+        let mut pv = PropertyVector::new(128);
+        pv.set(63, true);
+        pv.set(64, true);
+        pv.set(127, true);
+        assert_eq!(pv.take_next_rs(), Some(63));
+        assert_eq!(pv.take_next_rs(), Some(64));
+        assert_eq!(pv.take_next_rs(), Some(127));
+        assert_eq!(pv.take_next_rs(), Some(63));
+    }
+
+    #[test]
+    fn non_multiple_of_64_sets() {
+        let mut pv = PropertyVector::new(100);
+        pv.set(99, true);
+        pv.set(0, true);
+        assert_eq!(pv.take_next_rs(), Some(0));
+        assert_eq!(pv.take_next_rs(), Some(99));
+        assert_eq!(pv.take_next_rs(), Some(0));
+    }
+
+    #[test]
+    fn selection_distributes_uniformly() {
+        // The paper motivates round-robin selection as spreading the
+        // relocation load across eligible sets.
+        let mut pv = PropertyVector::new(32);
+        for s in 0..32 {
+            pv.set(s, true);
+        }
+        let mut counts = [0u32; 32];
+        for _ in 0..320 {
+            counts[pv.take_next_rs().unwrap() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10), "{counts:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn algorithm1_matches_reference(
+            sets in 1u32..300,
+            bits in prop::collection::vec(0u32..300, 0..40),
+            advances in 0usize..10,
+        ) {
+            let mut pv = PropertyVector::new(sets);
+            for b in bits {
+                pv.set(b % sets, true);
+            }
+            for _ in 0..advances {
+                prop_assert_eq!(pv.peek_next_rs(), pv.reference_next_rs());
+                let _ = pv.take_next_rs();
+            }
+            prop_assert_eq!(pv.peek_next_rs(), pv.reference_next_rs());
+        }
+
+        #[test]
+        fn count_ones_matches_popcount(
+            ops in prop::collection::vec((0u32..128, any::<bool>()), 0..100),
+        ) {
+            let mut pv = PropertyVector::new(128);
+            let mut model = std::collections::HashSet::new();
+            for (s, v) in ops {
+                pv.set(s, v);
+                if v { model.insert(s); } else { model.remove(&s); }
+            }
+            prop_assert_eq!(pv.count_ones() as usize, model.len());
+            prop_assert_eq!(pv.is_empty(), model.is_empty());
+        }
+    }
+}

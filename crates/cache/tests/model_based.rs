@@ -1,0 +1,122 @@
+//! Model-based property tests: the set-associative array against a
+//! hash-map reference model, and the relocation FIFO against a simple
+//! queue model.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use ziv_cache::{RelocationFifo, RelocationRequest, SetAssocArray};
+use ziv_common::{CacheGeometry, LineAddr};
+
+#[derive(Debug, Clone)]
+enum ArrayOp {
+    Fill { set: u32, way: u8, tag: u64 },
+    Invalidate { set: u32, way: u8 },
+    Lookup { set: u32, tag: u64 },
+    SetTag { set: u32, way: u8, tag: u64 },
+}
+
+fn array_op(sets: u32, ways: u8) -> impl Strategy<Value = ArrayOp> {
+    prop_oneof![
+        (0..sets, 0..ways, 0u64..32).prop_map(|(set, way, tag)| ArrayOp::Fill { set, way, tag }),
+        (0..sets, 0..ways).prop_map(|(set, way)| ArrayOp::Invalidate { set, way }),
+        (0..sets, 0u64..32).prop_map(|(set, tag)| ArrayOp::Lookup { set, tag }),
+        (0..sets, 0..ways, 0u64..32).prop_map(|(set, way, tag)| ArrayOp::SetTag { set, way, tag }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn array_matches_reference_model(
+        ops in prop::collection::vec(array_op(8, 4), 0..300),
+    ) {
+        let mut arr: SetAssocArray<u32> = SetAssocArray::new(CacheGeometry::new(8, 4));
+        // Model: (set, way) -> tag for valid slots.
+        let mut model: HashMap<(u32, u8), u64> = HashMap::new();
+        let mut counter = 0u32;
+        for op in ops {
+            match op {
+                ArrayOp::Fill { set, way, tag } => {
+                    counter += 1;
+                    let old = arr.fill(set, way, tag, counter);
+                    let model_old = model.insert((set, way), tag);
+                    prop_assert_eq!(old.map(|(t, _)| t), model_old);
+                }
+                ArrayOp::Invalidate { set, way } => {
+                    let out = arr.invalidate(set, way);
+                    let model_out = model.remove(&(set, way));
+                    prop_assert_eq!(out.map(|(t, _)| t), model_out);
+                }
+                ArrayOp::Lookup { set, tag } => {
+                    let got = arr.lookup(set, tag);
+                    // The model may hold duplicate tags in a set (the
+                    // array permits it; the LLC controller never creates
+                    // them for non-relocated blocks). Compare membership.
+                    let expected = model
+                        .iter()
+                        .any(|(&(s, _), &t)| s == set && t == tag);
+                    prop_assert_eq!(got.is_some(), expected);
+                    if let Some(w) = got {
+                        prop_assert_eq!(model.get(&(set, w)), Some(&tag));
+                    }
+                }
+                ArrayOp::SetTag { set, way, tag } => {
+                    if model.contains_key(&(set, way)) {
+                        arr.set_tag(set, way, tag);
+                        model.insert((set, way), tag);
+                    }
+                }
+            }
+            // Global occupancy always agrees.
+            prop_assert_eq!(arr.total_valid(), model.len());
+        }
+    }
+
+    #[test]
+    fn fifo_matches_queue_model(
+        pushes in prop::collection::vec((0u64..100, 0u64..1000), 0..40),
+        pop_after in prop::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let mut fifo = RelocationFifo::new();
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        for (i, &(line, at)) in pushes.iter().enumerate() {
+            let req = RelocationRequest { line: LineAddr::new(line), requested_at: at };
+            let ok = fifo.push(req).is_ok();
+            prop_assert_eq!(ok, model.len() < 8, "push accept iff not full");
+            if ok {
+                model.push_back(line);
+            }
+            if pop_after.get(i).copied().unwrap_or(false) {
+                let popped = fifo.complete_front(1);
+                let model_pop = model.pop_front();
+                prop_assert_eq!(popped.map(|(r, _)| r.line.raw()), model_pop);
+            }
+            prop_assert_eq!(fifo.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn fifo_completion_times_are_monotonic(
+        reqs in prop::collection::vec(0u64..10_000, 1..30),
+    ) {
+        let mut fifo = RelocationFifo::new();
+        let mut last_done = 0u64;
+        for (i, at) in reqs.into_iter().enumerate() {
+            if fifo.push(RelocationRequest {
+                line: LineAddr::new(i as u64),
+                requested_at: at,
+            }).is_err() {
+                let (_, done) = fifo.complete_front(2).unwrap();
+                prop_assert!(done >= last_done);
+                last_done = done;
+                fifo.push(RelocationRequest {
+                    line: LineAddr::new(i as u64),
+                    requested_at: at,
+                }).unwrap();
+            }
+        }
+        while let Some((_, done)) = fifo.complete_front(2) {
+            prop_assert!(done >= last_done, "datapath serializes completions");
+            last_done = done;
+        }
+    }
+}

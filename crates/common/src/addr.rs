@@ -1,0 +1,177 @@
+//! Physical addresses and cache-line addresses.
+//!
+//! The simulated machine uses 48-bit physical addresses and 64-byte cache
+//! blocks, matching the paper's Section III-C3 storage analysis. Two
+//! newtypes keep byte addresses and line (block) addresses statically
+//! distinct: confusing the two is a classic cache-simulator bug.
+
+use std::fmt;
+
+/// log2 of the cache block size in bytes (64-byte blocks).
+pub const LINE_SHIFT: u32 = 6;
+
+/// Cache block size in bytes.
+pub const LINE_BYTES: u64 = 1 << LINE_SHIFT;
+
+/// Number of physical address bits modeled (the paper assumes 48).
+pub const PHYS_ADDR_BITS: u32 = 48;
+
+/// A byte-granularity physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a physical byte address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ziv_common::addr::Addr;
+    /// let a = Addr::new(0x1040);
+    /// assert_eq!(a.line().raw(), 0x41);
+    /// ```
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw & ((1 << PHYS_ADDR_BITS) - 1))
+    }
+
+    /// The raw 48-bit address value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this byte.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Offset of this byte within its cache line.
+    #[inline]
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr::new(raw)
+    }
+}
+
+/// A cache-line (block) address: a byte address shifted right by
+/// [`LINE_SHIFT`].
+///
+/// All cache structures in the simulator operate on `LineAddr`; only the
+/// workload generators deal in byte addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from its raw (already shifted) value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ziv_common::addr::{Addr, LineAddr};
+    /// assert_eq!(LineAddr::new(0x41), Addr::new(0x1040).line());
+    /// ```
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw & ((1 << (PHYS_ADDR_BITS - LINE_SHIFT)) - 1))
+    }
+
+    /// The raw line-address value (byte address / 64).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this line.
+    #[inline]
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The line `n` lines after this one (wrapping within the physical
+    /// address space).
+    #[inline]
+    pub const fn offset(self, n: u64) -> LineAddr {
+        LineAddr::new(self.0.wrapping_add(n))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(raw: u64) -> Self {
+        LineAddr::new(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_masks_to_48_bits() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.raw(), (1 << 48) - 1);
+    }
+
+    #[test]
+    fn line_extraction() {
+        let a = Addr::new(0x1234_5678);
+        assert_eq!(a.line().raw(), 0x1234_5678 >> 6);
+        assert_eq!(a.line_offset(), 0x38);
+    }
+
+    #[test]
+    fn line_base_addr_round_trips() {
+        let l = LineAddr::new(0xdead_beef);
+        assert_eq!(l.base_addr().line(), l);
+        assert_eq!(l.base_addr().line_offset(), 0);
+    }
+
+    #[test]
+    fn line_offset_wraps_in_phys_space() {
+        let max = LineAddr::new((1 << (PHYS_ADDR_BITS - LINE_SHIFT)) - 1);
+        assert_eq!(max.offset(1), LineAddr::new(0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr::new(0x1).to_string(), "L0x1");
+        assert_eq!(format!("{:x}", Addr::new(0xff)), "ff");
+    }
+
+    #[test]
+    fn conversions_from_u64() {
+        assert_eq!(Addr::from(64u64), Addr::new(64));
+        assert_eq!(LineAddr::from(7u64), LineAddr::new(7));
+    }
+}

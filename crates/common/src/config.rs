@@ -1,0 +1,604 @@
+//! System configuration: the paper's Table I, parameterized.
+//!
+//! Two ready-made configurations are provided:
+//!
+//! - [`SystemConfig::paper`] — the full-scale Table I machine (8 cores,
+//!   8 MB 16-way LLC in 8 banks, 32 KB L1s, 256/512/768 KB L2s, 2× sparse
+//!   directory, DDR3-2133 memory).
+//! - [`SystemConfig::scaled`] — the same machine with every capacity
+//!   divided by 8. All capacity *ratios* (private-cache capacity vs LLC
+//!   capacity, sparse-directory provisioning) are preserved; those ratios,
+//!   not absolute sizes, drive inclusion-victim volume, so experiments run
+//!   at laptop scale while reproducing the paper's trends.
+
+use crate::addr::LineAddr;
+use crate::ids::{BankId, SetIdx};
+
+/// Geometry of one set-associative cache structure (64-byte lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Number of sets. Must be a power of two.
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u8,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from set count and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, or if `ways` is 0.
+    pub fn new(sets: u32, ways: u8) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be positive");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Creates a geometry from a capacity in bytes and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied set count is not a positive power of two.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ziv_common::config::CacheGeometry;
+    /// let g = CacheGeometry::from_capacity(32 * 1024, 8); // 32 KB, 8-way
+    /// assert_eq!(g.sets, 64);
+    /// assert_eq!(g.blocks(), 512);
+    /// ```
+    pub fn from_capacity(bytes: u64, ways: u8) -> Self {
+        let blocks = bytes / crate::addr::LINE_BYTES;
+        let sets = blocks / ways as u64;
+        assert!(sets > 0, "capacity too small for associativity");
+        Self::new(sets as u32, ways)
+    }
+
+    /// Total number of blocks (tags) in the structure.
+    #[inline]
+    pub const fn blocks(&self) -> u64 {
+        self.sets as u64 * self.ways as u64
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.blocks() * crate::addr::LINE_BYTES
+    }
+
+    /// The set a line maps to (simple modulo indexing, as the paper's
+    /// tag-length analysis assumes "simple hash functions").
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> SetIdx {
+        (line.raw() & (self.sets as u64 - 1)) as SetIdx
+    }
+
+    /// The tag of a line for this geometry.
+    #[inline]
+    pub fn tag_of(&self, line: LineAddr) -> u64 {
+        line.raw() >> self.sets.trailing_zeros()
+    }
+
+    /// Reconstructs a line address from a tag and set index.
+    #[inline]
+    pub fn line_of(&self, tag: u64, set: SetIdx) -> LineAddr {
+        LineAddr::new((tag << self.sets.trailing_zeros()) | set as u64)
+    }
+}
+
+/// Configuration of the shared banked LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcConfig {
+    /// Number of LLC banks (each with an associated sparse-directory
+    /// slice). Must be a power of two.
+    pub banks: usize,
+    /// Geometry of a single bank.
+    pub bank_geometry: CacheGeometry,
+    /// Tag-array lookup latency in cycles (Table I: 2).
+    pub tag_latency: u64,
+    /// Data-array access latency in cycles (Table I: 5).
+    pub data_latency: u64,
+}
+
+impl LlcConfig {
+    /// Creates an LLC configuration from total capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two or the geometry is invalid.
+    pub fn from_total_capacity(total_bytes: u64, ways: u8, banks: usize) -> Self {
+        assert!(banks.is_power_of_two(), "banks must be a power of two");
+        let bank_geometry = CacheGeometry::from_capacity(total_bytes / banks as u64, ways);
+        LlcConfig { banks, bank_geometry, tag_latency: 2, data_latency: 5 }
+    }
+
+    /// The home bank of a line (low-order line-address interleaving).
+    #[inline]
+    pub fn bank_of(&self, line: LineAddr) -> BankId {
+        BankId::new((line.raw() & (self.banks as u64 - 1)) as usize)
+    }
+
+    /// The set within the home bank that a line maps to.
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> SetIdx {
+        let within = line.raw() >> self.banks.trailing_zeros();
+        (within & (self.bank_geometry.sets as u64 - 1)) as SetIdx
+    }
+
+    /// The tag of a line within its bank.
+    #[inline]
+    pub fn tag_of(&self, line: LineAddr) -> u64 {
+        let within = line.raw() >> self.banks.trailing_zeros();
+        within >> self.bank_geometry.sets.trailing_zeros()
+    }
+
+    /// Reconstructs a line address from bank, set, and tag.
+    #[inline]
+    pub fn line_of(&self, bank: BankId, set: SetIdx, tag: u64) -> LineAddr {
+        let within = (tag << self.bank_geometry.sets.trailing_zeros()) | set as u64;
+        LineAddr::new((within << self.banks.trailing_zeros()) | bank.index() as u64)
+    }
+
+    /// Total LLC capacity in bytes.
+    #[inline]
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.bank_geometry.capacity_bytes() * self.banks as u64
+    }
+
+    /// Total number of LLC blocks.
+    #[inline]
+    pub fn total_blocks(&self) -> u64 {
+        self.bank_geometry.blocks() * self.banks as u64
+    }
+}
+
+/// The per-core L2 capacity options evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L2Size {
+    /// 256 KB 8-way, 4-cycle lookup (Table I).
+    K256,
+    /// 512 KB 8-way, 5-cycle lookup (Table I).
+    K512,
+    /// 768 KB 12-way, 6-cycle lookup (Table I).
+    K768,
+    /// 1 MB 16-way, 7-cycle lookup (the Fig 14 sensitivity study).
+    M1,
+    /// 128 KB 8-way, 4-cycle lookup (the 128-core TPC-E configuration).
+    K128,
+}
+
+impl L2Size {
+    /// All Table I options, in the order the figures sweep them.
+    pub const TABLE1: [L2Size; 3] = [L2Size::K256, L2Size::K512, L2Size::K768];
+
+    /// Capacity in bytes at full (paper) scale.
+    pub fn capacity_bytes(self) -> u64 {
+        match self {
+            L2Size::K128 => 128 * 1024,
+            L2Size::K256 => 256 * 1024,
+            L2Size::K512 => 512 * 1024,
+            L2Size::K768 => 768 * 1024,
+            L2Size::M1 => 1024 * 1024,
+        }
+    }
+
+    /// Associativity (Table I: 8-way except the 12-way 768 KB point).
+    pub fn ways(self) -> u8 {
+        match self {
+            L2Size::K768 => 12,
+            L2Size::M1 => 16,
+            _ => 8,
+        }
+    }
+
+    /// Lookup latency in cycles (Table I: 4 / 5 / 6 with increasing size).
+    pub fn latency(self) -> u64 {
+        match self {
+            L2Size::K128 | L2Size::K256 => 4,
+            L2Size::K512 => 5,
+            L2Size::K768 => 6,
+            L2Size::M1 => 7,
+        }
+    }
+
+    /// Short label used in figure output ("256KB", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            L2Size::K128 => "128KB",
+            L2Size::K256 => "256KB",
+            L2Size::K512 => "512KB",
+            L2Size::K768 => "768KB",
+            L2Size::M1 => "1MB",
+        }
+    }
+}
+
+/// DDR3-2133-like main-memory parameters (Table I), in DRAM clock cycles
+/// unless noted. Consumed by `ziv-dram`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramParams {
+    /// Independent single-channel controllers (Table I: two).
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks_per_channel: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row-buffer size in bytes (Table I: 1 KB).
+    pub row_bytes: u64,
+    /// CAS latency (Table I: 14).
+    pub t_cas: u64,
+    /// RAS-to-CAS delay (Table I: 14).
+    pub t_rcd: u64,
+    /// Row precharge (Table I: 14).
+    pub t_rp: u64,
+    /// Row active time (Table I: 35).
+    pub t_ras: u64,
+    /// Data burst length in transfers (Table I: BL=8, i.e. 4 DRAM cycles
+    /// on a DDR bus).
+    pub burst_len: u64,
+    /// CPU cycles per DRAM cycle (4 GHz core, 1066 MHz DDR3-2133 clock ≈
+    /// 3.75; we carry it as a rational pair to stay in integers).
+    pub cpu_cycles_per_dram_cycle_num: u64,
+    /// Denominator of the CPU-per-DRAM cycle ratio.
+    pub cpu_cycles_per_dram_cycle_den: u64,
+}
+
+impl DramParams {
+    /// The Table I DDR3-2133 configuration.
+    pub fn ddr3_2133() -> Self {
+        DramParams {
+            channels: 2,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            row_bytes: 1024,
+            t_cas: 14,
+            t_rcd: 14,
+            t_rp: 14,
+            t_ras: 35,
+            burst_len: 8,
+            cpu_cycles_per_dram_cycle_num: 15,
+            cpu_cycles_per_dram_cycle_den: 4,
+        }
+    }
+
+    /// Converts a duration in DRAM cycles to CPU cycles (rounding up).
+    #[inline]
+    pub fn to_cpu_cycles(&self, dram_cycles: u64) -> u64 {
+        (dram_cycles * self.cpu_cycles_per_dram_cycle_num)
+            .div_ceil(self.cpu_cycles_per_dram_cycle_den)
+    }
+}
+
+/// Interconnect parameters: a 2D mesh with per-hop router and link delays
+/// (Table I: 1 ns routing, 0.5 ns links at a 4 GHz core clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocParams {
+    /// Router traversal delay per hop, in CPU cycles.
+    pub router_cycles: u64,
+    /// Link traversal delay per hop, in CPU cycles.
+    pub link_cycles: u64,
+}
+
+impl NocParams {
+    /// The Table I mesh parameters at 4 GHz (1 ns routing = 4 cycles,
+    /// 0.5 ns link = 2 cycles).
+    pub fn table1() -> Self {
+        NocParams { router_cycles: 4, link_cycles: 2 }
+    }
+
+    /// Delay of a path with `hops` hops, one way.
+    #[inline]
+    pub fn one_way(&self, hops: u64) -> u64 {
+        hops * (self.router_cycles + self.link_cycles)
+    }
+}
+
+/// Sparse-directory provisioning relative to the aggregate private
+/// last-level (L2) tag count. The paper's default is 2×; Fig 15 sweeps
+/// down to 1/4×.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirRatio {
+    /// 2× the aggregate L2 tags (the default).
+    X2,
+    /// 1× the aggregate L2 tags.
+    X1,
+    /// Half the aggregate L2 tags.
+    Half,
+    /// A quarter of the aggregate L2 tags.
+    Quarter,
+}
+
+impl DirRatio {
+    /// All the ratios Fig 15 sweeps, largest first.
+    pub const SWEEP: [DirRatio; 4] = [DirRatio::X2, DirRatio::X1, DirRatio::Half, DirRatio::Quarter];
+
+    /// Entries as a multiple of aggregate L2 tags (numerator, denominator).
+    pub fn fraction(self) -> (u64, u64) {
+        match self {
+            DirRatio::X2 => (2, 1),
+            DirRatio::X1 => (1, 1),
+            DirRatio::Half => (1, 2),
+            DirRatio::Quarter => (1, 4),
+        }
+    }
+
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DirRatio::X2 => "2x",
+            DirRatio::X1 => "1x",
+            DirRatio::Half => "0.5x",
+            DirRatio::Quarter => "0.25x",
+        }
+    }
+}
+
+/// Full configuration of the simulated CMP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Per-core L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// Per-core L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// Extra latency of an L1 hit beyond the pipelined access, in cycles.
+    pub l1_latency: u64,
+    /// Per-core private L2 geometry.
+    pub l2: CacheGeometry,
+    /// L2 lookup latency in cycles.
+    pub l2_latency: u64,
+    /// Shared LLC configuration.
+    pub llc: LlcConfig,
+    /// Sparse-directory provisioning ratio.
+    pub dir_ratio: DirRatio,
+    /// Sparse-directory associativity target (the paper uses 8, widening
+    /// to 12 when exact 2× sizing requires it).
+    pub dir_base_ways: u8,
+    /// Interconnect parameters.
+    pub noc: NocParams,
+    /// Main-memory parameters.
+    pub dram: DramParams,
+    /// Base CPI of the core on non-memory work (a 4-wide core ≈ 0.25).
+    pub base_cpi: f64,
+    /// Capacity scale factor relative to Table I (1 = full scale).
+    pub scale_denominator: u64,
+}
+
+impl SystemConfig {
+    /// The full-scale Table I configuration with the given L2 option.
+    pub fn paper_with_l2(l2: L2Size) -> Self {
+        Self::build(8, 8 * 1024 * 1024, 16, 8, l2, 1)
+    }
+
+    /// The full-scale Table I configuration (256 KB L2 default).
+    pub fn paper() -> Self {
+        Self::paper_with_l2(L2Size::K256)
+    }
+
+    /// The default 1/8-scaled configuration with the given L2 option.
+    pub fn scaled_with_l2(l2: L2Size) -> Self {
+        Self::build(8, 8 * 1024 * 1024, 16, 8, l2, 8)
+    }
+
+    /// The default 1/8-scaled configuration (256 KB-class L2).
+    pub fn scaled() -> Self {
+        Self::scaled_with_l2(L2Size::K256)
+    }
+
+    /// The Fig 14 sensitivity configuration: 16 MB LLC, 1 MB per-core L2
+    /// (scaled by the same denominator as [`SystemConfig::scaled`]).
+    pub fn big_llc(scale_denominator: u64) -> Self {
+        Self::build(8, 16 * 1024 * 1024, 16, 8, L2Size::M1, scale_denominator)
+    }
+
+    /// The 128-core TPC-E configuration: 32 MB 16-way LLC, 128 KB L2
+    /// (Section IV). `scale_denominator` scales capacities as elsewhere.
+    pub fn server_128(scale_denominator: u64) -> Self {
+        Self::build(128, 32 * 1024 * 1024, 16, 8, L2Size::K128, scale_denominator)
+    }
+
+    fn build(
+        cores: usize,
+        llc_bytes_full: u64,
+        llc_ways: u8,
+        llc_banks: usize,
+        l2: L2Size,
+        scale_denominator: u64,
+    ) -> Self {
+        let s = scale_denominator;
+        let l1_bytes = (32 * 1024) / s;
+        let l2_bytes = l2.capacity_bytes() / s;
+        let llc_bytes = llc_bytes_full / s;
+        SystemConfig {
+            cores,
+            l1i: CacheGeometry::from_capacity(l1_bytes, 8),
+            l1d: CacheGeometry::from_capacity(l1_bytes, 8),
+            l1_latency: 0,
+            l2: CacheGeometry::from_capacity(l2_bytes, l2.ways()),
+            l2_latency: l2.latency(),
+            llc: LlcConfig::from_total_capacity(llc_bytes, llc_ways, llc_banks),
+            dir_ratio: DirRatio::X2,
+            dir_base_ways: 8,
+            noc: NocParams::table1(),
+            dram: DramParams::ddr3_2133(),
+            base_cpi: 0.25,
+            scale_denominator: s,
+        }
+    }
+
+    /// Returns a copy with a different sparse-directory ratio (Fig 15).
+    pub fn with_dir_ratio(mut self, ratio: DirRatio) -> Self {
+        self.dir_ratio = ratio;
+        self
+    }
+
+    /// Aggregate private L2 tags across all cores.
+    pub fn aggregate_l2_tags(&self) -> u64 {
+        self.l2.blocks() * self.cores as u64
+    }
+
+    /// Sparse-directory slice geometry for the current ratio.
+    ///
+    /// The paper sizes the directory to `ratio ×` aggregate L2 tags,
+    /// sliced evenly across banks, preferring 8-way sets and widening the
+    /// associativity when exact sizing requires it (e.g. 2048 × 12 for
+    /// the 768 KB L2 point).
+    pub fn dir_slice_geometry(&self) -> CacheGeometry {
+        let (num, den) = self.dir_ratio.fraction();
+        let total = self.aggregate_l2_tags() * num / den;
+        let per_slice = (total / self.llc.banks as u64).max(self.dir_base_ways as u64);
+        // Largest power-of-two set count that keeps ways >= dir_base_ways.
+        let mut sets = (per_slice / self.dir_base_ways as u64).max(1);
+        sets = if sets.is_power_of_two() { sets } else { 1 << (63 - sets.leading_zeros()) };
+        let ways = (per_slice / sets).clamp(1, 255) as u8;
+        CacheGeometry::new(sets as u32, ways)
+    }
+
+    /// The home bank of a line.
+    #[inline]
+    pub fn home_bank(&self, line: LineAddr) -> BankId {
+        self.llc.bank_of(line)
+    }
+
+    /// Extra LLC-lookup latency (beyond a normal sequential tag+data
+    /// lookup) for an access served from a **relocated** block, per the
+    /// paper's Section III-C1 CACTI analysis: 1, 2, or 3 cycles for the
+    /// 256 KB / 512 KB / 768 KB-class directories.
+    pub fn relocated_access_penalty(&self) -> u64 {
+        let dir_entries = self.dir_slice_geometry().blocks();
+        // Larger directory arrays have longer lookup latency; the paper's
+        // CACTI results map the three directory sizes to +1/+2/+3 cycles.
+        match dir_entries {
+            0..=8192 => 1,
+            8193..=16384 => 2,
+            _ => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_capacity_round_trip() {
+        let g = CacheGeometry::from_capacity(256 * 1024, 8);
+        assert_eq!(g.capacity_bytes(), 256 * 1024);
+        assert_eq!(g.sets, 512);
+    }
+
+    #[test]
+    fn geometry_set_tag_round_trip() {
+        let g = CacheGeometry::from_capacity(32 * 1024, 8);
+        for raw in [0u64, 1, 63, 64, 12345, 1 << 30] {
+            let line = LineAddr::new(raw);
+            let set = g.set_of(line);
+            let tag = g.tag_of(line);
+            assert_eq!(g.line_of(tag, set), line);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_pow2_sets() {
+        CacheGeometry::new(3, 8);
+    }
+
+    #[test]
+    fn llc_bank_set_tag_round_trip() {
+        let llc = LlcConfig::from_total_capacity(8 * 1024 * 1024, 16, 8);
+        for raw in [0u64, 7, 8, 0xdead_beef, (1 << 40) + 5] {
+            let line = LineAddr::new(raw);
+            let (b, s, t) = (llc.bank_of(line), llc.set_of(line), llc.tag_of(line));
+            assert_eq!(llc.line_of(b, s, t), line);
+        }
+    }
+
+    #[test]
+    fn paper_llc_matches_table1() {
+        let cfg = SystemConfig::paper();
+        assert_eq!(cfg.llc.total_capacity_bytes(), 8 * 1024 * 1024);
+        assert_eq!(cfg.llc.banks, 8);
+        assert_eq!(cfg.llc.bank_geometry.ways, 16);
+        // 1 MB 16-way bank => 1024 sets.
+        assert_eq!(cfg.llc.bank_geometry.sets, 1024);
+    }
+
+    #[test]
+    fn paper_dir_sizes_match_section3c() {
+        // Section III-C3: 2x sparse directory has 8192 (1024x8), 16384
+        // (2048x8), 24576 (2048x12) entries per slice for the 256/512/768
+        // KB L2 configurations.
+        let g256 = SystemConfig::paper_with_l2(L2Size::K256).dir_slice_geometry();
+        assert_eq!((g256.sets, g256.ways), (1024, 8));
+        let g512 = SystemConfig::paper_with_l2(L2Size::K512).dir_slice_geometry();
+        assert_eq!((g512.sets, g512.ways), (2048, 8));
+        let g768 = SystemConfig::paper_with_l2(L2Size::K768).dir_slice_geometry();
+        assert_eq!((g768.sets, g768.ways), (2048, 12));
+    }
+
+    #[test]
+    fn relocated_penalty_tracks_directory_size() {
+        assert_eq!(SystemConfig::paper_with_l2(L2Size::K256).relocated_access_penalty(), 1);
+        assert_eq!(SystemConfig::paper_with_l2(L2Size::K512).relocated_access_penalty(), 2);
+        assert_eq!(SystemConfig::paper_with_l2(L2Size::K768).relocated_access_penalty(), 3);
+    }
+
+    #[test]
+    fn scaled_preserves_capacity_ratios() {
+        for l2 in L2Size::TABLE1 {
+            let full = SystemConfig::paper_with_l2(l2);
+            let scaled = SystemConfig::scaled_with_l2(l2);
+            let ratio_full =
+                full.aggregate_l2_tags() as f64 / full.llc.total_blocks() as f64;
+            let ratio_scaled =
+                scaled.aggregate_l2_tags() as f64 / scaled.llc.total_blocks() as f64;
+            assert!((ratio_full - ratio_scaled).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dir_ratio_sweep_shrinks_directory() {
+        let base = SystemConfig::scaled();
+        let mut prev = u64::MAX;
+        for r in DirRatio::SWEEP {
+            let entries = base.clone().with_dir_ratio(r).dir_slice_geometry().blocks();
+            assert!(entries < prev, "{r:?} should shrink the directory");
+            prev = entries;
+        }
+    }
+
+    #[test]
+    fn dram_cycle_conversion_rounds_up() {
+        let d = DramParams::ddr3_2133();
+        // 14 DRAM cycles * 15/4 = 52.5 -> 53 CPU cycles.
+        assert_eq!(d.to_cpu_cycles(14), 53);
+        assert_eq!(d.to_cpu_cycles(0), 0);
+    }
+
+    #[test]
+    fn noc_one_way_latency() {
+        let n = NocParams::table1();
+        assert_eq!(n.one_way(3), 18);
+    }
+
+    #[test]
+    fn server_config_matches_section4() {
+        let cfg = SystemConfig::server_128(1);
+        assert_eq!(cfg.cores, 128);
+        assert_eq!(cfg.llc.total_capacity_bytes(), 32 * 1024 * 1024);
+        assert_eq!(cfg.l2.capacity_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn l2_size_table_matches_table1() {
+        assert_eq!(L2Size::K256.latency(), 4);
+        assert_eq!(L2Size::K512.latency(), 5);
+        assert_eq!(L2Size::K768.latency(), 6);
+        assert_eq!(L2Size::K768.ways(), 12);
+        assert_eq!(L2Size::K256.ways(), 8);
+    }
+}

@@ -1,0 +1,95 @@
+//! Small identifier newtypes used throughout the simulator.
+
+use std::fmt;
+
+/// Identifies one processing core of the simulated CMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ziv_common::ids::CoreId;
+    /// assert_eq!(CoreId::new(3).index(), 3);
+    /// ```
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        CoreId(index as u16)
+    }
+
+    /// The zero-based index of this core.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifies one bank of the shared LLC (and its associated sparse
+/// directory slice — the paper co-locates a directory slice with each
+/// LLC bank, Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(u16);
+
+impl BankId {
+    /// Creates a bank identifier.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        BankId(index as u16)
+    }
+
+    /// The zero-based index of this bank.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+/// A way index within one cache set.
+pub type WayIdx = u8;
+
+/// A set index within one cache bank.
+pub type SetIdx = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_round_trips() {
+        for i in [0usize, 1, 7, 127] {
+            assert_eq!(CoreId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn bank_id_round_trips() {
+        assert_eq!(BankId::new(5).index(), 5);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(CoreId::new(1) < CoreId::new(2));
+        assert!(BankId::new(0) < BankId::new(7));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(CoreId::new(2).to_string(), "core2");
+        assert_eq!(BankId::new(3).to_string(), "bank3");
+    }
+}

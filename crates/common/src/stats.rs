@@ -1,0 +1,319 @@
+//! Statistics helpers: histograms (used for the Fig 18 relocation-interval
+//! CDF), and aggregate summaries (geometric means, speedup ranges) used by
+//! the experiment harness.
+
+use std::fmt;
+
+/// Geometric mean of a non-empty set of positive values.
+///
+/// Returns `None` for an empty input or if any value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use ziv_common::stats::geomean;
+/// let g = geomean([2.0, 8.0]).unwrap();
+/// assert!((g - 4.0).abs() < 1e-12);
+/// ```
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return None;
+        }
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Summary of a set of per-workload results: mean, min, max — the paper's
+/// figures annotate bars with the observed range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Geometric mean over workloads.
+    pub gmean: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Number of workloads aggregated.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Builds a summary; returns `None` if `values` is empty or any value
+    /// is non-positive (speedups are always positive).
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let gmean = geomean(values.iter().copied())?;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary { gmean, min, max, count: values.len() })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} [{:.3}..{:.3}] (n={})", self.gmean, self.min, self.max, self.count)
+    }
+}
+
+/// A power-of-two-bucketed histogram of u64 samples.
+///
+/// Bucket `i` counts samples `v` with `floor(log2(max(v,1))) == i`;
+/// matches the log-scaled x-axis of the paper's Fig 18.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram { buckets: vec![0; 64], total: 0 }
+    }
+
+    /// Records a sample.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ziv_common::stats::Log2Histogram;
+    /// let mut h = Log2Histogram::new();
+    /// h.record(5); // bucket 2 (4..8)
+    /// assert_eq!(h.count_in_bucket(2), 1);
+    /// ```
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let b = 63 - value.max(1).leading_zeros() as usize;
+        self.buckets[b] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `log2`.
+    pub fn count_in_bucket(&self, log2: usize) -> u64 {
+        self.buckets.get(log2).copied().unwrap_or(0)
+    }
+
+    /// Cumulative fraction of samples with `log2(value) <= log2`.
+    /// Returns 0.0 when the histogram is empty.
+    pub fn cdf_at(&self, log2: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let c: u64 = self.buckets.iter().take(log2 + 1).sum();
+        c as f64 / self.total as f64
+    }
+
+    /// Fraction of samples strictly below `threshold`.
+    /// (Used for the paper's "fraction of relocation intervals < 5
+    /// cycles" observation; exact below-threshold counting needs the
+    /// bucket containing the threshold, so we conservatively report the
+    /// CDF of the last fully-below bucket.)
+    pub fn fraction_below_pow2(&self, threshold_log2: usize) -> f64 {
+        if threshold_log2 == 0 {
+            return 0.0;
+        }
+        self.cdf_at(threshold_log2 - 1)
+    }
+
+    /// The largest non-empty bucket index, or `None` when empty.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Renders a simple aligned text table; used by the figure benches so
+/// their output reads like the paper's data series.
+///
+/// # Examples
+///
+/// ```
+/// use ziv_common::stats::render_table;
+/// let t = render_table(
+///     &["config", "speedup"],
+///     &[vec!["I-LRU".into(), "1.000".into()]],
+/// );
+/// assert!(t.contains("I-LRU"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!(geomean([]).is_none());
+        assert!(geomean([1.0, -1.0]).is_none());
+        assert!((geomean([4.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geomean([1.0, 4.0, 16.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!(mean([]).is_none());
+        assert!((mean([1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_tracks_range() {
+        let s = Summary::of(&[0.5, 1.0, 2.0]).unwrap();
+        assert!((s.gmean - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.count, 3);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_displays() {
+        let s = Summary::of(&[1.0]).unwrap();
+        assert!(s.to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Log2Histogram::new();
+        h.record(0); // clamps to bucket 0
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count_in_bucket(0), 2);
+        assert_eq!(h.count_in_bucket(1), 2);
+        assert_eq!(h.count_in_bucket(10), 1);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max_bucket(), Some(10));
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone_and_reaches_one() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 5, 9, 100, 5000] {
+            h.record(v);
+        }
+        let mut prev = 0.0;
+        for b in 0..64 {
+            let c = h.cdf_at(b);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((h.cdf_at(63) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_fraction_below() {
+        let mut h = Log2Histogram::new();
+        h.record(2);
+        h.record(3);
+        h.record(100);
+        // values < 4 (2^2): both bucket-1 entries.
+        assert!((h.fraction_below_pow2(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.fraction_below_pow2(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(4);
+        b.record(4);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count_in_bucket(2), 2);
+    }
+
+    #[test]
+    fn empty_histogram_cdf_is_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.cdf_at(63), 0.0);
+        assert_eq!(h.max_bucket(), None);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "bee"],
+            &[vec!["x".into(), "1".into()], vec!["longer".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("x"));
+    }
+}

@@ -1,0 +1,838 @@
+//! The full CMP cache hierarchy: per-core private caches, the shared
+//! LLC (in any of the seven modes), the sparse directory, the CHAR
+//! engine, the mesh, and main memory — orchestrated access by access.
+
+use crate::llc::{EvictedBlock, FillOutcome, LlcMode, SharedLlc, ZivProperty};
+use crate::metrics::Metrics;
+use crate::prefetch::{PrefetchConfig, StridePrefetcher};
+use crate::private::{EvictionNotice, PrivLookup, PrivateHierarchy};
+use std::rc::Rc;
+use ziv_char::{CharConfig, CharEngine};
+use ziv_common::config::SystemConfig;
+use ziv_common::{Addr, CoreId, Cycle, LineAddr};
+use ziv_directory::{DirectoryMode, EvictedEntry, RemovalOutcome, SparseDirectory};
+use ziv_dram::DramModel;
+use ziv_noc::Mesh;
+use ziv_replacement::{AccessCtx, FutureKnowledge, PolicyKind};
+
+/// One demand access from a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Byte address.
+    pub addr: Addr,
+    /// Program counter (feeds Hawkeye's predictor).
+    pub pc: u64,
+    /// Whether this is a store.
+    pub is_write: bool,
+    /// Whether this is an instruction fetch.
+    pub is_instr: bool,
+}
+
+impl Access {
+    /// A data read.
+    pub fn read(core: CoreId, addr: Addr, pc: u64) -> Self {
+        Access { core, addr, pc, is_write: false, is_instr: false }
+    }
+
+    /// A data write.
+    pub fn write(core: CoreId, addr: Addr, pc: u64) -> Self {
+        Access { core, addr, pc, is_write: true, is_instr: false }
+    }
+
+    /// An instruction fetch.
+    pub fn ifetch(core: CoreId, addr: Addr, pc: u64) -> Self {
+        Access { core, addr, pc, is_write: false, is_instr: true }
+    }
+}
+
+/// Configuration for building a [`CacheHierarchy`].
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// The machine (Table I).
+    pub system: SystemConfig,
+    /// LLC management mode.
+    pub mode: LlcMode,
+    /// Baseline LLC replacement policy.
+    pub policy: PolicyKind,
+    /// Sparse-directory eviction handling.
+    pub dir_mode: DirectoryMode,
+    /// CHAR tuning.
+    pub char_cfg: CharConfig,
+    /// Seed for the (rare) randomized choices (SHARP step 3).
+    pub seed: u64,
+    /// Future knowledge for the MIN oracle policy.
+    pub future: Option<Rc<dyn FutureKnowledge>>,
+    /// Optional per-core stride prefetcher (the prefetching × inclusion
+    /// extension study; Table I's machine has none).
+    pub prefetch: Option<PrefetchConfig>,
+}
+
+impl HierarchyConfig {
+    /// Default configuration: inclusive LLC, LRU, MESI directory.
+    pub fn new(system: SystemConfig) -> Self {
+        HierarchyConfig {
+            system,
+            mode: LlcMode::Inclusive,
+            policy: PolicyKind::Lru,
+            dir_mode: DirectoryMode::Mesi,
+            char_cfg: CharConfig::default(),
+            seed: 0x5eed,
+            future: None,
+            prefetch: None,
+        }
+    }
+
+    /// Sets the LLC mode.
+    pub fn with_mode(mut self, mode: LlcMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the baseline replacement policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the directory mode (Fig 15's ZeroDEV arm).
+    pub fn with_dir_mode(mut self, dir_mode: DirectoryMode) -> Self {
+        self.dir_mode = dir_mode;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Supplies future knowledge (required for [`PolicyKind::Min`]).
+    pub fn with_future(mut self, future: Rc<dyn FutureKnowledge>) -> Self {
+        self.future = Some(future);
+        self
+    }
+
+    /// Sets CHAR tuning.
+    pub fn with_char(mut self, char_cfg: CharConfig) -> Self {
+        self.char_cfg = char_cfg;
+        self
+    }
+
+    /// Enables per-core stride prefetching.
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = Some(prefetch);
+        self
+    }
+}
+
+/// The simulated cache hierarchy.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    cfg: SystemConfig,
+    mode: LlcMode,
+    cores: Vec<PrivateHierarchy>,
+    llc: SharedLlc,
+    dir: SparseDirectory,
+    char_engine: CharEngine,
+    dram: DramModel,
+    mesh: Mesh,
+    metrics: Metrics,
+    notice_buf: Vec<EvictionNotice>,
+    prefetchers: Option<Vec<StridePrefetcher>>,
+    /// Per-core private-hit counters for TLH hint sampling.
+    tlh_counters: Vec<u32>,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.policy` is [`PolicyKind::Min`] and no future
+    /// knowledge was supplied, or if a `MaxRRPV*` ZIV property is paired
+    /// with a policy that has no RRPVs.
+    pub fn new(cfg: &HierarchyConfig) -> Self {
+        if let LlcMode::Ziv(p @ (ZivProperty::MaxRrpvNotInPrC | ZivProperty::MaxRrpvLikelyDead)) =
+            cfg.mode
+        {
+            assert!(
+                cfg.policy.is_rrpv_based(),
+                "{} requires an RRPV-graded policy (SRRIP/Hawkeye)",
+                p.label()
+            );
+        }
+        let sys = &cfg.system;
+        let cores = (0..sys.cores)
+            .map(|_| PrivateHierarchy::new(sys.l1i, sys.l1d, sys.l2))
+            .collect();
+        let future = cfg.future.clone();
+        let policy_kind = cfg.policy;
+        let seed = cfg.seed;
+        let llc = SharedLlc::new(
+            sys.llc,
+            cfg.mode,
+            policy_kind,
+            |b| policy_kind.build_with_future(sys.llc.bank_geometry, seed ^ b as u64, future.clone()),
+            seed,
+        );
+        let mut h = CacheHierarchy {
+            cfg: sys.clone(),
+            mode: cfg.mode,
+            cores,
+            llc,
+            dir: SparseDirectory::new(sys, cfg.dir_mode),
+            char_engine: CharEngine::new(sys.cores, sys.llc.banks, cfg.char_cfg),
+            dram: DramModel::new(sys.dram),
+            mesh: Mesh::new(sys.cores, sys.llc.banks, sys.noc),
+            metrics: Metrics::new(sys.cores),
+            notice_buf: Vec::new(),
+            prefetchers: cfg
+                .prefetch
+                .map(|p| (0..sys.cores).map(|_| StridePrefetcher::new(p)).collect()),
+            tlh_counters: vec![0; sys.cores],
+        };
+        if let LlcMode::WayPartitioned = cfg.mode {
+            let parts = sys.cores.min(sys.llc.bank_geometry.ways as usize);
+            h.llc.set_partitions(parts);
+        }
+        h
+    }
+
+    /// The system configuration.
+    pub fn system(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The LLC mode.
+    pub fn mode(&self) -> LlcMode {
+        self.mode
+    }
+
+    /// The accumulated statistics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable statistics (the driving simulator records instructions
+    /// and cycles here).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The DRAM model (energy/row-hit diagnostics).
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// The CHAR engine (threshold diagnostics).
+    pub fn char_engine(&self) -> &CharEngine {
+        &self.char_engine
+    }
+
+    /// The sparse directory (occupancy diagnostics, tests).
+    pub fn directory(&self) -> &SparseDirectory {
+        &self.dir
+    }
+
+    /// The shared LLC (tests).
+    pub fn llc(&self) -> &SharedLlc {
+        &self.llc
+    }
+
+    /// Merges per-bank relocation-interval histograms into the metrics
+    /// (call once at end of simulation; Fig 18).
+    pub fn finalize(&mut self) {
+        for b in 0..self.llc.bank_count() {
+            let hist = self.llc.bank(ziv_common::BankId::new(b)).relocation_intervals.clone();
+            self.metrics.relocation_intervals.merge(&hist);
+        }
+        self.metrics.dram_energy_pj = self.dram.total_energy_pj();
+    }
+
+    /// Performs one demand access at cycle `now` with global stream
+    /// position `seq`; returns the access latency in cycles.
+    pub fn access(&mut self, a: &Access, now: Cycle, seq: u64) -> Cycle {
+        let line = a.addr.line();
+        let ci = a.core.index();
+        self.metrics.per_core[ci].accesses += 1;
+        let outcome = self.cores[ci].access(line, a.is_instr, a.is_write, &mut self.notice_buf);
+        match outcome {
+            PrivLookup::L1Hit => {
+                self.drain_notices(a.core, now);
+                if a.is_write {
+                    self.ensure_exclusive(line, a.core, now);
+                }
+                self.maybe_send_tlh_hint(a, line, now, seq);
+                self.cfg.l1_latency.max(1)
+            }
+            PrivLookup::L2Hit => {
+                self.metrics.per_core[ci].l1_misses += 1;
+                self.metrics.l2_energy_events += 1;
+                self.drain_notices(a.core, now);
+                if a.is_write {
+                    self.ensure_exclusive(line, a.core, now);
+                }
+                self.maybe_send_tlh_hint(a, line, now, seq);
+                self.issue_prefetches(a, line, now, seq);
+                self.cfg.l2_latency
+            }
+            PrivLookup::Miss => {
+                self.metrics.per_core[ci].l1_misses += 1;
+                self.metrics.per_core[ci].l2_misses += 1;
+                self.metrics.l2_energy_events += 1;
+                let lat = self.llc_access(a, line, now, seq);
+                self.issue_prefetches(a, line, now, seq);
+                lat
+            }
+        }
+    }
+
+    /// TLH (Jaleel et al. MICRO 2010): every `hint_one_in`-th private-
+    /// cache hit informs the LLC so the block's replacement state stays
+    /// fresh despite the hit being invisible to the LLC.
+    fn maybe_send_tlh_hint(&mut self, a: &Access, line: LineAddr, now: Cycle, seq: u64) {
+        let LlcMode::Tlh { hint_one_in } = self.mode else {
+            return;
+        };
+        let ci = a.core.index();
+        self.tlh_counters[ci] += 1;
+        if self.tlh_counters[ci] < hint_one_in {
+            return;
+        }
+        self.tlh_counters[ci] = 0;
+        if let Some(loc) = self.llc.probe(line) {
+            let ctx = AccessCtx { line, pc: a.pc, core: a.core, now, seq, is_write: false };
+            self.llc.on_hit(loc, &ctx);
+            self.metrics.tlh_hints += 1;
+        }
+    }
+
+    /// Trains the core's stride prefetcher on the L1-miss stream and
+    /// performs the resulting prefetch fills (off the critical path: no
+    /// latency is charged to the core).
+    fn issue_prefetches(&mut self, a: &Access, line: LineAddr, now: Cycle, seq: u64) {
+        let Some(prefetchers) = self.prefetchers.as_mut() else {
+            return;
+        };
+        let candidates = prefetchers[a.core.index()].train(a.pc, line);
+        for cand in candidates {
+            self.metrics.prefetches_issued += 1;
+            self.prefetch_one(a.core, cand, a.pc, now, seq);
+        }
+    }
+
+    /// Prefetches `line` into `core`'s L2 (and the LLC, per the paper's
+    /// first inclusion action). Dropped when already resident or when a
+    /// dirty remote owner would need downgrading.
+    fn prefetch_one(&mut self, core: CoreId, line: LineAddr, pc: u64, now: Cycle, seq: u64) {
+        if self.cores[core.index()].contains(line) {
+            self.metrics.prefetch_drops += 1;
+            return;
+        }
+        if self.dir.probe(line).is_some_and(|e| e.dirty_owner.is_some()) {
+            self.metrics.prefetch_drops += 1;
+            return;
+        }
+        let ctx = AccessCtx { line, pc, core, now, seq, is_write: false };
+        let from_llc_hit = if let Some(loc) = self.llc.probe(line) {
+            self.llc.on_hit(loc, &ctx);
+            true
+        } else if let Some(rloc) = self.dir.relocated_location(line) {
+            self.llc.on_relocated_hit(rloc, &ctx);
+            true
+        } else if self.dir.is_privately_cached(line) {
+            // The non-inclusive fourth case: not worth a prefetch.
+            self.metrics.prefetch_drops += 1;
+            return;
+        } else {
+            let fill = self.llc.fill(line, &ctx, &self.dir, core, now);
+            self.metrics.llc_writes_energy_events += 1;
+            self.apply_fill_outcome(line, fill, now);
+            let _ = self.dram.access(line, now, false);
+            self.metrics.dram_accesses += 1;
+            false
+        };
+        if let Some(ev) = self.dir.record_fill(line, core) {
+            self.handle_dir_eviction(ev, now);
+        }
+        self.cores[core.index()].prefetch_fill(line, from_llc_hit, &mut self.notice_buf);
+        self.drain_notices(core, now);
+        self.metrics.prefetch_fills += 1;
+    }
+
+    /// The LLC + directory stage of a private miss.
+    fn llc_access(&mut self, a: &Access, line: LineAddr, now: Cycle, seq: u64) -> Cycle {
+        let ci = a.core.index();
+        let home = self.cfg.home_bank(line);
+        let base = self.mesh.round_trip(a.core, home)
+            + self.cfg.llc.tag_latency
+            + self.cfg.llc.data_latency;
+        let ctx = AccessCtx {
+            line,
+            pc: a.pc,
+            core: a.core,
+            now,
+            seq,
+            is_write: a.is_write,
+        };
+        self.metrics.llc_accesses += 1;
+        self.metrics.dir_energy_events += 1;
+
+        // Case 1: hit on a non-relocated block.
+        if let Some(loc) = self.llc.probe(line) {
+            self.metrics.llc_hits += 1;
+            self.metrics.llc_reads_energy_events += 1;
+            let extra = self.coherence_data_fetch(line, a.core, home, Some(loc));
+            if a.is_write {
+                self.ensure_exclusive(line, a.core, now);
+            }
+            if let Some((owner, group)) = self.llc.on_hit(loc, &ctx) {
+                if owner as usize == ci {
+                    self.char_engine.on_recall(ci, group);
+                }
+            }
+            self.fill_private_and_dir(line, a, true, now);
+            return base + extra;
+        }
+
+        // Case 2: hit on a relocated block, found through the directory
+        // (Section III-C1: only ever reached by a new sharer core).
+        if let Some(rloc) = self.dir.relocated_location(line) {
+            self.metrics.llc_hits += 1;
+            self.metrics.relocated_hits += 1;
+            self.metrics.llc_reads_energy_events += 1;
+            let penalty =
+                self.cfg.relocated_access_penalty() + 2 * self.mesh.detour(home, rloc.bank);
+            let extra = self.coherence_data_fetch(line, a.core, home, Some(rloc));
+            if a.is_write {
+                self.ensure_exclusive(line, a.core, now);
+            }
+            self.llc.on_relocated_hit(rloc, &ctx);
+            self.fill_private_and_dir(line, a, true, now);
+            return base + penalty + extra;
+        }
+
+        // Case 3: directory hit but LLC miss — the "fourth case" that
+        // only a non-inclusive hierarchy must handle (Section I-A).
+        if self.dir.is_privately_cached(line) {
+            debug_assert!(
+                self.mode.allows_llc_miss_under_dir_hit(),
+                "inclusive invariant violated: directory hit without an LLC copy for {line}"
+            );
+            self.metrics.llc_misses += 1;
+            self.metrics.per_core[ci].llc_misses += 1;
+            // A special sharer supplies the data (extra protocol hop).
+            let supplier = self
+                .dir
+                .probe(line)
+                .and_then(|s| s.sharers.iter().next())
+                .unwrap_or(a.core);
+            let owner_dirty =
+                self.dir.probe(line).and_then(|s| s.dirty_owner).is_some();
+            let extra = self.mesh.round_trip(supplier, home);
+            if owner_dirty {
+                if let Some(owner) = self.dir.probe(line).and_then(|s| s.dirty_owner) {
+                    self.cores[owner.index()].clean(line);
+                }
+                if let Some(e) = self.dir.probe_mut(line) {
+                    e.dirty_owner = None;
+                }
+            }
+            let fill = self.llc.fill(line, &ctx, &self.dir, a.core, now);
+            self.metrics.llc_writes_energy_events += 1;
+            self.apply_fill_outcome(line, fill, now);
+            if owner_dirty {
+                self.llc.update_state(fill.loc, |s| s.dirty = true);
+            }
+            if a.is_write {
+                self.ensure_exclusive(line, a.core, now);
+            }
+            self.fill_private_and_dir(line, a, false, now);
+            return base + extra;
+        }
+
+        // Case 4: miss everywhere — go to memory.
+        self.metrics.llc_misses += 1;
+        self.metrics.per_core[ci].llc_misses += 1;
+        let fill = self.llc.fill(line, &ctx, &self.dir, a.core, now);
+        self.metrics.llc_writes_energy_events += 1;
+        self.apply_fill_outcome(line, fill, now);
+        let mem = self.dram.access(line, now + base, false);
+        self.metrics.dram_accesses += 1;
+        self.fill_private_and_dir(line, a, false, now);
+        base + (mem.ready_at - (now + base))
+    }
+
+    /// If another core owns `line` dirty, fetch the data from it
+    /// (downgrading the owner and refreshing the LLC copy). Returns the
+    /// extra latency.
+    fn coherence_data_fetch(
+        &mut self,
+        line: LineAddr,
+        requester: CoreId,
+        home: ziv_common::BankId,
+        llc_loc: Option<ziv_directory::LlcLocation>,
+    ) -> Cycle {
+        let owner = match self.dir.probe(line).and_then(|s| s.dirty_owner) {
+            Some(o) if o != requester => o,
+            _ => return 0,
+        };
+        self.cores[owner.index()].clean(line);
+        if let Some(loc) = llc_loc {
+            self.llc.update_state(loc, |s| s.dirty = true);
+        }
+        if let Some(e) = self.dir.probe_mut(line) {
+            e.dirty_owner = None;
+        }
+        self.mesh.round_trip(owner, home)
+    }
+
+    /// Invalidate every other sharer's private copy before a write
+    /// (MESI upgrade). These are coherence invalidations, not inclusion
+    /// victims.
+    fn ensure_exclusive(&mut self, line: LineAddr, writer: CoreId, now: Cycle) {
+        let others: Vec<CoreId> = match self.dir.probe(line) {
+            Some(e) => e.sharers.iter().filter(|&s| s != writer).collect(),
+            None => return,
+        };
+        let mut any_dirty = false;
+        for s in &others {
+            if let Some(dirty) = self.cores[s.index()].invalidate(line) {
+                any_dirty |= dirty;
+                self.metrics.coherence_invalidations += 1;
+            }
+        }
+        if !others.is_empty() {
+            if let Some(e) = self.dir.probe_mut(line) {
+                for s in &others {
+                    e.sharers.remove(*s);
+                }
+                if e.dirty_owner.is_some_and(|o| o != writer) {
+                    e.dirty_owner = None;
+                }
+            }
+            if any_dirty {
+                // Merge the invalidated dirty data into the LLC copy.
+                if let Some(loc) = self.llc.probe(line) {
+                    self.llc.update_state(loc, |s| s.dirty = true);
+                } else if let Some(loc) = self.dir.relocated_location(line) {
+                    self.llc.update_state(loc, |s| s.dirty = true);
+                } else {
+                    self.writeback_to_memory(line, now);
+                }
+            }
+        }
+        if let Some(e) = self.dir.probe_mut(line) {
+            if e.sharers.contains(writer) {
+                e.dirty_owner = Some(writer);
+            }
+        }
+    }
+
+    /// Applies the side effects of a [`FillOutcome`]: evictions (with
+    /// back-invalidations where the mode demands them), relocations, and
+    /// their statistics.
+    fn apply_fill_outcome(&mut self, line: LineAddr, fill: FillOutcome, now: Cycle) {
+        self.metrics.qbs_queries += fill.qbs_queries;
+        if fill.sharp_alarm {
+            self.metrics.sharp_alarms += 1;
+        }
+        if fill.in_set_alternate {
+            self.metrics.in_set_alternate_victims += 1;
+        }
+        if fill.ziv_fallback {
+            self.metrics.ziv_guarantee_fallbacks += 1;
+        }
+        if fill.likely_dead_pv_empty {
+            // Section III-D6: an empty LikelyDeadNotInPrC PV at
+            // relocation time asks the bank to lower CHAR's threshold.
+            let bank = self.cfg.home_bank(line);
+            self.char_engine.request_lower_threshold(bank.index());
+        }
+        if let Some(candidate) = fill.eci_candidate {
+            self.eci_early_invalidate(candidate, now);
+        }
+        if let Some(rel) = fill.relocation {
+            self.metrics.relocations += 1;
+            if rel.cross_bank {
+                self.metrics.cross_bank_relocations += 1;
+            }
+            self.metrics.dir_energy_events += 1;
+            self.dir.set_relocated(rel.moved_line, Some(rel.to));
+            if let Some(ev) = rel.evicted_from_rs {
+                debug_assert!(!self.dir.is_privately_cached(ev.line));
+                self.handle_llc_eviction(ev, now);
+            }
+        }
+        if let Some(ev) = fill.evicted {
+            self.handle_llc_eviction(ev, now);
+        }
+    }
+
+    /// ECI: invalidate the next victim candidate's private copies while
+    /// its LLC copy stays, making its future reuse visible to the LLC.
+    /// These forced invalidations are inclusion victims.
+    fn eci_early_invalidate(&mut self, line: LineAddr, now: Cycle) {
+        let sharers: Vec<CoreId> = match self.dir.probe(line) {
+            Some(e) => e.sharers.iter().collect(),
+            None => return,
+        };
+        if sharers.is_empty() {
+            return;
+        }
+        let mut any_dirty = false;
+        for s in &sharers {
+            if self.cores[s.index()].invalidate(line).is_some_and(|d| d) {
+                any_dirty = true;
+            }
+            self.metrics.inclusion_victims += 1;
+            self.metrics.per_core[s.index()].inclusion_victims_suffered += 1;
+            self.metrics.eci_early_invalidations += 1;
+        }
+        self.dir.free_line(line);
+        if let Some(loc) = self.llc.probe(line) {
+            self.llc.update_state(loc, |st| {
+                st.not_in_prc = true;
+                st.dirty |= any_dirty;
+            });
+        } else if any_dirty {
+            self.writeback_to_memory(line, now);
+        }
+    }
+
+    /// Handles a block leaving the LLC.
+    fn handle_llc_eviction(&mut self, ev: EvictedBlock, now: Cycle) {
+        if ev.was_relocated {
+            // Only the defensive ZIV fallback can evict a relocated
+            // block; drop its directory pointer before back-invalidating.
+            self.dir.set_relocated(ev.line, None);
+        }
+        if self.dir.is_privately_cached(ev.line) {
+            if self.mode == LlcMode::Ric {
+                // Relaxed inclusion: never-written blocks skip the
+                // back-invalidation (their private copies cannot diverge
+                // from memory). "Never written" here: the LLC copy is
+                // clean and no core owns the block dirty.
+                let written = ev.dirty
+                    || self.dir.probe(ev.line).and_then(|e| e.dirty_owner).is_some();
+                if !written {
+                    self.metrics.ric_relaxations += 1;
+                    return;
+                }
+            }
+            if self.mode.is_inclusive() {
+                // Back-invalidation: the inclusion victims of Fig 2.
+                let sharers: Vec<CoreId> =
+                    self.dir.probe(ev.line).map(|e| e.sharers.iter().collect()).unwrap_or_default();
+                let mut any_dirty = ev.dirty;
+                for s in sharers {
+                    if self.cores[s.index()].invalidate(ev.line).is_some_and(|d| d) {
+                        any_dirty = true;
+                    }
+                    self.metrics.inclusion_victims += 1;
+                    self.metrics.per_core[s.index()].inclusion_victims_suffered += 1;
+                }
+                self.metrics.inclusion_victim_events += 1;
+                self.dir.free_line(ev.line);
+                if any_dirty {
+                    self.writeback_to_memory(ev.line, now);
+                }
+            } else {
+                // Non-inclusive: the LLC copy simply departs; the
+                // directory keeps tracking the private copies.
+                if ev.dirty {
+                    self.writeback_to_memory(ev.line, now);
+                }
+            }
+        } else if ev.dirty {
+            self.writeback_to_memory(ev.line, now);
+        }
+    }
+
+    fn writeback_to_memory(&mut self, line: LineAddr, now: Cycle) {
+        self.metrics.llc_writebacks += 1;
+        self.metrics.dram_accesses += 1;
+        let _ = self.dram.access(line, now, true);
+    }
+
+    /// Records the fill into the requesting core's private caches and
+    /// the directory, then drains any resulting eviction notices.
+    fn fill_private_and_dir(&mut self, line: LineAddr, a: &Access, from_llc_hit: bool, now: Cycle) {
+        if let Some(ev) = self.dir.record_fill(line, a.core) {
+            self.handle_dir_eviction(ev, now);
+        }
+        if a.is_write {
+            if let Some(e) = self.dir.probe_mut(line) {
+                e.set_dirty_owner(a.core);
+            }
+        }
+        self.cores[a.core.index()].fill_from_shared(
+            line,
+            a.is_instr,
+            a.is_write,
+            from_llc_hit,
+            &mut self.notice_buf,
+        );
+        self.drain_notices(a.core, now);
+    }
+
+    /// Handles a sparse-directory eviction (MESI mode): back-invalidate
+    /// the tracked sharers; invalidate the relocated LLC block if the
+    /// entry was tracking one (Section III-F).
+    fn handle_dir_eviction(&mut self, ev: EvictedEntry, now: Cycle) {
+        let mut any_dirty = false;
+        for s in ev.state.sharers.iter() {
+            if self.cores[s.index()].invalidate(ev.line).is_some_and(|d| d) {
+                any_dirty = true;
+            }
+            self.metrics.directory_back_invalidations += 1;
+        }
+        if let Some(loc) = ev.state.relocated {
+            if let Some(st) = self.llc.invalidate(loc) {
+                debug_assert!(st.relocated);
+                if st.dirty || any_dirty {
+                    self.metrics.relocated_writebacks += 1;
+                    self.writeback_to_memory(ev.line, now);
+                }
+            }
+        } else if let Some(loc) = self.llc.probe(ev.line) {
+            self.llc.update_state(loc, |s| {
+                s.not_in_prc = true;
+                s.dirty |= any_dirty;
+            });
+        } else if any_dirty {
+            self.writeback_to_memory(ev.line, now);
+        }
+    }
+
+    /// Drains pending private-cache eviction notices from `core`.
+    fn drain_notices(&mut self, core: CoreId, now: Cycle) {
+        while let Some(n) = self.notice_buf.pop() {
+            self.process_notice(core, n, now);
+        }
+    }
+
+    /// Processes one eviction notice / writeback at the home bank
+    /// (Sections III-A, III-C2, III-D6).
+    fn process_notice(&mut self, core: CoreId, n: EvictionNotice, now: Cycle) {
+        let ci = core.index();
+        let bank = self.cfg.home_bank(n.line);
+        self.metrics.dir_energy_events += 1;
+        if n.dirty {
+            self.metrics.private_writebacks += 1;
+        }
+        // CHAR: dead inference rides the notice; the ack may piggyback a
+        // new threshold.
+        let group = CharEngine::classify(&n.meta, n.dirty);
+        let dead = self.char_engine.infer_dead(ci, group);
+        if let Some(d) = self.char_engine.bank_notice(bank.index(), ci) {
+            self.char_engine.core_receive_d(ci, d);
+        }
+
+        match self.dir.remove_sharer(n.line, core) {
+            RemovalOutcome::LastCopy(state) => {
+                if let Some(loc) = state.relocated {
+                    // The relocated block's life ends (Section III-C2);
+                    // dirty data goes straight to the memory controller.
+                    if let Some(st) = self.llc.invalidate(loc) {
+                        debug_assert!(st.relocated);
+                        if st.dirty || n.dirty {
+                            self.metrics.relocated_writebacks += 1;
+                            self.writeback_to_memory(n.line, now);
+                        }
+                    }
+                } else if let Some(loc) = self.llc.probe(n.line) {
+                    let uses_char = matches!(self.mode, LlcMode::CharOnBase)
+                        || matches!(self.mode, LlcMode::Ziv(p) if p.uses_char());
+                    self.llc.update_state(loc, |s| {
+                        s.not_in_prc = true;
+                        s.dirty |= n.dirty;
+                        s.likely_dead = dead && uses_char;
+                        s.evict_group = Some((ci as u16, group));
+                    });
+                } else {
+                    debug_assert!(self.mode.allows_llc_miss_under_dir_hit());
+                    if n.dirty {
+                        self.writeback_to_memory(n.line, now);
+                    }
+                }
+            }
+            RemovalOutcome::StillShared => {
+                if n.dirty {
+                    if let Some(loc) = self.llc.probe(n.line) {
+                        self.llc.update_state(loc, |s| s.dirty = true);
+                    } else if let Some(loc) = self.dir.relocated_location(n.line) {
+                        self.llc.update_state(loc, |s| s.dirty = true);
+                    } else {
+                        self.writeback_to_memory(n.line, now);
+                    }
+                }
+            }
+            RemovalOutcome::NotTracked => {
+                if n.dirty {
+                    self.writeback_to_memory(n.line, now);
+                }
+            }
+        }
+    }
+
+    /// Checks the hierarchy's structural invariants; returns a
+    /// description of the first violation. Used by tests and debug runs.
+    ///
+    /// - inclusive modes: every privately cached block has an LLC copy
+    ///   (home or relocated);
+    /// - every privately cached block has a directory entry;
+    /// - every relocated LLC block is pointed to by its directory entry;
+    /// - `NotInPrC` state matches directory presence.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        for (ci, core) in self.cores.iter().enumerate() {
+            for line in core.resident_lines() {
+                let entry = self.dir.probe(line).ok_or_else(|| {
+                    format!("core{ci}: {line} cached privately but untracked by directory")
+                })?;
+                if !entry.sharers.contains(CoreId::new(ci)) {
+                    return Err(format!("core{ci}: {line} cached but not a sharer"));
+                }
+                if self.mode.is_inclusive() && !self.mode.allows_llc_miss_under_dir_hit() {
+                    let in_home = self.llc.probe(line).is_some();
+                    let relocated = entry.relocated.is_some();
+                    if !in_home && !relocated {
+                        return Err(format!(
+                            "core{ci}: {line} violates inclusion (no LLC copy)"
+                        ));
+                    }
+                }
+            }
+        }
+        for (loc, st) in self.llc.resident_blocks() {
+            if st.relocated {
+                match self.dir.relocated_location(st.line) {
+                    Some(ptr) if ptr == loc => {}
+                    other => {
+                        return Err(format!(
+                            "relocated block {} at {:?} has directory pointer {:?}",
+                            st.line, loc, other
+                        ))
+                    }
+                }
+            }
+            if st.not_in_prc && self.dir.is_privately_cached(st.line) {
+                return Err(format!("{} marked NotInPrC but privately cached", st.line));
+            }
+            if !st.relocated && !st.not_in_prc && self.mode.is_ziv() {
+                // (A block can be neither: filled but since evicted from
+                // private caches before any notice cannot happen — the
+                // notice is synchronous — so non-relocated, in-PrC blocks
+                // must genuinely be privately cached or newly filled.)
+            }
+        }
+        Ok(())
+    }
+
+    /// Total inclusion victims (convenience for the ZIV guarantee tests).
+    pub fn inclusion_victims(&self) -> u64 {
+        self.metrics.inclusion_victims
+    }
+}

@@ -1,0 +1,218 @@
+//! Simulation statistics and the on-chip energy model backing the
+//! paper's figures (miss counts for Figs 2–4/10/13, inclusion victims
+//! for Fig 2, relocation statistics for Fig 18, energy for Fig 19).
+
+use ziv_common::stats::Log2Histogram;
+
+/// Energy of one LLC data-array read (64 B, 1 MB-class bank, 22 nm),
+/// in picojoules (CACTI-class constant; DESIGN.md §5.5).
+pub const LLC_READ_PJ: f64 = 220.0;
+
+/// Energy of one LLC data-array write, in picojoules.
+pub const LLC_WRITE_PJ: f64 = 260.0;
+
+/// Energy of one L2 access, in picojoules.
+pub const L2_ACCESS_PJ: f64 = 60.0;
+
+/// Energy of one sparse-directory lookup/update in the ZIV-widened
+/// directory, in picojoules.
+pub const DIR_ACCESS_PJ: f64 = 18.0;
+
+/// Per-core counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreMetrics {
+    /// Demand accesses issued by the core.
+    pub accesses: u64,
+    /// L1 misses (instruction + data).
+    pub l1_misses: u64,
+    /// Private L2 misses.
+    pub l2_misses: u64,
+    /// LLC misses attributed to this core.
+    pub llc_misses: u64,
+    /// Private blocks of this core invalidated as inclusion victims.
+    pub inclusion_victims_suffered: u64,
+    /// Total cycles accumulated by the core's access stream (set by the
+    /// driving simulator).
+    pub cycles: u64,
+    /// Instructions retired (set by the driving simulator).
+    pub instructions: u64,
+}
+
+/// All counters for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Per-core breakdown.
+    pub per_core: Vec<CoreMetrics>,
+    /// Total LLC lookups.
+    pub llc_accesses: u64,
+    /// Total LLC hits (including hits on relocated blocks).
+    pub llc_hits: u64,
+    /// Hits served from relocated blocks (pay the Section III-C1 delta).
+    pub relocated_hits: u64,
+    /// Total LLC misses.
+    pub llc_misses: u64,
+    /// Private cache blocks invalidated because their LLC copy was
+    /// evicted — **the inclusion victims of Fig 2** (one count per core
+    /// whose private hierarchy lost the block).
+    pub inclusion_victims: u64,
+    /// LLC evictions that generated at least one inclusion victim.
+    pub inclusion_victim_events: u64,
+    /// Private blocks invalidated by sparse-directory evictions
+    /// (Fig 15's mechanism; zero under ZeroDEV).
+    pub directory_back_invalidations: u64,
+    /// Private copies invalidated by coherent writes (not inclusion
+    /// victims).
+    pub coherence_invalidations: u64,
+    /// ZIV relocations performed.
+    pub relocations: u64,
+    /// Relocations that crossed banks (Section III-D1 fallback).
+    pub cross_bank_relocations: u64,
+    /// ZIV fills that found an alternate victim in the original set
+    /// (no relocation needed).
+    pub in_set_alternate_victims: u64,
+    /// Inclusive-mode fallback evictions in ZIV mode when no
+    /// `NotInPrC` block existed anywhere (impossible under the paper's
+    /// capacity invariant; counted defensively).
+    pub ziv_guarantee_fallbacks: u64,
+    /// QBS directory queries issued.
+    pub qbs_queries: u64,
+    /// SHARP random-eviction alarms (step 3).
+    pub sharp_alarms: u64,
+    /// Writebacks from the LLC to memory.
+    pub llc_writebacks: u64,
+    /// Writebacks sent directly to memory for relocated blocks
+    /// (Section III-C2).
+    pub relocated_writebacks: u64,
+    /// Dirty private evictions merged into the LLC.
+    pub private_writebacks: u64,
+    /// DRAM reads + writes.
+    pub dram_accesses: u64,
+    /// Prefetches issued by the (optional) stride prefetchers.
+    pub prefetches_issued: u64,
+    /// Prefetches that actually filled a new L2/LLC block.
+    pub prefetch_fills: u64,
+    /// Prefetches dropped (already resident, or coherence conflicts).
+    pub prefetch_drops: u64,
+    /// TLH temporal-locality hints delivered to the LLC.
+    pub tlh_hints: u64,
+    /// ECI early core invalidations performed.
+    pub eci_early_invalidations: u64,
+    /// RIC evictions that skipped back-invalidation (read-only blocks).
+    pub ric_relaxations: u64,
+    /// Per-bank relocation-interval histogram (log2 cycles) — Fig 18.
+    pub relocation_intervals: Log2Histogram,
+    /// LLC data-array reads (energy accounting).
+    pub llc_reads_energy_events: u64,
+    /// LLC data-array writes (energy accounting).
+    pub llc_writes_energy_events: u64,
+    /// L2 accesses (energy accounting).
+    pub l2_energy_events: u64,
+    /// Directory accesses (energy accounting).
+    pub dir_energy_events: u64,
+    /// DRAM energy accumulated, picojoules.
+    pub dram_energy_pj: f64,
+}
+
+impl Metrics {
+    /// Creates metrics for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Metrics { per_core: vec![CoreMetrics::default(); cores], ..Default::default() }
+    }
+
+    /// Total instructions across cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Total L2 misses across cores (Figs 4/10/13 lower panels).
+    pub fn total_l2_misses(&self) -> u64 {
+        self.per_core.iter().map(|c| c.l2_misses).sum()
+    }
+
+    /// Energy spent on relocations, in picojoules: each relocation reads
+    /// the block out of the LLC, writes it into the relocation set, and
+    /// updates the widened sparse directory (Fig 19's primary component).
+    pub fn relocation_energy_pj(&self) -> f64 {
+        self.relocations as f64 * (LLC_READ_PJ + LLC_WRITE_PJ + DIR_ACCESS_PJ)
+    }
+
+    /// Relocation energy per instruction, in picojoules (Fig 19's
+    /// y-axis). Returns 0 when no instructions were recorded.
+    pub fn relocation_epi_pj(&self) -> f64 {
+        let instr = self.total_instructions();
+        if instr == 0 {
+            0.0
+        } else {
+            self.relocation_energy_pj() / instr as f64
+        }
+    }
+
+    /// Total on-chip + DRAM energy per instruction, picojoules
+    /// (the Fig 19 comparison of costs vs savings).
+    pub fn total_epi_pj(&self) -> f64 {
+        let instr = self.total_instructions();
+        if instr == 0 {
+            return 0.0;
+        }
+        let on_chip = self.llc_reads_energy_events as f64 * LLC_READ_PJ
+            + self.llc_writes_energy_events as f64 * LLC_WRITE_PJ
+            + self.l2_energy_events as f64 * L2_ACCESS_PJ
+            + self.dir_energy_events as f64 * DIR_ACCESS_PJ;
+        (on_chip + self.dram_energy_pj) / instr as f64
+    }
+
+    /// Fraction of LLC misses that required a relocation (the paper
+    /// reports 12% on average, max 33%, for ZIV-LikelyDead at 512 KB).
+    pub fn relocation_rate(&self) -> f64 {
+        if self.llc_misses == 0 {
+            0.0
+        } else {
+            self.relocations as f64 / self.llc_misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sizes_per_core() {
+        let m = Metrics::new(8);
+        assert_eq!(m.per_core.len(), 8);
+        assert_eq!(m.total_instructions(), 0);
+    }
+
+    #[test]
+    fn relocation_energy_scales_with_count() {
+        let mut m = Metrics::new(1);
+        m.relocations = 10;
+        m.per_core[0].instructions = 1000;
+        let epi = m.relocation_epi_pj();
+        assert!((epi - 10.0 * (LLC_READ_PJ + LLC_WRITE_PJ + DIR_ACCESS_PJ) / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epi_zero_without_instructions() {
+        let m = Metrics::new(1);
+        assert_eq!(m.relocation_epi_pj(), 0.0);
+        assert_eq!(m.total_epi_pj(), 0.0);
+    }
+
+    #[test]
+    fn relocation_rate_guards_division() {
+        let mut m = Metrics::new(1);
+        assert_eq!(m.relocation_rate(), 0.0);
+        m.llc_misses = 100;
+        m.relocations = 12;
+        assert!((m.relocation_rate() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_l2_misses_sums_cores() {
+        let mut m = Metrics::new(2);
+        m.per_core[0].l2_misses = 3;
+        m.per_core[1].l2_misses = 4;
+        assert_eq!(m.total_l2_misses(), 7);
+    }
+}

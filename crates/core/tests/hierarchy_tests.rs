@@ -1,0 +1,394 @@
+//! Behavioral tests of the full cache hierarchy across all LLC modes.
+
+use ziv_common::config::{
+    CacheGeometry, DirRatio, DramParams, LlcConfig, NocParams, SystemConfig,
+};
+use ziv_common::{Addr, CoreId, SimRng};
+use ziv_core::{Access, CacheHierarchy, HierarchyConfig, LlcMode, ZivProperty};
+use ziv_directory::DirectoryMode;
+use ziv_replacement::PolicyKind;
+
+/// A tiny machine: 2 cores, 64-block LLC (2 banks × 8 sets × 4 ways),
+/// 8-block L2s, 4-block L1s. Aggregate private capacity is well under
+/// the LLC capacity, as the inclusion property requires.
+fn tiny_system(cores: usize) -> SystemConfig {
+    SystemConfig {
+        cores,
+        l1i: CacheGeometry::new(2, 2),
+        l1d: CacheGeometry::new(2, 2),
+        l1_latency: 0,
+        l2: CacheGeometry::new(4, 2),
+        l2_latency: 4,
+        llc: LlcConfig::from_total_capacity(64 * 64, 4, 2),
+        dir_ratio: DirRatio::X2,
+        dir_base_ways: 8,
+        noc: NocParams::table1(),
+        dram: DramParams::ddr3_2133(),
+        base_cpi: 0.25,
+        scale_denominator: 1,
+    }
+}
+
+fn build(mode: LlcMode, policy: PolicyKind, cores: usize) -> CacheHierarchy {
+    let cfg = HierarchyConfig::new(tiny_system(cores)).with_mode(mode).with_policy(policy);
+    CacheHierarchy::new(&cfg)
+}
+
+/// Drives a random-but-deterministic workload and returns the hierarchy.
+fn stress(mode: LlcMode, policy: PolicyKind, cores: usize, accesses: u64, seed: u64) -> CacheHierarchy {
+    let mut h = build(mode, policy, cores);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut now = 0u64;
+    for seq in 0..accesses {
+        let core = CoreId::new(rng.below_usize(cores));
+        // A footprint of 256 lines: large enough to overflow every level.
+        let line = rng.below(256);
+        let addr = Addr::new(line * 64);
+        let pc = 0x400 + (line % 16) * 4;
+        let a = if rng.chance(0.2) {
+            Access::write(core, addr, pc)
+        } else {
+            Access::read(core, addr, pc)
+        };
+        now += 1 + h.access(&a, now, seq);
+    }
+    h
+}
+
+#[test]
+fn cold_miss_then_hits_in_l1() {
+    let mut h = build(LlcMode::Inclusive, PolicyKind::Lru, 2);
+    let a = Access::read(CoreId::new(0), Addr::new(0x1000), 0x400);
+    let miss_lat = h.access(&a, 0, 0);
+    let hit_lat = h.access(&a, miss_lat, 1);
+    assert!(miss_lat > 50, "cold miss should reach DRAM: {miss_lat}");
+    assert!(hit_lat <= 1, "L1 hit should be cheap: {hit_lat}");
+    assert_eq!(h.metrics().llc_misses, 1);
+    assert_eq!(h.metrics().llc_accesses, 1);
+}
+
+#[test]
+fn llc_hit_latency_between_l2_and_dram() {
+    let mut h = build(LlcMode::Inclusive, PolicyKind::Lru, 2);
+    let c0 = CoreId::new(0);
+    let c1 = CoreId::new(1);
+    let a0 = Access::read(c0, Addr::new(0x2000), 0x400);
+    h.access(&a0, 0, 0);
+    // Another core reads the same line: LLC hit (it was filled).
+    let a1 = Access::read(c1, Addr::new(0x2000), 0x404);
+    let lat = h.access(&a1, 1000, 1);
+    assert!(lat > 4 && lat < 150, "LLC hit latency: {lat}");
+    assert_eq!(h.metrics().llc_hits, 1);
+}
+
+#[test]
+fn inclusive_mode_generates_inclusion_victims() {
+    let h = stress(LlcMode::Inclusive, PolicyKind::Lru, 2, 20_000, 7);
+    assert!(h.metrics().inclusion_victims > 0, "tiny LLC must evict hot private blocks");
+    h.verify_invariants().unwrap();
+}
+
+#[test]
+fn noninclusive_mode_never_generates_inclusion_victims() {
+    let h = stress(LlcMode::NonInclusive, PolicyKind::Lru, 2, 20_000, 7);
+    assert_eq!(h.metrics().inclusion_victims, 0);
+    h.verify_invariants().unwrap();
+}
+
+#[test]
+fn ziv_guarantees_zero_inclusion_victims_lru() {
+    for prop in [ZivProperty::NotInPrC, ZivProperty::LruNotInPrC, ZivProperty::LikelyDead] {
+        let h = stress(LlcMode::Ziv(prop), PolicyKind::Lru, 2, 20_000, 11);
+        assert_eq!(
+            h.metrics().inclusion_victims,
+            0,
+            "{} must be inclusion-victim-free",
+            prop.label()
+        );
+        assert_eq!(h.metrics().ziv_guarantee_fallbacks, 0);
+        assert!(
+            h.metrics().relocations + h.metrics().in_set_alternate_victims > 0,
+            "{}: the mechanism must actually engage",
+            prop.label()
+        );
+        h.verify_invariants().unwrap();
+    }
+}
+
+#[test]
+fn ziv_guarantees_zero_inclusion_victims_hawkeye() {
+    for prop in [ZivProperty::MaxRrpvNotInPrC, ZivProperty::MaxRrpvLikelyDead] {
+        let h = stress(LlcMode::Ziv(prop), PolicyKind::Hawkeye, 2, 20_000, 13);
+        assert_eq!(h.metrics().inclusion_victims, 0, "{}", prop.label());
+        assert_eq!(h.metrics().ziv_guarantee_fallbacks, 0);
+        h.verify_invariants().unwrap();
+    }
+}
+
+#[test]
+fn ziv_maintains_inclusion_property() {
+    let h = stress(LlcMode::Ziv(ZivProperty::NotInPrC), PolicyKind::Lru, 2, 10_000, 17);
+    // verify_invariants checks: every privately cached block has an LLC
+    // copy (home or relocated) and every relocated block has a directory
+    // pointer.
+    h.verify_invariants().unwrap();
+    assert!(h.metrics().relocations > 0);
+}
+
+#[test]
+fn qbs_reduces_inclusion_victims_vs_inclusive() {
+    let incl = stress(LlcMode::Inclusive, PolicyKind::Lru, 2, 20_000, 19);
+    let qbs = stress(LlcMode::Qbs, PolicyKind::Lru, 2, 20_000, 19);
+    assert!(qbs.metrics().qbs_queries > 0);
+    assert!(
+        qbs.metrics().inclusion_victims <= incl.metrics().inclusion_victims,
+        "QBS {} vs inclusive {}",
+        qbs.metrics().inclusion_victims,
+        incl.metrics().inclusion_victims
+    );
+}
+
+#[test]
+fn sharp_reduces_inclusion_victims_vs_inclusive() {
+    let incl = stress(LlcMode::Inclusive, PolicyKind::Lru, 2, 20_000, 23);
+    let sharp = stress(LlcMode::Sharp, PolicyKind::Lru, 2, 20_000, 23);
+    assert!(
+        sharp.metrics().inclusion_victims <= incl.metrics().inclusion_victims,
+        "SHARP {} vs inclusive {}",
+        sharp.metrics().inclusion_victims,
+        incl.metrics().inclusion_victims
+    );
+    sharp.verify_invariants().unwrap();
+}
+
+#[test]
+fn char_on_base_runs_clean() {
+    let h = stress(LlcMode::CharOnBase, PolicyKind::Lru, 2, 20_000, 29);
+    h.verify_invariants().unwrap();
+    // CHARonBase reduces but does not eliminate inclusion victims.
+    let incl = stress(LlcMode::Inclusive, PolicyKind::Lru, 2, 20_000, 29);
+    assert!(h.metrics().inclusion_victims <= incl.metrics().inclusion_victims);
+}
+
+#[test]
+fn zerodev_eliminates_directory_back_invalidations() {
+    let sys = tiny_system(2).with_dir_ratio(DirRatio::Quarter);
+    for (dir_mode, expect_zero) in [(DirectoryMode::Mesi, false), (DirectoryMode::ZeroDev, true)] {
+        let cfg = HierarchyConfig::new(sys.clone())
+            .with_mode(LlcMode::Ziv(ZivProperty::NotInPrC))
+            .with_dir_mode(dir_mode);
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut rng = SimRng::seed_from_u64(31);
+        let mut now = 0;
+        for seq in 0..20_000u64 {
+            let core = CoreId::new(rng.below_usize(2));
+            let a = Access::read(core, Addr::new(rng.below(512) * 64), 0x400);
+            now += 1 + h.access(&a, now, seq);
+        }
+        if expect_zero {
+            assert_eq!(h.metrics().directory_back_invalidations, 0, "ZeroDEV");
+        }
+        h.verify_invariants().unwrap();
+    }
+}
+
+#[test]
+fn write_sharing_uses_coherence_not_inclusion_victims() {
+    let mut h = build(LlcMode::Ziv(ZivProperty::NotInPrC), PolicyKind::Lru, 2);
+    let line = Addr::new(0x8000);
+    let mut now = 0;
+    now += h.access(&Access::read(CoreId::new(0), line, 0x400), now, 0);
+    now += h.access(&Access::read(CoreId::new(1), line, 0x404), now, 1);
+    // Core 1 writes: core 0's copy must be invalidated coherently.
+    now += h.access(&Access::write(CoreId::new(1), line, 0x408), now, 2);
+    let _ = now;
+    assert_eq!(h.metrics().coherence_invalidations, 1);
+    assert_eq!(h.metrics().inclusion_victims, 0);
+    h.verify_invariants().unwrap();
+}
+
+#[test]
+fn dirty_data_survives_round_trip_through_llc() {
+    let mut h = build(LlcMode::Inclusive, PolicyKind::Lru, 2);
+    let line = Addr::new(0x8000);
+    let mut now = 0;
+    now += h.access(&Access::write(CoreId::new(0), line, 0x400), now, 0);
+    // Core 1 reads: data must be fetched from core 0 (dirty owner) and
+    // the LLC copy refreshed.
+    now += h.access(&Access::read(CoreId::new(1), line, 0x404), now, 1);
+    let _ = now;
+    let loc = h.llc().probe(line.line()).expect("LLC copy exists");
+    assert!(h.llc().state(loc).dirty, "owner's data merged into LLC");
+    h.verify_invariants().unwrap();
+}
+
+#[test]
+fn multithreaded_stress_all_modes() {
+    // 4 cores hammering a shared footprint with writes: the coherence
+    // paths (upgrades, downgrades, notices) must hold invariants in all
+    // modes.
+    for mode in [
+        LlcMode::Inclusive,
+        LlcMode::NonInclusive,
+        LlcMode::Qbs,
+        LlcMode::Sharp,
+        LlcMode::CharOnBase,
+        LlcMode::Ziv(ZivProperty::LikelyDead),
+    ] {
+        let h = stress(mode, PolicyKind::Lru, 4, 30_000, 37);
+        h.verify_invariants()
+            .unwrap_or_else(|e| panic!("{} violated invariants: {e}", mode.label()));
+        if mode.is_ziv() {
+            assert_eq!(h.metrics().inclusion_victims, 0);
+        }
+    }
+}
+
+#[test]
+fn hawkeye_modes_stress() {
+    for mode in [LlcMode::Inclusive, LlcMode::NonInclusive, LlcMode::Qbs, LlcMode::Sharp] {
+        let h = stress(mode, PolicyKind::Hawkeye, 2, 20_000, 41);
+        h.verify_invariants()
+            .unwrap_or_else(|e| panic!("{} violated invariants: {e}", mode.label()));
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = stress(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, 2, 10_000, 43);
+    let b = stress(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, 2, 10_000, 43);
+    assert_eq!(a.metrics().llc_misses, b.metrics().llc_misses);
+    assert_eq!(a.metrics().relocations, b.metrics().relocations);
+    assert_eq!(a.metrics().llc_hits, b.metrics().llc_hits);
+}
+
+#[test]
+fn relocated_block_is_reachable_and_dies_with_last_copy() {
+    // Construct a scenario that forces a relocation, then access the
+    // relocated block from another core.
+    let mut h = build(LlcMode::Ziv(ZivProperty::NotInPrC), PolicyKind::Lru, 2);
+    let mut now = 0;
+    let mut seq = 0;
+    // Keep line 0 hot in core 0's private caches (L1 hits keep it MRU
+    // privately but untouched in the LLC) while streaming fillers that
+    // map to the same LLC set — the textbook inclusion-victim pattern.
+    let fillers = [16u64, 32, 48, 64, 80];
+    let step = |h: &mut CacheHierarchy, line: u64, now: &mut u64, seq: &mut u64| {
+        let a = Access::read(CoreId::new(0), Addr::new(line * 64), 0x400 + line);
+        *now += 1 + h.access(&a, *now, *seq);
+        *seq += 1;
+    };
+    let mut i = 0;
+    while h.metrics().relocations == 0 && seq < 50_000 {
+        step(&mut h, 0, &mut now, &mut seq);
+        step(&mut h, fillers[i % fillers.len()], &mut now, &mut seq);
+        i += 1;
+    }
+    assert!(h.metrics().relocations > 0, "relocation must occur");
+    assert_eq!(h.metrics().inclusion_victims, 0);
+    h.verify_invariants().unwrap();
+    // Every relocated block is reachable through the directory.
+    for (loc, st) in h.llc().resident_blocks() {
+        if st.relocated {
+            assert_eq!(h.directory().relocated_location(st.line), Some(loc));
+        }
+    }
+}
+
+#[test]
+fn min_policy_runs_with_future_knowledge() {
+    use std::rc::Rc;
+    use ziv_replacement::PrecomputedFuture;
+    // Build a short access stream and give MIN its future.
+    let lines: Vec<u64> = (0..64).cycle().take(2_000).collect();
+    let future = PrecomputedFuture::from_stream(
+        lines.iter().enumerate().map(|(i, &l)| (i as u64, ziv_common::LineAddr::new(l))),
+    );
+    let cfg = HierarchyConfig::new(tiny_system(1))
+        .with_mode(LlcMode::Inclusive)
+        .with_policy(PolicyKind::Min)
+        .with_future(Rc::new(future));
+    let mut h = CacheHierarchy::new(&cfg);
+    let mut now = 0;
+    for (i, &l) in lines.iter().enumerate() {
+        let a = Access::read(CoreId::new(0), Addr::new(l * 64), 0x400);
+        now += 1 + h.access(&a, now, i as u64);
+    }
+    assert!(h.metrics().llc_misses > 0);
+    h.verify_invariants().unwrap();
+}
+
+#[test]
+#[should_panic(expected = "RRPV-graded")]
+fn max_rrpv_property_requires_rrpv_policy() {
+    let cfg = HierarchyConfig::new(tiny_system(2))
+        .with_mode(LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC))
+        .with_policy(PolicyKind::Lru);
+    let _ = CacheHierarchy::new(&cfg);
+}
+
+#[test]
+fn finalize_collects_relocation_intervals() {
+    let mut h = stress(LlcMode::Ziv(ZivProperty::NotInPrC), PolicyKind::Lru, 2, 20_000, 53);
+    let relocations = h.metrics().relocations;
+    h.finalize();
+    if relocations > 2 {
+        assert!(h.metrics().relocation_intervals.total() > 0);
+    }
+    assert!(h.metrics().dram_energy_pj > 0.0);
+}
+
+#[test]
+fn energy_accounting_is_populated() {
+    let mut h = stress(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, 2, 20_000, 59);
+    for c in h.metrics_mut().per_core.iter_mut() {
+        c.instructions = 100_000;
+    }
+    h.finalize();
+    assert!(h.metrics().relocation_epi_pj() > 0.0);
+    assert!(h.metrics().total_epi_pj() > 0.0);
+}
+
+#[test]
+fn prefetching_preserves_invariants_and_the_ziv_guarantee() {
+    use ziv_core::prefetch::PrefetchConfig;
+    for mode in [LlcMode::Inclusive, LlcMode::Ziv(ZivProperty::LikelyDead)] {
+        let cfg = HierarchyConfig::new(tiny_system(2))
+            .with_mode(mode)
+            .with_prefetch(PrefetchConfig::default());
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut now = 0u64;
+        // Strided streams (prefetch-friendly) + a hot private set.
+        for seq in 0..30_000u64 {
+            let core = CoreId::new((seq % 2) as usize);
+            let line = if seq % 3 == 0 { seq / 3 % 16 } else { 64 + (seq / 3) * 2 % 4096 };
+            let a = Access::read(core, Addr::new(line * 64), 0x400 + (seq % 3) * 4);
+            now += 1 + h.access(&a, now, seq);
+        }
+        assert!(h.metrics().prefetches_issued > 0, "{}", mode.label());
+        assert!(h.metrics().prefetch_fills > 0, "{}", mode.label());
+        h.verify_invariants().unwrap_or_else(|e| panic!("{}: {e}", mode.label()));
+        if mode.is_ziv() {
+            assert_eq!(h.metrics().inclusion_victims, 0);
+        }
+    }
+}
+
+#[test]
+fn prefetched_blocks_fill_l2_but_not_l1() {
+    use ziv_core::prefetch::PrefetchConfig;
+    let cfg = HierarchyConfig::new(tiny_system(2)).with_prefetch(PrefetchConfig::default());
+    let mut h = CacheHierarchy::new(&cfg);
+    let mut now = 0u64;
+    // Train a unit stride long enough for confident prefetches.
+    for i in 0..10u64 {
+        let a = Access::read(CoreId::new(0), Addr::new(i * 64), 0x400);
+        now += 1 + h.access(&a, now, i);
+    }
+    assert!(h.metrics().prefetch_fills > 0);
+    // The next line along the stride should now be an L2 hit (not L1):
+    // its access latency is the L2 latency, not an LLC round trip.
+    let a = Access::read(CoreId::new(0), Addr::new(10 * 64), 0x400);
+    let lat = h.access(&a, now, 10);
+    assert_eq!(lat, h.system().l2_latency, "prefetched block must be an L2 hit");
+}

@@ -1,0 +1,50 @@
+//! # ziv-directory
+//!
+//! The sparse coherence directory of the paper's baseline CMP
+//! (Section III-A): a tagged set-associative structure, decoupled from
+//! the LLC, with one slice per LLC bank. Each entry tracks one privately
+//! cached block — its sharer set, its dirty owner, and (in the ZIV
+//! design) the `Relocated` state with the `<bank id, set id, way id>`
+//! tuple pointing at a relocated LLC block (Section III-C).
+//!
+//! The directory is kept **up-to-date**: private caches send dataless
+//! eviction notices (or writebacks) whenever a block leaves a core's
+//! private hierarchy, so a directory lookup answers the question every
+//! related proposal needs — *is this LLC block resident in any private
+//! cache?* — exactly (the paper notes this also simplifies QBS and
+//! SHARP).
+//!
+//! Two modes are supported:
+//!
+//! - [`DirectoryMode::Mesi`]: the finite structure evicts entries (1-bit
+//!   NRU), and the evicted entry's sharers must be back-invalidated by
+//!   the caller — the Fig 15 performance-degradation mechanism.
+//! - [`DirectoryMode::ZeroDev`]: models the ZeroDEV protocol
+//!   (Chaudhuri, HPCA 2021) integration of Section III-F — evicted
+//!   entries continue to be tracked (functionally, in a spill map), so
+//!   no directory-eviction back-invalidations are ever generated.
+//!
+//! # Examples
+//!
+//! ```
+//! use ziv_directory::{SparseDirectory, DirectoryMode};
+//! use ziv_common::{config::SystemConfig, CoreId, LineAddr};
+//!
+//! let cfg = SystemConfig::scaled();
+//! let mut dir = SparseDirectory::new(&cfg, DirectoryMode::Mesi);
+//! let line = LineAddr::new(0x1234);
+//! let evicted = dir.allocate(line, CoreId::new(2));
+//! assert!(evicted.is_none());
+//! assert!(dir.is_privately_cached(line));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod entry;
+mod slice;
+mod sparse;
+
+pub use entry::{DirEntryState, LlcLocation, SharerSet};
+pub use slice::DirectorySlice;
+pub use sparse::{DirectoryMode, DirectoryStats, EvictedEntry, RemovalOutcome, SparseDirectory};

@@ -1,0 +1,143 @@
+//! Model-based property tests of the sparse directory: sharer tracking
+//! against a hash-map reference model, under both MESI and ZeroDEV
+//! eviction handling.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use ziv_common::config::{DirRatio, SystemConfig};
+use ziv_common::{CoreId, LineAddr};
+use ziv_directory::{DirectoryMode, RemovalOutcome, SparseDirectory};
+
+#[derive(Debug, Clone, Copy)]
+enum DirOp {
+    Fill { line: u64, core: usize },
+    Remove { line: u64, core: usize },
+    Probe { line: u64 },
+}
+
+fn dir_op() -> impl Strategy<Value = DirOp> {
+    prop_oneof![
+        (0u64..200, 0usize..4).prop_map(|(line, core)| DirOp::Fill { line, core }),
+        (0u64..200, 0usize..4).prop_map(|(line, core)| DirOp::Remove { line, core }),
+        (0u64..200).prop_map(|line| DirOp::Probe { line }),
+    ]
+}
+
+fn cfg() -> SystemConfig {
+    // A deliberately small directory so evictions occur.
+    SystemConfig::scaled().with_dir_ratio(DirRatio::Quarter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under ZeroDEV (no evictions ever escape tracking) the directory
+    /// must agree exactly with a reference sharer model.
+    #[test]
+    fn zerodev_matches_reference_model(
+        ops in prop::collection::vec(dir_op(), 0..400),
+    ) {
+        let mut dir = SparseDirectory::new(&cfg(), DirectoryMode::ZeroDev);
+        let mut model: HashMap<u64, HashSet<usize>> = HashMap::new();
+        for op in ops {
+            match op {
+                DirOp::Fill { line, core } => {
+                    let ev = dir.record_fill(LineAddr::new(line), CoreId::new(core));
+                    prop_assert!(ev.is_none(), "ZeroDEV never evicts");
+                    model.entry(line).or_default().insert(core);
+                }
+                DirOp::Remove { line, core } => {
+                    let out = dir.remove_sharer(LineAddr::new(line), CoreId::new(core));
+                    let expected = match model.get_mut(&line) {
+                        None => RemovalOutcomeKind::NotTracked,
+                        Some(s) => {
+                            // The directory removes the core even if it
+                            // was not a sharer; mirror that.
+                            s.remove(&core);
+                            if s.is_empty() {
+                                model.remove(&line);
+                                RemovalOutcomeKind::LastCopy
+                            } else {
+                                RemovalOutcomeKind::StillShared
+                            }
+                        }
+                    };
+                    prop_assert_eq!(kind(out), expected);
+                }
+                DirOp::Probe { line } => {
+                    let tracked = dir.is_privately_cached(LineAddr::new(line));
+                    prop_assert_eq!(tracked, model.contains_key(&line));
+                    if let Some(sharers) = model.get(&line) {
+                        let st = dir.probe(LineAddr::new(line)).unwrap();
+                        prop_assert_eq!(st.sharers.count() as usize, sharers.len());
+                        for &c in sharers {
+                            prop_assert!(st.sharers.contains(CoreId::new(c)));
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(dir.occupancy(), model.len());
+        }
+    }
+
+    /// Under MESI, evictions may drop entries — the directory's tracked
+    /// set must always be a SUBSET of the reference model, and every
+    /// tracked entry must agree on its sharers.
+    #[test]
+    fn mesi_is_a_subset_of_reference_model(
+        ops in prop::collection::vec(dir_op(), 0..400),
+    ) {
+        let mut dir = SparseDirectory::new(&cfg(), DirectoryMode::Mesi);
+        let mut model: HashMap<u64, HashSet<usize>> = HashMap::new();
+        for op in ops {
+            match op {
+                DirOp::Fill { line, core } => {
+                    if let Some(ev) = dir.record_fill(LineAddr::new(line), CoreId::new(core)) {
+                        // The evicted entry's block leaves the model too
+                        // (its sharers would be back-invalidated).
+                        model.remove(&ev.line.raw());
+                    }
+                    model.entry(line).or_default().insert(core);
+                }
+                DirOp::Remove { line, core } => {
+                    let out = dir.remove_sharer(LineAddr::new(line), CoreId::new(core));
+                    if let Some(s) = model.get_mut(&line) {
+                        s.remove(&core);
+                        if s.is_empty() {
+                            model.remove(&line);
+                        }
+                    }
+                    // A NotTracked outcome for a modeled line means it
+                    // was silently evicted earlier; drop it.
+                    if matches!(out, RemovalOutcome::NotTracked) {
+                        model.remove(&line);
+                    }
+                }
+                DirOp::Probe { line } => {
+                    if dir.is_privately_cached(LineAddr::new(line)) {
+                        prop_assert!(
+                            model.contains_key(&line),
+                            "directory tracks a line the model does not"
+                        );
+                    }
+                }
+            }
+            prop_assert!(dir.occupancy() <= model.len());
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum RemovalOutcomeKind {
+    NotTracked,
+    StillShared,
+    LastCopy,
+}
+
+fn kind(out: RemovalOutcome) -> RemovalOutcomeKind {
+    match out {
+        RemovalOutcome::NotTracked => RemovalOutcomeKind::NotTracked,
+        RemovalOutcome::StillShared => RemovalOutcomeKind::StillShared,
+        RemovalOutcome::LastCopy(_) => RemovalOutcomeKind::LastCopy,
+    }
+}

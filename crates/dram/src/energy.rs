@@ -1,0 +1,72 @@
+//! Constant-based DRAM energy model (Micron TN-41-01 class numbers,
+//! DESIGN.md §5.5): per-access energy split into a row-activation
+//! component (paid on row-buffer misses) and a burst-transfer component.
+
+/// Energy of one row activation + precharge pair, in picojoules.
+pub const ACTIVATE_ENERGY_PJ: f64 = 2500.0;
+
+/// Energy of one 64-byte read burst (I/O + array column access), in
+/// picojoules.
+pub const BURST_ENERGY_PJ: f64 = 3500.0;
+
+/// Extra energy of a write burst over a read burst, in picojoules.
+pub const WRITE_EXTRA_PJ: f64 = 500.0;
+
+/// Per-access DRAM energy accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct DramEnergyModel {
+    /// Activation energy (row miss only), pJ.
+    pub activate_pj: f64,
+    /// Burst energy (every access), pJ.
+    pub burst_pj: f64,
+    /// Write surcharge, pJ.
+    pub write_extra_pj: f64,
+}
+
+impl Default for DramEnergyModel {
+    fn default() -> Self {
+        DramEnergyModel {
+            activate_pj: ACTIVATE_ENERGY_PJ,
+            burst_pj: BURST_ENERGY_PJ,
+            write_extra_pj: WRITE_EXTRA_PJ,
+        }
+    }
+}
+
+impl DramEnergyModel {
+    /// Energy of one access, in picojoules.
+    pub fn access_energy_pj(&self, row_hit: bool, is_write: bool) -> f64 {
+        let mut e = self.burst_pj;
+        if !row_hit {
+            e += self.activate_pj;
+        }
+        if is_write {
+            e += self.write_extra_pj;
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hit_read_is_cheapest() {
+        let m = DramEnergyModel::default();
+        let hit_read = m.access_energy_pj(true, false);
+        assert!(hit_read < m.access_energy_pj(false, false));
+        assert!(hit_read < m.access_energy_pj(true, true));
+    }
+
+    #[test]
+    fn components_add_up() {
+        let m = DramEnergyModel::default();
+        assert!(
+            (m.access_energy_pj(false, true)
+                - (BURST_ENERGY_PJ + ACTIVATE_ENERGY_PJ + WRITE_EXTRA_PJ))
+                .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! # ziv-dram
+//!
+//! A simplified DDR3-2133 main-memory model standing in for the paper's
+//! DRAMSim2 (Rosenfeld et al.) configuration: two single-channel
+//! controllers, two ranks per channel, eight banks per rank, 1 KB row
+//! buffers, and 14-14-14-35 timing (Table I).
+//!
+//! The model captures what the evaluation needs from main memory:
+//!
+//! - **Latency magnitude**: row-buffer hit vs miss vs closed-row timing,
+//!   converted to CPU cycles at the Table I clock ratio.
+//! - **Contention trend**: per-channel data-bus serialization and
+//!   per-bank busy windows, so miss-heavy configurations see queueing.
+//! - **Energy**: per-access energy (activation + burst) in picojoules,
+//!   feeding the Fig 19 EPI accounting (a Micron-power-calculator-class
+//!   constant model; see DESIGN.md §5.5).
+//!
+//! # Examples
+//!
+//! ```
+//! use ziv_dram::DramModel;
+//! use ziv_common::{config::DramParams, LineAddr};
+//!
+//! let mut mem = DramModel::new(DramParams::ddr3_2133());
+//! let first = mem.access(LineAddr::new(0x1000), 0, false);
+//! let second = mem.access(LineAddr::new(0x1002), first.ready_at, false);
+//! assert!(second.row_hit, "nearby line in the same row hits the row buffer");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod energy;
+
+pub use energy::{DramEnergyModel, ACTIVATE_ENERGY_PJ, BURST_ENERGY_PJ};
+
+use ziv_common::config::DramParams;
+use ziv_common::{Cycle, LineAddr};
+
+/// Result of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramAccess {
+    /// CPU cycle at which the critical word is available.
+    pub ready_at: Cycle,
+    /// Whether the access hit the open row buffer.
+    pub row_hit: bool,
+    /// Energy expended by this access, in picojoules.
+    pub energy_pj: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    data_bus_free: Cycle,
+    banks: Vec<Bank>,
+}
+
+/// The banked, multi-channel DRAM timing and energy model.
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    params: DramParams,
+    channels: Vec<Channel>,
+    energy: DramEnergyModel,
+    accesses: u64,
+    row_hits: u64,
+    total_energy_pj: f64,
+}
+
+impl DramModel {
+    /// Creates the model from Table I parameters.
+    pub fn new(params: DramParams) -> Self {
+        let banks_per_channel = params.ranks_per_channel * params.banks_per_rank;
+        let channels = (0..params.channels)
+            .map(|_| Channel { data_bus_free: 0, banks: vec![Bank::default(); banks_per_channel] })
+            .collect();
+        DramModel {
+            params,
+            channels,
+            energy: DramEnergyModel::default(),
+            accesses: 0,
+            row_hits: 0,
+            total_energy_pj: 0.0,
+        }
+    }
+
+    /// Lines per row buffer.
+    fn lines_per_row(&self) -> u64 {
+        (self.params.row_bytes / ziv_common::addr::LINE_BYTES).max(1)
+    }
+
+    /// Address mapping: channel-interleaved at line granularity, then
+    /// bank-interleaved, row = remaining bits (an open-page-friendly map).
+    fn map(&self, line: LineAddr) -> (usize, usize, u64) {
+        let channels = self.params.channels as u64;
+        let banks = (self.params.ranks_per_channel * self.params.banks_per_rank) as u64;
+        let lpr = self.lines_per_row();
+        let raw = line.raw();
+        let channel = (raw % channels) as usize;
+        let within_channel = raw / channels;
+        let row_chunk = within_channel / lpr;
+        let bank = (row_chunk % banks) as usize;
+        let row = row_chunk / banks;
+        (channel, bank, row)
+    }
+
+    /// Performs one 64-byte access starting no earlier than `now`.
+    pub fn access(&mut self, line: LineAddr, now: Cycle, is_write: bool) -> DramAccess {
+        let (ch_idx, bank_idx, row) = self.map(line);
+        let p = self.params;
+        let burst_cpu = p.to_cpu_cycles(p.burst_len / 2);
+        let ch = &mut self.channels[ch_idx];
+        let bank = &mut ch.banks[bank_idx];
+
+        let start = now.max(bank.busy_until);
+        let row_hit = bank.open_row == Some(row);
+        let array_cycles = if row_hit {
+            p.t_cas
+        } else if bank.open_row.is_some() {
+            p.t_rp + p.t_rcd + p.t_cas
+        } else {
+            p.t_rcd + p.t_cas
+        };
+        let array_cpu = p.to_cpu_cycles(array_cycles);
+        // Data transfer serializes on the channel's data bus.
+        let data_start = (start + array_cpu).max(ch.data_bus_free);
+        let ready_at = data_start + burst_cpu;
+
+        ch.data_bus_free = ready_at;
+        bank.open_row = Some(row);
+        bank.busy_until = ready_at;
+
+        let energy_pj = self.energy.access_energy_pj(row_hit, is_write);
+        self.accesses += 1;
+        if row_hit {
+            self.row_hits += 1;
+        }
+        self.total_energy_pj += energy_pj;
+        DramAccess { ready_at, row_hit, energy_pj }
+    }
+
+    /// Unloaded row-hit latency in CPU cycles (diagnostics / tests).
+    pub fn row_hit_latency(&self) -> Cycle {
+        let p = self.params;
+        p.to_cpu_cycles(p.t_cas) + p.to_cpu_cycles(p.burst_len / 2)
+    }
+
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Row-buffer hit count.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.total_energy_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramModel {
+        DramModel::new(DramParams::ddr3_2133())
+    }
+
+    #[test]
+    fn first_access_is_closed_row() {
+        let mut m = model();
+        let r = m.access(LineAddr::new(0), 0, false);
+        assert!(!r.row_hit);
+        // tRCD + tCAS = 28 DRAM cycles -> 105 CPU cycles, + burst 15.
+        assert_eq!(r.ready_at, 105 + 15);
+    }
+
+    #[test]
+    fn same_row_second_access_hits() {
+        let mut m = model();
+        let a = m.access(LineAddr::new(0), 0, false);
+        let b = m.access(LineAddr::new(2), a.ready_at, false);
+        assert!(b.row_hit);
+        assert_eq!(b.ready_at - a.ready_at, m.row_hit_latency());
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let mut m = model();
+        let lpr = m.lines_per_row();
+        let banks = 16u64;
+        let a = m.access(LineAddr::new(0), 0, false);
+        // Same channel (even), same bank, different row.
+        let conflict = LineAddr::new(lpr * banks * 2);
+        let b = m.access(conflict, a.ready_at + 1000, false);
+        assert!(!b.row_hit);
+        let p = DramParams::ddr3_2133();
+        let expected = p.to_cpu_cycles(p.t_rp + p.t_rcd + p.t_cas) + p.to_cpu_cycles(p.burst_len / 2);
+        assert_eq!(b.ready_at - (a.ready_at + 1000), expected);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut m = model();
+        let a = m.access(LineAddr::new(0), 0, false); // channel 0
+        let b = m.access(LineAddr::new(1), 0, false); // channel 1
+        assert_eq!(a.ready_at, b.ready_at, "no cross-channel contention");
+    }
+
+    #[test]
+    fn same_channel_bus_serializes() {
+        let mut m = model();
+        let lpr = m.lines_per_row();
+        let a = m.access(LineAddr::new(0), 0, false);
+        // Same channel, different bank (next row-chunk).
+        let b = m.access(LineAddr::new(lpr * 2), 0, false);
+        assert!(b.ready_at > a.ready_at, "data bus is shared");
+    }
+
+    #[test]
+    fn energy_accumulates_and_misses_cost_more() {
+        let mut m = model();
+        let miss = m.access(LineAddr::new(0), 0, false);
+        let hit = m.access(LineAddr::new(2), miss.ready_at, false);
+        assert!(miss.energy_pj > hit.energy_pj);
+        assert!((m.total_energy_pj() - (miss.energy_pj + hit.energy_pj)).abs() < 1e-9);
+        assert_eq!(m.accesses(), 2);
+        assert_eq!(m.row_hits(), 1);
+    }
+
+    #[test]
+    fn queueing_pushes_ready_time() {
+        let mut m = model();
+        // Two back-to-back accesses to the same bank, same row.
+        let a = m.access(LineAddr::new(0), 0, false);
+        let b = m.access(LineAddr::new(2), 0, false);
+        assert!(b.ready_at >= a.ready_at + m.row_hit_latency() - 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the DRAM timing model.
+
+use proptest::prelude::*;
+use ziv_common::config::DramParams;
+use ziv_common::LineAddr;
+use ziv_dram::DramModel;
+
+proptest! {
+    /// Ready times never precede the request, and per-channel data-bus
+    /// occupancy makes same-channel completions strictly ordered.
+    #[test]
+    fn ready_times_are_causal_and_serialized(
+        reqs in prop::collection::vec((0u64..4096, 0u64..50, any::<bool>()), 1..200),
+    ) {
+        let mut m = DramModel::new(DramParams::ddr3_2133());
+        let mut now = 0u64;
+        let mut last_ready_per_channel = [0u64; 2];
+        for (line, delta, write) in reqs {
+            now += delta;
+            let r = m.access(LineAddr::new(line), now, write);
+            prop_assert!(r.ready_at > now, "data cannot be ready at issue time");
+            let ch = (line % 2) as usize;
+            prop_assert!(
+                r.ready_at > last_ready_per_channel[ch],
+                "same-channel bursts must serialize"
+            );
+            last_ready_per_channel[ch] = r.ready_at;
+        }
+    }
+
+    /// The model is deterministic.
+    #[test]
+    fn model_is_deterministic(
+        reqs in prop::collection::vec((0u64..1024, any::<bool>()), 1..100),
+    ) {
+        let mut a = DramModel::new(DramParams::ddr3_2133());
+        let mut b = DramModel::new(DramParams::ddr3_2133());
+        for (i, (line, write)) in reqs.iter().enumerate() {
+            let ra = a.access(LineAddr::new(*line), i as u64 * 10, *write);
+            let rb = b.access(LineAddr::new(*line), i as u64 * 10, *write);
+            prop_assert_eq!(ra.ready_at, rb.ready_at);
+            prop_assert_eq!(ra.row_hit, rb.row_hit);
+        }
+        prop_assert_eq!(a.total_energy_pj(), b.total_energy_pj());
+    }
+
+    /// Row-buffer hit rate of a sequential stream beats a random one.
+    #[test]
+    fn sequential_streams_hit_the_row_buffer_more(seed in 0u64..1000) {
+        let mut seq_model = DramModel::new(DramParams::ddr3_2133());
+        let mut rnd_model = DramModel::new(DramParams::ddr3_2133());
+        let mut rng = ziv_common::SimRng::seed_from_u64(seed);
+        let mut now = 0u64;
+        for i in 0..400u64 {
+            now += 100;
+            seq_model.access(LineAddr::new(i), now, false);
+            rnd_model.access(LineAddr::new(rng.below(1 << 20)), now, false);
+        }
+        prop_assert!(seq_model.row_hits() > rnd_model.row_hits());
+    }
+
+    /// Energy is monotonically accumulated and hits cost less.
+    #[test]
+    fn energy_accumulates_monotonically(
+        lines in prop::collection::vec(0u64..256, 1..100),
+    ) {
+        let mut m = DramModel::new(DramParams::ddr3_2133());
+        let mut last = 0.0f64;
+        for (i, line) in lines.into_iter().enumerate() {
+            m.access(LineAddr::new(line), i as u64 * 50, false);
+            let e = m.total_energy_pj();
+            prop_assert!(e > last);
+            last = e;
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! # ziv-noc
+//!
+//! The 2D mesh interconnect latency model of Table I (1 ns routing
+//! delay, 0.5 ns link latency at 4 GHz). Cores and LLC banks are placed
+//! on a near-square mesh; request/response latency is the Manhattan hop
+//! distance times the per-hop delay. The paper notes the exact topology
+//! is not important to the proposal (Section III-A); what matters is
+//! that LLC round trips cost "a few tens of cycles" and that non-home
+//! bank relocations (Section III-D1) cost extra hops, both of which this
+//! model provides.
+//!
+//! # Examples
+//!
+//! ```
+//! use ziv_noc::Mesh;
+//! use ziv_common::{config::NocParams, BankId, CoreId};
+//!
+//! let mesh = Mesh::new(8, 8, NocParams::table1());
+//! let rt = mesh.round_trip(CoreId::new(0), BankId::new(7));
+//! assert!(rt > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use ziv_common::config::NocParams;
+use ziv_common::{BankId, CoreId, Cycle};
+
+/// Grid placement of cores and LLC banks on a 2D mesh.
+///
+/// Tiles are laid out row-major on a `cols × rows` grid sized to fit
+/// `cores + banks` tiles as squarely as possible: cores first, then
+/// banks (an 8-core, 8-bank machine becomes a 4×4 mesh).
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    cols: usize,
+    cores: usize,
+    params: NocParams,
+}
+
+impl Mesh {
+    /// Builds a mesh for `cores` cores and `banks` LLC banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores + banks` is zero.
+    pub fn new(cores: usize, banks: usize, params: NocParams) -> Self {
+        let tiles = cores + banks;
+        assert!(tiles > 0, "mesh needs at least one tile");
+        let cols = (tiles as f64).sqrt().ceil() as usize;
+        Mesh { cols, cores, params }
+    }
+
+    fn position(&self, tile: usize) -> (usize, usize) {
+        (tile % self.cols, tile / self.cols)
+    }
+
+    fn core_tile(&self, core: CoreId) -> usize {
+        core.index()
+    }
+
+    fn bank_tile(&self, bank: BankId) -> usize {
+        self.cores + bank.index()
+    }
+
+    /// Manhattan hop distance between a core and a bank.
+    pub fn hops(&self, core: CoreId, bank: BankId) -> u64 {
+        let (x1, y1) = self.position(self.core_tile(core));
+        let (x2, y2) = self.position(self.bank_tile(bank));
+        (x1.abs_diff(x2) + y1.abs_diff(y2)) as u64
+    }
+
+    /// Hop distance between two LLC banks (cross-bank relocation path).
+    pub fn bank_hops(&self, a: BankId, b: BankId) -> u64 {
+        let (x1, y1) = self.position(self.bank_tile(a));
+        let (x2, y2) = self.position(self.bank_tile(b));
+        (x1.abs_diff(x2) + y1.abs_diff(y2)) as u64
+    }
+
+    /// One-way latency from a core to a bank, in cycles. At least one
+    /// router traversal is paid even for co-located tiles.
+    pub fn one_way(&self, core: CoreId, bank: BankId) -> Cycle {
+        self.params.one_way(self.hops(core, bank).max(1))
+    }
+
+    /// Round-trip latency (request + response), in cycles.
+    pub fn round_trip(&self, core: CoreId, bank: BankId) -> Cycle {
+        2 * self.one_way(core, bank)
+    }
+
+    /// Extra one-way latency of reaching bank `remote` via home bank
+    /// `home` instead of stopping at `home` (the non-home relocation
+    /// penalty of Section III-D1).
+    pub fn detour(&self, home: BankId, remote: BankId) -> Cycle {
+        if home == remote {
+            0
+        } else {
+            self.params.one_way(self.bank_hops(home, remote).max(1))
+        }
+    }
+
+    /// Average round-trip from each core to each bank, in cycles
+    /// (diagnostic; Table I's "few tens of cycles" sanity check).
+    pub fn average_round_trip(&self, cores: usize, banks: usize) -> f64 {
+        let mut sum = 0u64;
+        for c in 0..cores {
+            for b in 0..banks {
+                sum += self.round_trip(CoreId::new(c), BankId::new(b));
+            }
+        }
+        sum as f64 / (cores * banks) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 8, NocParams::table1())
+    }
+
+    #[test]
+    fn eight_by_eight_is_4x4() {
+        let m = mesh();
+        assert_eq!(m.cols, 4);
+    }
+
+    #[test]
+    fn hops_are_symmetric_in_distance() {
+        let m = mesh();
+        // core 0 is tile (0,0); bank 7 is tile 15 = (3,3).
+        assert_eq!(m.hops(CoreId::new(0), BankId::new(7)), 6);
+    }
+
+    #[test]
+    fn minimum_one_hop() {
+        let m = mesh();
+        for b in 0..8 {
+            assert!(m.one_way(CoreId::new(0), BankId::new(b)) >= 6);
+        }
+    }
+
+    #[test]
+    fn round_trip_is_twice_one_way() {
+        let m = mesh();
+        let c = CoreId::new(3);
+        let b = BankId::new(2);
+        assert_eq!(m.round_trip(c, b), 2 * m.one_way(c, b));
+    }
+
+    #[test]
+    fn detour_to_home_bank_is_free() {
+        let m = mesh();
+        assert_eq!(m.detour(BankId::new(3), BankId::new(3)), 0);
+        assert!(m.detour(BankId::new(0), BankId::new(7)) > 0);
+    }
+
+    #[test]
+    fn average_round_trip_is_tens_of_cycles() {
+        let m = mesh();
+        let avg = m.average_round_trip(8, 8);
+        assert!((10.0..80.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn large_mesh_scales() {
+        let m = Mesh::new(128, 8, NocParams::table1());
+        let avg = m.average_round_trip(128, 8);
+        assert!(avg > Mesh::new(8, 8, NocParams::table1()).average_round_trip(8, 8));
+    }
+}

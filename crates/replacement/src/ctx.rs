@@ -1,0 +1,140 @@
+//! Access context passed to replacement-policy hooks, and the future-
+//! knowledge interface used by the offline MIN oracle.
+
+use std::collections::HashMap;
+use ziv_common::{CoreId, Cycle, LineAddr};
+
+/// Context of one cache access, carrying everything any policy needs:
+/// the line, the requesting PC (Hawkeye's predictor index), the core, the
+/// simulation clock, and the **global access sequence number** (the MIN
+/// oracle's notion of time, per the paper's footnote 2: MIN operates on
+/// the global L1 access stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessCtx {
+    /// Line being accessed.
+    pub line: LineAddr,
+    /// Program counter of the access (synthesized by the workload
+    /// generators; hashes into Hawkeye's predictor).
+    pub pc: u64,
+    /// Requesting core.
+    pub core: CoreId,
+    /// Simulation clock in cycles.
+    pub now: Cycle,
+    /// Position of this access in the global (policy-independent) L1
+    /// access stream.
+    pub seq: u64,
+    /// Whether this access is a write.
+    pub is_write: bool,
+}
+
+impl AccessCtx {
+    /// Creates a demand-read context.
+    pub fn demand(line: LineAddr, pc: u64, core: CoreId, now: Cycle, seq: u64) -> Self {
+        AccessCtx { line, pc, core, now, seq, is_write: false }
+    }
+
+    /// Returns a copy marked as a write.
+    pub fn write(mut self) -> Self {
+        self.is_write = true;
+        self
+    }
+}
+
+/// Oracle knowledge of the future access stream, consumed by
+/// [`crate::MinOracle`].
+///
+/// The paper (footnote 2) feeds MIN the *global* L1 access stream because
+/// the LLC-local stream is perturbed by the choice of LLC victims. Our
+/// simulator precomputes, per line, the ordered list of global sequence
+/// numbers at which the line is accessed.
+pub trait FutureKnowledge: std::fmt::Debug {
+    /// The first global sequence number strictly greater than `after_seq`
+    /// at which `line` is accessed, or `None` if it is never accessed
+    /// again.
+    fn next_use(&self, line: LineAddr, after_seq: u64) -> Option<u64>;
+}
+
+/// [`FutureKnowledge`] backed by a precomputed map from line to its
+/// sorted access positions in the global stream.
+#[derive(Debug, Default, Clone)]
+pub struct PrecomputedFuture {
+    uses: HashMap<LineAddr, Vec<u64>>,
+}
+
+impl PrecomputedFuture {
+    /// Builds future knowledge from the global access stream, given as
+    /// `(seq, line)` pairs in any order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ziv_replacement::{PrecomputedFuture, FutureKnowledge};
+    /// use ziv_common::LineAddr;
+    ///
+    /// let f = PrecomputedFuture::from_stream(
+    ///     [(0, LineAddr::new(1)), (5, LineAddr::new(1)), (9, LineAddr::new(2))],
+    /// );
+    /// assert_eq!(f.next_use(LineAddr::new(1), 0), Some(5));
+    /// assert_eq!(f.next_use(LineAddr::new(1), 5), None);
+    /// ```
+    pub fn from_stream<I: IntoIterator<Item = (u64, LineAddr)>>(stream: I) -> Self {
+        let mut uses: HashMap<LineAddr, Vec<u64>> = HashMap::new();
+        for (seq, line) in stream {
+            uses.entry(line).or_default().push(seq);
+        }
+        for v in uses.values_mut() {
+            v.sort_unstable();
+        }
+        PrecomputedFuture { uses }
+    }
+
+    /// Number of distinct lines with known futures.
+    pub fn distinct_lines(&self) -> usize {
+        self.uses.len()
+    }
+}
+
+impl FutureKnowledge for PrecomputedFuture {
+    fn next_use(&self, line: LineAddr, after_seq: u64) -> Option<u64> {
+        let v = self.uses.get(&line)?;
+        let idx = v.partition_point(|&s| s <= after_seq);
+        v.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn ctx_write_marks_write() {
+        let c = AccessCtx::demand(line(1), 2, CoreId::new(0), 3, 4);
+        assert!(!c.is_write);
+        assert!(c.write().is_write);
+    }
+
+    #[test]
+    fn future_next_use_is_strictly_after() {
+        let f = PrecomputedFuture::from_stream([(3, line(9)), (7, line(9))]);
+        assert_eq!(f.next_use(line(9), 0), Some(3));
+        assert_eq!(f.next_use(line(9), 3), Some(7));
+        assert_eq!(f.next_use(line(9), 7), None);
+    }
+
+    #[test]
+    fn future_unknown_line_is_none() {
+        let f = PrecomputedFuture::from_stream([]);
+        assert_eq!(f.next_use(line(1), 0), None);
+        assert_eq!(f.distinct_lines(), 0);
+    }
+
+    #[test]
+    fn future_handles_unsorted_input() {
+        let f = PrecomputedFuture::from_stream([(9, line(1)), (2, line(1)), (5, line(1))]);
+        assert_eq!(f.next_use(line(1), 2), Some(5));
+    }
+}

@@ -1,0 +1,125 @@
+//! Hawkeye's PC-based binary classifier: a table of 3-bit saturating
+//! counters indexed by a hash of the load PC. Positive training comes
+//! from OPTgen hits, negative training from OPTgen misses and from
+//! evicting cache-friendly blocks (detraining).
+
+/// PC signature type stored per cache block (a truncated PC hash).
+pub type PcSig = u16;
+
+/// 3-bit saturating-counter predictor.
+#[derive(Debug, Clone)]
+pub struct OccupancyPredictor {
+    counters: Vec<u8>,
+    mask: usize,
+}
+
+const COUNTER_MAX: u8 = 7;
+const FRIENDLY_THRESHOLD: u8 = 4;
+
+/// Hashes a PC into a table/storage signature.
+#[inline]
+pub fn pc_signature(pc: u64) -> PcSig {
+    // SplitMix-style finalizer, truncated to 16 bits.
+    let mut z = pc.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as PcSig
+}
+
+impl OccupancyPredictor {
+    /// Creates a predictor with `2^index_bits` counters, initialized to
+    /// the weakly-friendly threshold so cold PCs default to friendly
+    /// (matching Hawkeye's optimistic start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or exceeds 24.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=24).contains(&index_bits), "index_bits out of range");
+        let n = 1usize << index_bits;
+        OccupancyPredictor { counters: vec![FRIENDLY_THRESHOLD; n], mask: n - 1 }
+    }
+
+    #[inline]
+    fn idx(&self, sig: PcSig) -> usize {
+        sig as usize & self.mask
+    }
+
+    /// Predicts whether blocks loaded by this PC are cache-friendly.
+    #[inline]
+    pub fn is_friendly(&self, sig: PcSig) -> bool {
+        self.counters[self.idx(sig)] >= FRIENDLY_THRESHOLD
+    }
+
+    /// Positive training (OPTgen says the reuse would have hit).
+    #[inline]
+    pub fn train_hit(&mut self, sig: PcSig) {
+        let i = self.idx(sig);
+        if self.counters[i] < COUNTER_MAX {
+            self.counters[i] += 1;
+        }
+    }
+
+    /// Negative training (OPTgen miss, or detraining on the eviction of a
+    /// cache-friendly block).
+    #[inline]
+    pub fn train_miss(&mut self, sig: PcSig) {
+        let i = self.idx(sig);
+        if self.counters[i] > 0 {
+            self.counters[i] -= 1;
+        }
+    }
+
+    /// Raw counter value (for tests).
+    pub fn counter(&self, sig: PcSig) -> u8 {
+        self.counters[self.idx(sig)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_predictor_is_friendly() {
+        let p = OccupancyPredictor::new(10);
+        assert!(p.is_friendly(pc_signature(0x1234)));
+    }
+
+    #[test]
+    fn training_flips_classification() {
+        let mut p = OccupancyPredictor::new(10);
+        let s = pc_signature(0xabcd);
+        p.train_miss(s);
+        assert!(!p.is_friendly(s));
+        p.train_hit(s);
+        assert!(p.is_friendly(s));
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut p = OccupancyPredictor::new(8);
+        let s = pc_signature(0x10);
+        for _ in 0..20 {
+            p.train_hit(s);
+        }
+        assert_eq!(p.counter(s), 7);
+        for _ in 0..20 {
+            p.train_miss(s);
+        }
+        assert_eq!(p.counter(s), 0);
+    }
+
+    #[test]
+    fn signatures_spread() {
+        let sigs: std::collections::HashSet<PcSig> =
+            (0..1000u64).map(|pc| pc_signature(pc * 4)).collect();
+        assert!(sigs.len() > 950, "hash should rarely collide on 1000 PCs");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_index_bits_panics() {
+        OccupancyPredictor::new(0);
+    }
+}

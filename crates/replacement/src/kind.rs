@@ -1,0 +1,129 @@
+//! Policy selection: a small factory enum so the cache controller and
+//! experiment configurations can name policies declaratively.
+
+use crate::{Drrip, FutureKnowledge, Hawkeye, Lru, MinOracle, Nru, ReplacementPolicy, Ship, Srrip};
+use std::rc::Rc;
+use ziv_common::CacheGeometry;
+
+/// The replacement policies available to the LLC and directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// True LRU (Table I baseline).
+    Lru,
+    /// 1-bit not-recently-used (the sparse directory's policy).
+    Nru,
+    /// Static RRIP.
+    Srrip,
+    /// Dynamic RRIP (set-dueling SRRIP/BRRIP).
+    Drrip,
+    /// Signature-based hit prediction over RRIP (Wu et al., MICRO 2011).
+    Ship,
+    /// Hawkeye (OPTgen-trained PC predictor over RRIP).
+    Hawkeye,
+    /// Offline Belady MIN; requires future knowledge via
+    /// [`PolicyKind::build_with_future`].
+    Min,
+}
+
+impl PolicyKind {
+    /// Builds a policy instance for one bank of the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PolicyKind::Min`], which needs future knowledge; use
+    /// [`PolicyKind::build_with_future`].
+    pub fn build(self, geom: CacheGeometry, seed: u64) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(geom)),
+            PolicyKind::Nru => Box::new(Nru::new(geom)),
+            PolicyKind::Srrip => Box::new(Srrip::new(geom)),
+            PolicyKind::Drrip => Box::new(Drrip::new(geom, seed)),
+            PolicyKind::Ship => Box::new(Ship::new(geom)),
+            PolicyKind::Hawkeye => Box::new(Hawkeye::new(geom)),
+            PolicyKind::Min => panic!("MIN requires future knowledge; use build_with_future"),
+        }
+    }
+
+    /// Builds a policy instance, supplying future knowledge for MIN.
+    pub fn build_with_future(
+        self,
+        geom: CacheGeometry,
+        seed: u64,
+        future: Option<Rc<dyn FutureKnowledge>>,
+    ) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Min => {
+                let f = future.expect("MIN requires future knowledge");
+                Box::new(MinOracle::new(geom, f))
+            }
+            other => other.build(geom, seed),
+        }
+    }
+
+    /// Whether this policy grades blocks with RRPVs (drives the choice
+    /// between `LRUNotInPrC`-style and `MaxRRPVNotInPrC`-style ZIV
+    /// properties).
+    pub fn is_rrpv_based(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Srrip | PolicyKind::Drrip | PolicyKind::Ship | PolicyKind::Hawkeye
+        )
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Nru => "NRU",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Drrip => "DRRIP",
+            PolicyKind::Ship => "SHiP",
+            PolicyKind::Hawkeye => "Hawkeye",
+            PolicyKind::Min => "MIN",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrecomputedFuture;
+
+    #[test]
+    fn builds_every_policy() {
+        let geom = CacheGeometry::new(8, 4);
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Nru,
+            PolicyKind::Srrip,
+            PolicyKind::Drrip,
+            PolicyKind::Ship,
+            PolicyKind::Hawkeye,
+        ] {
+            let p = kind.build(geom, 0);
+            assert_eq!(p.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn min_builds_with_future() {
+        let geom = CacheGeometry::new(8, 4);
+        let f: Rc<dyn FutureKnowledge> = Rc::new(PrecomputedFuture::from_stream([]));
+        let p = PolicyKind::Min.build_with_future(geom, 0, Some(f));
+        assert_eq!(p.name(), "MIN");
+    }
+
+    #[test]
+    #[should_panic(expected = "future knowledge")]
+    fn min_without_future_panics() {
+        PolicyKind::Min.build(CacheGeometry::new(8, 4), 0);
+    }
+
+    #[test]
+    fn rrpv_classification() {
+        assert!(PolicyKind::Hawkeye.is_rrpv_based());
+        assert!(PolicyKind::Srrip.is_rrpv_based());
+        assert!(!PolicyKind::Lru.is_rrpv_based());
+        assert!(!PolicyKind::Min.is_rrpv_based());
+    }
+}

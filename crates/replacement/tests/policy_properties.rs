@@ -1,0 +1,184 @@
+//! Property-based tests of the replacement policies: the LRU stack
+//! property, rank-order consistency across policies, and the MIN
+//! oracle's optimality against brute force on a single set.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use ziv_common::{CacheGeometry, CoreId, LineAddr};
+use ziv_replacement::{
+    AccessCtx, Lru, MinOracle, Nru, PolicyKind, PrecomputedFuture, ReplacementPolicy, Srrip,
+};
+
+fn ctx(line: u64, seq: u64) -> AccessCtx {
+    AccessCtx::demand(LineAddr::new(line), 0x400 + line % 7, CoreId::new(0), 0, seq)
+}
+
+/// Simulates a single fully-associative set of `ways` under a policy,
+/// returning the miss count for an access sequence.
+fn misses_under(policy: &mut dyn ReplacementPolicy, ways: u8, seq: &[u64]) -> usize {
+    let mut resident: Vec<Option<u64>> = vec![None; ways as usize];
+    let mut misses = 0;
+    for (i, &line) in seq.iter().enumerate() {
+        let c = ctx(line, i as u64);
+        if let Some(way) = resident.iter().position(|&r| r == Some(line)) {
+            policy.on_hit(0, way as u8, &c);
+        } else {
+            misses += 1;
+            let way = match resident.iter().position(|r| r.is_none()) {
+                Some(w) => w as u8,
+                None => {
+                    let v = policy.victim(0, &c);
+                    policy.on_evict(0, v);
+                    v
+                }
+            };
+            resident[way as usize] = Some(line);
+            policy.on_fill(0, way, &c);
+        }
+    }
+    misses
+}
+
+/// Belady's optimal miss count on a single set, computed by brute force.
+fn optimal_misses(ways: usize, seq: &[u64]) -> usize {
+    let mut resident: Vec<u64> = Vec::new();
+    let mut misses = 0;
+    for (i, &line) in seq.iter().enumerate() {
+        if resident.contains(&line) {
+            continue;
+        }
+        misses += 1;
+        if resident.len() < ways {
+            resident.push(line);
+        } else {
+            // Evict the resident line with the furthest next use.
+            let victim_idx = (0..resident.len())
+                .max_by_key(|&ri| {
+                    seq[i + 1..]
+                        .iter()
+                        .position(|&l| l == resident[ri])
+                        .map(|d| d as u64)
+                        .unwrap_or(u64::MAX)
+                })
+                .unwrap();
+            resident[victim_idx] = line;
+        }
+    }
+    misses
+}
+
+proptest! {
+    /// LRU stack property: with identical access sequences, a larger
+    /// LRU cache never misses more than a smaller one.
+    #[test]
+    fn lru_has_the_stack_property(
+        seq in prop::collection::vec(0u64..24, 1..400),
+    ) {
+        let m4 = misses_under(&mut Lru::new(CacheGeometry::new(1, 4)), 4, &seq);
+        let m8 = misses_under(&mut Lru::new(CacheGeometry::new(1, 8)), 8, &seq);
+        prop_assert!(m8 <= m4, "8-way {m8} > 4-way {m4}");
+    }
+
+    /// The MIN oracle achieves exactly Belady's optimal miss count when
+    /// given the set's own access stream as its future.
+    #[test]
+    fn min_oracle_is_optimal_on_a_single_set(
+        seq in prop::collection::vec(0u64..16, 1..200),
+    ) {
+        let future = PrecomputedFuture::from_stream(
+            seq.iter().enumerate().map(|(i, &l)| (i as u64, LineAddr::new(l))),
+        );
+        let mut min = MinOracle::new(CacheGeometry::new(1, 4), Rc::new(future));
+        let got = misses_under(&mut min, 4, &seq);
+        let optimal = optimal_misses(4, &seq);
+        prop_assert_eq!(got, optimal);
+    }
+
+    /// No online policy beats MIN.
+    #[test]
+    fn no_policy_beats_min(
+        seq in prop::collection::vec(0u64..16, 1..200),
+        kind_idx in 0usize..3,
+    ) {
+        let optimal = optimal_misses(4, &seq);
+        let geom = CacheGeometry::new(1, 4);
+        let mut policy: Box<dyn ReplacementPolicy> = match kind_idx {
+            0 => Box::new(Lru::new(geom)),
+            1 => Box::new(Nru::new(geom)),
+            _ => Box::new(Srrip::new(geom)),
+        };
+        let got = misses_under(policy.as_mut(), 4, &seq);
+        prop_assert!(got >= optimal, "{} got {got} < optimal {optimal}", policy.name());
+    }
+
+    /// Every policy's rank is always a permutation with the victim first.
+    #[test]
+    fn rank_is_a_permutation_with_victim_first(
+        seq in prop::collection::vec((0u32..4, 0u8..4), 1..100),
+        kind_idx in 0usize..4,
+    ) {
+        let geom = CacheGeometry::new(4, 4);
+        let kinds =
+            [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Srrip, PolicyKind::Hawkeye];
+        let mut policy = kinds[kind_idx].build(geom, 0);
+        for (i, &(set, way)) in seq.iter().enumerate() {
+            let c = ctx((set * 4 + way as u32) as u64, i as u64);
+            if i % 3 == 0 {
+                policy.on_fill(set, way, &c);
+            } else {
+                policy.on_hit(set, way, &c);
+            }
+            let mut order = Vec::new();
+            policy.rank(set, &c, &mut order);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, vec![0u8, 1, 2, 3]);
+            prop_assert_eq!(order[0], policy.victim(set, &c));
+        }
+    }
+
+    /// QBS-style protection must move a block off the victim slot (for
+    /// every policy that can express it).
+    #[test]
+    fn protect_removes_block_from_victim_position(
+        fills in prop::collection::vec(0u8..4, 4..20),
+        kind_idx in 0usize..3,
+    ) {
+        let geom = CacheGeometry::new(1, 4);
+        let kinds = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Hawkeye];
+        let mut policy = kinds[kind_idx].build(geom, 0);
+        for (i, &way) in fills.iter().enumerate() {
+            policy.on_fill(0, way, &ctx(way as u64, i as u64));
+        }
+        let c = ctx(0, 1000);
+        let victim = policy.victim(0, &c);
+        policy.protect(0, victim);
+        // After protection the way must be maximally protected: either
+        // it is no longer the victim, or (RRPV ties at 0) it carries the
+        // most-protected grade.
+        let new_victim = policy.victim(0, &c);
+        prop_assert!(
+            new_victim != victim || policy.rrpv(0, victim) == Some(0),
+            "{}: protect({victim}) left it an unprotected victim",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn lru_equals_opt_when_working_set_fits() {
+    let seq: Vec<u64> = (0..4u64).cycle().take(100).collect();
+    let m = misses_under(&mut Lru::new(CacheGeometry::new(1, 4)), 4, &seq);
+    assert_eq!(m, 4, "only cold misses");
+    assert_eq!(optimal_misses(4, &seq), 4);
+}
+
+#[test]
+fn lru_thrashes_on_circular_overflow_but_min_does_not() {
+    // The classic: 5 blocks circulating in a 4-way set.
+    let seq: Vec<u64> = (0..5u64).cycle().take(200).collect();
+    let lru = misses_under(&mut Lru::new(CacheGeometry::new(1, 4)), 4, &seq);
+    assert_eq!(lru, 200, "LRU misses every access");
+    let optimal = optimal_misses(4, &seq);
+    assert!(optimal < 60, "MIN salvages most accesses: {optimal}");
+}

@@ -1,0 +1,182 @@
+//! CSV export of experiment grids, for external plotting pipelines
+//! (matplotlib / gnuplot / spreadsheets).
+//!
+//! Two layouts are provided:
+//!
+//! - [`grid_to_csv`]: one row per `(config, workload)` cell with the
+//!   full metric set — the raw data behind every figure.
+//! - [`summary_to_csv`]: one row per config with the geomean/min/max
+//!   summary (the paper's bar+range format).
+
+use crate::driver::RunResult;
+use crate::report::NormalizedRows;
+use crate::spec::GridResult;
+use std::io::Write;
+
+/// Escapes a CSV field (quotes fields containing commas or quotes).
+fn esc(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// The per-cell metric columns exported by [`grid_to_csv`].
+pub const GRID_COLUMNS: [&str; 16] = [
+    "config",
+    "workload",
+    "weighted_ipc_sum",
+    "instructions",
+    "llc_accesses",
+    "llc_hits",
+    "relocated_hits",
+    "llc_misses",
+    "l2_misses",
+    "inclusion_victims",
+    "coherence_invalidations",
+    "directory_back_invalidations",
+    "relocations",
+    "cross_bank_relocations",
+    "dram_accesses",
+    "relocation_epi_pj",
+];
+
+fn cell_row(r: &RunResult) -> Vec<String> {
+    let m = &r.metrics;
+    let ipc_sum: f64 = r.cores.iter().map(|c| c.ipc()).sum();
+    vec![
+        r.label.clone(),
+        r.workload.clone(),
+        format!("{ipc_sum:.6}"),
+        r.total_instructions().to_string(),
+        m.llc_accesses.to_string(),
+        m.llc_hits.to_string(),
+        m.relocated_hits.to_string(),
+        m.llc_misses.to_string(),
+        m.total_l2_misses().to_string(),
+        m.inclusion_victims.to_string(),
+        m.coherence_invalidations.to_string(),
+        m.directory_back_invalidations.to_string(),
+        m.relocations.to_string(),
+        m.cross_bank_relocations.to_string(),
+        m.dram_accesses.to_string(),
+        format!("{:.4}", m.relocation_epi_pj()),
+    ]
+}
+
+/// Writes one CSV row per grid cell.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use ziv_sim::{run_grid, RunSpec, grid_to_csv};
+/// use ziv_common::config::SystemConfig;
+/// use ziv_workloads::{apps, mixes, ScaleParams};
+///
+/// let sys = SystemConfig::scaled();
+/// let wl = mixes::homogeneous(
+///     apps::APPS[4], 2, 500, 1, ScaleParams::from_system(&sys));
+/// let grid = run_grid(&[RunSpec::new("I-LRU", sys)], &[wl], 1);
+/// let mut out = Vec::new();
+/// grid_to_csv(&grid, &mut out).unwrap();
+/// let text = String::from_utf8(out).unwrap();
+/// assert!(text.starts_with("config,workload,"));
+/// assert!(text.contains("I-LRU"));
+/// ```
+pub fn grid_to_csv<W: Write>(grid: &[GridResult], mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{}", GRID_COLUMNS.join(","))?;
+    for cell in grid {
+        let row = cell_row(&cell.result);
+        writeln!(out, "{}", row.iter().map(|f| esc(f)).collect::<Vec<_>>().join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes one CSV row per configuration from a summary
+/// ([`crate::speedup_summary`] / [`crate::normalized_metric`] output).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn summary_to_csv<W: Write>(
+    rows: &NormalizedRows,
+    value_name: &str,
+    mut out: W,
+) -> std::io::Result<()> {
+    writeln!(out, "config,{value_name},min,max,n")?;
+    for (label, s) in &rows.rows {
+        writeln!(out, "{},{:.6},{:.6},{:.6},{}", esc(label), s.gmean, s.min, s.max, s.count)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{run_grid, RunSpec};
+    use ziv_common::config::SystemConfig;
+    use ziv_workloads::{apps, mixes, ScaleParams};
+
+    fn small_grid() -> Vec<GridResult> {
+        let sys = SystemConfig::scaled();
+        let wl = mixes::homogeneous(
+            apps::APPS[4],
+            2,
+            500,
+            1,
+            ScaleParams::from_system(&sys),
+        );
+        run_grid(
+            &[
+                RunSpec::new("I-LRU", sys.clone()),
+                RunSpec::new("with,comma", sys),
+            ],
+            &[wl],
+            1,
+        )
+    }
+
+    #[test]
+    fn grid_csv_has_header_and_rows() {
+        let grid = small_grid();
+        let mut out = Vec::new();
+        grid_to_csv(&grid, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].split(',').count(), GRID_COLUMNS.len());
+        assert!(lines[1].starts_with("I-LRU,"));
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        let grid = small_grid();
+        let mut out = Vec::new();
+        grid_to_csv(&grid, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"with,comma\""));
+    }
+
+    #[test]
+    fn summary_csv_round_trips_values() {
+        let grid = small_grid();
+        let rows = crate::report::speedup_summary(&grid, 2, 0);
+        let mut out = Vec::new();
+        summary_to_csv(&rows, "speedup", &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("config,speedup,min,max,n"));
+        assert!(text.contains("1.000000"), "baseline speedup is exactly 1: {text}");
+    }
+
+    #[test]
+    fn quote_escaping() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a,b"), "\"a,b\"");
+        assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,39 @@
+//! # ziv-sim
+//!
+//! The simulation driver and experiment harness: feeds workload traces
+//! through a [`ziv_core::CacheHierarchy`], models per-core timing (base
+//! CPI + exposed miss latency under a per-workload memory-level-
+//! parallelism factor), runs experiment grids in parallel across OS
+//! threads, and aggregates the paper's reporting metrics (weighted
+//! speedup, normalized miss counts, relocation statistics, EPI).
+//!
+//! # Examples
+//!
+//! ```
+//! use ziv_sim::{RunSpec, run_one, Effort};
+//! use ziv_workloads::{mixes, ScaleParams};
+//! use ziv_common::config::SystemConfig;
+//! use ziv_core::LlcMode;
+//!
+//! let sys = SystemConfig::scaled();
+//! let wl = mixes::homogeneous(
+//!     ziv_workloads::apps::APPS[4], 2, 2_000, 1, ScaleParams::from_system(&sys));
+//! let spec = RunSpec::new("I-LRU", sys).with_mode(LlcMode::Inclusive);
+//! let result = run_one(&spec, &wl);
+//! assert!(result.total_instructions() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod csv;
+mod driver;
+mod effort;
+mod report;
+mod spec;
+
+pub use csv::{grid_to_csv, summary_to_csv, GRID_COLUMNS};
+pub use driver::{run_one, CoreRunStats, RunResult};
+pub use effort::Effort;
+pub use report::{normalized_metric, speedup_summary, NormalizedRows};
+pub use spec::{run_grid, GridResult, RunSpec};

@@ -1,0 +1,151 @@
+//! Aggregation helpers turning grid results into the paper's figure
+//! rows: geomean speedups with ranges, and baseline-normalized metric
+//! series.
+
+use crate::driver::RunResult;
+use crate::spec::GridResult;
+use ziv_common::stats::Summary;
+
+/// Per-spec normalized rows: one summary per configuration, normalized
+/// against a chosen baseline configuration, aggregated across workloads.
+#[derive(Debug, Clone)]
+pub struct NormalizedRows {
+    /// `(label, summary)` per configuration, in spec order.
+    pub rows: Vec<(String, Summary)>,
+}
+
+impl NormalizedRows {
+    /// Renders the rows as an aligned table.
+    pub fn to_table(&self, value_header: &str) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(label, s)| {
+                vec![
+                    label.clone(),
+                    format!("{:.3}", s.gmean),
+                    format!("{:.3}", s.min),
+                    format!("{:.3}", s.max),
+                ]
+            })
+            .collect();
+        ziv_common::stats::render_table(&["config", value_header, "min", "max"], &rows)
+    }
+}
+
+fn results_for_spec(grid: &[GridResult], spec: usize) -> Vec<&RunResult> {
+    grid.iter().filter(|g| g.spec_index == spec).map(|g| &g.result).collect()
+}
+
+/// Computes weighted-speedup summaries of every spec against the
+/// baseline spec (paper figures normalize to `I-LRU` at 256 KB).
+///
+/// # Panics
+///
+/// Panics if the grid is ragged (unequal workload coverage per spec).
+pub fn speedup_summary(grid: &[GridResult], spec_count: usize, baseline_spec: usize) -> NormalizedRows {
+    let base = results_for_spec(grid, baseline_spec);
+    let mut rows = Vec::with_capacity(spec_count);
+    for s in 0..spec_count {
+        let runs = results_for_spec(grid, s);
+        assert_eq!(runs.len(), base.len(), "ragged grid");
+        let speedups: Vec<f64> = runs
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| {
+                debug_assert_eq!(r.workload, b.workload);
+                r.weighted_speedup(b)
+            })
+            .collect();
+        let label = runs.first().map(|r| r.label.clone()).unwrap_or_default();
+        rows.push((label, Summary::of(&speedups).expect("non-empty positive speedups")));
+    }
+    NormalizedRows { rows }
+}
+
+/// Computes baseline-normalized summaries of an arbitrary metric (LLC
+/// misses, L2 misses, inclusion victims...). Workloads where the
+/// baseline metric is zero are skipped for that ratio (and counted in
+/// the summary's `count`ed denominator only when valid).
+pub fn normalized_metric(
+    grid: &[GridResult],
+    spec_count: usize,
+    baseline_spec: usize,
+    metric: impl Fn(&RunResult) -> f64,
+) -> NormalizedRows {
+    let base = results_for_spec(grid, baseline_spec);
+    let mut rows = Vec::with_capacity(spec_count);
+    for s in 0..spec_count {
+        let runs = results_for_spec(grid, s);
+        assert_eq!(runs.len(), base.len(), "ragged grid");
+        let ratios: Vec<f64> = runs
+            .iter()
+            .zip(&base)
+            .filter_map(|(r, b)| {
+                let denom = metric(b);
+                if denom > 0.0 {
+                    // Clamp to a tiny positive value so all-zero
+                    // numerators (e.g. ZIV inclusion victims) survive
+                    // the geometric mean.
+                    Some((metric(r) / denom).max(1e-6))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let label = runs.first().map(|r| r.label.clone()).unwrap_or_default();
+        let summary = Summary::of(&ratios)
+            .unwrap_or(Summary { gmean: 0.0, min: 0.0, max: 0.0, count: 0 });
+        rows.push((label, summary));
+    }
+    NormalizedRows { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{run_grid, RunSpec};
+    use ziv_common::config::SystemConfig;
+    use ziv_core::LlcMode;
+    use ziv_workloads::{apps, mixes, ScaleParams};
+
+    fn grid() -> (Vec<GridResult>, usize) {
+        let sys = SystemConfig::scaled();
+        let sc = ScaleParams::from_system(&sys);
+        let wls = vec![
+            mixes::homogeneous(apps::app_by_name("circset").unwrap(), 2, 2_000, 1, sc),
+            mixes::homogeneous(apps::app_by_name("hotl2").unwrap(), 2, 2_000, 1, sc),
+        ];
+        let specs = vec![
+            RunSpec::new("I-LRU", sys.clone()),
+            RunSpec::new("NI-LRU", sys).with_mode(LlcMode::NonInclusive),
+        ];
+        (run_grid(&specs, &wls, 4), specs.len())
+    }
+
+    #[test]
+    fn baseline_speedup_is_one() {
+        let (g, n) = grid();
+        let rows = speedup_summary(&g, n, 0);
+        assert_eq!(rows.rows.len(), 2);
+        assert!((rows.rows[0].1.gmean - 1.0).abs() < 1e-9);
+        assert_eq!(rows.rows[0].0, "I-LRU");
+    }
+
+    #[test]
+    fn normalized_metric_baseline_is_one() {
+        let (g, n) = grid();
+        let rows = normalized_metric(&g, n, 0, |r| r.metrics.llc_misses as f64);
+        assert!((rows.rows[0].1.gmean - 1.0).abs() < 1e-9);
+        assert!(rows.rows[1].1.gmean > 0.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let (g, n) = grid();
+        let rows = speedup_summary(&g, n, 0);
+        let t = rows.to_table("speedup");
+        assert!(t.contains("I-LRU"));
+        assert!(t.contains("speedup"));
+    }
+}

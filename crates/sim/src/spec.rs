@@ -1,0 +1,204 @@
+//! Run specifications (Send-able configuration data) and the parallel
+//! experiment grid runner.
+
+use crate::driver::{run_one, RunResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use ziv_common::config::SystemConfig;
+use ziv_core::{HierarchyConfig, LlcMode};
+use ziv_directory::DirectoryMode;
+use ziv_replacement::{PolicyKind, PrecomputedFuture};
+use ziv_workloads::Workload;
+
+/// A complete, thread-shippable description of one configuration.
+/// (The non-Send pieces — the MIN oracle's shared future knowledge —
+/// are constructed inside the worker thread.)
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Label used in figure output (e.g. `"I-Hawkeye"`).
+    pub label: String,
+    /// Machine configuration.
+    pub system: SystemConfig,
+    /// LLC mode.
+    pub mode: LlcMode,
+    /// Baseline replacement policy.
+    pub policy: PolicyKind,
+    /// Directory mode.
+    pub dir_mode: DirectoryMode,
+    /// Seed.
+    pub seed: u64,
+    /// CHAR tuning override (the dynamic-threshold ablation).
+    pub char_cfg: Option<ziv_char::CharConfig>,
+    /// Optional stride prefetching (the prefetch × inclusion extension).
+    pub prefetch: Option<ziv_core::prefetch::PrefetchConfig>,
+}
+
+impl RunSpec {
+    /// A new spec with inclusive-LRU defaults.
+    pub fn new(label: impl Into<String>, system: SystemConfig) -> Self {
+        RunSpec {
+            label: label.into(),
+            system,
+            mode: LlcMode::Inclusive,
+            policy: PolicyKind::Lru,
+            dir_mode: DirectoryMode::Mesi,
+            seed: 0x5eed,
+            char_cfg: None,
+            prefetch: None,
+        }
+    }
+
+    /// Sets the LLC mode.
+    pub fn with_mode(mut self, mode: LlcMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the directory mode.
+    pub fn with_dir_mode(mut self, dir_mode: DirectoryMode) -> Self {
+        self.dir_mode = dir_mode;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides CHAR tuning (the threshold ablation bench).
+    pub fn with_char(mut self, char_cfg: ziv_char::CharConfig) -> Self {
+        self.char_cfg = Some(char_cfg);
+        self
+    }
+
+    /// Enables stride prefetching.
+    pub fn with_prefetch(mut self, prefetch: ziv_core::prefetch::PrefetchConfig) -> Self {
+        self.prefetch = Some(prefetch);
+        self
+    }
+
+    /// Builds the hierarchy configuration, constructing the MIN oracle's
+    /// future knowledge from the workload when needed. The global stream
+    /// position of record `i` of core `c` is `i × ncores + c` — the same
+    /// policy-independent round-robin interleaving the driver passes to
+    /// [`ziv_core::CacheHierarchy::access`] (the paper's footnote 2).
+    pub fn build_hierarchy_config(&self, workload: &Workload) -> HierarchyConfig {
+        let mut cfg = HierarchyConfig::new(self.system.clone())
+            .with_mode(self.mode)
+            .with_policy(self.policy)
+            .with_dir_mode(self.dir_mode)
+            .with_seed(self.seed);
+        if let Some(cc) = self.char_cfg {
+            cfg = cfg.with_char(cc);
+        }
+        if let Some(pf) = self.prefetch {
+            cfg = cfg.with_prefetch(pf);
+        }
+        if self.policy == PolicyKind::Min {
+            let ncores = workload.cores() as u64;
+            let stream = workload.traces.iter().enumerate().flat_map(|(c, t)| {
+                t.records
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, r)| (i as u64 * ncores + c as u64, r.addr.line()))
+            });
+            cfg = cfg.with_future(std::rc::Rc::new(PrecomputedFuture::from_stream(stream)));
+        }
+        cfg
+    }
+}
+
+/// One cell of an experiment grid: configuration × workload.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// Index of the spec in the grid's spec list.
+    pub spec_index: usize,
+    /// Index of the workload in the grid's workload list.
+    pub workload_index: usize,
+    /// The run's results.
+    pub result: RunResult,
+}
+
+/// Runs every `spec × workload` combination, fanning out across OS
+/// threads, and returns the results indexed by `(spec, workload)`.
+///
+/// Deterministic: results are identical regardless of thread count.
+pub fn run_grid(specs: &[RunSpec], workloads: &[Workload], threads: usize) -> Vec<GridResult> {
+    let total = specs.len() * workloads.len();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<GridResult>> = Mutex::new(Vec::with_capacity(total));
+    let workers = threads.max(1).min(total.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let spec_index = idx / workloads.len();
+                let workload_index = idx % workloads.len();
+                let result = run_one(&specs[spec_index], &workloads[workload_index]);
+                results.lock().unwrap().push(GridResult { spec_index, workload_index, result });
+            });
+        }
+    });
+
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|g| (g.spec_index, g.workload_index));
+    out
+}
+
+/// Default worker-thread count for experiment grids.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziv_workloads::{apps, mixes, ScaleParams};
+
+    fn workloads() -> Vec<Workload> {
+        let sys = SystemConfig::scaled();
+        let sc = ScaleParams::from_system(&sys);
+        vec![
+            mixes::homogeneous(apps::APPS[4], 2, 1_000, 1, sc),
+            mixes::homogeneous(apps::APPS[0], 2, 1_000, 1, sc),
+        ]
+    }
+
+    #[test]
+    fn grid_covers_all_cells_in_order() {
+        let sys = SystemConfig::scaled();
+        let specs = vec![
+            RunSpec::new("I-LRU", sys.clone()),
+            RunSpec::new("NI-LRU", sys).with_mode(LlcMode::NonInclusive),
+        ];
+        let wls = workloads();
+        let grid = run_grid(&specs, &wls, 4);
+        assert_eq!(grid.len(), 4);
+        let cells: Vec<_> = grid.iter().map(|g| (g.spec_index, g.workload_index)).collect();
+        assert_eq!(cells, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn grid_is_deterministic_across_thread_counts() {
+        let sys = SystemConfig::scaled();
+        let specs = vec![RunSpec::new("I-LRU", sys)];
+        let wls = workloads();
+        let a = run_grid(&specs, &wls, 1);
+        let b = run_grid(&specs, &wls, 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.result.metrics.llc_misses, y.result.metrics.llc_misses);
+            assert_eq!(x.result.cores[0].cycles, y.result.cores[0].cycles);
+        }
+    }
+}

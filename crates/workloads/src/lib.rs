@@ -1,0 +1,142 @@
+//! # ziv-workloads
+//!
+//! Synthetic workload generators standing in for the paper's SPEC CPU
+//! 2017 multiprogrammed mixes, PARSEC / SPEC OMP multithreaded
+//! applications, and the TPC-E server trace (DESIGN.md §5.2).
+//!
+//! Each generator reproduces an access-pattern *class* the paper's
+//! analysis depends on:
+//!
+//! - **circular patterns** whose per-set reuse distance exceeds the LLC
+//!   associativity — the pattern Section I identifies as the driver of
+//!   inclusion victims under MIN-approximating policies;
+//! - **streaming** with no reuse (cache-averse traffic that Hawkeye
+//!   learns to classify);
+//! - **private-cache-resident working sets** (the *victims* of
+//!   inclusion: performance collapses when their L1/L2 blocks are
+//!   back-invalidated);
+//! - **irregular / pointer-chasing / zipf** footprints between L2 and
+//!   memory;
+//! - **shared-data** patterns (reader/writer sharing) for the
+//!   multithreaded study.
+//!
+//! All generators are seeded and deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use ziv_workloads::{ScaleParams, mixes};
+//!
+//! let scale = ScaleParams { llc_lines: 16 * 1024, l2_lines: 512 };
+//! let wl = mixes::homogeneous(ziv_workloads::apps::APPS[0], 4, 1_000, 42, scale);
+//! assert_eq!(wl.traces.len(), 4);
+//! assert_eq!(wl.traces[0].records.len(), 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apps;
+pub mod mixes;
+pub mod multithreaded;
+pub mod trace_io;
+
+use ziv_common::Addr;
+
+/// One memory access in a core's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Synthesized program counter of the access.
+    pub pc: u64,
+    /// Whether this is a store.
+    pub is_write: bool,
+    /// Non-memory instructions executed before this access.
+    pub gap: u8,
+}
+
+/// The access stream of one core, with its latency-hiding factor.
+#[derive(Debug, Clone)]
+pub struct CoreTrace {
+    /// The accesses, in program order.
+    pub records: Vec<TraceRecord>,
+    /// Fraction of miss latency hidden by memory-level parallelism
+    /// (0 = fully exposed dependent loads, 0.8 = prefetch-friendly
+    /// streaming). Stands in for the paper's out-of-order cores
+    /// (DESIGN.md §5.1).
+    pub overlap: f64,
+    /// Short name of the generating application.
+    pub app_name: &'static str,
+}
+
+impl CoreTrace {
+    /// Total instructions represented by the trace (1 per access plus
+    /// the gaps).
+    pub fn instructions(&self) -> u64 {
+        self.records.iter().map(|r| 1 + r.gap as u64).sum()
+    }
+}
+
+/// A complete workload: one trace per core plus a name.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (used in figure output).
+    pub name: String,
+    /// Per-core traces.
+    pub traces: Vec<CoreTrace>,
+}
+
+impl Workload {
+    /// Number of cores this workload drives.
+    pub fn cores(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total accesses across cores.
+    pub fn total_accesses(&self) -> u64 {
+        self.traces.iter().map(|t| t.records.len() as u64).sum()
+    }
+}
+
+/// Capacity parameters workload footprints scale against, so the same
+/// pattern classes stress a full-size or 1/8-scale hierarchy equally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleParams {
+    /// Total LLC capacity in lines.
+    pub llc_lines: u64,
+    /// Per-core L2 capacity in lines.
+    pub l2_lines: u64,
+}
+
+impl ScaleParams {
+    /// Derives scale parameters from a system configuration.
+    pub fn from_system(cfg: &ziv_common::config::SystemConfig) -> Self {
+        ScaleParams { llc_lines: cfg.llc.total_blocks(), l2_lines: cfg.l2.blocks() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_trace_counts_instructions() {
+        let t = CoreTrace {
+            records: vec![
+                TraceRecord { addr: Addr::new(0), pc: 0, is_write: false, gap: 3 },
+                TraceRecord { addr: Addr::new(64), pc: 0, is_write: false, gap: 0 },
+            ],
+            overlap: 0.5,
+            app_name: "test",
+        };
+        assert_eq!(t.instructions(), 5);
+    }
+
+    #[test]
+    fn scale_from_system() {
+        let s = ScaleParams::from_system(&ziv_common::config::SystemConfig::scaled());
+        assert_eq!(s.llc_lines, 16 * 1024);
+        assert_eq!(s.l2_lines, 512);
+    }
+}

@@ -1,0 +1,73 @@
+//! Multithreaded workloads under every LLC design: the Fig 16/17 story
+//! in miniature — shared-data applications (canneal, facesim, vips,
+//! applu stand-ins) plus a 128-core TPC-E-like OLTP run.
+//!
+//! Run with `cargo run --release --example multithreaded`
+//! (`ZIV_FAST=1` for a quicker pass).
+
+use ziv::prelude::*;
+
+fn main() {
+    let effort = Effort::from_env();
+    let sys = SystemConfig::scaled_with_l2(L2Size::K512);
+    let scale = ScaleParams::from_system(&sys);
+    let wls = multithreaded::parsec_omp_suite(8, effort.mt_accesses_per_core / 2, 7, scale);
+
+    let modes = [
+        ("I-LRU", LlcMode::Inclusive),
+        ("NI-LRU", LlcMode::NonInclusive),
+        ("QBS", LlcMode::Qbs),
+        ("SHARP", LlcMode::Sharp),
+        ("ZIV-LikelyDead", LlcMode::Ziv(ZivProperty::LikelyDead)),
+    ];
+    let specs: Vec<RunSpec> = modes
+        .iter()
+        .map(|(name, mode)| RunSpec::new(*name, sys.clone()).with_mode(*mode))
+        .collect();
+    let grid = run_grid(&specs, &wls, effort.threads);
+
+    println!("runtime speedup over the inclusive LRU baseline (8 cores, 512KB-class L2):\n");
+    print!("{:<16}", "config");
+    for w in &wls {
+        print!("{:>12}", w.name);
+    }
+    println!("{:>14}", "incl.victims");
+    for (s, spec) in specs.iter().enumerate() {
+        print!("{:<16}", spec.label);
+        let mut victims = 0;
+        for w in 0..wls.len() {
+            let r = &grid[s * wls.len() + w].result;
+            let b = &grid[w].result;
+            print!("{:>12.3}", r.runtime_speedup(b));
+            victims += r.metrics.inclusion_victims;
+        }
+        println!("{victims:>14}");
+    }
+
+    // The 128-core TPC-E-like run (32MB-class LLC, 128KB-class L2s).
+    println!("\nTPC-E-like OLTP on 128 cores:");
+    let server = SystemConfig::server_128(8);
+    let tpce = multithreaded::tpce(
+        128,
+        effort.tpce_accesses_per_core,
+        9,
+        ScaleParams::from_system(&server),
+    );
+    let base = ziv::sim::run_one(&RunSpec::new("I-LRU", server.clone()), &tpce);
+    for (name, mode) in [
+        ("NI-LRU", LlcMode::NonInclusive),
+        ("ZIV-LikelyDead", LlcMode::Ziv(ZivProperty::LikelyDead)),
+    ] {
+        let r = ziv::sim::run_one(
+            &RunSpec::new(name, server.clone()).with_mode(mode),
+            &tpce,
+        );
+        println!(
+            "  {:<16} speedup {:.3}   inclusion victims {}   relocations {}",
+            name,
+            r.runtime_speedup(&base),
+            r.metrics.inclusion_victims,
+            r.metrics.relocations
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Explore the design space on one heterogeneous mix: every LLC mode ×
+//! both baseline policies × the Table I L2 capacities, reported as
+//! weighted speedup over I-LRU-256KB — a miniature of the paper's
+//! Figs 8 and 11.
+//!
+//! Run with `cargo run --release --example policy_explorer`
+//! (set `ZIV_FAST=1` for a quicker pass).
+
+use ziv::prelude::*;
+
+fn main() {
+    let effort = Effort::from_env();
+    let accesses = effort.accesses_per_core / 2;
+    let base_sys = SystemConfig::scaled_with_l2(L2Size::K256);
+    let scale = ScaleParams::from_system(&base_sys);
+    let workload = mixes::heterogeneous(1, 8, accesses, 2026, scale);
+    println!(
+        "mix {}: {}",
+        workload.name,
+        workload
+            .traces
+            .iter()
+            .map(|t| t.app_name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut specs = Vec::new();
+    for l2 in L2Size::TABLE1 {
+        let sys = SystemConfig::scaled_with_l2(l2);
+        for (policy, policy_label) in
+            [(PolicyKind::Lru, "LRU"), (PolicyKind::Hawkeye, "Hawkeye")]
+        {
+            let modes: Vec<LlcMode> = match policy {
+                PolicyKind::Lru => vec![
+                    LlcMode::Inclusive,
+                    LlcMode::NonInclusive,
+                    LlcMode::Qbs,
+                    LlcMode::Sharp,
+                    LlcMode::CharOnBase,
+                    LlcMode::Ziv(ZivProperty::NotInPrC),
+                    LlcMode::Ziv(ZivProperty::LruNotInPrC),
+                    LlcMode::Ziv(ZivProperty::LikelyDead),
+                ],
+                _ => vec![
+                    LlcMode::Inclusive,
+                    LlcMode::NonInclusive,
+                    LlcMode::Qbs,
+                    LlcMode::Sharp,
+                    LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC),
+                    LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+                ],
+            };
+            for mode in modes {
+                let label = format!("{}-{} {}", mode.label(), policy_label, l2.label());
+                specs.push(
+                    RunSpec::new(label, sys.clone()).with_mode(mode).with_policy(policy),
+                );
+            }
+        }
+    }
+
+    let grid = run_grid(&specs, std::slice::from_ref(&workload), effort.threads);
+    let baseline = &grid[0].result; // I-LRU @ 256KB is spec 0
+    println!(
+        "{:<32} {:>8} {:>12} {:>12} {:>12}",
+        "config", "speedup", "LLC misses", "incl.victims", "relocations"
+    );
+    for cell in &grid {
+        let r = &cell.result;
+        println!(
+            "{:<32} {:>8.3} {:>12} {:>12} {:>12}",
+            r.label,
+            r.weighted_speedup(baseline),
+            r.metrics.llc_misses,
+            r.metrics.inclusion_victims,
+            r.metrics.relocations
+        );
+    }
+}

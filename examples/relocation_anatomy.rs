@@ -1,0 +1,117 @@
+//! Anatomy of a relocation: a verbose, step-by-step walkthrough of the
+//! paper's Fig 5 functional flow on a tiny machine, printing the LLC
+//! and directory state at each stage.
+//!
+//! Run with `cargo run --release --example relocation_anatomy`.
+
+use ziv::prelude::*;
+use ziv_common::config::{CacheGeometry, DramParams, LlcConfig, NocParams};
+
+fn tiny() -> SystemConfig {
+    SystemConfig {
+        cores: 2,
+        l1i: CacheGeometry::new(2, 2),
+        l1d: CacheGeometry::new(2, 2),
+        l1_latency: 0,
+        l2: CacheGeometry::new(4, 2),
+        l2_latency: 4,
+        llc: LlcConfig::from_total_capacity(32 * 64, 4, 2), // 2 banks x 4 sets x 4 ways
+        dir_ratio: DirRatio::X2,
+        dir_base_ways: 8,
+        noc: NocParams::table1(),
+        dram: DramParams::ddr3_2133(),
+        base_cpi: 0.25,
+        scale_denominator: 1,
+    }
+}
+
+fn dump(h: &CacheHierarchy, title: &str) {
+    println!("--- {title} ---");
+    let mut blocks = h.llc().resident_blocks();
+    blocks.sort_by_key(|(loc, _)| (loc.bank.index(), loc.set, loc.way));
+    for (loc, st) in blocks {
+        println!(
+            "  {}/set{}/way{}  {}  {}{}{}{}",
+            loc.bank,
+            loc.set,
+            loc.way,
+            st.line,
+            if st.relocated { "[Relocated] " } else { "" },
+            if st.not_in_prc { "[NotInPrC] " } else { "" },
+            if st.likely_dead { "[LikelyDead] " } else { "" },
+            if st.dirty { "[dirty]" } else { "" },
+        );
+    }
+    let m = h.metrics();
+    println!(
+        "  inclusion victims: {}   relocations: {}   in-set alternates: {}\n",
+        m.inclusion_victims, m.relocations, m.in_set_alternate_victims
+    );
+}
+
+fn main() {
+    let cfg = HierarchyConfig::new(tiny()).with_mode(LlcMode::Ziv(ZivProperty::NotInPrC));
+    let mut h = CacheHierarchy::new(&cfg);
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let read = |h: &mut CacheHierarchy, core: usize, line: u64, now: &mut u64, seq: &mut u64| {
+        let a = Access::read(CoreId::new(core), Addr::new(line * 64), 0x400 + line % 4);
+        let lat = h.access(&a, *now, *seq);
+        *now += 1 + lat;
+        *seq += 1;
+        lat
+    };
+
+    println!("ZIV LLC relocation walkthrough (2 banks x 4 sets x 4 ways)\n");
+
+    // Step 1: core 0 loads block B (line 8 -> bank 0, set 0) and keeps
+    // it hot in its private caches.
+    let b = 8u64;
+    read(&mut h, 0, b, &mut now, &mut seq);
+    println!("step 1: core 0 loads B = line {b} (bank 0, set 0) and keeps it private");
+    dump(&h, "after the fill of B");
+
+    // Step 2: conflicting fills to the same LLC set. B stays hot
+    // privately (we re-touch it), so when it reaches the LRU position
+    // the ZIV LLC must relocate instead of back-invalidating.
+    println!("step 2: stream 10 conflicting lines through bank 0 / set 0, keeping B hot");
+    for i in 2..12u64 {
+        read(&mut h, 0, i * 8, &mut now, &mut seq);
+        read(&mut h, 0, b, &mut now, &mut seq); // L1 hit: keeps B private, invisible to the LLC
+    }
+    dump(&h, "after the conflict stream");
+    match h.directory().relocated_location(ziv::common::LineAddr::new(b)) {
+        Some(loc) => println!(
+            "B now lives at {}/set{}/way{} in the Relocated state, reachable only\n\
+             through its sparse-directory entry — and core 0 never lost its L1 copy.\n",
+            loc.bank, loc.set, loc.way
+        ),
+        None => println!("(B was not the relocated victim this time — see the state dump)\n"),
+    }
+
+    // Step 3: the second core reads B: home-set lookup misses, the
+    // directory pointer finds the relocated copy.
+    let lat = read(&mut h, 1, b, &mut now, &mut seq);
+    println!(
+        "step 3: core 1 reads B -> served from the relocated block in {} cycles \
+         (LLC hit, `relocated_hits` = {})",
+        lat,
+        h.metrics().relocated_hits
+    );
+
+    // Step 4: push B out of both cores' private caches; the relocated
+    // copy's life ends with the last private copy.
+    println!("\nstep 4: evict B from both cores' private caches (thrash their L1/L2 sets)");
+    for i in 1..40u64 {
+        read(&mut h, 0, i * 4 + 1024, &mut now, &mut seq);
+        read(&mut h, 1, i * 4 + 2048, &mut now, &mut seq);
+    }
+    dump(&h, "after both cores moved on");
+    println!(
+        "B relocated copy present: {}   (Section III-C2: a relocated block is\n\
+         invalidated when its last private copy leaves — the next access misses)",
+        h.directory().relocated_location(ziv::common::LineAddr::new(b)).is_some()
+    );
+    assert_eq!(h.metrics().inclusion_victims, 0);
+    println!("\ninclusion victims across the whole walkthrough: 0 (the guarantee)");
+}

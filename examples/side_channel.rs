@@ -1,0 +1,103 @@
+//! The paper's security motivation, demonstrated: eviction-based LLC
+//! side channels rely on **inclusion victims** to flush a victim's
+//! private caches from across cores. Under the baseline inclusive LLC
+//! an attacker that evicts the victim's LLC sets makes the victim's
+//! subsequent accesses slow (observable misses); under the ZIV LLC the
+//! victim's private blocks are isolated from LLC evictions and the
+//! attacker sees nothing.
+//!
+//! Run with `cargo run --release --example side_channel`.
+
+use ziv_common::config::{
+    CacheGeometry, DirRatio, DramParams, LlcConfig, NocParams, SystemConfig,
+};
+use ziv_common::{Addr, CoreId};
+use ziv_core::{Access, CacheHierarchy, HierarchyConfig, LlcMode, ZivProperty};
+
+/// A small machine so the attack is quick to mount.
+fn system() -> SystemConfig {
+    SystemConfig {
+        cores: 2,
+        l1i: CacheGeometry::new(4, 2),
+        l1d: CacheGeometry::new(4, 2),
+        l1_latency: 0,
+        l2: CacheGeometry::new(8, 4), // 32-block private L2
+        l2_latency: 4,
+        llc: LlcConfig::from_total_capacity(256 * 64, 8, 2), // 256-block LLC
+        dir_ratio: DirRatio::X2,
+        dir_base_ways: 8,
+        noc: NocParams::table1(),
+        dram: DramParams::ddr3_2133(),
+        base_cpi: 0.25,
+        scale_denominator: 1,
+    }
+}
+
+/// Mounts a prime-style eviction attack and returns how many of the
+/// victim's secret lines became observably slow (missed the private
+/// caches) after the attacker's evictions.
+fn mount_attack(mode: LlcMode) -> (usize, u64) {
+    let sys = system();
+    let cfg = HierarchyConfig::new(sys.clone()).with_mode(mode);
+    let mut h = CacheHierarchy::new(&cfg);
+    let victim = CoreId::new(0);
+    let attacker = CoreId::new(1);
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let go = |h: &mut CacheHierarchy, core: CoreId, line: u64, now: &mut u64, seq: &mut u64| {
+        let lat = h.access(&Access::read(core, Addr::new(line * 64), 0x400 + line % 8), *now, *seq);
+        *now += 1 + lat;
+        *seq += 1;
+        lat
+    };
+
+    // 1. The victim loads its secret-dependent working set (8 lines,
+    //    spread so they coexist in its private caches) and keeps it
+    //    warm.
+    let secret_lines: Vec<u64> = (0..8).map(|i| 3 + i * 5).collect();
+    for _ in 0..4 {
+        for &l in &secret_lines {
+            go(&mut h, victim, l, &mut now, &mut seq);
+        }
+    }
+
+    // 2. The attacker floods every LLC set from its own address space
+    //    (a 2x-LLC sweep, twice), evicting the victim's LLC copies.
+    for _ in 0..2 {
+        for l in 0..512u64 {
+            go(&mut h, attacker, (1 << 20) + l, &mut now, &mut seq);
+        }
+    }
+
+    // 3. The victim re-touches its secret lines; the attacker "observes"
+    //    which ones got slow. A private-cache hit is invisible.
+    let mut visible = 0usize;
+    for &l in &secret_lines {
+        let lat = go(&mut h, victim, l, &mut now, &mut seq);
+        if lat > sys.l2_latency {
+            visible += 1;
+        }
+    }
+    (visible, h.metrics().inclusion_victims)
+}
+
+fn main() {
+    println!("Eviction-based side channel: attacker evicts the victim's LLC sets,");
+    println!("then infers the victim's secret accesses from their latency.\n");
+    for mode in [
+        LlcMode::Inclusive,
+        LlcMode::Sharp,
+        LlcMode::Ziv(ZivProperty::NotInPrC),
+        LlcMode::Ziv(ZivProperty::LikelyDead),
+    ] {
+        let (visible, victims) = mount_attack(mode);
+        println!(
+            "{:<16} attacker-visible secret lines: {}/8   inclusion victims: {}",
+            mode.label(),
+            visible,
+            victims
+        );
+    }
+    println!("\nThe ZIV LLC isolates the victim's core caches from the attacker's");
+    println!("LLC evictions: zero visible lines, zero inclusion victims.");
+}

@@ -1,0 +1,401 @@
+//! `zivsim` — command-line driver for the ZIV LLC simulator.
+//!
+//! ```text
+//! zivsim list                             # available modes, policies, apps
+//! zivsim run  [options]                   # one configuration, one workload
+//! zivsim compare [options]                # every mode on one workload
+//! zivsim export <file> [options]          # write the workload as a ziv-trace file
+//!
+//! options:
+//!   --mode <inclusive|noninclusive|qbs|sharp|charonbase|
+//!           ziv-notinprc|ziv-lrunotinprc|ziv-likelydead|
+//!           ziv-mrnotinprc|ziv-mrlikelydead>        (default inclusive)
+//!   --policy <lru|srrip|drrip|ship|hawkeye|min>     (default lru)
+//!   --l2 <256|512|768|1024>                         (default 256, KB class)
+//!   --workload <homo:APP | hetero:N | mt:NAME | file:PATH>  (default hetero:0)
+//!   --accesses <N per core>                         (default 50000)
+//!   --cores <N>                                     (default 8)
+//!   --seed <N>                                      (default 2026)
+//!   --prefetch                                      (enable stride prefetching)
+//!   --paper-scale                                   (full Table I sizes)
+//! ```
+
+use std::process::ExitCode;
+use ziv::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Options {
+    command: String,
+    mode: LlcMode,
+    policy: PolicyKind,
+    l2: L2Size,
+    workload: String,
+    accesses: usize,
+    cores: usize,
+    seed: u64,
+    paper_scale: bool,
+    prefetch: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            command: "help".into(),
+            mode: LlcMode::Inclusive,
+            policy: PolicyKind::Lru,
+            l2: L2Size::K256,
+            workload: "hetero:0".into(),
+            accesses: 50_000,
+            cores: 8,
+            seed: 2026,
+            paper_scale: false,
+            prefetch: false,
+        }
+    }
+}
+
+fn parse_mode(s: &str) -> Result<LlcMode, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "inclusive" | "i" => LlcMode::Inclusive,
+        "noninclusive" | "ni" => LlcMode::NonInclusive,
+        "qbs" => LlcMode::Qbs,
+        "sharp" => LlcMode::Sharp,
+        "charonbase" => LlcMode::CharOnBase,
+        "tlh" => LlcMode::Tlh { hint_one_in: 8 },
+        "eci" => LlcMode::Eci,
+        "ric" => LlcMode::Ric,
+        "waypart" => LlcMode::WayPartitioned,
+        "ziv-notinprc" => LlcMode::Ziv(ZivProperty::NotInPrC),
+        "ziv-lrunotinprc" => LlcMode::Ziv(ZivProperty::LruNotInPrC),
+        "ziv-likelydead" => LlcMode::Ziv(ZivProperty::LikelyDead),
+        "ziv-mrnotinprc" => LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC),
+        "ziv-mrlikelydead" => LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+        other => return Err(format!("unknown mode '{other}'")),
+    })
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "lru" => PolicyKind::Lru,
+        "srrip" => PolicyKind::Srrip,
+        "drrip" => PolicyKind::Drrip,
+        "ship" => PolicyKind::Ship,
+        "hawkeye" => PolicyKind::Hawkeye,
+        "min" => PolicyKind::Min,
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+fn parse_l2(s: &str) -> Result<L2Size, String> {
+    Ok(match s {
+        "128" => L2Size::K128,
+        "256" => L2Size::K256,
+        "512" => L2Size::K512,
+        "768" => L2Size::K768,
+        "1024" | "1m" | "1M" => L2Size::M1,
+        other => return Err(format!("unknown L2 size '{other}' (use 128/256/512/768/1024)")),
+    })
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
+    let mut positional_allowed = opts.command == "export";
+    while let Some(flag) = it.next() {
+        if positional_allowed && !flag.starts_with("--") {
+            // The export file path (consumed by cmd_export from raw args).
+            positional_allowed = false;
+            continue;
+        }
+        let mut value = || {
+            it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--mode" => opts.mode = parse_mode(&value()?)?,
+            "--policy" => opts.policy = parse_policy(&value()?)?,
+            "--l2" => opts.l2 = parse_l2(&value()?)?,
+            "--workload" => opts.workload = value()?,
+            "--accesses" => {
+                opts.accesses = value()?.parse().map_err(|e| format!("--accesses: {e}"))?
+            }
+            "--cores" => opts.cores = value()?.parse().map_err(|e| format!("--cores: {e}"))?,
+            "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--paper-scale" => opts.paper_scale = true,
+            "--prefetch" => opts.prefetch = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn system_for(opts: &Options) -> SystemConfig {
+    if opts.paper_scale {
+        SystemConfig::paper_with_l2(opts.l2)
+    } else {
+        SystemConfig::scaled_with_l2(opts.l2)
+    }
+}
+
+fn build_workload(opts: &Options) -> Result<Workload, String> {
+    let sys = system_for(opts);
+    let scale = ScaleParams::from_system(&sys);
+    let (kind, arg) = opts
+        .workload
+        .split_once(':')
+        .ok_or_else(|| format!("workload '{}' must look like homo:APP / hetero:N / mt:NAME", opts.workload))?;
+    match kind {
+        "homo" => {
+            let app = apps::app_by_name(arg)
+                .ok_or_else(|| format!("unknown app '{arg}' (see `zivsim list`)"))?;
+            Ok(mixes::homogeneous(app, opts.cores, opts.accesses, opts.seed, scale))
+        }
+        "hetero" => {
+            let idx: usize = arg.parse().map_err(|e| format!("hetero index: {e}"))?;
+            Ok(mixes::heterogeneous(idx, opts.cores, opts.accesses, opts.seed, scale))
+        }
+        "file" => {
+            let f = std::fs::File::open(arg)
+                .map_err(|e| format!("cannot open trace '{arg}': {e}"))?;
+            ziv::workloads::trace_io::read_trace(f).map_err(|e| e.to_string())
+        }
+        "mt" => match arg {
+            "canneal" => Ok(multithreaded::canneal(opts.cores, opts.accesses, opts.seed, scale)),
+            "facesim" => Ok(multithreaded::facesim(opts.cores, opts.accesses, opts.seed, scale)),
+            "vips" => Ok(multithreaded::vips(opts.cores, opts.accesses, opts.seed, scale)),
+            "applu" => Ok(multithreaded::applu(opts.cores, opts.accesses, opts.seed, scale)),
+            "tpce" => Ok(multithreaded::tpce(opts.cores, opts.accesses, opts.seed, scale)),
+            other => Err(format!("unknown multithreaded workload '{other}'")),
+        },
+        other => Err(format!("unknown workload kind '{other}'")),
+    }
+}
+
+fn print_result(r: &ziv::sim::RunResult, baseline: Option<&ziv::sim::RunResult>) {
+    let m = &r.metrics;
+    println!("config: {}   workload: {}", r.label, r.workload);
+    if let Some(b) = baseline {
+        println!("weighted speedup vs {}: {:.3}", b.label, r.weighted_speedup(b));
+    }
+    println!(
+        "LLC: {} accesses, {} hits ({} on relocated blocks), {} misses",
+        m.llc_accesses, m.llc_hits, m.relocated_hits, m.llc_misses
+    );
+    println!(
+        "inclusion victims: {}   directory back-invalidations: {}   coherence invalidations: {}",
+        m.inclusion_victims, m.directory_back_invalidations, m.coherence_invalidations
+    );
+    println!(
+        "relocations: {} ({:.1}% of LLC misses, {} cross-bank, {} in-set alternates)",
+        m.relocations,
+        100.0 * m.relocation_rate(),
+        m.cross_bank_relocations,
+        m.in_set_alternate_victims
+    );
+    println!(
+        "DRAM: {} accesses   writebacks: {} (+{} relocated)   relocation EPI: {:.2} pJ",
+        m.dram_accesses, m.llc_writebacks, m.relocated_writebacks, m.relocation_epi_pj()
+    );
+    let ipc: Vec<String> = r.cores.iter().map(|c| format!("{:.3}", c.ipc())).collect();
+    println!("per-core IPC: [{}]", ipc.join(", "));
+}
+
+fn cmd_list() {
+    println!("modes:");
+    for m in [
+        "inclusive", "noninclusive", "qbs", "sharp", "charonbase",
+        "tlh", "eci", "ric", "waypart",
+        "ziv-notinprc", "ziv-lrunotinprc", "ziv-likelydead",
+        "ziv-mrnotinprc", "ziv-mrlikelydead",
+    ] {
+        println!("  {m}");
+    }
+    println!("policies: lru srrip drrip ship hawkeye min");
+    println!("applications (homo:<name>):");
+    for a in apps::APPS {
+        println!("  {:<12} {:?}", a.name, a.class);
+    }
+    println!("multithreaded (mt:<name>): canneal facesim vips applu tpce");
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let wl = build_workload(opts)?;
+    let sys = system_for(opts);
+    let baseline_spec = RunSpec::new("I-LRU (baseline)", sys.clone());
+    let mut spec = RunSpec::new(format!("{}-{}", opts.mode.label(), opts.policy.label()), sys)
+        .with_mode(opts.mode)
+        .with_policy(opts.policy)
+        .with_seed(opts.seed);
+    if opts.prefetch {
+        spec = spec.with_prefetch(ziv::core::prefetch::PrefetchConfig::default());
+    }
+    let baseline = ziv::sim::run_one(&baseline_spec, &wl);
+    let result = ziv::sim::run_one(&spec, &wl);
+    print_result(&result, Some(&baseline));
+    Ok(())
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let wl = build_workload(opts)?;
+    let sys = system_for(opts);
+    let modes: Vec<LlcMode> = if opts.policy.is_rrpv_based() {
+        vec![
+            LlcMode::Inclusive,
+            LlcMode::NonInclusive,
+            LlcMode::Qbs,
+            LlcMode::Sharp,
+            LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC),
+            LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+        ]
+    } else {
+        vec![
+            LlcMode::Inclusive,
+            LlcMode::NonInclusive,
+            LlcMode::Qbs,
+            LlcMode::Sharp,
+            LlcMode::CharOnBase,
+            LlcMode::Ziv(ZivProperty::NotInPrC),
+            LlcMode::Ziv(ZivProperty::LruNotInPrC),
+            LlcMode::Ziv(ZivProperty::LikelyDead),
+        ]
+    };
+    let specs: Vec<RunSpec> = modes
+        .into_iter()
+        .map(|m| {
+            let mut s = RunSpec::new(m.label(), sys.clone())
+                .with_mode(m)
+                .with_policy(opts.policy)
+                .with_seed(opts.seed);
+            if opts.prefetch {
+                s = s.with_prefetch(ziv::core::prefetch::PrefetchConfig::default());
+            }
+            s
+        })
+        .collect();
+    let grid = run_grid(&specs, std::slice::from_ref(&wl), Effort::from_env().threads);
+    let base = &grid[0].result;
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>12}",
+        "mode", "speedup", "LLC misses", "incl.victims", "relocations"
+    );
+    for cell in &grid {
+        let r = &cell.result;
+        println!(
+            "{:<18} {:>8.3} {:>12} {:>12} {:>12}",
+            r.label,
+            r.weighted_speedup(base),
+            r.metrics.llc_misses,
+            r.metrics.inclusion_victims,
+            r.metrics.relocations
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
+    let path = args.get(1).filter(|a| !a.starts_with("--")).ok_or("export needs a file path")?;
+    let wl = build_workload(opts)?;
+    let f = std::fs::File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
+    ziv::workloads::trace_io::write_trace(&wl, std::io::BufWriter::new(f))
+        .map_err(|e| e.to_string())?;
+    println!("wrote {} accesses ({} cores) to {path}", wl.total_accesses(), wl.cores());
+    Ok(())
+}
+
+fn usage() {
+    println!("usage: zivsim <list|run|compare> [options]   (see --help text in the source header)");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match opts.command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => cmd_run(&opts),
+        "compare" => cmd_compare(&opts),
+        "export" => cmd_export(&args, &opts),
+        _ => {
+            usage();
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let o = parse_args(&args(
+            "run --mode ziv-likelydead --policy hawkeye --l2 512 \
+             --workload homo:circset --accesses 1000 --cores 4 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "run");
+        assert_eq!(o.mode, LlcMode::Ziv(ZivProperty::LikelyDead));
+        assert_eq!(o.policy, PolicyKind::Hawkeye);
+        assert_eq!(o.l2, L2Size::K512);
+        assert_eq!(o.workload, "homo:circset");
+        assert_eq!(o.accesses, 1000);
+        assert_eq!(o.cores, 4);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_values() {
+        assert!(parse_args(&args("run --mode bogus")).is_err());
+        assert!(parse_args(&args("run --policy bogus")).is_err());
+        assert!(parse_args(&args("run --l2 333")).is_err());
+        assert!(parse_args(&args("run --frobnicate")).is_err());
+        assert!(parse_args(&args("run --mode")).is_err());
+    }
+
+    #[test]
+    fn builds_workloads_of_each_kind() {
+        let mut o = Options { accesses: 50, cores: 2, ..Options::default() };
+        o.workload = "homo:stream".into();
+        assert_eq!(build_workload(&o).unwrap().cores(), 2);
+        o.workload = "hetero:3".into();
+        assert_eq!(build_workload(&o).unwrap().cores(), 2);
+        o.workload = "mt:canneal".into();
+        assert_eq!(build_workload(&o).unwrap().cores(), 2);
+        o.workload = "mt:nope".into();
+        assert!(build_workload(&o).is_err());
+        o.workload = "nope".into();
+        assert!(build_workload(&o).is_err());
+    }
+
+    #[test]
+    fn every_listed_mode_parses() {
+        for m in [
+            "inclusive", "noninclusive", "qbs", "sharp", "charonbase",
+            "tlh", "eci", "ric", "waypart",
+            "ziv-notinprc", "ziv-lrunotinprc", "ziv-likelydead",
+            "ziv-mrnotinprc", "ziv-mrlikelydead",
+        ] {
+            parse_mode(m).unwrap();
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based cross-crate tests: under arbitrary access sequences,
+//! every mode preserves its structural invariants, and every ZIV
+//! variant is inclusion-victim-free.
+
+use proptest::prelude::*;
+use ziv::prelude::*;
+use ziv_common::config::{CacheGeometry, DramParams, LlcConfig, NocParams};
+
+fn tiny(cores: usize) -> SystemConfig {
+    SystemConfig {
+        cores,
+        l1i: CacheGeometry::new(2, 2),
+        l1d: CacheGeometry::new(2, 2),
+        l1_latency: 0,
+        l2: CacheGeometry::new(4, 2),
+        l2_latency: 4,
+        llc: LlcConfig::from_total_capacity(128 * 64, 4, 2),
+        dir_ratio: DirRatio::X2,
+        dir_base_ways: 8,
+        noc: NocParams::table1(),
+        dram: DramParams::ddr3_2133(),
+        base_cpi: 0.25,
+        scale_denominator: 1,
+    }
+}
+
+/// One step of an arbitrary access sequence.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    core: usize,
+    line: u64,
+    write: bool,
+}
+
+fn step_strategy(cores: usize) -> impl Strategy<Value = Step> {
+    (0..cores, 0u64..400, any::<bool>())
+        .prop_map(|(core, line, write)| Step { core, line, write })
+}
+
+fn run_steps(mode: LlcMode, policy: PolicyKind, steps: &[Step]) -> CacheHierarchy {
+    let cfg = HierarchyConfig::new(tiny(3)).with_mode(mode).with_policy(policy);
+    let mut h = CacheHierarchy::new(&cfg);
+    let mut now = 0u64;
+    for (i, s) in steps.iter().enumerate() {
+        let addr = Addr::new(s.line * 64);
+        let a = if s.write {
+            Access::write(CoreId::new(s.core), addr, 0x400 + s.line % 32)
+        } else {
+            Access::read(CoreId::new(s.core), addr, 0x400 + s.line % 32)
+        };
+        now += 1 + h.access(&a, now, i as u64);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ziv_modes_never_generate_inclusion_victims(
+        steps in prop::collection::vec(step_strategy(3), 200..1200),
+        prop_idx in 0usize..3,
+    ) {
+        let prop_kind = [
+            ZivProperty::NotInPrC,
+            ZivProperty::LruNotInPrC,
+            ZivProperty::LikelyDead,
+        ][prop_idx];
+        let h = run_steps(LlcMode::Ziv(prop_kind), PolicyKind::Lru, &steps);
+        prop_assert_eq!(h.metrics().inclusion_victims, 0);
+        prop_assert_eq!(h.metrics().ziv_guarantee_fallbacks, 0);
+        prop_assert!(h.verify_invariants().is_ok(), "{:?}", h.verify_invariants());
+    }
+
+    #[test]
+    fn ziv_hawkeye_modes_never_generate_inclusion_victims(
+        steps in prop::collection::vec(step_strategy(3), 200..1000),
+        prop_idx in 0usize..2,
+    ) {
+        let prop_kind =
+            [ZivProperty::MaxRrpvNotInPrC, ZivProperty::MaxRrpvLikelyDead][prop_idx];
+        let h = run_steps(LlcMode::Ziv(prop_kind), PolicyKind::Hawkeye, &steps);
+        prop_assert_eq!(h.metrics().inclusion_victims, 0);
+        prop_assert!(h.verify_invariants().is_ok(), "{:?}", h.verify_invariants());
+    }
+
+    #[test]
+    fn all_modes_preserve_structural_invariants(
+        steps in prop::collection::vec(step_strategy(3), 200..800),
+        mode_idx in 0usize..5,
+    ) {
+        let mode = [
+            LlcMode::Inclusive,
+            LlcMode::NonInclusive,
+            LlcMode::Qbs,
+            LlcMode::Sharp,
+            LlcMode::CharOnBase,
+        ][mode_idx];
+        let h = run_steps(mode, PolicyKind::Lru, &steps);
+        prop_assert!(h.verify_invariants().is_ok(), "{:?}", h.verify_invariants());
+    }
+
+    #[test]
+    fn noninclusive_mode_never_back_invalidates_on_llc_eviction(
+        steps in prop::collection::vec(step_strategy(2), 200..800),
+    ) {
+        let h = run_steps(LlcMode::NonInclusive, PolicyKind::Lru, &steps);
+        prop_assert_eq!(h.metrics().inclusion_victims, 0);
+    }
+
+    #[test]
+    fn zerodev_never_directory_back_invalidates(
+        steps in prop::collection::vec(step_strategy(3), 200..800),
+    ) {
+        let cfg = HierarchyConfig::new(tiny(3).with_dir_ratio(DirRatio::Quarter))
+            .with_mode(LlcMode::Ziv(ZivProperty::NotInPrC))
+            .with_dir_mode(DirectoryMode::ZeroDev);
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut now = 0u64;
+        for (i, s) in steps.iter().enumerate() {
+            let a = Access::read(CoreId::new(s.core), Addr::new(s.line * 64), 0x400);
+            now += 1 + h.access(&a, now, i as u64);
+        }
+        prop_assert_eq!(h.metrics().directory_back_invalidations, 0);
+        prop_assert_eq!(h.metrics().inclusion_victims, 0);
+        prop_assert!(h.verify_invariants().is_ok(), "{:?}", h.verify_invariants());
+    }
+}

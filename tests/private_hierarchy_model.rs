@@ -1,0 +1,167 @@
+//! Model-based property test of the private hierarchy's presence and
+//! eviction-notice protocol — the foundation the sparse directory's
+//! exactness (and therefore every `NotInPrC` decision in the ZIV LLC)
+//! rests on.
+//!
+//! The reference model tracks only *presence* (which lines the core
+//! currently holds somewhere) by replaying the same operations; the
+//! test asserts the hierarchy's presence, notice emission, and dirty
+//! bits agree with it at every step.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use ziv::core::private::{EvictionNotice, PrivateHierarchy};
+use ziv_common::{CacheGeometry, LineAddr};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access { line: u64, instr: bool, write: bool },
+    Fill { line: u64, write: bool },
+    Invalidate { line: u64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, any::<bool>(), any::<bool>()).prop_map(|(line, instr, write)| Op::Access {
+            line,
+            instr,
+            write: write && !instr,
+        }),
+        (0u64..64, any::<bool>()).prop_map(|(line, write)| Op::Fill { line, write }),
+        (0u64..64).prop_map(|line| Op::Invalidate { line }),
+    ]
+}
+
+/// Reference presence model: line -> dirty.
+#[derive(Debug, Default)]
+struct Model {
+    present: HashMap<u64, bool>,
+}
+
+impl Model {
+    fn apply_notices(&mut self, notices: &[EvictionNotice], test_dirty: bool) {
+        for n in notices {
+            let was = self.present.remove(&n.line.raw());
+            assert!(was.is_some(), "notice for a line the model did not hold: {n:?}");
+            if test_dirty {
+                assert_eq!(
+                    was.unwrap(),
+                    n.dirty,
+                    "notice dirty bit disagrees with the model for {n:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Presence according to the hierarchy equals presence according to
+    /// the model: a line is held iff it was filled and no notice or
+    /// invalidation has removed it since. (This is exactly the property
+    /// the up-to-date sparse directory relies on.)
+    #[test]
+    fn presence_and_notices_match_reference_model(
+        ops in prop::collection::vec(op(), 1..500),
+    ) {
+        let mut h = PrivateHierarchy::new(
+            CacheGeometry::new(2, 2),
+            CacheGeometry::new(2, 2),
+            CacheGeometry::new(4, 2),
+        );
+        let mut model = Model::default();
+        let mut notices = Vec::new();
+        for o in ops {
+            match o {
+                Op::Access { line, instr, write } => {
+                    let l = LineAddr::new(line);
+                    let held_before = model.present.contains_key(&line);
+                    let outcome = h.access(l, instr, write, &mut notices);
+                    // A hit is only possible if the model holds the line.
+                    if !held_before {
+                        prop_assert!(
+                            matches!(outcome, ziv::core::private::PrivLookup::Miss),
+                            "hit on a line the model does not hold"
+                        );
+                    }
+                    if write && held_before {
+                        model.present.insert(line, true);
+                    }
+                    model.apply_notices(&notices, false);
+                    notices.clear();
+                }
+                Op::Fill { line, write } => {
+                    let l = LineAddr::new(line);
+                    if !model.present.contains_key(&line) {
+                        h.fill_from_shared(l, false, write, false, &mut notices);
+                        model.present.insert(line, write);
+                        model.apply_notices(&notices, false);
+                        notices.clear();
+                    }
+                }
+                Op::Invalidate { line } => {
+                    let l = LineAddr::new(line);
+                    let got = h.invalidate(l);
+                    let expected = model.present.remove(&line);
+                    prop_assert_eq!(
+                        got.is_some(),
+                        expected.is_some(),
+                        "invalidate presence mismatch for line {}",
+                        line
+                    );
+                }
+            }
+            // Presence agreement, every step, every line.
+            for line in 0..64u64 {
+                prop_assert_eq!(
+                    h.contains(LineAddr::new(line)),
+                    model.present.contains_key(&line),
+                    "presence mismatch for line {}",
+                    line
+                );
+            }
+        }
+    }
+
+    /// Dirty data never vanishes silently: a line written and then
+    /// forced out must leave as a dirty notice or dirty invalidation.
+    #[test]
+    fn dirty_data_always_leaves_loudly(
+        fills in prop::collection::vec((0u64..32, any::<bool>()), 1..200),
+    ) {
+        let mut h = PrivateHierarchy::new(
+            CacheGeometry::new(2, 2),
+            CacheGeometry::new(2, 2),
+            CacheGeometry::new(4, 2),
+        );
+        let mut dirty_in: std::collections::HashSet<u64> = Default::default();
+        let mut notices = Vec::new();
+        for (line, write) in fills {
+            let l = LineAddr::new(line);
+            if !h.contains(l) {
+                h.fill_from_shared(l, false, write, false, &mut notices);
+                if write {
+                    dirty_in.insert(line);
+                }
+            } else if write {
+                let _ = h.access(l, false, true, &mut notices);
+                dirty_in.insert(line);
+            }
+            for n in notices.drain(..) {
+                if dirty_in.remove(&n.line.raw()) {
+                    prop_assert!(n.dirty, "dirty line {} left with a clean notice", n.line);
+                }
+            }
+        }
+        // Drain the rest through invalidation.
+        for line in 0..32u64 {
+            if let Some(was_dirty) = h.invalidate(LineAddr::new(line)) {
+                if dirty_in.remove(&line) {
+                    prop_assert!(was_dirty, "dirty line {line} invalidated clean");
+                }
+            }
+        }
+        prop_assert!(dirty_in.is_empty(), "dirty lines unaccounted for: {dirty_in:?}");
+    }
+}
