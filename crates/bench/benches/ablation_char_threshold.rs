@@ -31,12 +31,19 @@ fn main() {
     let wls = mp_suite(&effort, 8);
     let mut specs = vec![spec(LlcMode::Inclusive, PolicyKind::Lru, L2Size::K512)];
     for d in [1u8, 3, 6] {
-        let mut s = spec(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, L2Size::K512);
+        let mut s = spec(
+            LlcMode::Ziv(ZivProperty::LikelyDead),
+            PolicyKind::Lru,
+            L2Size::K512,
+        );
         s.label = format!("ZIV-LikelyDead d={d} (static)");
         specs.push(s.with_char(static_d(d)));
     }
-    let mut dynamic =
-        spec(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, L2Size::K512);
+    let mut dynamic = spec(
+        LlcMode::Ziv(ZivProperty::LikelyDead),
+        PolicyKind::Lru,
+        L2Size::K512,
+    );
     dynamic.label = "ZIV-LikelyDead dynamic d".into();
     specs.push(dynamic);
     let grid = run_grid(&specs, &wls, effort.threads);

@@ -20,7 +20,11 @@ fn main() {
     let effort = Effort::from_env();
     let wls = mp_suite(&effort, 8);
     let mut specs = vec![spec(LlcMode::Inclusive, PolicyKind::Lru, L2Size::K512)];
-    for p in [ZivProperty::NotInPrC, ZivProperty::LruNotInPrC, ZivProperty::LikelyDead] {
+    for p in [
+        ZivProperty::NotInPrC,
+        ZivProperty::LruNotInPrC,
+        ZivProperty::LikelyDead,
+    ] {
         specs.push(spec(LlcMode::Ziv(p), PolicyKind::Lru, L2Size::K512));
     }
     // The same NotInPrC/LikelyDead properties under Hawkeye, plus the

@@ -27,8 +27,9 @@ fn main() {
     let grid = run_grid(&specs, &wls, effort.threads);
     let rows = speedup_summary(&grid, specs.len(), 0);
     println!("{}", rows.to_table("speedup vs I-LRU 512KB"));
-    let rows =
-        normalized_metric(&grid, specs.len(), 0, |r| r.metrics.inclusion_victims as f64);
+    let rows = normalized_metric(&grid, specs.len(), 0, |r| {
+        r.metrics.inclusion_victims as f64
+    });
     println!("{}", rows.to_table("incl.victims (norm)"));
     footer(t0, grid.len());
 }

@@ -21,9 +21,18 @@ fn main() {
     let effort = Effort::from_env();
     let wls = mp_suite(&effort, 8);
     let mut specs = vec![spec(LlcMode::Inclusive, PolicyKind::Lru, L2Size::K512)];
-    for policy in [PolicyKind::Srrip, PolicyKind::Drrip, PolicyKind::Ship, PolicyKind::Hawkeye] {
+    for policy in [
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ship,
+        PolicyKind::Hawkeye,
+    ] {
         specs.push(spec(LlcMode::Inclusive, policy, L2Size::K512));
-        specs.push(spec(LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC), policy, L2Size::K512));
+        specs.push(spec(
+            LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC),
+            policy,
+            L2Size::K512,
+        ));
     }
     let grid = run_grid(&specs, &wls, effort.threads);
     assert_ziv_guarantee(&grid, &specs);

@@ -25,11 +25,23 @@ fn main() {
     let specs = vec![
         spec(LlcMode::Inclusive, PolicyKind::Lru, L2Size::K512),
         spec(LlcMode::NonInclusive, PolicyKind::Lru, L2Size::K512),
-        spec(LlcMode::Ziv(ZivProperty::NotInPrC), PolicyKind::Lru, L2Size::K512),
-        spec(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, L2Size::K512),
+        spec(
+            LlcMode::Ziv(ZivProperty::NotInPrC),
+            PolicyKind::Lru,
+            L2Size::K512,
+        ),
+        spec(
+            LlcMode::Ziv(ZivProperty::LikelyDead),
+            PolicyKind::Lru,
+            L2Size::K512,
+        ),
         // The oracle: baseline MIN + NotInPrC relocation = optimal
         // victims both in the home set and in relocation sets.
-        spec(LlcMode::Ziv(ZivProperty::NotInPrC), PolicyKind::Min, L2Size::K512),
+        spec(
+            LlcMode::Ziv(ZivProperty::NotInPrC),
+            PolicyKind::Min,
+            L2Size::K512,
+        ),
         spec(LlcMode::Inclusive, PolicyKind::Min, L2Size::K512),
     ];
     let grid = run_grid(&specs, &wls, effort.threads);

@@ -34,8 +34,10 @@ fn main() {
         LlcMode::Ziv(ZivProperty::NotInPrC),
         LlcMode::Ziv(ZivProperty::LikelyDead),
     ];
-    let specs: Vec<_> =
-        modes.into_iter().map(|m| spec(m, PolicyKind::Lru, L2Size::K512)).collect();
+    let specs: Vec<_> = modes
+        .into_iter()
+        .map(|m| spec(m, PolicyKind::Lru, L2Size::K512))
+        .collect();
     let grid = run_grid(&specs, &wls, effort.threads);
     let rows = speedup_summary(&grid, specs.len(), 0);
     println!("{}", rows.to_table("speedup vs I-LRU 512KB"));

@@ -1,12 +1,14 @@
 //! Fig 2: normalized inclusion-victim counts for the inclusive LLC under
 //! LRU, Hawkeye, and the offline MIN oracle, across L2 capacities
 //! (normalized to I-LRU-256KB).
+//!
+//! Runs through the `ziv-harness` campaign runner: results are cached
+//! in a content-addressed ledger under `results/fig02-inclusion-victims/`,
+//! so a rerun (or an interrupted run relaunched) only simulates cells
+//! missing from the ledger.
 use std::time::Instant;
-use ziv_bench::{banner, footer, mp_suite, spec};
-use ziv_common::config::L2Size;
-use ziv_core::LlcMode;
-use ziv_replacement::PolicyKind;
-use ziv_sim::{normalized_metric, run_grid, Effort};
+use ziv_bench::{banner, footer, run_figure_campaign};
+use ziv_sim::normalized_metric;
 
 fn main() {
     let t0 = Instant::now();
@@ -16,17 +18,19 @@ fn main() {
         "Hawkeye and MIN generate far more inclusion victims than LRU at \
          every L2 capacity; counts grow with L2 capacity",
     );
-    let effort = Effort::from_env();
-    let wls = mp_suite(&effort, 8);
-    let mut specs = Vec::new();
-    for policy in [PolicyKind::Lru, PolicyKind::Hawkeye, PolicyKind::Min] {
-        for l2 in L2Size::TABLE1 {
-            specs.push(spec(LlcMode::Inclusive, policy, l2));
-        }
-    }
-    let grid = run_grid(&specs, &wls, effort.threads);
-    let rows =
-        normalized_metric(&grid, specs.len(), 0, |r| r.metrics.inclusion_victims as f64);
+    let (campaign, outcome) = run_figure_campaign("fig02-inclusion-victims");
+    let rows = normalized_metric(
+        &outcome.grid,
+        campaign.specs.len(),
+        campaign.baseline_spec,
+        |r| r.metrics.inclusion_victims as f64,
+    );
     println!("{}", rows.to_table("incl.victims (norm)"));
-    footer(t0, grid.len());
+    println!(
+        "[{} of {} cells from cache; grid: {}]",
+        outcome.telemetry.cached_cells,
+        outcome.telemetry.total_cells,
+        outcome.grid_csv.display()
+    );
+    footer(t0, outcome.telemetry.executed_cells);
 }

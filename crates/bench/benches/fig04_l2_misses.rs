@@ -27,8 +27,9 @@ fn main() {
         }
     }
     let grid = run_grid(&specs, &wls, effort.threads);
-    let rows =
-        normalized_metric(&grid, specs.len(), 0, |r| r.metrics.total_l2_misses() as f64);
+    let rows = normalized_metric(&grid, specs.len(), 0, |r| {
+        r.metrics.total_l2_misses() as f64
+    });
     println!("{}", rows.to_table("L2 misses (norm)"));
     footer(t0, grid.len());
 }

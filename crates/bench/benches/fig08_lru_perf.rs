@@ -1,11 +1,15 @@
 //! Fig 8: multiprogrammed performance with LRU as the baseline LLC
 //! policy — I, NI, QBS, SHARP, and the three LRU-side ZIV designs, per
 //! L2 capacity, normalized to I-LRU-256KB.
+//!
+//! Runs through the `ziv-harness` campaign runner: results are cached
+//! in a content-addressed ledger under `results/fig08-lru-perf/`, so a
+//! rerun (or an interrupted run relaunched) only simulates cells
+//! missing from the ledger. Cells shared with other campaigns (e.g.
+//! the I-LRU column of Fig 2) are shared through their digests.
 use std::time::Instant;
-use ziv_bench::{assert_ziv_guarantee, banner, footer, lru_modes, mp_suite, spec};
-use ziv_common::config::L2Size;
-use ziv_replacement::PolicyKind;
-use ziv_sim::{run_grid, speedup_summary, Effort};
+use ziv_bench::{assert_ziv_guarantee, banner, footer, run_figure_campaign};
+use ziv_sim::speedup_summary;
 
 fn main() {
     let t0 = Instant::now();
@@ -16,17 +20,15 @@ fn main() {
          ZIV-LikelyDead best across the board, meeting or beating NI at \
          256/512KB; ZIV guarantees zero inclusion victims",
     );
-    let effort = Effort::from_env();
-    let wls = mp_suite(&effort, 8);
-    let mut specs = Vec::new();
-    for l2 in L2Size::TABLE1 {
-        for mode in lru_modes() {
-            specs.push(spec(mode, PolicyKind::Lru, l2));
-        }
-    }
-    let grid = run_grid(&specs, &wls, effort.threads);
-    assert_ziv_guarantee(&grid, &specs);
-    let rows = speedup_summary(&grid, specs.len(), 0);
+    let (campaign, outcome) = run_figure_campaign("fig08-lru-perf");
+    assert_ziv_guarantee(&outcome.grid, &campaign.specs);
+    let rows = speedup_summary(&outcome.grid, campaign.specs.len(), campaign.baseline_spec);
     println!("{}", rows.to_table("speedup"));
-    footer(t0, grid.len());
+    println!(
+        "[{} of {} cells from cache; grid: {}]",
+        outcome.telemetry.cached_cells,
+        outcome.telemetry.total_cells,
+        outcome.grid_csv.display()
+    );
+    footer(t0, outcome.telemetry.executed_cells);
 }

@@ -20,11 +20,18 @@ fn main() {
     let wls = mp_suite(&effort, 8);
     let specs = vec![
         spec(LlcMode::Inclusive, PolicyKind::Lru, L2Size::K512),
-        spec(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, L2Size::K512),
+        spec(
+            LlcMode::Ziv(ZivProperty::LikelyDead),
+            PolicyKind::Lru,
+            L2Size::K512,
+        ),
     ];
     let grid = run_grid(&specs, &wls, effort.threads);
     assert_ziv_guarantee(&grid, &specs);
-    println!("{:<16} {:>8} {:>14} {:>12}", "mix", "speedup", "reloc/LLCmiss", "relocations");
+    println!(
+        "{:<16} {:>8} {:>14} {:>12}",
+        "mix", "speedup", "reloc/LLCmiss", "relocations"
+    );
     let mut speedups = Vec::new();
     let mut max_rate = 0.0f64;
     for (b, z) in grid.iter().take(wls.len()).zip(grid.iter().skip(wls.len())) {
@@ -41,6 +48,9 @@ fn main() {
         );
     }
     let summary = ziv_common::stats::Summary::of(&speedups).unwrap();
-    println!("\naverage {summary}   max relocation rate {:.1}%", 100.0 * max_rate);
+    println!(
+        "\naverage {summary}   max relocation rate {:.1}%",
+        100.0 * max_rate
+    );
     footer(t0, grid.len());
 }

@@ -20,7 +20,11 @@ fn main() {
     let wls = mp_suite(&effort, 8);
     // The normalization baseline is I-LRU 256KB (spec 0), as in every
     // paper figure.
-    let mut specs = vec![spec(ziv_core::LlcMode::Inclusive, PolicyKind::Lru, L2Size::K256)];
+    let mut specs = vec![spec(
+        ziv_core::LlcMode::Inclusive,
+        PolicyKind::Lru,
+        L2Size::K256,
+    )];
     for l2 in L2Size::TABLE1 {
         for mode in hawkeye_modes() {
             specs.push(spec(mode, PolicyKind::Hawkeye, l2));

@@ -20,7 +20,11 @@ fn main() {
     let wls = mp_suite(&effort, 8);
     let specs = vec![
         spec(LlcMode::Inclusive, PolicyKind::Hawkeye, L2Size::K512),
-        spec(LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead), PolicyKind::Hawkeye, L2Size::K512),
+        spec(
+            LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+            PolicyKind::Hawkeye,
+            L2Size::K512,
+        ),
     ];
     let grid = run_grid(&specs, &wls, effort.threads);
     assert_ziv_guarantee(&grid, &specs);
@@ -29,8 +33,14 @@ fn main() {
     for (b, z) in grid.iter().take(wls.len()).zip(grid.iter().skip(wls.len())) {
         let s = z.result.weighted_speedup(&b.result);
         speedups.push(s);
-        println!("{:<16} {:>8.3} {:>12}", z.result.workload, s, z.result.metrics.relocations);
+        println!(
+            "{:<16} {:>8.3} {:>12}",
+            z.result.workload, s, z.result.metrics.relocations
+        );
     }
-    println!("\naverage {}", ziv_common::stats::Summary::of(&speedups).unwrap());
+    println!(
+        "\naverage {}",
+        ziv_common::stats::Summary::of(&speedups).unwrap()
+    );
     footer(t0, grid.len());
 }

@@ -16,7 +16,11 @@ fn main() {
     );
     let effort = Effort::from_env();
     let wls = mp_suite(&effort, 8);
-    let mut specs = vec![spec(ziv_core::LlcMode::Inclusive, PolicyKind::Lru, L2Size::K256)];
+    let mut specs = vec![spec(
+        ziv_core::LlcMode::Inclusive,
+        PolicyKind::Lru,
+        L2Size::K256,
+    )];
     for l2 in L2Size::TABLE1 {
         for mode in hawkeye_modes() {
             specs.push(spec(mode, PolicyKind::Hawkeye, l2));
@@ -27,8 +31,9 @@ fn main() {
     let rows = normalized_metric(&grid, specs.len(), 0, |r| r.metrics.llc_misses as f64);
     println!("{}", rows.to_table("LLC misses (norm)"));
     println!("--- lower panel: L2 misses (normalized to I-LRU 256KB) ---");
-    let rows =
-        normalized_metric(&grid, specs.len(), 0, |r| r.metrics.total_l2_misses() as f64);
+    let rows = normalized_metric(&grid, specs.len(), 0, |r| {
+        r.metrics.total_l2_misses() as f64
+    });
     println!("{}", rows.to_table("L2 misses (norm)"));
     footer(t0, grid.len());
 }

@@ -28,7 +28,11 @@ fn main() {
         spec(LlcMode::Inclusive, PolicyKind::Lru, L2Size::K256), // baseline (8MB-class)
         big("I-LRU", LlcMode::Inclusive, PolicyKind::Lru),
         big("NI-LRU", LlcMode::NonInclusive, PolicyKind::Lru),
-        big("ZIV-LikelyDead-LRU", LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru),
+        big(
+            "ZIV-LikelyDead-LRU",
+            LlcMode::Ziv(ZivProperty::LikelyDead),
+            PolicyKind::Lru,
+        ),
         big("I-Hawkeye", LlcMode::Inclusive, PolicyKind::Hawkeye),
         big("NI-Hawkeye", LlcMode::NonInclusive, PolicyKind::Hawkeye),
         big(

@@ -26,7 +26,10 @@ fn main() {
             for (name, mode) in [
                 ("I", LlcMode::Inclusive),
                 ("NI", LlcMode::NonInclusive),
-                ("ZIV-MRLikelyDead", LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead)),
+                (
+                    "ZIV-MRLikelyDead",
+                    LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+                ),
             ] {
                 let label = format!("{name} {} {:?}", ratio.label(), dir_mode);
                 specs.push(

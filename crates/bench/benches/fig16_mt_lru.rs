@@ -43,13 +43,21 @@ fn main() {
     let specs: Vec<RunSpec> = modes()
         .into_iter()
         .map(|(name, mode)| {
-            RunSpec::new(name, sys.clone()).with_mode(mode).with_policy(policy)
+            RunSpec::new(name, sys.clone())
+                .with_mode(mode)
+                .with_policy(policy)
         })
         .collect();
     let grid = run_grid(&specs, &wls, effort.threads);
     assert_ziv_guarantee(&grid, &specs);
     total_runs += grid.len();
-    println!("{:<18} {}", "config", wls.iter().map(|w| format!("{:>10}", w.name)).collect::<String>());
+    println!(
+        "{:<18} {}",
+        "config",
+        wls.iter()
+            .map(|w| format!("{:>10}", w.name))
+            .collect::<String>()
+    );
     for s in 0..specs.len() {
         let mut line = format!("{:<18}", specs[s].label);
         for w in 0..wls.len() {
@@ -71,7 +79,9 @@ fn main() {
     let tspecs: Vec<RunSpec> = modes()
         .into_iter()
         .map(|(name, mode)| {
-            RunSpec::new(name, server.clone()).with_mode(mode).with_policy(policy)
+            RunSpec::new(name, server.clone())
+                .with_mode(mode)
+                .with_policy(policy)
         })
         .collect();
     let tgrid = run_grid(&tspecs, &tpce, effort.threads);
@@ -80,7 +90,11 @@ fn main() {
     println!("\n{:<18} {:>10}", "config", "TPC-E");
     for (s, _) in tspecs.iter().enumerate() {
         let r = &tgrid[s].result;
-        println!("{:<18} {:>10.3}", tspecs[s].label, r.runtime_speedup(&tgrid[0].result));
+        println!(
+            "{:<18} {:>10.3}",
+            tspecs[s].label,
+            r.runtime_speedup(&tgrid[0].result)
+        );
     }
     footer(t0, total_runs);
 }

@@ -26,18 +26,22 @@ fn main() {
         ScaleParams::from_system(&sys),
     );
     // Spec 0: the I-LRU normalization baseline.
-    let mut specs =
-        vec![RunSpec::new("I-LRU", sys.clone()).with_mode(LlcMode::Inclusive)];
+    let mut specs = vec![RunSpec::new("I-LRU", sys.clone()).with_mode(LlcMode::Inclusive)];
     for (name, mode) in [
         ("I-Hawkeye", LlcMode::Inclusive),
         ("NI-Hawkeye", LlcMode::NonInclusive),
         ("QBS-Hawkeye", LlcMode::Qbs),
         ("SHARP-Hawkeye", LlcMode::Sharp),
         ("ZIV-MRNotInPrC", LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC)),
-        ("ZIV-MRLikelyDead", LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead)),
+        (
+            "ZIV-MRLikelyDead",
+            LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+        ),
     ] {
         specs.push(
-            RunSpec::new(name, sys.clone()).with_mode(mode).with_policy(PolicyKind::Hawkeye),
+            RunSpec::new(name, sys.clone())
+                .with_mode(mode)
+                .with_policy(PolicyKind::Hawkeye),
         );
     }
     let grid = run_grid(&specs, &wls, effort.threads);
@@ -45,7 +49,9 @@ fn main() {
     println!(
         "{:<18} {}",
         "config",
-        wls.iter().map(|w| format!("{:>10}", w.name)).collect::<String>()
+        wls.iter()
+            .map(|w| format!("{:>10}", w.name))
+            .collect::<String>()
     );
     for s in 0..specs.len() {
         let mut line = format!("{:<18}", specs[s].label);

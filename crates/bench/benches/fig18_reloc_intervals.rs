@@ -21,9 +21,21 @@ fn main() {
     let effort = Effort::from_env();
     let wls = mp_suite(&effort, 8);
     let specs = vec![
-        spec(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, L2Size::K512),
-        spec(LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC), PolicyKind::Hawkeye, L2Size::K512),
-        spec(LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead), PolicyKind::Hawkeye, L2Size::K512),
+        spec(
+            LlcMode::Ziv(ZivProperty::LikelyDead),
+            PolicyKind::Lru,
+            L2Size::K512,
+        ),
+        spec(
+            LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC),
+            PolicyKind::Hawkeye,
+            L2Size::K512,
+        ),
+        spec(
+            LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+            PolicyKind::Hawkeye,
+            L2Size::K512,
+        ),
     ];
     let grid = run_grid(&specs, &wls, effort.threads);
     assert_ziv_guarantee(&grid, &specs);
@@ -37,7 +49,11 @@ fn main() {
         "{:<14} {:>16} {:>16} {:>16}",
         "log2(cycles)", "LikelyDead", "MRNotInPrC", "MRLikelyDead"
     );
-    let max_bucket = hists.iter().filter_map(|h| h.max_bucket()).max().unwrap_or(0);
+    let max_bucket = hists
+        .iter()
+        .filter_map(|h| h.max_bucket())
+        .max()
+        .unwrap_or(0);
     for b in 0..=max_bucket {
         println!(
             "{:<14} {:>16.4} {:>16.4} {:>16.4}",

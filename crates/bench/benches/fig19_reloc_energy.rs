@@ -22,7 +22,11 @@ fn main() {
     let wls = mp_suite(&effort, 8);
     let mut specs = Vec::new();
     for l2 in L2Size::TABLE1 {
-        specs.push(spec(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, l2));
+        specs.push(spec(
+            LlcMode::Ziv(ZivProperty::LikelyDead),
+            PolicyKind::Lru,
+            l2,
+        ));
         specs.push(spec(
             LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
             PolicyKind::Hawkeye,
@@ -44,19 +48,26 @@ fn main() {
             continue;
         }
         let cells: Vec<_> = grid.iter().filter(|g| g.spec_index == s).collect();
-        let reloc_epi: f64 =
-            cells.iter().map(|c| c.result.metrics.relocation_epi_pj()).sum::<f64>()
-                / cells.len() as f64;
-        let total_epi: f64 = cells.iter().map(|c| c.result.metrics.total_epi_pj()).sum::<f64>()
+        let reloc_epi: f64 = cells
+            .iter()
+            .map(|c| c.result.metrics.relocation_epi_pj())
+            .sum::<f64>()
+            / cells.len() as f64;
+        let total_epi: f64 = cells
+            .iter()
+            .map(|c| c.result.metrics.total_epi_pj())
+            .sum::<f64>()
             / cells.len() as f64;
         // Matching inclusive baseline: same L2, same policy family
         // (specs are laid out [ZIV-LRU, ZIV-Hawkeye, I-LRU, I-Hawkeye]
         // per L2 point, so the baseline sits two slots later).
         let base_idx = s + 2;
         let base_cells: Vec<_> = grid.iter().filter(|g| g.spec_index == base_idx).collect();
-        let base_epi: f64 =
-            base_cells.iter().map(|c| c.result.metrics.total_epi_pj()).sum::<f64>()
-                / base_cells.len() as f64;
+        let base_epi: f64 = base_cells
+            .iter()
+            .map(|c| c.result.metrics.total_epi_pj())
+            .sum::<f64>()
+            / base_cells.len() as f64;
         println!(
             "{:<34} {:>14.2} {:>14.1} {:>+14.1}",
             sp.label,

@@ -39,10 +39,20 @@ fn describe(name: &str, cfg: &SystemConfig) {
 }
 
 fn main() {
-    ziv_bench::banner("Table I", "baseline simulation environment", "configuration only");
+    ziv_bench::banner(
+        "Table I",
+        "baseline simulation environment",
+        "configuration only",
+    );
     for l2 in L2Size::TABLE1 {
-        describe(&format!("paper scale, {} L2", l2.label()), &SystemConfig::paper_with_l2(l2));
+        describe(
+            &format!("paper scale, {} L2", l2.label()),
+            &SystemConfig::paper_with_l2(l2),
+        );
     }
     describe("default 1/8 scale, 256KB-class L2", &SystemConfig::scaled());
-    describe("128-core server (TPC-E), 1/8 scale", &SystemConfig::server_128(8));
+    describe(
+        "128-core server (TPC-E), 1/8 scale",
+        &SystemConfig::server_128(8),
+    );
 }

@@ -24,7 +24,13 @@ use ziv_workloads::{mixes, ScaleParams, Workload};
 /// of an L2-capacity sweep, as the paper's fixed SimPoint traces do.
 pub fn mp_suite(effort: &Effort, cores: usize) -> Vec<Workload> {
     let scale = ScaleParams::from_system(&SystemConfig::scaled_with_l2(L2Size::K256));
-    mixes::default_suite(effort.hetero_mixes, cores, effort.accesses_per_core, 0x2026, scale)
+    mixes::default_suite(
+        effort.hetero_mixes,
+        cores,
+        effort.accesses_per_core,
+        0x2026,
+        scale,
+    )
 }
 
 /// A compact suite (homogeneous mixes of the four most contention-
@@ -44,7 +50,13 @@ pub fn mp_suite_small(effort: &Effort, cores: usize) -> Vec<Workload> {
             )
         })
         .collect();
-    suite.extend(mixes::all_heterogeneous(2, cores, effort.accesses_per_core, 0x2026, scale));
+    suite.extend(mixes::all_heterogeneous(
+        2,
+        cores,
+        effort.accesses_per_core,
+        0x2026,
+        scale,
+    ));
     suite
 }
 
@@ -52,7 +64,9 @@ pub fn mp_suite_small(effort: &Effort, cores: usize) -> Vec<Workload> {
 /// given L2 option, labeled the way the paper's figures are.
 pub fn spec(mode: LlcMode, policy: PolicyKind, l2: L2Size) -> RunSpec {
     let label = format!("{}-{} {}", mode.label(), policy.label(), l2.label());
-    RunSpec::new(label, SystemConfig::scaled_with_l2(l2)).with_mode(mode).with_policy(policy)
+    RunSpec::new(label, SystemConfig::scaled_with_l2(l2))
+        .with_mode(mode)
+        .with_policy(policy)
 }
 
 /// The LRU-baseline mode set of Fig 8 (leftmost-to-rightmost bars).
@@ -80,6 +94,40 @@ pub fn hawkeye_modes() -> Vec<LlcMode> {
         LlcMode::Ziv(MaxRrpvNotInPrC),
         LlcMode::Ziv(MaxRrpvLikelyDead),
     ]
+}
+
+/// Results directory for a campaign-backed figure bench:
+/// `$ZIV_RESULTS_DIR/<name>`, defaulting to `results/<name>` under the
+/// current directory. Reruns of a campaign bench reuse the ledger
+/// there, so only cells missing from previous runs are simulated.
+pub fn campaign_results_dir(name: &str) -> std::path::PathBuf {
+    let base = std::env::var_os("ZIV_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+    base.join(name)
+}
+
+/// Runs a registered campaign with the figure benches' parameters
+/// (seed `0x2026`, effort from the environment) through the resumable
+/// cached runner, printing live progress to stderr.
+///
+/// # Panics
+///
+/// Panics if `name` is not a registered campaign or on results-dir I/O
+/// errors.
+pub fn run_figure_campaign(name: &str) -> (ziv_harness::Campaign, ziv_harness::CampaignOutcome) {
+    use ziv_harness::{campaigns, run_campaign, CampaignParams, RunnerConfig, StderrProgress};
+    let params = CampaignParams::from_env();
+    let campaign = campaigns::by_name(name, &params)
+        .unwrap_or_else(|| panic!("campaign '{name}' is not registered"));
+    let cfg = RunnerConfig {
+        results_dir: campaign_results_dir(name),
+        threads: params.effort.threads,
+        resume: true,
+    };
+    let outcome = run_campaign(&campaign, &cfg, &StderrProgress)
+        .unwrap_or_else(|e| panic!("campaign '{name}' failed: {e}"));
+    (campaign, outcome)
 }
 
 /// Prints the standard figure banner.

@@ -38,7 +38,14 @@ impl<S: Default + Clone> SetAssocArray<S> {
         let n = geom.sets as usize * geom.ways as usize;
         SetAssocArray {
             geom,
-            slots: vec![Slot { valid: false, tag: 0, state: S::default() }; n],
+            slots: vec![
+                Slot {
+                    valid: false,
+                    tag: 0,
+                    state: S::default()
+                };
+                n
+            ],
         }
     }
 
@@ -94,7 +101,9 @@ impl<S: Default + Clone> SetAssocArray<S> {
     /// Number of valid ways in `set`.
     pub fn valid_count(&self, set: SetIdx) -> usize {
         let base = self.base(set);
-        (0..self.geom.ways as usize).filter(|&w| self.slots[base + w].valid).count()
+        (0..self.geom.ways as usize)
+            .filter(|&w| self.slots[base + w].valid)
+            .count()
     }
 
     /// Tag stored at `(set, way)`.
@@ -152,7 +161,11 @@ impl<S: Default + Clone> SetAssocArray<S> {
         } else {
             None
         };
-        self.slots[i] = Slot { valid: true, tag, state };
+        self.slots[i] = Slot {
+            valid: true,
+            tag,
+            state,
+        };
         old
     }
 
@@ -173,7 +186,11 @@ impl<S: Default + Clone> SetAssocArray<S> {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.valid)
-            .map(|(w, s)| WayRef { way: w as WayIdx, tag: s.tag, state: &s.state })
+            .map(|(w, s)| WayRef {
+                way: w as WayIdx,
+                tag: s.tag,
+                state: &s.state,
+            })
     }
 
     /// Total number of valid entries across all sets (O(capacity); meant

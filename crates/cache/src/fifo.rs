@@ -128,7 +128,10 @@ mod tests {
     use super::*;
 
     fn req(line: u64, at: Cycle) -> RelocationRequest {
-        RelocationRequest { line: LineAddr::new(line), requested_at: at }
+        RelocationRequest {
+            line: LineAddr::new(line),
+            requested_at: at,
+        }
     }
 
     #[test]

@@ -86,7 +86,12 @@ impl PropertyVector {
     pub fn new(sets: u32) -> Self {
         assert!(sets > 0, "a property vector needs at least one set");
         let words = vec![0u64; sets.div_ceil(64) as usize];
-        PropertyVector { sets, words, ones: 0, current_rs: sets - 1 }
+        PropertyVector {
+            sets,
+            words,
+            ones: 0,
+            current_rs: sets - 1,
+        }
     }
 
     /// Number of sets covered.
@@ -213,7 +218,7 @@ impl PropertyVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ziv_common::SimRng;
 
     #[test]
     fn empty_pv_yields_none() {
@@ -298,36 +303,43 @@ mod tests {
         assert!(counts.iter().all(|&c| c == 10), "{counts:?}");
     }
 
-    proptest! {
-        #[test]
-        fn algorithm1_matches_reference(
-            sets in 1u32..300,
-            bits in prop::collection::vec(0u32..300, 0..40),
-            advances in 0usize..10,
-        ) {
+    // Seeded randomized model checks (deterministic stand-ins for the
+    // proptest suites, which live in `devtests/` to keep this crate
+    // dependency-free).
+    #[test]
+    fn algorithm1_matches_reference() {
+        let mut rng = SimRng::seed_from_u64(0xA160);
+        for _ in 0..200 {
+            let sets = rng.range(1, 300) as u32;
             let mut pv = PropertyVector::new(sets);
-            for b in bits {
-                pv.set(b % sets, true);
+            for _ in 0..rng.below(40) {
+                pv.set(rng.below(300) as u32 % sets, true);
             }
-            for _ in 0..advances {
-                prop_assert_eq!(pv.peek_next_rs(), pv.reference_next_rs());
+            for _ in 0..rng.below(10) {
+                assert_eq!(pv.peek_next_rs(), pv.reference_next_rs());
                 let _ = pv.take_next_rs();
             }
-            prop_assert_eq!(pv.peek_next_rs(), pv.reference_next_rs());
+            assert_eq!(pv.peek_next_rs(), pv.reference_next_rs());
         }
+    }
 
-        #[test]
-        fn count_ones_matches_popcount(
-            ops in prop::collection::vec((0u32..128, any::<bool>()), 0..100),
-        ) {
+    #[test]
+    fn count_ones_matches_popcount() {
+        let mut rng = SimRng::seed_from_u64(0xC047);
+        for _ in 0..200 {
             let mut pv = PropertyVector::new(128);
             let mut model = std::collections::HashSet::new();
-            for (s, v) in ops {
+            for _ in 0..rng.below(100) {
+                let (s, v) = (rng.below(128) as u32, rng.chance(0.5));
                 pv.set(s, v);
-                if v { model.insert(s); } else { model.remove(&s); }
+                if v {
+                    model.insert(s);
+                } else {
+                    model.remove(&s);
+                }
             }
-            prop_assert_eq!(pv.count_ones() as usize, model.len());
-            prop_assert_eq!(pv.is_empty(), model.is_empty());
+            assert_eq!(pv.count_ones() as usize, model.len());
+            assert_eq!(pv.is_empty(), model.is_empty());
         }
     }
 }

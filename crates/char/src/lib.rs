@@ -69,12 +69,20 @@ pub struct L2BlockMeta {
 impl L2BlockMeta {
     /// Metadata for a block just demand-filled into the L2.
     pub fn filled(from_llc_hit: bool) -> Self {
-        L2BlockMeta { prefetched: false, filled_from_llc_hit: from_llc_hit, reuses: 0 }
+        L2BlockMeta {
+            prefetched: false,
+            filled_from_llc_hit: from_llc_hit,
+            reuses: 0,
+        }
     }
 
     /// Metadata for a block prefetched into the L2.
     pub fn prefetched(from_llc_hit: bool) -> Self {
-        L2BlockMeta { prefetched: true, filled_from_llc_hit: from_llc_hit, reuses: 0 }
+        L2BlockMeta {
+            prefetched: true,
+            filled_from_llc_hit: from_llc_hit,
+            reuses: 0,
+        }
     }
 
     /// Records one L2 demand reuse.
@@ -150,7 +158,10 @@ impl CharEngine {
     pub fn new(cores: usize, banks: usize, cfg: CharConfig) -> Self {
         CharEngine {
             cores: vec![
-                CharCore { d: cfg.init_d, groups: [GroupCounters::default(); GROUP_COUNT] };
+                CharCore {
+                    d: cfg.init_d,
+                    groups: [GroupCounters::default(); GROUP_COUNT]
+                };
                 cores
             ],
             banks: vec![
@@ -292,8 +303,11 @@ mod tests {
             for hit in [false, true] {
                 for reuses in 0..4u8 {
                     for dirty in [false, true] {
-                        let meta =
-                            L2BlockMeta { prefetched: pf, filled_from_llc_hit: hit, reuses };
+                        let meta = L2BlockMeta {
+                            prefetched: pf,
+                            filled_from_llc_hit: hit,
+                            reuses,
+                        };
                         seen.insert(CharEngine::classify(&meta, dirty));
                     }
                 }
@@ -373,7 +387,10 @@ mod tests {
 
     #[test]
     fn decrement_stops_at_min() {
-        let cfg = CharConfig { decrement_interval: 1, ..CharConfig::default() };
+        let cfg = CharConfig {
+            decrement_interval: 1,
+            ..CharConfig::default()
+        };
         let mut e = CharEngine::new(1, 1, cfg);
         for _ in 0..20 {
             e.bank_notice(0, 0);
@@ -384,18 +401,29 @@ mod tests {
 
     #[test]
     fn trbv_piggybacks_new_d_once_per_core() {
-        let cfg = CharConfig { decrement_interval: 1, ..CharConfig::default() };
+        let cfg = CharConfig {
+            decrement_interval: 1,
+            ..CharConfig::default()
+        };
         let mut e = CharEngine::new(2, 1, cfg);
         e.bank_notice(0, 0);
         assert!(e.request_lower_threshold(0));
         assert_eq!(e.bank_notice(0, 0), Some(5));
-        assert_eq!(e.bank_notice(0, 0), None, "TRBV bit cleared after piggyback");
+        assert_eq!(
+            e.bank_notice(0, 0),
+            None,
+            "TRBV bit cleared after piggyback"
+        );
         assert_eq!(e.bank_notice(0, 1), Some(5), "other core still pending");
     }
 
     #[test]
     fn periodic_reset_restores_d() {
-        let cfg = CharConfig { decrement_interval: 1, reset_interval: 10, ..CharConfig::default() };
+        let cfg = CharConfig {
+            decrement_interval: 1,
+            reset_interval: 10,
+            ..CharConfig::default()
+        };
         let mut e = CharEngine::new(1, 1, cfg);
         e.bank_notice(0, 0);
         e.request_lower_threshold(0);
@@ -408,7 +436,10 @@ mod tests {
 
     #[test]
     fn counter_decay_keeps_ratio() {
-        let cfg = CharConfig { decay_at: 8, ..CharConfig::default() };
+        let cfg = CharConfig {
+            decay_at: 8,
+            ..CharConfig::default()
+        };
         let mut e = CharEngine::new(1, 1, cfg);
         for _ in 0..7 {
             e.infer_dead(0, 1);

@@ -30,7 +30,10 @@ impl CacheGeometry {
     ///
     /// Panics if `sets` is zero or not a power of two, or if `ways` is 0.
     pub fn new(sets: u32, ways: u8) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be positive");
         CacheGeometry { sets, ways }
     }
@@ -111,7 +114,12 @@ impl LlcConfig {
     pub fn from_total_capacity(total_bytes: u64, ways: u8, banks: usize) -> Self {
         assert!(banks.is_power_of_two(), "banks must be a power of two");
         let bank_geometry = CacheGeometry::from_capacity(total_bytes / banks as u64, ways);
-        LlcConfig { banks, bank_geometry, tag_latency: 2, data_latency: 5 }
+        LlcConfig {
+            banks,
+            bank_geometry,
+            tag_latency: 2,
+            data_latency: 5,
+        }
     }
 
     /// The home bank of a line (low-order line-address interleaving).
@@ -285,7 +293,10 @@ impl NocParams {
     /// The Table I mesh parameters at 4 GHz (1 ns routing = 4 cycles,
     /// 0.5 ns link = 2 cycles).
     pub fn table1() -> Self {
-        NocParams { router_cycles: 4, link_cycles: 2 }
+        NocParams {
+            router_cycles: 4,
+            link_cycles: 2,
+        }
     }
 
     /// Delay of a path with `hops` hops, one way.
@@ -312,7 +323,12 @@ pub enum DirRatio {
 
 impl DirRatio {
     /// All the ratios Fig 15 sweeps, largest first.
-    pub const SWEEP: [DirRatio; 4] = [DirRatio::X2, DirRatio::X1, DirRatio::Half, DirRatio::Quarter];
+    pub const SWEEP: [DirRatio; 4] = [
+        DirRatio::X2,
+        DirRatio::X1,
+        DirRatio::Half,
+        DirRatio::Quarter,
+    ];
 
     /// Entries as a multiple of aggregate L2 tags (numerator, denominator).
     pub fn fraction(self) -> (u64, u64) {
@@ -397,7 +413,14 @@ impl SystemConfig {
     /// The 128-core TPC-E configuration: 32 MB 16-way LLC, 128 KB L2
     /// (Section IV). `scale_denominator` scales capacities as elsewhere.
     pub fn server_128(scale_denominator: u64) -> Self {
-        Self::build(128, 32 * 1024 * 1024, 16, 8, L2Size::K128, scale_denominator)
+        Self::build(
+            128,
+            32 * 1024 * 1024,
+            16,
+            8,
+            L2Size::K128,
+            scale_denominator,
+        )
     }
 
     fn build(
@@ -435,6 +458,45 @@ impl SystemConfig {
         self
     }
 
+    /// Feeds every behavior-determining field into a stable content
+    /// digest (the campaign harness's cell addressing). Two configs
+    /// that digest equally produce identical simulations.
+    pub fn digest_into(&self, h: &mut crate::digest::Fnv1a) {
+        let geom = |h: &mut crate::digest::Fnv1a, g: &CacheGeometry| {
+            h.write_u64(g.sets as u64);
+            h.write_u64(g.ways as u64);
+        };
+        h.write_usize(self.cores);
+        geom(h, &self.l1i);
+        geom(h, &self.l1d);
+        h.write_u64(self.l1_latency);
+        geom(h, &self.l2);
+        h.write_u64(self.l2_latency);
+        h.write_usize(self.llc.banks);
+        geom(h, &self.llc.bank_geometry);
+        h.write_u64(self.llc.tag_latency);
+        h.write_u64(self.llc.data_latency);
+        let (num, den) = self.dir_ratio.fraction();
+        h.write_u64(num);
+        h.write_u64(den);
+        h.write_u64(self.dir_base_ways as u64);
+        h.write_u64(self.noc.router_cycles);
+        h.write_u64(self.noc.link_cycles);
+        h.write_usize(self.dram.channels);
+        h.write_usize(self.dram.ranks_per_channel);
+        h.write_usize(self.dram.banks_per_rank);
+        h.write_u64(self.dram.row_bytes);
+        h.write_u64(self.dram.t_cas);
+        h.write_u64(self.dram.t_rcd);
+        h.write_u64(self.dram.t_rp);
+        h.write_u64(self.dram.t_ras);
+        h.write_u64(self.dram.burst_len);
+        h.write_u64(self.dram.cpu_cycles_per_dram_cycle_num);
+        h.write_u64(self.dram.cpu_cycles_per_dram_cycle_den);
+        h.write_f64(self.base_cpi);
+        h.write_u64(self.scale_denominator);
+    }
+
     /// Aggregate private L2 tags across all cores.
     pub fn aggregate_l2_tags(&self) -> u64 {
         self.l2.blocks() * self.cores as u64
@@ -452,7 +514,11 @@ impl SystemConfig {
         let per_slice = (total / self.llc.banks as u64).max(self.dir_base_ways as u64);
         // Largest power-of-two set count that keeps ways >= dir_base_ways.
         let mut sets = (per_slice / self.dir_base_ways as u64).max(1);
-        sets = if sets.is_power_of_two() { sets } else { 1 << (63 - sets.leading_zeros()) };
+        sets = if sets.is_power_of_two() {
+            sets
+        } else {
+            1 << (63 - sets.leading_zeros())
+        };
         let ways = (per_slice / sets).clamp(1, 255) as u8;
         CacheGeometry::new(sets as u32, ways)
     }
@@ -542,9 +608,18 @@ mod tests {
 
     #[test]
     fn relocated_penalty_tracks_directory_size() {
-        assert_eq!(SystemConfig::paper_with_l2(L2Size::K256).relocated_access_penalty(), 1);
-        assert_eq!(SystemConfig::paper_with_l2(L2Size::K512).relocated_access_penalty(), 2);
-        assert_eq!(SystemConfig::paper_with_l2(L2Size::K768).relocated_access_penalty(), 3);
+        assert_eq!(
+            SystemConfig::paper_with_l2(L2Size::K256).relocated_access_penalty(),
+            1
+        );
+        assert_eq!(
+            SystemConfig::paper_with_l2(L2Size::K512).relocated_access_penalty(),
+            2
+        );
+        assert_eq!(
+            SystemConfig::paper_with_l2(L2Size::K768).relocated_access_penalty(),
+            3
+        );
     }
 
     #[test]
@@ -552,10 +627,8 @@ mod tests {
         for l2 in L2Size::TABLE1 {
             let full = SystemConfig::paper_with_l2(l2);
             let scaled = SystemConfig::scaled_with_l2(l2);
-            let ratio_full =
-                full.aggregate_l2_tags() as f64 / full.llc.total_blocks() as f64;
-            let ratio_scaled =
-                scaled.aggregate_l2_tags() as f64 / scaled.llc.total_blocks() as f64;
+            let ratio_full = full.aggregate_l2_tags() as f64 / full.llc.total_blocks() as f64;
+            let ratio_scaled = scaled.aggregate_l2_tags() as f64 / scaled.llc.total_blocks() as f64;
             assert!((ratio_full - ratio_scaled).abs() < 1e-9);
         }
     }

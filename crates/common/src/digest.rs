@@ -1,0 +1,145 @@
+//! Stable content digests for experiment-cell addressing.
+//!
+//! The campaign harness addresses each `(RunSpec, workload recipe)`
+//! cell by a 64-bit FNV-1a digest over the cell's *semantic* fields.
+//! The digest must be identical across processes, thread counts, and
+//! machines, so everything fed into it goes through the explicit,
+//! byte-ordered `write_*` methods below — never through `std::hash`
+//! (whose `Hasher` values are allowed to vary between executions).
+
+/// A 64-bit FNV-1a streaming hasher.
+///
+/// # Examples
+///
+/// ```
+/// use ziv_common::digest::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write_str("hello");
+/// h.write_u64(42);
+/// let a = h.finish();
+/// let mut h2 = Fnv1a::new();
+/// h2.write_str("hello");
+/// h2.write_u64(42);
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a string, length-prefixed so adjacent fields cannot alias
+    /// (`"ab" + "c"` digests differently from `"a" + "bc"`).
+    #[inline]
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` (widened to `u64` so 32- and 64-bit hosts agree).
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a boolean.
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[v as u8]);
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern (exact, not lossy).
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest of everything written so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Classic FNV-1a test vectors (64-bit).
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xcbf29ce484222325);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_aliasing() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn scalar_writes_are_deterministic() {
+        let digest = |f: &dyn Fn(&mut Fnv1a)| {
+            let mut h = Fnv1a::new();
+            f(&mut h);
+            h.finish()
+        };
+        assert_eq!(
+            digest(&|h| {
+                h.write_u64(7);
+                h.write_bool(true);
+                h.write_f64(0.25);
+            }),
+            digest(&|h| {
+                h.write_u64(7);
+                h.write_bool(true);
+                h.write_f64(0.25);
+            }),
+        );
+        assert_ne!(
+            digest(&|h| h.write_f64(0.25)),
+            digest(&|h| h.write_f64(0.5))
+        );
+    }
+}

@@ -25,12 +25,15 @@
 
 pub mod addr;
 pub mod config;
+pub mod digest;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr};
 pub use config::{CacheGeometry, L2Size, LlcConfig, SystemConfig};
+pub use digest::Fnv1a;
 pub use ids::{BankId, CoreId, WayIdx};
 pub use rng::SimRng;
 

@@ -71,13 +71,22 @@ impl Summary {
         let gmean = geomean(values.iter().copied())?;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Some(Summary { gmean, min, max, count: values.len() })
+        Some(Summary {
+            gmean,
+            min,
+            max,
+            count: values.len(),
+        })
     }
 }
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.3} [{:.3}..{:.3}] (n={})", self.gmean, self.min, self.max, self.count)
+        write!(
+            f,
+            "{:.3} [{:.3}..{:.3}] (n={})",
+            self.gmean, self.min, self.max, self.count
+        )
     }
 }
 
@@ -100,7 +109,10 @@ impl Default for Log2Histogram {
 impl Log2Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Log2Histogram { buckets: vec![0; 64], total: 0 }
+        Log2Histogram {
+            buckets: vec![0; 64],
+            total: 0,
+        }
     }
 
     /// Records a sample.
@@ -155,6 +167,26 @@ impl Log2Histogram {
     /// The largest non-empty bucket index, or `None` when empty.
     pub fn max_bucket(&self) -> Option<usize> {
         self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// The raw per-bucket counts (index = log2 bucket), for
+    /// serialization.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from raw bucket counts (the inverse of
+    /// [`Log2Histogram::buckets`]); missing trailing buckets are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 buckets are provided.
+    pub fn from_buckets(counts: &[u64]) -> Self {
+        assert!(counts.len() <= 64, "at most 64 log2 buckets");
+        let mut h = Log2Histogram::new();
+        h.buckets[..counts.len()].copy_from_slice(counts);
+        h.total = counts.iter().sum();
+        h
     }
 
     /// Merges another histogram into this one.
@@ -309,7 +341,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["a", "bee"],
-            &[vec!["x".into(), "1".into()], vec!["longer".into(), "2".into()]],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -33,17 +33,35 @@ pub struct Access {
 impl Access {
     /// A data read.
     pub fn read(core: CoreId, addr: Addr, pc: u64) -> Self {
-        Access { core, addr, pc, is_write: false, is_instr: false }
+        Access {
+            core,
+            addr,
+            pc,
+            is_write: false,
+            is_instr: false,
+        }
     }
 
     /// A data write.
     pub fn write(core: CoreId, addr: Addr, pc: u64) -> Self {
-        Access { core, addr, pc, is_write: true, is_instr: false }
+        Access {
+            core,
+            addr,
+            pc,
+            is_write: true,
+            is_instr: false,
+        }
     }
 
     /// An instruction fetch.
     pub fn ifetch(core: CoreId, addr: Addr, pc: u64) -> Self {
-        Access { core, addr, pc, is_write: false, is_instr: true }
+        Access {
+            core,
+            addr,
+            pc,
+            is_write: false,
+            is_instr: true,
+        }
     }
 }
 
@@ -174,7 +192,13 @@ impl CacheHierarchy {
             sys.llc,
             cfg.mode,
             policy_kind,
-            |b| policy_kind.build_with_future(sys.llc.bank_geometry, seed ^ b as u64, future.clone()),
+            |b| {
+                policy_kind.build_with_future(
+                    sys.llc.bank_geometry,
+                    seed ^ b as u64,
+                    future.clone(),
+                )
+            },
             seed,
         );
         let mut h = CacheHierarchy {
@@ -245,7 +269,11 @@ impl CacheHierarchy {
     /// (call once at end of simulation; Fig 18).
     pub fn finalize(&mut self) {
         for b in 0..self.llc.bank_count() {
-            let hist = self.llc.bank(ziv_common::BankId::new(b)).relocation_intervals.clone();
+            let hist = self
+                .llc
+                .bank(ziv_common::BankId::new(b))
+                .relocation_intervals
+                .clone();
             self.metrics.relocation_intervals.merge(&hist);
         }
         self.metrics.dram_energy_pj = self.dram.total_energy_pj();
@@ -303,7 +331,14 @@ impl CacheHierarchy {
         }
         self.tlh_counters[ci] = 0;
         if let Some(loc) = self.llc.probe(line) {
-            let ctx = AccessCtx { line, pc: a.pc, core: a.core, now, seq, is_write: false };
+            let ctx = AccessCtx {
+                line,
+                pc: a.pc,
+                core: a.core,
+                now,
+                seq,
+                is_write: false,
+            };
             self.llc.on_hit(loc, &ctx);
             self.metrics.tlh_hints += 1;
         }
@@ -331,11 +366,22 @@ impl CacheHierarchy {
             self.metrics.prefetch_drops += 1;
             return;
         }
-        if self.dir.probe(line).is_some_and(|e| e.dirty_owner.is_some()) {
+        if self
+            .dir
+            .probe(line)
+            .is_some_and(|e| e.dirty_owner.is_some())
+        {
             self.metrics.prefetch_drops += 1;
             return;
         }
-        let ctx = AccessCtx { line, pc, core, now, seq, is_write: false };
+        let ctx = AccessCtx {
+            line,
+            pc,
+            core,
+            now,
+            seq,
+            is_write: false,
+        };
         let from_llc_hit = if let Some(loc) = self.llc.probe(line) {
             self.llc.on_hit(loc, &ctx);
             true
@@ -429,8 +475,7 @@ impl CacheHierarchy {
                 .probe(line)
                 .and_then(|s| s.sharers.iter().next())
                 .unwrap_or(a.core);
-            let owner_dirty =
-                self.dir.probe(line).and_then(|s| s.dirty_owner).is_some();
+            let owner_dirty = self.dir.probe(line).and_then(|s| s.dirty_owner).is_some();
             let extra = self.mesh.round_trip(supplier, home);
             if owner_dirty {
                 if let Some(owner) = self.dir.probe(line).and_then(|s| s.dirty_owner) {
@@ -616,7 +661,11 @@ impl CacheHierarchy {
                 // from memory). "Never written" here: the LLC copy is
                 // clean and no core owns the block dirty.
                 let written = ev.dirty
-                    || self.dir.probe(ev.line).and_then(|e| e.dirty_owner).is_some();
+                    || self
+                        .dir
+                        .probe(ev.line)
+                        .and_then(|e| e.dirty_owner)
+                        .is_some();
                 if !written {
                     self.metrics.ric_relaxations += 1;
                     return;
@@ -624,8 +673,11 @@ impl CacheHierarchy {
             }
             if self.mode.is_inclusive() {
                 // Back-invalidation: the inclusion victims of Fig 2.
-                let sharers: Vec<CoreId> =
-                    self.dir.probe(ev.line).map(|e| e.sharers.iter().collect()).unwrap_or_default();
+                let sharers: Vec<CoreId> = self
+                    .dir
+                    .probe(ev.line)
+                    .map(|e| e.sharers.iter().collect())
+                    .unwrap_or_default();
                 let mut any_dirty = ev.dirty;
                 for s in sharers {
                     if self.cores[s.index()].invalidate(ev.line).is_some_and(|d| d) {
@@ -799,9 +851,7 @@ impl CacheHierarchy {
                     let in_home = self.llc.probe(line).is_some();
                     let relocated = entry.relocated.is_some();
                     if !in_home && !relocated {
-                        return Err(format!(
-                            "core{ci}: {line} violates inclusion (no LLC copy)"
-                        ));
+                        return Err(format!("core{ci}: {line} violates inclusion (no LLC copy)"));
                     }
                 }
             }

@@ -2,12 +2,12 @@
 //! replacement policy, its property vectors, and its relocation FIFO.
 
 use crate::llc::{GradedKind, ZivProperty};
+use ziv_cache::{PropertyVector, RelocationFifo, SetAssocArray};
 use ziv_char::GroupId;
 use ziv_common::ids::{SetIdx, WayIdx};
-use ziv_common::{CacheGeometry, Cycle, LineAddr};
-use ziv_cache::{PropertyVector, RelocationFifo, SetAssocArray};
-use ziv_replacement::{AccessCtx, ReplacementPolicy, RRPV_MAX};
 use ziv_common::stats::Log2Histogram;
+use ziv_common::{CacheGeometry, Cycle, LineAddr};
+use ziv_replacement::{AccessCtx, ReplacementPolicy, RRPV_MAX};
 
 /// Per-LLC-block state (Sections III-C and III-D): the `Relocated`,
 /// `NotInPrC`, and `LikelyDead` state bits, the dirty bit, plus the
@@ -211,7 +211,8 @@ impl LlcBank {
     /// Records a relocation in this bank at `now` (Fig 18 statistics).
     pub fn record_relocation(&mut self, now: Cycle) {
         if let Some(prev) = self.last_relocation {
-            self.relocation_intervals.record(now.saturating_sub(prev).max(1));
+            self.relocation_intervals
+                .record(now.saturating_sub(prev).max(1));
         }
         self.last_relocation = Some(now);
     }
@@ -262,8 +263,21 @@ mod tests {
 
     fn fill(bank: &mut LlcBank, set: SetIdx, way: WayIdx, line: u64, nip: bool) {
         let l = LineAddr::new(line);
-        bank.array.fill(set, way, line, LlcState { line: l, not_in_prc: nip, ..Default::default() });
-        bank.policy.on_fill(set, way, &AccessCtx::demand(l, 0x40, ziv_common::CoreId::new(0), 0, 0));
+        bank.array.fill(
+            set,
+            way,
+            line,
+            LlcState {
+                line: l,
+                not_in_prc: nip,
+                ..Default::default()
+            },
+        );
+        bank.policy.on_fill(
+            set,
+            way,
+            &AccessCtx::demand(l, 0x40, ziv_common::CoreId::new(0), 0, 0),
+        );
         bank.refresh_set(set);
     }
 

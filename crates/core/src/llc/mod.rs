@@ -8,9 +8,9 @@ mod bank;
 pub use bank::{EvictedBlock, LlcBank, LlcState, PropertyLevel};
 
 use bank::neutral_ctx;
+use ziv_common::config::LlcConfig;
 use ziv_common::ids::{SetIdx, WayIdx};
 use ziv_common::{BankId, Cycle, LineAddr, SimRng};
-use ziv_common::config::LlcConfig;
 use ziv_directory::{LlcLocation, SparseDirectory};
 use ziv_replacement::{AccessCtx, PolicyKind, ReplacementPolicy};
 
@@ -41,9 +41,7 @@ impl ZivProperty {
         use PropertyLevel::*;
         match self {
             ZivProperty::NotInPrC => &[Invalid, NotInPrC],
-            ZivProperty::LruNotInPrC | ZivProperty::MaxRrpvNotInPrC => {
-                &[Invalid, Graded, NotInPrC]
-            }
+            ZivProperty::LruNotInPrC | ZivProperty::MaxRrpvNotInPrC => &[Invalid, Graded, NotInPrC],
             ZivProperty::LikelyDead => &[Invalid, LikelyDead, NotInPrC],
             ZivProperty::MaxRrpvLikelyDead => &[Invalid, Graded, LikelyDead, NotInPrC],
         }
@@ -51,7 +49,10 @@ impl ZivProperty {
 
     /// Whether the property consumes CHAR dead-block inference.
     pub fn uses_char(self) -> bool {
-        matches!(self, ZivProperty::LikelyDead | ZivProperty::MaxRrpvLikelyDead)
+        matches!(
+            self,
+            ZivProperty::LikelyDead | ZivProperty::MaxRrpvLikelyDead
+        )
     }
 
     /// Figure-legend label (the paper shortens the long names).
@@ -301,7 +302,11 @@ impl SharedLlc {
     /// Demand hit on a non-relocated block: policy update, `NotInPrC` /
     /// `LikelyDead` reset (the block is being pulled into a private
     /// cache), and CHAR recall attribution.
-    pub fn on_hit(&mut self, loc: LlcLocation, ctx: &AccessCtx) -> Option<(u16, ziv_char::GroupId)> {
+    pub fn on_hit(
+        &mut self,
+        loc: LlcLocation,
+        ctx: &AccessCtx,
+    ) -> Option<(u16, ziv_char::GroupId)> {
         let bank = &mut self.banks[loc.bank.index()];
         bank.policy.on_hit(loc.set, loc.way, ctx);
         let st = bank.array.state_mut(loc.set, loc.way);
@@ -353,7 +358,11 @@ impl SharedLlc {
         let bank_id = self.cfg.bank_of(line);
         let set = self.cfg.set_of(line);
         let mut outcome = FillOutcome {
-            loc: LlcLocation { bank: bank_id, set, way: 0 },
+            loc: LlcLocation {
+                bank: bank_id,
+                set,
+                way: 0,
+            },
             evicted: None,
             relocation: None,
             qbs_queries: 0,
@@ -372,15 +381,16 @@ impl SharedLlc {
         }
 
         let way = match self.mode {
-            LlcMode::Inclusive
-            | LlcMode::NonInclusive
-            | LlcMode::Tlh { .. }
-            | LlcMode::Ric => self.banks[bank_id.index()].policy.victim(set, ctx),
+            LlcMode::Inclusive | LlcMode::NonInclusive | LlcMode::Tlh { .. } | LlcMode::Ric => {
+                self.banks[bank_id.index()].policy.victim(set, ctx)
+            }
             LlcMode::Eci => {
                 // Victimize normally, but also surface the next-ranked
                 // candidate for early core invalidation.
                 let mut order = Vec::new();
-                self.banks[bank_id.index()].policy.rank(set, ctx, &mut order);
+                self.banks[bank_id.index()]
+                    .policy
+                    .rank(set, ctx, &mut order);
                 if let Some(&next) = order.get(1) {
                     if self.banks[bank_id.index()].array.is_valid(set, next) {
                         outcome.eci_candidate =
@@ -408,8 +418,11 @@ impl SharedLlc {
             let st = *self.banks[bank_id.index()].array.state(set, way);
             self.banks[bank_id.index()].array.invalidate(set, way);
             self.banks[bank_id.index()].policy.on_evict(set, way);
-            outcome.evicted =
-                Some(EvictedBlock { line: st.line, dirty: st.dirty, was_relocated: st.relocated });
+            outcome.evicted = Some(EvictedBlock {
+                line: st.line,
+                dirty: st.dirty,
+                was_relocated: st.relocated,
+            });
         }
         self.install(bank_id, set, way, line, ctx);
         outcome.loc.way = way;
@@ -419,7 +432,15 @@ impl SharedLlc {
     fn install(&mut self, bank: BankId, set: SetIdx, way: WayIdx, line: LineAddr, ctx: &AccessCtx) {
         let tag = self.cfg.tag_of(line);
         let b = &mut self.banks[bank.index()];
-        let displaced = b.array.fill(set, way, tag, LlcState { line, ..Default::default() });
+        let displaced = b.array.fill(
+            set,
+            way,
+            tag,
+            LlcState {
+                line,
+                ..Default::default()
+            },
+        );
         debug_assert!(displaced.is_none(), "install must target an empty way");
         b.policy.on_fill(set, way, ctx);
         b.refresh_set(set);
@@ -504,7 +525,10 @@ impl SharedLlc {
         // Step 2: a block resident only in the requesting core's caches.
         for &w in &order {
             let line = self.line_at(bank, set, w);
-            if dir.probe(line).is_some_and(|s| s.sharers.is_sole_sharer(core)) {
+            if dir
+                .probe(line)
+                .is_some_and(|s| s.sharers.is_sole_sharer(core))
+            {
                 return w;
             }
         }
@@ -553,7 +577,10 @@ impl SharedLlc {
         let victim_line = self.line_at(bank, set, baseline);
         if !dir.is_privately_cached(victim_line) {
             debug_assert!(
-                !self.banks[bank.index()].array.state(set, baseline).relocated,
+                !self.banks[bank.index()]
+                    .array
+                    .state(set, baseline)
+                    .relocated,
                 "a relocated block must be privately cached"
             );
             return ZivChoice::Evict(baseline);
@@ -572,8 +599,7 @@ impl SharedLlc {
             }
             // Original set first (except Invalid, already known empty
             // because fills consume invalid ways before victimization).
-            if level != PropertyLevel::Invalid
-                && self.banks[bank.index()].set_satisfies(set, level)
+            if level != PropertyLevel::Invalid && self.banks[bank.index()].set_satisfies(set, level)
             {
                 let w = self.banks[bank.index()]
                     .relocation_victim(set, prop)
@@ -644,8 +670,12 @@ impl SharedLlc {
     ) -> ZivChoice {
         let moved = *self.banks[src_bank.index()].array.state(src_set, src_way);
         // Vacate the source way.
-        self.banks[src_bank.index()].array.invalidate(src_set, src_way);
-        self.banks[src_bank.index()].policy.on_evict(src_set, src_way);
+        self.banks[src_bank.index()]
+            .array
+            .invalidate(src_set, src_way);
+        self.banks[src_bank.index()]
+            .policy
+            .on_evict(src_set, src_way);
 
         // Pick and clear the destination way.
         let dst = &mut self.banks[dst_bank.index()];
@@ -653,9 +683,19 @@ impl SharedLlc {
             .relocation_victim(dst_set, prop)
             .expect("relocation-set PV guaranteed an eligible victim");
         let evicted_from_rs = dst.array.invalidate(dst_set, dst_way).map(|(_, s)| {
-            debug_assert!(!s.relocated, "never displace a relocated block from a relocation set");
-            debug_assert!(s.not_in_prc, "relocation-set victims are never privately cached");
-            EvictedBlock { line: s.line, dirty: s.dirty, was_relocated: s.relocated }
+            debug_assert!(
+                !s.relocated,
+                "never displace a relocated block from a relocation set"
+            );
+            debug_assert!(
+                s.not_in_prc,
+                "relocation-set victims are never privately cached"
+            );
+            EvictedBlock {
+                line: s.line,
+                dirty: s.dirty,
+                was_relocated: s.relocated,
+            }
         });
         if evicted_from_rs.is_some() {
             dst.policy.on_evict(dst_set, dst_way);
@@ -686,9 +726,10 @@ impl SharedLlc {
         // Timing + statistics through the relocation FIFO.
         let write_latency = self.cfg.data_latency;
         let bank_for_stats = &mut self.banks[dst_bank.index()];
-        let _ = bank_for_stats
-            .fifo
-            .push(ziv_cache::RelocationRequest { line: moved.line, requested_at: now });
+        let _ = bank_for_stats.fifo.push(ziv_cache::RelocationRequest {
+            line: moved.line,
+            requested_at: now,
+        });
         let completed_at = bank_for_stats
             .fifo
             .complete_front(write_latency)
@@ -698,12 +739,18 @@ impl SharedLlc {
 
         outcome.relocation = Some(RelocationOutcome {
             moved_line: moved.line,
-            to: LlcLocation { bank: dst_bank, set: dst_set, way: dst_way },
+            to: LlcLocation {
+                bank: dst_bank,
+                set: dst_set,
+                way: dst_way,
+            },
             evicted_from_rs,
             cross_bank: src_bank != dst_bank,
             completed_at,
         });
-        ZivChoice::Relocated { vacated_way: src_way }
+        ZivChoice::Relocated {
+            vacated_way: src_way,
+        }
     }
 
     /// Every line resident in the LLC, with its location and state
@@ -714,7 +761,11 @@ impl SharedLlc {
             for set in 0..self.cfg.bank_geometry.sets {
                 for w in bank.array.iter_set(set) {
                     out.push((
-                        LlcLocation { bank: BankId::new(b), set, way: w.way },
+                        LlcLocation {
+                            bank: BankId::new(b),
+                            set,
+                            way: w.way,
+                        },
                         *w.state,
                     ));
                 }

@@ -2,6 +2,7 @@
 //! paper's figures (miss counts for Figs 2–4/10/13, inclusion victims
 //! for Fig 2, relocation statistics for Fig 18, energy for Fig 19).
 
+use ziv_common::json::JsonValue;
 use ziv_common::stats::Log2Histogram;
 
 /// Energy of one LLC data-array read (64 B, 1 MB-class bank, 22 nm),
@@ -39,7 +40,7 @@ pub struct CoreMetrics {
 }
 
 /// All counters for one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Per-core breakdown.
     pub per_core: Vec<CoreMetrics>,
@@ -116,7 +117,10 @@ pub struct Metrics {
 impl Metrics {
     /// Creates metrics for `cores` cores.
     pub fn new(cores: usize) -> Self {
-        Metrics { per_core: vec![CoreMetrics::default(); cores], ..Default::default() }
+        Metrics {
+            per_core: vec![CoreMetrics::default(); cores],
+            ..Default::default()
+        }
     }
 
     /// Total instructions across cores.
@@ -172,6 +176,141 @@ impl Metrics {
     }
 }
 
+/// Expands a macro over every scalar `u64` counter of [`CoreMetrics`].
+macro_rules! core_metrics_u64_fields {
+    ($mac:ident!($($extra:tt)*)) => {
+        $mac!($($extra)* accesses, l1_misses, l2_misses, llc_misses,
+              inclusion_victims_suffered, cycles, instructions)
+    };
+}
+
+/// Expands a macro over every scalar `u64` counter of [`Metrics`], so
+/// the JSON serializer and parser below cannot drift apart (adding a
+/// counter without updating the ledger schema is a compile error in
+/// exactly one place).
+macro_rules! metrics_u64_fields {
+    ($mac:ident!($($extra:tt)*)) => {
+        $mac!($($extra)* llc_accesses, llc_hits, relocated_hits, llc_misses,
+              inclusion_victims, inclusion_victim_events,
+              directory_back_invalidations, coherence_invalidations,
+              relocations, cross_bank_relocations, in_set_alternate_victims,
+              ziv_guarantee_fallbacks, qbs_queries, sharp_alarms,
+              llc_writebacks, relocated_writebacks, private_writebacks,
+              dram_accesses, prefetches_issued, prefetch_fills,
+              prefetch_drops, tlh_hints, eci_early_invalidations,
+              ric_relaxations, llc_reads_energy_events,
+              llc_writes_energy_events, l2_energy_events, dir_energy_events)
+    };
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing u64 field '{key}'"))
+}
+
+impl CoreMetrics {
+    /// Serializes the counters as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = Vec::new();
+        macro_rules! put {
+            ($($f:ident),*) => {
+                $(fields.push((stringify!($f).to_string(), JsonValue::u64(self.$f)));)*
+            };
+        }
+        core_metrics_u64_fields!(put!());
+        JsonValue::Obj(fields)
+    }
+
+    /// Rebuilds the counters from [`CoreMetrics::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let mut m = CoreMetrics::default();
+        macro_rules! get {
+            ($($f:ident),*) => {
+                $(m.$f = req_u64(v, stringify!($f))?;)*
+            };
+        }
+        core_metrics_u64_fields!(get!());
+        Ok(m)
+    }
+}
+
+impl Metrics {
+    /// Serializes all counters (including the per-core breakdown and
+    /// the relocation-interval histogram) as a JSON object that
+    /// [`Metrics::from_json`] reverses exactly.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![(
+            "per_core".to_string(),
+            JsonValue::Arr(self.per_core.iter().map(CoreMetrics::to_json).collect()),
+        )];
+        macro_rules! put {
+            ($($f:ident),*) => {
+                $(fields.push((stringify!($f).to_string(), JsonValue::u64(self.$f)));)*
+            };
+        }
+        metrics_u64_fields!(put!());
+        let hist = self.relocation_intervals.buckets();
+        let used = hist.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        fields.push((
+            "relocation_intervals".to_string(),
+            JsonValue::Arr(hist[..used].iter().map(|&c| JsonValue::u64(c)).collect()),
+        ));
+        fields.push((
+            "dram_energy_pj".to_string(),
+            JsonValue::f64(self.dram_energy_pj),
+        ));
+        JsonValue::Obj(fields)
+    }
+
+    /// Rebuilds metrics from [`Metrics::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let mut m = Metrics {
+            per_core: v
+                .get("per_core")
+                .and_then(JsonValue::as_array)
+                .ok_or("missing array field 'per_core'")?
+                .iter()
+                .map(CoreMetrics::from_json)
+                .collect::<Result<_, _>>()?,
+            ..Metrics::default()
+        };
+        macro_rules! get {
+            ($($f:ident),*) => {
+                $(m.$f = req_u64(v, stringify!($f))?;)*
+            };
+        }
+        metrics_u64_fields!(get!());
+        let buckets = v
+            .get("relocation_intervals")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field 'relocation_intervals'")?
+            .iter()
+            .map(|b| {
+                b.as_u64()
+                    .ok_or_else(|| "non-integer histogram bucket".to_string())
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        if buckets.len() > 64 {
+            return Err("relocation_intervals has more than 64 buckets".into());
+        }
+        m.relocation_intervals = Log2Histogram::from_buckets(&buckets);
+        m.dram_energy_pj = v
+            .get("dram_energy_pj")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing f64 field 'dram_energy_pj'")?;
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +345,36 @@ mod tests {
         m.llc_misses = 100;
         m.relocations = 12;
         assert!((m.relocation_rate() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut m = Metrics::new(2);
+        m.per_core[0].accesses = 10;
+        m.per_core[0].l1_misses = 3;
+        m.per_core[1].l2_misses = 4;
+        m.per_core[1].cycles = u64::MAX; // exercise exact u64 range
+        m.llc_accesses = 123;
+        m.llc_hits = 100;
+        m.relocated_hits = 7;
+        m.llc_misses = 23;
+        m.inclusion_victims = 5;
+        m.relocations = 9;
+        m.dram_energy_pj = 1234.5678e3;
+        m.relocation_intervals.record(5);
+        m.relocation_intervals.record(1024);
+        let back = Metrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_parse_reports_missing_fields() {
+        let mut m = Metrics::new(1);
+        m.llc_hits = 2;
+        let text = m.to_json().to_string().replace("\"llc_hits\":2,", "");
+        let v = ziv_common::json::parse(&text).unwrap();
+        let err = Metrics::from_json(&v).unwrap_err();
+        assert!(err.contains("llc_hits"), "{err}");
     }
 
     #[test]

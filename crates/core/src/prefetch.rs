@@ -35,7 +35,10 @@ pub struct PrefetchConfig {
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { table_entries: 256, degree: 2 }
+        PrefetchConfig {
+            table_entries: 256,
+            degree: 2,
+        }
     }
 }
 
@@ -55,7 +58,10 @@ impl StridePrefetcher {
     ///
     /// Panics if `table_entries` is not a power of two or `degree` is 0.
     pub fn new(cfg: PrefetchConfig) -> Self {
-        assert!(cfg.table_entries.is_power_of_two(), "table must be a power of two");
+        assert!(
+            cfg.table_entries.is_power_of_two(),
+            "table must be a power of two"
+        );
         assert!(cfg.degree > 0, "degree must be positive");
         StridePrefetcher {
             table: vec![StrideEntry::default(); cfg.table_entries],
@@ -92,7 +98,13 @@ impl StridePrefetcher {
                 }
             }
         } else {
-            *e = StrideEntry { pc, last_line: line.raw(), stride: 0, confidence: 0, valid: true };
+            *e = StrideEntry {
+                pc,
+                last_line: line.raw(),
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
         }
         self.issued += out.len() as u64;
         out
@@ -117,10 +129,17 @@ mod tests {
         let mut p = StridePrefetcher::new(PrefetchConfig::default());
         let pc = 0x400;
         assert!(p.train(pc, l(10)).is_empty(), "allocation");
-        assert!(p.train(pc, l(12)).is_empty(), "stride learned, confidence 0");
+        assert!(
+            p.train(pc, l(12)).is_empty(),
+            "stride learned, confidence 0"
+        );
         assert!(p.train(pc, l(14)).is_empty(), "confidence 1");
         let out = p.train(pc, l(16));
-        assert_eq!(out, vec![l(18), l(20)], "confidence 2: degree-2 prefetch issues");
+        assert_eq!(
+            out,
+            vec![l(18), l(20)],
+            "confidence 2: degree-2 prefetch issues"
+        );
         assert!(p.issued() >= 2);
     }
 
@@ -131,13 +150,16 @@ mod tests {
         for i in 0..6 {
             p.train(pc, l(10 + i * 2));
         }
-        assert!(!p.train(pc, l(100)).is_empty() == false, "broken stride stops issue");
+        assert!(p.train(pc, l(100)).is_empty(), "broken stride stops issue");
         assert!(p.train(pc, l(102)).is_empty());
     }
 
     #[test]
     fn random_pcs_do_not_interfere_much() {
-        let mut p = StridePrefetcher::new(PrefetchConfig { table_entries: 4, degree: 1 });
+        let mut p = StridePrefetcher::new(PrefetchConfig {
+            table_entries: 4,
+            degree: 1,
+        });
         // PCs 0x10 and 0x20 alias differently; train one steadily.
         for i in 0..8 {
             p.train(0x10, l(100 + i * 4));
@@ -147,7 +169,10 @@ mod tests {
 
     #[test]
     fn negative_strides_work() {
-        let mut p = StridePrefetcher::new(PrefetchConfig { table_entries: 64, degree: 1 });
+        let mut p = StridePrefetcher::new(PrefetchConfig {
+            table_entries: 64,
+            degree: 1,
+        });
         let pc = 0x800;
         for i in (0..8).rev() {
             p.train(pc, l(100 + i * 3));
@@ -159,6 +184,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_table_size_panics() {
-        StridePrefetcher::new(PrefetchConfig { table_entries: 3, degree: 1 });
+        StridePrefetcher::new(PrefetchConfig {
+            table_entries: 3,
+            degree: 1,
+        });
     }
 }

@@ -6,9 +6,9 @@
 //! up-to-date (Section III-A).
 
 use std::collections::HashMap;
+use ziv_cache::SetAssocArray;
 use ziv_char::L2BlockMeta;
 use ziv_common::{CacheGeometry, CoreId, LineAddr};
-use ziv_cache::SetAssocArray;
 use ziv_replacement::{AccessCtx, Lru, ReplacementPolicy};
 
 /// Result of a private-hierarchy lookup.
@@ -53,11 +53,16 @@ struct Level<S> {
 
 impl<S: Default + Clone> Level<S> {
     fn new(geom: CacheGeometry) -> Self {
-        Level { array: SetAssocArray::new(geom), lru: Lru::new(geom), geom }
+        Level {
+            array: SetAssocArray::new(geom),
+            lru: Lru::new(geom),
+            geom,
+        }
     }
 
     fn lookup(&self, line: LineAddr) -> Option<u8> {
-        self.array.lookup(self.geom.set_of(line), self.geom.tag_of(line))
+        self.array
+            .lookup(self.geom.set_of(line), self.geom.tag_of(line))
     }
 
     fn touch(&mut self, line: LineAddr, way: u8) {
@@ -164,7 +169,11 @@ impl PrivateHierarchy {
         notices: &mut Vec<EvictionNotice>,
     ) -> PrivLookup {
         debug_assert!(!(is_instr && is_write), "instruction fetches cannot write");
-        let l1 = if is_instr { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if is_instr {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         if let Some(way) = l1.lookup(line) {
             l1.touch(line, way);
             if is_write {
@@ -192,7 +201,10 @@ impl PrivateHierarchy {
         from_llc_hit: bool,
         notices: &mut Vec<EvictionNotice>,
     ) {
-        let state = L2State { dirty: false, meta: L2BlockMeta::filled(from_llc_hit) };
+        let state = L2State {
+            dirty: false,
+            meta: L2BlockMeta::filled(from_llc_hit),
+        };
         if let Some((ev_line, ev_state)) = self.l2.fill(line, state) {
             self.handle_l2_eviction(ev_line, ev_state, notices);
         }
@@ -210,7 +222,10 @@ impl PrivateHierarchy {
         if self.contains(line) {
             return;
         }
-        let state = L2State { dirty: false, meta: L2BlockMeta::prefetched(from_llc_hit) };
+        let state = L2State {
+            dirty: false,
+            meta: L2BlockMeta::prefetched(from_llc_hit),
+        };
         if let Some((ev_line, ev_state)) = self.l2.fill(line, state) {
             self.handle_l2_eviction(ev_line, ev_state, notices);
         }
@@ -223,7 +238,11 @@ impl PrivateHierarchy {
         is_write: bool,
         notices: &mut Vec<EvictionNotice>,
     ) {
-        let l1 = if is_instr { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if is_instr {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         if let Some((ev_line, ev_state)) = l1.fill(line, L1State { dirty: is_write }) {
             self.handle_l1_eviction(ev_line, ev_state, notices);
         }
@@ -248,7 +267,11 @@ impl PrivateHierarchy {
             self.deferred_meta.insert(line, state.meta);
             return;
         }
-        notices.push(EvictionNotice { line, dirty: state.dirty, meta: state.meta });
+        notices.push(EvictionNotice {
+            line,
+            dirty: state.dirty,
+            meta: state.meta,
+        });
     }
 
     fn handle_l1_eviction(
@@ -267,7 +290,11 @@ impl PrivateHierarchy {
             return;
         }
         let meta = self.deferred_meta.remove(&line).unwrap_or_default();
-        notices.push(EvictionNotice { line, dirty: state.dirty, meta });
+        notices.push(EvictionNotice {
+            line,
+            dirty: state.dirty,
+            meta,
+        });
     }
 
     /// Forcefully invalidates every private copy of `line` (a

@@ -1,8 +1,6 @@
 //! Behavioral tests of the full cache hierarchy across all LLC modes.
 
-use ziv_common::config::{
-    CacheGeometry, DirRatio, DramParams, LlcConfig, NocParams, SystemConfig,
-};
+use ziv_common::config::{CacheGeometry, DirRatio, DramParams, LlcConfig, NocParams, SystemConfig};
 use ziv_common::{Addr, CoreId, SimRng};
 use ziv_core::{Access, CacheHierarchy, HierarchyConfig, LlcMode, ZivProperty};
 use ziv_directory::DirectoryMode;
@@ -30,12 +28,20 @@ fn tiny_system(cores: usize) -> SystemConfig {
 }
 
 fn build(mode: LlcMode, policy: PolicyKind, cores: usize) -> CacheHierarchy {
-    let cfg = HierarchyConfig::new(tiny_system(cores)).with_mode(mode).with_policy(policy);
+    let cfg = HierarchyConfig::new(tiny_system(cores))
+        .with_mode(mode)
+        .with_policy(policy);
     CacheHierarchy::new(&cfg)
 }
 
 /// Drives a random-but-deterministic workload and returns the hierarchy.
-fn stress(mode: LlcMode, policy: PolicyKind, cores: usize, accesses: u64, seed: u64) -> CacheHierarchy {
+fn stress(
+    mode: LlcMode,
+    policy: PolicyKind,
+    cores: usize,
+    accesses: u64,
+    seed: u64,
+) -> CacheHierarchy {
     let mut h = build(mode, policy, cores);
     let mut rng = SimRng::seed_from_u64(seed);
     let mut now = 0u64;
@@ -84,7 +90,10 @@ fn llc_hit_latency_between_l2_and_dram() {
 #[test]
 fn inclusive_mode_generates_inclusion_victims() {
     let h = stress(LlcMode::Inclusive, PolicyKind::Lru, 2, 20_000, 7);
-    assert!(h.metrics().inclusion_victims > 0, "tiny LLC must evict hot private blocks");
+    assert!(
+        h.metrics().inclusion_victims > 0,
+        "tiny LLC must evict hot private blocks"
+    );
     h.verify_invariants().unwrap();
 }
 
@@ -97,7 +106,11 @@ fn noninclusive_mode_never_generates_inclusion_victims() {
 
 #[test]
 fn ziv_guarantees_zero_inclusion_victims_lru() {
-    for prop in [ZivProperty::NotInPrC, ZivProperty::LruNotInPrC, ZivProperty::LikelyDead] {
+    for prop in [
+        ZivProperty::NotInPrC,
+        ZivProperty::LruNotInPrC,
+        ZivProperty::LikelyDead,
+    ] {
         let h = stress(LlcMode::Ziv(prop), PolicyKind::Lru, 2, 20_000, 11);
         assert_eq!(
             h.metrics().inclusion_victims,
@@ -127,7 +140,13 @@ fn ziv_guarantees_zero_inclusion_victims_hawkeye() {
 
 #[test]
 fn ziv_maintains_inclusion_property() {
-    let h = stress(LlcMode::Ziv(ZivProperty::NotInPrC), PolicyKind::Lru, 2, 10_000, 17);
+    let h = stress(
+        LlcMode::Ziv(ZivProperty::NotInPrC),
+        PolicyKind::Lru,
+        2,
+        10_000,
+        17,
+    );
     // verify_invariants checks: every privately cached block has an LLC
     // copy (home or relocated) and every relocated block has a directory
     // pointer.
@@ -246,7 +265,12 @@ fn multithreaded_stress_all_modes() {
 
 #[test]
 fn hawkeye_modes_stress() {
-    for mode in [LlcMode::Inclusive, LlcMode::NonInclusive, LlcMode::Qbs, LlcMode::Sharp] {
+    for mode in [
+        LlcMode::Inclusive,
+        LlcMode::NonInclusive,
+        LlcMode::Qbs,
+        LlcMode::Sharp,
+    ] {
         let h = stress(mode, PolicyKind::Hawkeye, 2, 20_000, 41);
         h.verify_invariants()
             .unwrap_or_else(|e| panic!("{} violated invariants: {e}", mode.label()));
@@ -255,8 +279,20 @@ fn hawkeye_modes_stress() {
 
 #[test]
 fn deterministic_across_runs() {
-    let a = stress(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, 2, 10_000, 43);
-    let b = stress(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, 2, 10_000, 43);
+    let a = stress(
+        LlcMode::Ziv(ZivProperty::LikelyDead),
+        PolicyKind::Lru,
+        2,
+        10_000,
+        43,
+    );
+    let b = stress(
+        LlcMode::Ziv(ZivProperty::LikelyDead),
+        PolicyKind::Lru,
+        2,
+        10_000,
+        43,
+    );
     assert_eq!(a.metrics().llc_misses, b.metrics().llc_misses);
     assert_eq!(a.metrics().relocations, b.metrics().relocations);
     assert_eq!(a.metrics().llc_hits, b.metrics().llc_hits);
@@ -302,7 +338,10 @@ fn min_policy_runs_with_future_knowledge() {
     // Build a short access stream and give MIN its future.
     let lines: Vec<u64> = (0..64).cycle().take(2_000).collect();
     let future = PrecomputedFuture::from_stream(
-        lines.iter().enumerate().map(|(i, &l)| (i as u64, ziv_common::LineAddr::new(l))),
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i as u64, ziv_common::LineAddr::new(l))),
     );
     let cfg = HierarchyConfig::new(tiny_system(1))
         .with_mode(LlcMode::Inclusive)
@@ -329,7 +368,13 @@ fn max_rrpv_property_requires_rrpv_policy() {
 
 #[test]
 fn finalize_collects_relocation_intervals() {
-    let mut h = stress(LlcMode::Ziv(ZivProperty::NotInPrC), PolicyKind::Lru, 2, 20_000, 53);
+    let mut h = stress(
+        LlcMode::Ziv(ZivProperty::NotInPrC),
+        PolicyKind::Lru,
+        2,
+        20_000,
+        53,
+    );
     let relocations = h.metrics().relocations;
     h.finalize();
     if relocations > 2 {
@@ -340,7 +385,13 @@ fn finalize_collects_relocation_intervals() {
 
 #[test]
 fn energy_accounting_is_populated() {
-    let mut h = stress(LlcMode::Ziv(ZivProperty::LikelyDead), PolicyKind::Lru, 2, 20_000, 59);
+    let mut h = stress(
+        LlcMode::Ziv(ZivProperty::LikelyDead),
+        PolicyKind::Lru,
+        2,
+        20_000,
+        59,
+    );
     for c in h.metrics_mut().per_core.iter_mut() {
         c.instructions = 100_000;
     }
@@ -361,13 +412,18 @@ fn prefetching_preserves_invariants_and_the_ziv_guarantee() {
         // Strided streams (prefetch-friendly) + a hot private set.
         for seq in 0..30_000u64 {
             let core = CoreId::new((seq % 2) as usize);
-            let line = if seq % 3 == 0 { seq / 3 % 16 } else { 64 + (seq / 3) * 2 % 4096 };
+            let line = if seq % 3 == 0 {
+                seq / 3 % 16
+            } else {
+                64 + (seq / 3) * 2 % 4096
+            };
             let a = Access::read(core, Addr::new(line * 64), 0x400 + (seq % 3) * 4);
             now += 1 + h.access(&a, now, seq);
         }
         assert!(h.metrics().prefetches_issued > 0, "{}", mode.label());
         assert!(h.metrics().prefetch_fills > 0, "{}", mode.label());
-        h.verify_invariants().unwrap_or_else(|e| panic!("{}: {e}", mode.label()));
+        h.verify_invariants()
+            .unwrap_or_else(|e| panic!("{}: {e}", mode.label()));
         if mode.is_ziv() {
             assert_eq!(h.metrics().inclusion_victims, 0);
         }
@@ -390,5 +446,9 @@ fn prefetched_blocks_fill_l2_but_not_l1() {
     // its access latency is the L2 latency, not an LLC round trip.
     let a = Access::read(CoreId::new(0), Addr::new(10 * 64), 0x400);
     let lat = h.access(&a, now, 10);
-    assert_eq!(lat, h.system().l2_latency, "prefetched block must be an L2 hit");
+    assert_eq!(
+        lat,
+        h.system().l2_latency,
+        "prefetched block must be an L2 hit"
+    );
 }

@@ -11,7 +11,13 @@ use ziv_replacement::{AccessCtx, PolicyKind};
 /// 2 banks × 4 sets × 4 ways = 32 blocks.
 fn llc(mode: LlcMode, policy: PolicyKind) -> SharedLlc {
     let cfg = LlcConfig::from_total_capacity(32 * 64, 4, 2);
-    SharedLlc::new(cfg, mode, policy, |b| policy.build(cfg.bank_geometry, b as u64), 7)
+    SharedLlc::new(
+        cfg,
+        mode,
+        policy,
+        |b| policy.build(cfg.bank_geometry, b as u64),
+        7,
+    )
 }
 
 fn dir() -> SparseDirectory {
@@ -21,7 +27,13 @@ fn dir() -> SparseDirectory {
 }
 
 fn ctx(line: u64, seq: u64) -> AccessCtx {
-    AccessCtx::demand(LineAddr::new(line), 0x400 + line % 8, CoreId::new(0), seq, seq)
+    AccessCtx::demand(
+        LineAddr::new(line),
+        0x400 + line % 8,
+        CoreId::new(0),
+        seq,
+        seq,
+    )
 }
 
 /// Lines mapping to bank 0, set 0: multiples of 8.
@@ -83,7 +95,11 @@ fn sharp_step2_prefers_requesters_own_blocks() {
     d.record_fill(l(2), CoreId::new(0));
     d.record_fill(l(3), CoreId::new(1));
     let out = c.fill(l(9), &ctx(l(9).raw(), seq), &d, CoreId::new(0), seq);
-    assert_eq!(out.evicted.unwrap().line, l(2), "step 2: requester-only block");
+    assert_eq!(
+        out.evicted.unwrap().line,
+        l(2),
+        "step 2: requester-only block"
+    );
     assert!(!out.sharp_alarm);
 }
 
@@ -131,7 +147,10 @@ fn ziv_in_set_alternate_picks_not_in_prc_block() {
         c.update_state(loc, |s| s.not_in_prc = true);
     }
     let out = c.fill(l(9), &ctx(l(9).raw(), seq), &d, CoreId::new(0), seq);
-    assert!(out.relocation.is_none(), "in-set alternate needs no relocation");
+    assert!(
+        out.relocation.is_none(),
+        "in-set alternate needs no relocation"
+    );
     assert!(out.in_set_alternate);
     assert_eq!(out.evicted.unwrap().line, l(1), "NotInPrC closest to LRU");
 }
@@ -152,7 +171,10 @@ fn ziv_relocates_to_another_set_when_own_set_exhausted() {
     assert_eq!(rel.moved_line, l(0), "the baseline victim moves");
     assert!(!rel.cross_bank);
     assert_ne!(rel.to.set, 0, "relocated into a different set");
-    assert!(rel.evicted_from_rs.is_none(), "invalid way absorbed the move");
+    assert!(
+        rel.evicted_from_rs.is_none(),
+        "invalid way absorbed the move"
+    );
     assert!(out.evicted.is_none());
     // The relocated block is findable only through its recorded
     // location; the home-set probe must miss.
@@ -194,7 +216,7 @@ fn char_on_base_prefers_likely_dead_blocks() {
     let mut seq = 0;
     fill_set(&mut c, &d, &mut seq);
     d.record_fill(l(0), CoreId::new(1)); // baseline victim is cached
-    // l(3) (MRU!) is likely dead and not cached.
+                                         // l(3) (MRU!) is likely dead and not cached.
     let loc = c.probe(l(3)).unwrap();
     c.update_state(loc, |s| {
         s.likely_dead = true;
@@ -239,7 +261,13 @@ fn relocation_spread_is_round_robin() {
             d.record_fill(newline, CoreId::new(1));
         }
     }
-    assert!(targets.len() >= 3, "need several relocations, got {targets:?}");
+    assert!(
+        targets.len() >= 3,
+        "need several relocations, got {targets:?}"
+    );
     let distinct: std::collections::HashSet<_> = targets.iter().collect();
-    assert!(distinct.len() >= 2, "round-robin must use multiple sets: {targets:?}");
+    assert!(
+        distinct.len() >= 2,
+        "round-robin must use multiple sets: {targets:?}"
+    );
 }

@@ -1,9 +1,7 @@
 //! Tests of the additional related-work designs: TLH, ECI, RIC, and
 //! the way-partitioned LLC.
 
-use ziv_common::config::{
-    CacheGeometry, DirRatio, DramParams, LlcConfig, NocParams, SystemConfig,
-};
+use ziv_common::config::{CacheGeometry, DirRatio, DramParams, LlcConfig, NocParams, SystemConfig};
 use ziv_common::{Addr, CoreId, SimRng};
 use ziv_core::{Access, CacheHierarchy, HierarchyConfig, LlcMode};
 
@@ -87,9 +85,13 @@ fn eci_performs_early_invalidations() {
 #[test]
 fn ric_skips_back_invalidation_for_read_only_blocks() {
     let read_only = stress(LlcMode::Ric, 2, 20_000, 7, false);
-    assert!(read_only.metrics().ric_relaxations > 0, "read-only evictions relax");
+    assert!(
+        read_only.metrics().ric_relaxations > 0,
+        "read-only evictions relax"
+    );
     assert_eq!(
-        read_only.metrics().inclusion_victims, 0,
+        read_only.metrics().inclusion_victims,
+        0,
         "an all-read workload has only read-only blocks"
     );
     read_only.verify_invariants().unwrap();
@@ -121,7 +123,7 @@ fn ric_relaxed_blocks_are_reachable_after_llc_eviction() {
         *seq += 1;
     };
     go(&mut h, 0, 8, &mut now, &mut seq); // read-only block B
-    // Keep B hot privately while evicting its LLC copy.
+                                          // Keep B hot privately while evicting its LLC copy.
     for i in 2..20u64 {
         go(&mut h, 0, i * 8, &mut now, &mut seq);
         go(&mut h, 0, 8, &mut now, &mut seq);
@@ -155,7 +157,8 @@ fn way_partitioning_eliminates_cross_core_inclusion_victims() {
     // Core 0's private-resident blocks cannot be victimized by core 1's
     // flood: core 0 suffers no inclusion victims.
     assert_eq!(
-        h.metrics().per_core[0].inclusion_victims_suffered, 0,
+        h.metrics().per_core[0].inclusion_victims_suffered,
+        0,
         "partitioning must isolate core 0 from core 1's evictions"
     );
 }

@@ -102,7 +102,10 @@ impl DirEntryState {
     /// A fresh entry for a block just filled into `core`'s private
     /// caches.
     pub fn for_fill(core: CoreId) -> Self {
-        DirEntryState { sharers: SharerSet::single(core), ..Default::default() }
+        DirEntryState {
+            sharers: SharerSet::single(core),
+            ..Default::default()
+        }
     }
 
     /// Marks `core` as holding the block modified.
@@ -111,7 +114,10 @@ impl DirEntryState {
     ///
     /// Panics (debug) if `core` is not a sharer.
     pub fn set_dirty_owner(&mut self, core: CoreId) {
-        debug_assert!(self.sharers.contains(core), "dirty owner must share the block");
+        debug_assert!(
+            self.sharers.contains(core),
+            "dirty owner must share the block"
+        );
         self.dirty_owner = Some(core);
     }
 

@@ -3,9 +3,9 @@
 //! whose home is that bank.
 
 use crate::entry::DirEntryState;
+use ziv_cache::SetAssocArray;
 use ziv_common::ids::{SetIdx, WayIdx};
 use ziv_common::{CacheGeometry, LineAddr};
-use ziv_cache::SetAssocArray;
 use ziv_replacement::{AccessCtx, Nru, ReplacementPolicy};
 
 /// A directory slice with Table I's 1-bit NRU replacement.
@@ -28,7 +28,11 @@ impl DirectorySlice {
     /// Creates an empty slice of the given geometry; `bank_shift` is
     /// log2 of the LLC bank count.
     pub fn new(geom: CacheGeometry, bank_shift: u32) -> Self {
-        DirectorySlice { array: SetAssocArray::new(geom), nru: Nru::new(geom), bank_shift }
+        DirectorySlice {
+            array: SetAssocArray::new(geom),
+            nru: Nru::new(geom),
+            bank_shift,
+        }
     }
 
     /// The slice's geometry.
@@ -118,7 +122,10 @@ impl DirectorySlice {
             .find(|&w| !self.array.state(set, w).busy)
             .expect("all directory ways busy");
         let evicted_line = self.line_at(set, victim, bank_index);
-        let (_, old_state) = self.array.fill(set, victim, tag, state).expect("victim was valid");
+        let (_, old_state) = self
+            .array
+            .fill(set, victim, tag, state)
+            .expect("victim was valid");
         self.nru.on_evict(set, victim);
         self.nru.on_fill(set, victim, &nru_ctx());
         (set, victim, Some((evicted_line, old_state)))

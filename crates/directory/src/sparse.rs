@@ -75,8 +75,9 @@ impl SparseDirectory {
     pub fn new(cfg: &SystemConfig, mode: DirectoryMode) -> Self {
         let geom = cfg.dir_slice_geometry();
         let bank_shift = cfg.llc.banks.trailing_zeros();
-        let slices =
-            (0..cfg.llc.banks).map(|_| DirectorySlice::new(geom, bank_shift)).collect();
+        let slices = (0..cfg.llc.banks)
+            .map(|_| DirectorySlice::new(geom, bank_shift))
+            .collect();
         SparseDirectory {
             slices,
             mode,
@@ -163,7 +164,10 @@ impl SparseDirectory {
         match self.mode {
             DirectoryMode::Mesi => {
                 self.stats.evictions += 1;
-                Some(EvictedEntry { line: ev_line, state: ev_state })
+                Some(EvictedEntry {
+                    line: ev_line,
+                    state: ev_state,
+                })
             }
             DirectoryMode::ZeroDev => {
                 self.stats.spills += 1;
@@ -223,8 +227,9 @@ impl SparseDirectory {
     /// Panics if `line` has no directory entry: only privately cached
     /// blocks are ever relocated (the ZIV invariant).
     pub fn set_relocated(&mut self, line: LineAddr, loc: Option<LlcLocation>) {
-        let state =
-            self.probe_mut(line).expect("relocating a block that is not privately cached");
+        let state = self
+            .probe_mut(line)
+            .expect("relocating a block that is not privately cached");
         state.relocated = loc;
     }
 
@@ -280,7 +285,10 @@ mod tests {
         d.record_fill(l, c(0));
         d.record_fill(l, c(1));
         assert_eq!(d.remove_sharer(l, c(0)), RemovalOutcome::StillShared);
-        assert!(matches!(d.remove_sharer(l, c(1)), RemovalOutcome::LastCopy(_)));
+        assert!(matches!(
+            d.remove_sharer(l, c(1)),
+            RemovalOutcome::LastCopy(_)
+        ));
         assert!(!d.is_privately_cached(l));
         assert_eq!(d.stats().frees, 1);
     }
@@ -288,7 +296,10 @@ mod tests {
     #[test]
     fn untracked_removal_reports_not_tracked() {
         let mut d = SparseDirectory::new(&small_cfg(), DirectoryMode::Mesi);
-        assert_eq!(d.remove_sharer(LineAddr::new(1), c(0)), RemovalOutcome::NotTracked);
+        assert_eq!(
+            d.remove_sharer(LineAddr::new(1), c(0)),
+            RemovalOutcome::NotTracked
+        );
     }
 
     #[test]
@@ -315,14 +326,20 @@ mod tests {
         let geom = cfg.dir_slice_geometry();
         for i in 0..(geom.ways as u64 + 4) {
             let line = LineAddr::new(i * (geom.sets as u64) * cfg.llc.banks as u64);
-            assert!(d.record_fill(line, c(0)).is_none(), "ZeroDEV never back-invalidates");
+            assert!(
+                d.record_fill(line, c(0)).is_none(),
+                "ZeroDEV never back-invalidates"
+            );
         }
         assert_eq!(d.stats().spills, 4);
         assert_eq!(d.spill_occupancy(), 4);
         // Spilled entries are still tracked.
         let first = LineAddr::new(0);
         assert!(d.is_privately_cached(first));
-        assert!(matches!(d.remove_sharer(first, c(0)), RemovalOutcome::LastCopy(_)));
+        assert!(matches!(
+            d.remove_sharer(first, c(0)),
+            RemovalOutcome::LastCopy(_)
+        ));
     }
 
     #[test]
@@ -330,7 +347,11 @@ mod tests {
         let mut d = SparseDirectory::new(&small_cfg(), DirectoryMode::Mesi);
         let l = LineAddr::new(0x99);
         d.record_fill(l, c(3));
-        let loc = LlcLocation { bank: ziv_common::BankId::new(1), set: 7, way: 2 };
+        let loc = LlcLocation {
+            bank: ziv_common::BankId::new(1),
+            set: 7,
+            way: 2,
+        };
         d.set_relocated(l, Some(loc));
         assert_eq!(d.relocated_location(l), Some(loc));
         d.set_relocated(l, None);

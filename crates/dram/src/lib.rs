@@ -76,7 +76,10 @@ impl DramModel {
     pub fn new(params: DramParams) -> Self {
         let banks_per_channel = params.ranks_per_channel * params.banks_per_rank;
         let channels = (0..params.channels)
-            .map(|_| Channel { data_bus_free: 0, banks: vec![Bank::default(); banks_per_channel] })
+            .map(|_| Channel {
+                data_bus_free: 0,
+                banks: vec![Bank::default(); banks_per_channel],
+            })
             .collect();
         DramModel {
             params,
@@ -140,7 +143,11 @@ impl DramModel {
             self.row_hits += 1;
         }
         self.total_energy_pj += energy_pj;
-        DramAccess { ready_at, row_hit, energy_pj }
+        DramAccess {
+            ready_at,
+            row_hit,
+            energy_pj,
+        }
     }
 
     /// Unloaded row-hit latency in CPU cycles (diagnostics / tests).
@@ -202,7 +209,8 @@ mod tests {
         let b = m.access(conflict, a.ready_at + 1000, false);
         assert!(!b.row_hit);
         let p = DramParams::ddr3_2133();
-        let expected = p.to_cpu_cycles(p.t_rp + p.t_rcd + p.t_cas) + p.to_cpu_cycles(p.burst_len / 2);
+        let expected =
+            p.to_cpu_cycles(p.t_rp + p.t_rcd + p.t_cas) + p.to_cpu_cycles(p.burst_len / 2);
         assert_eq!(b.ready_at - (a.ready_at + 1000), expected);
     }
 

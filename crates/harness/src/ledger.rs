@@ -1,0 +1,355 @@
+//! The content-addressed result cache: one JSON line per completed
+//! cell in `results/ledger.jsonl`.
+//!
+//! Line format (hand-rolled via [`ziv_common::json`] — exact `u64`
+//! round-trip, no dependencies):
+//!
+//! ```json
+//! {"digest":"89ab...cdef","label":"I-LRU 256KB","workload":"homo-circset",
+//!  "cores":[{"app":"circset","instructions":1,"cycles":2}],"metrics":{...}}
+//! ```
+//!
+//! The file is append-only: a run killed mid-write leaves at most one
+//! truncated final line, which [`Ledger::load`] skips (and counts), so
+//! an interrupted campaign always resumes from its last *completed*
+//! cell. Appends flush per line for exactly that reason.
+
+use crate::campaign::CellDigest;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use ziv_common::json::{self, JsonValue};
+use ziv_core::Metrics;
+use ziv_sim::{CoreRunStats, RunResult};
+use ziv_workloads::apps;
+
+/// Maps an application name from a ledger line back to the `'static`
+/// string [`CoreRunStats`] carries. Known generator names resolve to
+/// their existing statics; unknown ones (e.g. a renamed app in an old
+/// ledger) are interned once per process.
+fn intern_app_name(name: &str) -> &'static str {
+    if let Some(a) = apps::app_by_name(name) {
+        return a.name;
+    }
+    const MT_NAMES: [&str; 5] = ["canneal", "facesim", "vips", "applu", "tpce"];
+    if let Some(&s) = MT_NAMES.iter().find(|&&s| s == name) {
+        return s;
+    }
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut table = INTERNED.lock().unwrap();
+    if let Some(&s) = table.iter().find(|&&s| s == name) {
+        return s;
+    }
+    let s: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.push(s);
+    s
+}
+
+fn result_to_json(digest: CellDigest, r: &RunResult) -> JsonValue {
+    let cores = r
+        .cores
+        .iter()
+        .map(|c| {
+            JsonValue::Obj(vec![
+                ("app".to_string(), JsonValue::str(c.app_name)),
+                ("instructions".to_string(), JsonValue::u64(c.instructions)),
+                ("cycles".to_string(), JsonValue::u64(c.cycles)),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("digest".to_string(), JsonValue::str(digest.hex())),
+        ("label".to_string(), JsonValue::str(&r.label)),
+        ("workload".to_string(), JsonValue::str(&r.workload)),
+        ("cores".to_string(), JsonValue::Arr(cores)),
+        ("metrics".to_string(), r.metrics.to_json()),
+    ])
+}
+
+fn result_from_json(v: &JsonValue) -> Result<(CellDigest, RunResult), String> {
+    let digest = v
+        .get("digest")
+        .and_then(JsonValue::as_str)
+        .and_then(CellDigest::from_hex)
+        .ok_or("missing or malformed 'digest'")?;
+    let label = v
+        .get("label")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing 'label'")?;
+    let workload = v
+        .get("workload")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing 'workload'")?;
+    let cores = v
+        .get("cores")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing 'cores'")?
+        .iter()
+        .map(|c| {
+            Ok(CoreRunStats {
+                instructions: c
+                    .get("instructions")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("core missing 'instructions'")?,
+                cycles: c
+                    .get("cycles")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("core missing 'cycles'")?,
+                app_name: intern_app_name(
+                    c.get("app")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("core missing 'app'")?,
+                ),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let metrics = Metrics::from_json(v.get("metrics").ok_or("missing 'metrics'")?)?;
+    Ok((
+        digest,
+        RunResult {
+            label: label.to_string(),
+            workload: workload.to_string(),
+            cores,
+            metrics,
+        },
+    ))
+}
+
+/// The in-memory view of a ledger file: every completed cell, keyed by
+/// its content digest.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    entries: HashMap<CellDigest, RunResult>,
+    skipped: usize,
+}
+
+impl Ledger {
+    /// Loads a ledger file. A missing file is an empty ledger.
+    /// Unparseable lines (a truncated final line from an interrupted
+    /// run, or hand-edited damage) are skipped and counted in
+    /// [`skipped_lines`](Ledger::skipped_lines) rather than failing
+    /// the load; on duplicate digests the last line wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "file not found".
+    pub fn load(path: &Path) -> std::io::Result<Ledger> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Ledger::default()),
+            Err(e) => return Err(e),
+        };
+        let mut ledger = Ledger::default();
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match json::parse(&line).and_then(|v| result_from_json(&v)) {
+                Ok((digest, result)) => {
+                    ledger.entries.insert(digest, result);
+                }
+                Err(_) => ledger.skipped += 1,
+            }
+        }
+        Ok(ledger)
+    }
+
+    /// The cached result for a cell digest, if present.
+    pub fn get(&self, digest: CellDigest) -> Option<&RunResult> {
+        self.entries.get(&digest)
+    }
+
+    /// Whether the ledger holds a result for `digest`.
+    pub fn contains(&self, digest: CellDigest) -> bool {
+        self.entries.contains_key(&digest)
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of lines skipped as unparseable during the load.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped
+    }
+}
+
+/// Append handle for a ledger file, safe to share across worker
+/// threads (each append is one locked write + flush, so lines never
+/// interleave and a kill loses at most the in-flight line).
+#[derive(Debug)]
+pub struct LedgerWriter {
+    file: Mutex<File>,
+}
+
+impl LedgerWriter {
+    /// Opens `path` for appending, creating it if needed. If the file
+    /// ends in a truncated partial line (the footprint of a run killed
+    /// mid-append), a newline is written first so the next entry is
+    /// not glued onto — and corrupted by — the dangling fragment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and inspection errors.
+    pub fn append_to(path: &Path) -> std::io::Result<LedgerWriter> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)?;
+        if file.metadata()?.len() > 0 {
+            // In append mode the seek only positions the *read* cursor;
+            // writes still go to the end.
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last != [b'\n'] {
+                file.write_all(b"\n")?;
+            }
+        }
+        Ok(LedgerWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one completed cell and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread poisoned the writer lock.
+    pub fn append(&self, digest: CellDigest, result: &RunResult) -> std::io::Result<()> {
+        let line = result_to_json(digest, result).to_string();
+        let mut f = self.file.lock().unwrap();
+        writeln!(f, "{line}")?;
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziv_common::config::SystemConfig;
+    use ziv_sim::{run_one, RunSpec};
+    use ziv_workloads::{Recipe, ScaleParams};
+
+    fn sample_result() -> RunResult {
+        let sys = SystemConfig::scaled();
+        let recipe = Recipe::homogeneous(
+            apps::app_by_name("circset").unwrap(),
+            2,
+            1_000,
+            7,
+            ScaleParams::from_system(&sys),
+        );
+        run_one(&RunSpec::new("I-LRU 256KB", sys), &recipe.build())
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ziv-harness-ledger-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_equals_in_memory_result() {
+        let r = sample_result();
+        let d = CellDigest(0xfeed_beef_dead_cafe);
+        let path = tmp("round-trip");
+        std::fs::remove_file(&path).ok();
+        LedgerWriter::append_to(&path)
+            .unwrap()
+            .append(d, &r)
+            .unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.skipped_lines(), 0);
+        // Every field — per-core stats, every Metrics counter, the
+        // relocation histogram, the f64 energy — survives exactly.
+        assert_eq!(ledger.get(d), Some(&r));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_not_fatal() {
+        let r = sample_result();
+        let d = CellDigest(1);
+        let path = tmp("truncated");
+        std::fs::remove_file(&path).ok();
+        LedgerWriter::append_to(&path)
+            .unwrap()
+            .append(d, &r)
+            .unwrap();
+        // Simulate a kill mid-append: half a second line.
+        let mut raw = std::fs::read_to_string(&path).unwrap();
+        let half = raw[..raw.len() / 2].to_string();
+        raw.push_str(&half);
+        std::fs::write(&path, raw).unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.skipped_lines(), 1);
+        assert_eq!(ledger.get(d), Some(&r));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty_ledger() {
+        let ledger = Ledger::load(Path::new("/nonexistent/ziv/ledger.jsonl")).unwrap();
+        assert!(ledger.is_empty());
+        assert!(!ledger.contains(CellDigest(1)));
+    }
+
+    #[test]
+    fn appends_accumulate_and_last_duplicate_wins() {
+        let mut a = sample_result();
+        let path = tmp("dups");
+        std::fs::remove_file(&path).ok();
+        let w = LedgerWriter::append_to(&path).unwrap();
+        w.append(CellDigest(1), &a).unwrap();
+        a.label = "relabeled".into();
+        w.append(CellDigest(1), &a).unwrap();
+        w.append(CellDigest(2), &a).unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.get(CellDigest(1)).unwrap().label, "relabeled");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_after_truncated_line_starts_a_fresh_line() {
+        let r = sample_result();
+        let path = tmp("glue");
+        std::fs::remove_file(&path).ok();
+        std::fs::write(&path, "{\"digest\":\"0000").unwrap(); // killed mid-write
+        LedgerWriter::append_to(&path)
+            .unwrap()
+            .append(CellDigest(3), &r)
+            .unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.skipped_lines(), 1, "the fragment stays isolated");
+        assert_eq!(ledger.get(CellDigest(3)), Some(&r));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn app_names_intern_to_statics() {
+        assert_eq!(intern_app_name("circset"), "circset");
+        assert_eq!(intern_app_name("canneal"), "canneal");
+        let a = intern_app_name("some-retired-app");
+        let b = intern_app_name("some-retired-app");
+        assert!(std::ptr::eq(a, b), "unknown names intern once");
+    }
+}

@@ -1,0 +1,67 @@
+//! # ziv-harness
+//!
+//! The experiment-campaign subsystem: resumable, cached, observable
+//! execution of the paper's figure-style sweeps.
+//!
+//! Every paper figure is a sweep over `(mode × policy × L2 size) ×
+//! workload` cells. This crate turns such a sweep into a **campaign**
+//! — data, not code — and runs it through a **content-addressed result
+//! cache** so that:
+//!
+//! - re-running a campaign skips every already-computed cell;
+//! - an interrupted campaign resumes where it stopped (`--resume`);
+//! - different campaigns sharing cells share each other's results.
+//!
+//! The pieces:
+//!
+//! - [`Campaign`]: a named `(spec list × workload-recipe list)` grid,
+//!   reproducible from `(seed, effort, system config)`. Built-in
+//!   figure campaigns live in [`campaigns`].
+//! - [`Ledger`]: the persistent cache — one JSON line per completed
+//!   cell in `<results-dir>/ledger.jsonl`, keyed by [`CellDigest`]
+//!   (a stable FNV-1a digest of the cell's semantic fields; see
+//!   `DESIGN.md` for what is and is not digested). Hand-rolled JSON
+//!   (`ziv_common::json`) keeps the build dependency-free.
+//! - [`run_campaign`]: the runner — partitions cells into cached and
+//!   missing, executes the missing ones via [`ziv_sim::run_cells`],
+//!   appends each finished cell to the ledger as it completes, and
+//!   exports `grid.csv` / `summary.csv` assembled from cached + fresh
+//!   results. The final CSVs are byte-identical whether the campaign
+//!   ran in one pass or across any number of interruptions, at any
+//!   thread count.
+//! - [`ProgressSink`] / [`Telemetry`]: the observability layer —
+//!   per-cell wall-clock timing, a live progress line, and a
+//!   worker-utilization summary.
+//!
+//! # Examples
+//!
+//! ```
+//! use ziv_harness::{campaigns, run_campaign, CampaignParams, NullSink, RunnerConfig};
+//!
+//! let mut params = CampaignParams::tiny(); // doc-test sizes
+//! params.seed = 7;
+//! let campaign = campaigns::by_name("smoke", &params).unwrap();
+//! let dir = std::env::temp_dir().join("ziv-harness-doc");
+//! let cfg = RunnerConfig { results_dir: dir.clone(), threads: 2, resume: false };
+//! let first = run_campaign(&campaign, &cfg, &NullSink).unwrap();
+//! assert_eq!(first.telemetry.executed_cells, first.telemetry.total_cells);
+//!
+//! // Immediately resuming recomputes nothing and exports identical CSVs.
+//! let cfg = RunnerConfig { resume: true, ..cfg };
+//! let again = run_campaign(&campaign, &cfg, &NullSink).unwrap();
+//! assert_eq!(again.telemetry.executed_cells, 0);
+//! # std::fs::remove_dir_all(dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod campaign;
+mod ledger;
+mod runner;
+mod telemetry;
+
+pub use campaign::{campaigns, Campaign, CampaignParams, CellDigest, CELL_SCHEMA_VERSION};
+pub use ledger::{Ledger, LedgerWriter};
+pub use runner::{run_campaign, CampaignOutcome, RunnerConfig};
+pub use telemetry::{CellTiming, NullSink, ProgressSink, StderrProgress, Telemetry};

@@ -1,0 +1,213 @@
+//! The campaign runner: cache partition → parallel execution →
+//! ledger append → CSV export.
+
+use crate::campaign::{Campaign, CellDigest};
+use crate::ledger::{Ledger, LedgerWriter};
+use crate::telemetry::{CellTiming, ProgressSink, Telemetry};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use ziv_sim::{
+    grid_to_csv, run_cells, speedup_summary, summary_to_csv, GridObserver, GridResult, RunResult,
+};
+use ziv_workloads::Workload;
+
+/// How to run a campaign.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Directory receiving `ledger.jsonl`, `grid.csv`, `summary.csv`.
+    pub results_dir: PathBuf,
+    /// Worker threads for the missing cells.
+    pub threads: usize,
+    /// Reuse an existing ledger (`--resume`). When `false` any
+    /// existing ledger is discarded and every cell recomputes.
+    pub resume: bool,
+}
+
+/// What a campaign run produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The full grid, cached + fresh, sorted by `(spec, workload)`.
+    pub grid: Vec<GridResult>,
+    /// Execution summary.
+    pub telemetry: Telemetry,
+    /// Path of the per-cell CSV.
+    pub grid_csv: PathBuf,
+    /// Path of the per-config speedup summary CSV.
+    pub summary_csv: PathBuf,
+    /// Path of the result ledger.
+    pub ledger_path: PathBuf,
+}
+
+/// Forwards `run_cells` completions into the ledger and the progress
+/// sink. Ledger I/O errors are latched (observers cannot propagate)
+/// and re-raised after the grid finishes.
+struct CampaignObserver<'a> {
+    digests: &'a [Vec<CellDigest>],
+    writer: &'a LedgerWriter,
+    sink: &'a dyn ProgressSink,
+    done: AtomicUsize,
+    total: usize,
+    timings: Mutex<Vec<CellTiming>>,
+    io_error: Mutex<Option<std::io::Error>>,
+}
+
+impl GridObserver for CampaignObserver<'_> {
+    fn cell_finished(
+        &self,
+        spec_index: usize,
+        workload_index: usize,
+        result: &RunResult,
+        wall: Duration,
+    ) {
+        if let Err(e) = self
+            .writer
+            .append(self.digests[spec_index][workload_index], result)
+        {
+            self.io_error.lock().unwrap().get_or_insert(e);
+        }
+        let timing = CellTiming {
+            spec_index,
+            workload_index,
+            label: result.label.clone(),
+            workload: result.workload.clone(),
+            wall,
+        };
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sink.cell_finished(&timing, done, self.total);
+        self.timings.lock().unwrap().push(timing);
+    }
+}
+
+/// Runs `campaign` end-to-end: loads (or resets) the ledger under
+/// `cfg.results_dir`, simulates only the cells the ledger does not
+/// already hold, appends each as it completes, and writes `grid.csv`
+/// plus `summary.csv` over the assembled grid.
+///
+/// The exported CSVs are byte-identical whether the campaign ran in a
+/// single pass or was interrupted and resumed any number of times, at
+/// any thread count: cell results are deterministic, cached cells
+/// round-trip their `u64` counters exactly, and the grid is assembled
+/// in `(spec, workload)` order with the campaign's current labels.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the results directory, the ledger, or
+/// the CSV files.
+pub fn run_campaign(
+    campaign: &Campaign,
+    cfg: &RunnerConfig,
+    sink: &dyn ProgressSink,
+) -> std::io::Result<CampaignOutcome> {
+    std::fs::create_dir_all(&cfg.results_dir)?;
+    let ledger_path = cfg.results_dir.join("ledger.jsonl");
+    if !cfg.resume && ledger_path.exists() {
+        std::fs::remove_file(&ledger_path)?;
+    }
+    let ledger = Ledger::load(&ledger_path)?;
+    if ledger.skipped_lines() > 0 {
+        eprintln!(
+            "warning: skipped {} unparseable ledger line(s) in {} (interrupted write?)",
+            ledger.skipped_lines(),
+            ledger_path.display()
+        );
+    }
+
+    // Partition the grid against the ledger. Cached results take the
+    // campaign's *current* label and workload name (the digest ignores
+    // labels, so a relabel must not leak stale names into the CSVs).
+    let digests: Vec<Vec<CellDigest>> = (0..campaign.specs.len())
+        .map(|s| {
+            (0..campaign.recipes.len())
+                .map(|w| campaign.cell_digest(s, w))
+                .collect()
+        })
+        .collect();
+    let mut grid: Vec<GridResult> = Vec::with_capacity(campaign.total_cells());
+    let mut missing: Vec<(usize, usize)> = Vec::new();
+    for (s, w) in campaign.cells() {
+        match ledger.get(digests[s][w]) {
+            Some(cached) => {
+                let mut result = cached.clone();
+                result.label = campaign.specs[s].label.clone();
+                result.workload = campaign.recipes[w].workload_name();
+                grid.push(GridResult {
+                    spec_index: s,
+                    workload_index: w,
+                    result,
+                });
+            }
+            None => missing.push((s, w)),
+        }
+    }
+    let cached_cells = grid.len();
+    sink.campaign_started(&campaign.name, campaign.total_cells(), cached_cells);
+
+    // Simulate the missing cells, appending each to the ledger as it
+    // completes. Workloads are only regenerated when something runs.
+    let workers = cfg.threads.max(1).min(missing.len().max(1));
+    let started = Instant::now();
+    let mut timings = Vec::new();
+    if !missing.is_empty() {
+        let workloads: Vec<Workload> = campaign.recipes.iter().map(|r| r.build()).collect();
+        let writer = LedgerWriter::append_to(&ledger_path)?;
+        let observer = CampaignObserver {
+            digests: &digests,
+            writer: &writer,
+            sink,
+            done: AtomicUsize::new(cached_cells),
+            total: campaign.total_cells(),
+            timings: Mutex::new(Vec::with_capacity(missing.len())),
+            io_error: Mutex::new(None),
+        };
+        let fresh = run_cells(
+            &campaign.specs,
+            &workloads,
+            &missing,
+            cfg.threads,
+            &observer,
+        );
+        if let Some(e) = observer.io_error.into_inner().unwrap() {
+            return Err(e);
+        }
+        timings = observer.timings.into_inner().unwrap();
+        grid.extend(fresh);
+    }
+    let wall = started.elapsed();
+    grid.sort_by_key(|g| (g.spec_index, g.workload_index));
+    timings.sort_by_key(|t| (t.spec_index, t.workload_index));
+
+    let telemetry = Telemetry {
+        campaign: campaign.name.clone(),
+        total_cells: campaign.total_cells(),
+        cached_cells,
+        executed_cells: missing.len(),
+        workers: if missing.is_empty() { 0 } else { workers },
+        wall,
+        busy: timings.iter().map(|t| t.wall).sum(),
+        cells: timings,
+    };
+
+    let grid_csv = cfg.results_dir.join("grid.csv");
+    grid_to_csv(
+        &grid,
+        std::io::BufWriter::new(std::fs::File::create(&grid_csv)?),
+    )?;
+    let summary_csv = cfg.results_dir.join("summary.csv");
+    let rows = speedup_summary(&grid, campaign.specs.len(), campaign.baseline_spec);
+    summary_to_csv(
+        &rows,
+        "weighted_speedup",
+        std::io::BufWriter::new(std::fs::File::create(&summary_csv)?),
+    )?;
+
+    sink.campaign_finished(&telemetry);
+    Ok(CampaignOutcome {
+        grid,
+        telemetry,
+        grid_csv,
+        summary_csv,
+        ledger_path,
+    })
+}

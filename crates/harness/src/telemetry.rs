@@ -1,0 +1,202 @@
+//! Run telemetry: per-cell wall-clock timing, a pluggable progress
+//! sink, and the campaign's worker-utilization summary.
+
+use std::io::Write;
+use std::time::Duration;
+
+/// Timing record of one executed (not cached) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// Index of the cell's spec in the campaign.
+    pub spec_index: usize,
+    /// Index of the cell's recipe in the campaign.
+    pub workload_index: usize,
+    /// Spec label (e.g. `"I-LRU 256KB"`).
+    pub label: String,
+    /// Workload name (e.g. `"homo-circset"`).
+    pub workload: String,
+    /// Wall-clock cost of simulating the cell.
+    pub wall: Duration,
+}
+
+/// End-of-campaign execution summary.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Campaign name.
+    pub campaign: String,
+    /// Total cells in the grid.
+    pub total_cells: usize,
+    /// Cells satisfied from the ledger without running.
+    pub cached_cells: usize,
+    /// Cells actually simulated this run.
+    pub executed_cells: usize,
+    /// Worker threads used for the executed cells.
+    pub workers: usize,
+    /// Wall clock of the execution phase.
+    pub wall: Duration,
+    /// Sum of per-cell wall clocks (total busy worker time).
+    pub busy: Duration,
+    /// Per-cell timings of the executed cells, sorted by
+    /// `(spec_index, workload_index)`.
+    pub cells: Vec<CellTiming>,
+}
+
+impl Telemetry {
+    /// Fraction of available worker time spent simulating:
+    /// `busy / (wall × workers)`. 0 when nothing was executed.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers as f64;
+        if self.executed_cells == 0 || capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / capacity).min(1.0)
+        }
+    }
+
+    /// The most expensive executed cell, if any ran.
+    pub fn slowest(&self) -> Option<&CellTiming> {
+        self.cells.iter().max_by_key(|c| c.wall)
+    }
+
+    /// Human-readable summary lines (what [`StderrProgress`] prints).
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "campaign {}: {} cells ({} cached, {} executed) in {:.2}s",
+            self.campaign,
+            self.total_cells,
+            self.cached_cells,
+            self.executed_cells,
+            self.wall.as_secs_f64(),
+        )];
+        if self.executed_cells > 0 {
+            lines.push(format!(
+                "workers: {}   busy {:.2}s of {:.2}s capacity ({:.0}% utilization)",
+                self.workers,
+                self.busy.as_secs_f64(),
+                self.wall.as_secs_f64() * self.workers as f64,
+                100.0 * self.utilization(),
+            ));
+            if let Some(s) = self.slowest() {
+                lines.push(format!(
+                    "slowest cell: {} × {} ({:.2}s)",
+                    s.label,
+                    s.workload,
+                    s.wall.as_secs_f64(),
+                ));
+            }
+        }
+        lines
+    }
+}
+
+/// Receiver of campaign progress events. Called from worker threads;
+/// implementations must be `Sync`. All methods default to no-ops so a
+/// sink overrides only what it cares about.
+pub trait ProgressSink: Sync {
+    /// The campaign's cells have been partitioned; execution starts.
+    fn campaign_started(&self, campaign: &str, total_cells: usize, cached_cells: usize) {
+        let _ = (campaign, total_cells, cached_cells);
+    }
+
+    /// One cell finished simulating. `done` counts finished cells
+    /// including the cached ones, out of `total`.
+    fn cell_finished(&self, timing: &CellTiming, done: usize, total: usize) {
+        let _ = (timing, done, total);
+    }
+
+    /// The campaign completed (CSVs written).
+    fn campaign_finished(&self, telemetry: &Telemetry) {
+        let _ = telemetry;
+    }
+}
+
+/// The silent sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {}
+
+/// Live progress on stderr: one rewriting `\r` status line while cells
+/// execute, then the telemetry summary. Stdout is left untouched for
+/// result tables.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrProgress;
+
+impl ProgressSink for StderrProgress {
+    fn campaign_started(&self, campaign: &str, total_cells: usize, cached_cells: usize) {
+        eprintln!(
+            "campaign {campaign}: {total_cells} cells, {cached_cells} cached, {} to run",
+            total_cells - cached_cells
+        );
+    }
+
+    fn cell_finished(&self, timing: &CellTiming, done: usize, total: usize) {
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[{done}/{total}] {} × {} ({:.2}s)\x1b[K",
+            timing.label,
+            timing.workload,
+            timing.wall.as_secs_f64(),
+        );
+        let _ = err.flush();
+    }
+
+    fn campaign_finished(&self, telemetry: &Telemetry) {
+        let mut err = std::io::stderr().lock();
+        if telemetry.executed_cells > 0 {
+            let _ = writeln!(err); // end the \r status line
+        }
+        for line in telemetry.summary_lines() {
+            let _ = writeln!(err, "{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry(executed: usize, wall_ms: u64, busy_ms: u64, workers: usize) -> Telemetry {
+        Telemetry {
+            campaign: "t".into(),
+            total_cells: executed + 3,
+            cached_cells: 3,
+            executed_cells: executed,
+            workers,
+            wall: Duration::from_millis(wall_ms),
+            busy: Duration::from_millis(busy_ms),
+            cells: (0..executed)
+                .map(|i| CellTiming {
+                    spec_index: 0,
+                    workload_index: i,
+                    label: "L".into(),
+                    workload: format!("w{i}"),
+                    wall: Duration::from_millis(10 * (i as u64 + 1)),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let t = telemetry(4, 100, 300, 4);
+        assert!((t.utilization() - 0.75).abs() < 1e-9);
+        // Clamped to 1 even with measurement jitter.
+        assert_eq!(telemetry(4, 100, 900, 4).utilization(), 1.0);
+        // Nothing executed → 0, never NaN.
+        assert_eq!(telemetry(0, 0, 0, 0).utilization(), 0.0);
+    }
+
+    #[test]
+    fn slowest_and_summary() {
+        let t = telemetry(3, 100, 60, 2);
+        assert_eq!(t.slowest().unwrap().workload, "w2");
+        let lines = t.summary_lines();
+        assert!(lines[0].contains("6 cells (3 cached, 3 executed)"));
+        assert!(lines.iter().any(|l| l.contains("utilization")));
+        assert!(lines.iter().any(|l| l.contains("slowest cell")));
+        // Fully cached: just the one line.
+        assert_eq!(telemetry(0, 0, 0, 0).summary_lines().len(), 1);
+    }
+}

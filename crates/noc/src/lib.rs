@@ -48,7 +48,11 @@ impl Mesh {
         let tiles = cores + banks;
         assert!(tiles > 0, "mesh needs at least one tile");
         let cols = (tiles as f64).sqrt().ceil() as usize;
-        Mesh { cols, cores, params }
+        Mesh {
+            cols,
+            cores,
+            params,
+        }
     }
 
     fn position(&self, tile: usize) -> (usize, usize) {

@@ -30,7 +30,14 @@ pub struct AccessCtx {
 impl AccessCtx {
     /// Creates a demand-read context.
     pub fn demand(line: LineAddr, pc: u64, core: CoreId, now: Cycle, seq: u64) -> Self {
-        AccessCtx { line, pc, core, now, seq, is_write: false }
+        AccessCtx {
+            line,
+            pc,
+            core,
+            now,
+            seq,
+            is_write: false,
+        }
     }
 
     /// Returns a copy marked as a write.

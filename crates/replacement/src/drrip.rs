@@ -165,7 +165,10 @@ mod tests {
                 distant += 1;
             }
         }
-        assert!(distant > 48, "BRRIP insertions should be mostly distant: {distant}/64");
+        assert!(
+            distant > 48,
+            "BRRIP insertions should be mostly distant: {distant}/64"
+        );
     }
 
     #[test]

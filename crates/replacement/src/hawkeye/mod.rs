@@ -37,7 +37,11 @@ pub struct HawkeyeConfig {
 
 impl Default for HawkeyeConfig {
     fn default() -> Self {
-        HawkeyeConfig { sample_stride: 8, history_per_way: 8, predictor_index_bits: 12 }
+        HawkeyeConfig {
+            sample_stride: 8,
+            history_per_way: 8,
+            predictor_index_bits: 12,
+        }
     }
 }
 
@@ -61,7 +65,11 @@ struct SampledSet {
 impl SampledSet {
     fn new(ways: u8, history_per_way: usize) -> Self {
         let window = ways as usize * history_per_way;
-        SampledSet { optgen: OptGen::new(ways, window), history: HashMap::new(), cap: 2 * window }
+        SampledSet {
+            optgen: OptGen::new(ways, window),
+            history: HashMap::new(),
+            cap: 2 * window,
+        }
     }
 
     /// Records an access; returns `(prev_sig, opt_hit)` when the line had
@@ -199,7 +207,11 @@ impl ReplacementPolicy for Hawkeye {
             self.predictor.train_miss(st.sig);
         }
         let i = self.idx(set, way);
-        self.state[i] = WayState { rrpv: RRPV_MAX, sig: 0, friendly: false };
+        self.state[i] = WayState {
+            rrpv: RRPV_MAX,
+            sig: 0,
+            friendly: false,
+        };
     }
 
     fn on_relocate_in(&mut self, set: SetIdx, way: WayIdx, _ctx: &AccessCtx) {
@@ -211,7 +223,11 @@ impl ReplacementPolicy for Hawkeye {
         // would trigger a re-relocation storm), and it is marked
         // non-friendly so its eventual eviction detrains nothing.
         let i = self.idx(set, way);
-        self.state[i] = WayState { rrpv: RRPV_MAX - 1, sig: 0, friendly: false };
+        self.state[i] = WayState {
+            rrpv: RRPV_MAX - 1,
+            sig: 0,
+            friendly: false,
+        };
     }
 
     fn victim(&self, set: SetIdx, _ctx: &AccessCtx) -> WayIdx {
@@ -235,7 +251,9 @@ impl ReplacementPolicy for Hawkeye {
         out.clear();
         out.extend(0..self.ways as WayIdx);
         out.sort_by(|&a, &b| {
-            self.state[base + b as usize].rrpv.cmp(&self.state[base + a as usize].rrpv)
+            self.state[base + b as usize]
+                .rrpv
+                .cmp(&self.state[base + a as usize].rrpv)
         });
     }
 
@@ -319,8 +337,8 @@ mod tests {
         let mut h = hawkeye(8, 4);
         let pc = 0x700;
         let set: SetIdx = 0; // sampled (stride 8)
-        // Two passes over 64 lines: the second pass produces OPTgen
-        // misses (reuse distance far beyond the window).
+                             // Two passes over 64 lines: the second pass produces OPTgen
+                             // misses (reuse distance far beyond the window).
         for _pass in 0..2 {
             for i in 0..64u64 {
                 let way = (i % 4) as WayIdx;

@@ -25,7 +25,11 @@ impl OptGen {
     /// Panics if `history` is zero.
     pub fn new(capacity: u8, history: usize) -> Self {
         assert!(history > 0, "history window must be positive");
-        OptGen { capacity, occ: vec![0; history], time: 0 }
+        OptGen {
+            capacity,
+            occ: vec![0; history],
+            time: 0,
+        }
     }
 
     /// Current time (number of accesses observed).
@@ -84,7 +88,10 @@ mod tests {
         let mut g = OptGen::new(2, 16);
         let t0 = g.add_access(); // block A at t=0
         let _t1 = g.add_access(); // block B at t=1
-        assert!(g.would_hit(t0), "capacity 2 holds A across one intervening access");
+        assert!(
+            g.would_hit(t0),
+            "capacity 2 holds A across one intervening access"
+        );
         assert_eq!(g.occupancy_at(t0), 1);
     }
 
@@ -93,7 +100,10 @@ mod tests {
         let mut g = OptGen::new(1, 16);
         let t0 = g.add_access(); // A
         let ta = g.add_access(); // X
-        assert!(g.would_hit(ta), "X reused immediately: empty interval trivially hits");
+        assert!(
+            g.would_hit(ta),
+            "X reused immediately: empty interval trivially hits"
+        );
         // Interval [t0, now) includes slot ta whose occupancy is now 1 == capacity.
         assert!(!g.would_hit(t0));
     }
@@ -102,7 +112,10 @@ mod tests {
     fn empty_interval_always_hits() {
         let mut g = OptGen::new(1, 8);
         let t = g.add_access();
-        assert!(g.would_hit(t), "[t, t) is empty when time hasn't advanced... ");
+        assert!(
+            g.would_hit(t),
+            "[t, t) is empty when time hasn't advanced... "
+        );
     }
 
     #[test]
@@ -112,7 +125,10 @@ mod tests {
         for _ in 0..4 {
             g.add_access();
         }
-        assert!(!g.would_hit(t0), "reuse distance >= history window is a miss");
+        assert!(
+            !g.would_hit(t0),
+            "reuse distance >= history window is a miss"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl OccupancyPredictor {
     pub fn new(index_bits: u32) -> Self {
         assert!((1..=24).contains(&index_bits), "index_bits out of range");
         let n = 1usize << index_bits;
-        OccupancyPredictor { counters: vec![FRIENDLY_THRESHOLD; n], mask: n - 1 }
+        OccupancyPredictor {
+            counters: vec![FRIENDLY_THRESHOLD; n],
+            mask: n - 1,
+        }
     }
 
     #[inline]

@@ -43,9 +43,9 @@ mod ship;
 mod srrip;
 
 pub use ctx::{AccessCtx, FutureKnowledge, PrecomputedFuture};
+pub use drrip::Drrip;
 pub use hawkeye::{pc_signature, Hawkeye, HawkeyeConfig, OccupancyPredictor, OptGen, PcSig};
 pub use kind::PolicyKind;
-pub use drrip::Drrip;
 pub use lru::Lru;
 pub use min::MinOracle;
 pub use nru::Nru;
@@ -108,7 +108,11 @@ pub trait ReplacementPolicy: std::fmt::Debug {
 /// Asserts the basic contract every policy must satisfy; shared by the
 /// per-policy test modules.
 #[cfg(test)]
-pub(crate) fn check_policy_contract(policy: &mut dyn ReplacementPolicy, sets: SetIdx, ways: WayIdx) {
+pub(crate) fn check_policy_contract(
+    policy: &mut dyn ReplacementPolicy,
+    sets: SetIdx,
+    ways: WayIdx,
+) {
     use ziv_common::{CoreId, LineAddr};
     let ctx = AccessCtx::demand(LineAddr::new(1), 0x400, CoreId::new(0), 0, 0);
     for set in 0..sets {
@@ -120,7 +124,11 @@ pub(crate) fn check_policy_contract(policy: &mut dyn ReplacementPolicy, sets: Se
         assert_eq!(order.len(), ways as usize, "rank must cover all ways");
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..ways).collect::<Vec<_>>(), "rank must be a permutation");
+        assert_eq!(
+            sorted,
+            (0..ways).collect::<Vec<_>>(),
+            "rank must be a permutation"
+        );
         let v = policy.victim(set, &ctx);
         assert_eq!(v, order[0], "victim must be the first-ranked way");
     }

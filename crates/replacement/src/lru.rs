@@ -20,7 +20,11 @@ impl Lru {
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = geom.sets as usize;
         let ways = geom.ways as usize;
-        Lru { ways, stamps: vec![0; sets * ways], clocks: vec![0; sets] }
+        Lru {
+            ways,
+            stamps: vec![0; sets * ways],
+            clocks: vec![0; sets],
+        }
     }
 
     #[inline]

@@ -113,9 +113,8 @@ mod tests {
     }
 
     fn oracle(stream: &[(u64, u64)]) -> MinOracle {
-        let future = PrecomputedFuture::from_stream(
-            stream.iter().map(|&(s, l)| (s, LineAddr::new(l))),
-        );
+        let future =
+            PrecomputedFuture::from_stream(stream.iter().map(|&(s, l)| (s, LineAddr::new(l))));
         MinOracle::new(CacheGeometry::new(1, 2), Rc::new(future))
     }
 
@@ -146,8 +145,8 @@ mod tests {
         let mut m = oracle(&stream);
         m.on_fill(0, 0, &ctx(1, 0)); // B1 at seq 0
         m.on_fill(0, 1, &ctx(2, 1)); // B2 at seq 1
-        // At seq 2 (B3 arrives): B2's next use (seq 4) is after B1's
-        // (seq 3) -> MIN evicts B2, the most recently filled block.
+                                     // At seq 2 (B3 arrives): B2's next use (seq 4) is after B1's
+                                     // (seq 3) -> MIN evicts B2, the most recently filled block.
         assert_eq!(m.victim(0, &ctx(3, 2)), 1);
     }
 
@@ -158,7 +157,11 @@ mod tests {
         m.on_fill(0, 1, &ctx(2, 1));
         let mut order = Vec::new();
         m.rank(0, &ctx(0, 1), &mut order);
-        assert_eq!(order, vec![0, 1], "line 1 (next use 9) before line 2 (next use 3)");
+        assert_eq!(
+            order,
+            vec![0, 1],
+            "line 1 (next use 9) before line 2 (next use 3)"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct Nru {
 impl Nru {
     /// Creates NRU state for the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
-        Nru { ways: geom.ways as usize, ref_bits: vec![false; geom.sets as usize * geom.ways as usize] }
+        Nru {
+            ways: geom.ways as usize,
+            ref_bits: vec![false; geom.sets as usize * geom.ways as usize],
+        }
     }
 
     fn touch(&mut self, set: SetIdx, way: WayIdx) {

@@ -34,7 +34,10 @@ impl Ship {
         Ship {
             ways: geom.ways as usize,
             meta: vec![
-                WayMeta { rrpv: RRPV_MAX, ..Default::default() };
+                WayMeta {
+                    rrpv: RRPV_MAX,
+                    ..Default::default()
+                };
                 geom.sets as usize * geom.ways as usize
             ],
             // Weakly reused so cold signatures are given a chance.
@@ -72,7 +75,11 @@ impl ReplacementPolicy for Ship {
         let predicted_reused = self.shct[Self::shct_idx(sig)] > 0;
         let i = self.idx(set, way);
         self.meta[i] = WayMeta {
-            rrpv: if predicted_reused { RRPV_MAX - 1 } else { RRPV_MAX },
+            rrpv: if predicted_reused {
+                RRPV_MAX - 1
+            } else {
+                RRPV_MAX
+            },
             sig,
             reused: false,
             valid_meta: true,
@@ -96,7 +103,10 @@ impl ReplacementPolicy for Ship {
     fn on_evict(&mut self, set: SetIdx, way: WayIdx) {
         let i = self.idx(set, way);
         self.train_eviction(i);
-        self.meta[i] = WayMeta { rrpv: RRPV_MAX, ..Default::default() };
+        self.meta[i] = WayMeta {
+            rrpv: RRPV_MAX,
+            ..Default::default()
+        };
     }
 
     fn on_relocate_in(&mut self, set: SetIdx, way: WayIdx, _ctx: &AccessCtx) {
@@ -128,7 +138,9 @@ impl ReplacementPolicy for Ship {
         out.clear();
         out.extend(0..self.ways as WayIdx);
         out.sort_by(|&a, &b| {
-            self.meta[base + b as usize].rrpv.cmp(&self.meta[base + a as usize].rrpv)
+            self.meta[base + b as usize]
+                .rrpv
+                .cmp(&self.meta[base + a as usize].rrpv)
         });
     }
 
@@ -193,7 +205,10 @@ mod tests {
         for _ in 0..10 {
             s.on_hit(0, 0, &ctx(pc));
         }
-        assert!(s.counter(pc_signature(pc)) <= 2, "repeated hits train SHCT once");
+        assert!(
+            s.counter(pc_signature(pc)) <= 2,
+            "repeated hits train SHCT once"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Srrip {
     fn age_until_max(&mut self, set: SetIdx) {
         let base = set as usize * self.ways;
         loop {
-            if self.rrpvs[base..base + self.ways].iter().any(|&r| r >= RRPV_MAX) {
+            if self.rrpvs[base..base + self.ways]
+                .iter()
+                .any(|&r| r >= RRPV_MAX)
+            {
                 return;
             }
             for r in &mut self.rrpvs[base..base + self.ways] {

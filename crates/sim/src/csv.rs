@@ -92,7 +92,11 @@ pub fn grid_to_csv<W: Write>(grid: &[GridResult], mut out: W) -> std::io::Result
     writeln!(out, "{}", GRID_COLUMNS.join(","))?;
     for cell in grid {
         let row = cell_row(&cell.result);
-        writeln!(out, "{}", row.iter().map(|f| esc(f)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            out,
+            "{}",
+            row.iter().map(|f| esc(f)).collect::<Vec<_>>().join(",")
+        )?;
     }
     Ok(())
 }
@@ -110,7 +114,15 @@ pub fn summary_to_csv<W: Write>(
 ) -> std::io::Result<()> {
     writeln!(out, "config,{value_name},min,max,n")?;
     for (label, s) in &rows.rows {
-        writeln!(out, "{},{:.6},{:.6},{:.6},{}", esc(label), s.gmean, s.min, s.max, s.count)?;
+        writeln!(
+            out,
+            "{},{:.6},{:.6},{:.6},{}",
+            esc(label),
+            s.gmean,
+            s.min,
+            s.max,
+            s.count
+        )?;
     }
     Ok(())
 }
@@ -124,13 +136,7 @@ mod tests {
 
     fn small_grid() -> Vec<GridResult> {
         let sys = SystemConfig::scaled();
-        let wl = mixes::homogeneous(
-            apps::APPS[4],
-            2,
-            500,
-            1,
-            ScaleParams::from_system(&sys),
-        );
+        let wl = mixes::homogeneous(apps::APPS[4], 2, 500, 1, ScaleParams::from_system(&sys));
         run_grid(
             &[
                 RunSpec::new("I-LRU", sys.clone()),
@@ -170,7 +176,10 @@ mod tests {
         summary_to_csv(&rows, "speedup", &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("config,speedup,min,max,n"));
-        assert!(text.contains("1.000000"), "baseline speedup is exactly 1: {text}");
+        assert!(
+            text.contains("1.000000"),
+            "baseline speedup is exactly 1: {text}"
+        );
     }
 
     #[test]

@@ -24,16 +24,24 @@ pub struct CoreRunStats {
 impl CoreRunStats {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
+        self.checked_ipc().unwrap_or(0.0)
+    }
+
+    /// Instructions per cycle, or `None` when the core recorded no
+    /// cycles (a degenerate run that must not be used as a speedup
+    /// denominator — dividing by a 0 IPC yields `inf`/`NaN` that
+    /// silently poisons downstream geomeans).
+    pub fn checked_ipc(&self) -> Option<f64> {
         if self.cycles == 0 {
-            0.0
+            None
         } else {
-            self.instructions as f64 / self.cycles as f64
+            Some(self.instructions as f64 / self.cycles as f64)
         }
     }
 }
 
 /// Results of simulating one workload under one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Configuration label (e.g. `"I-LRU"`, `"ZIV-LikelyDead"`).
     pub label: String,
@@ -55,18 +63,33 @@ impl RunResult {
     /// `(1/n) Σ_i IPC_i / IPC_i^base` — the standard multiprogrammed
     /// performance metric behind the paper's speedup figures.
     ///
+    /// Cores whose *baseline* IPC is zero (a zero-cycle or zero-
+    /// instruction baseline core) carry no speedup information and are
+    /// excluded from the average rather than contributing `inf`/`NaN`;
+    /// if every core is excluded the neutral speedup 1.0 is returned.
+    ///
     /// # Panics
     ///
     /// Panics if the runs have different core counts.
     pub fn weighted_speedup(&self, baseline: &RunResult) -> f64 {
-        assert_eq!(self.cores.len(), baseline.cores.len(), "core count mismatch");
-        let n = self.cores.len() as f64;
-        self.cores
-            .iter()
-            .zip(&baseline.cores)
-            .map(|(a, b)| a.ipc() / b.ipc())
-            .sum::<f64>()
-            / n
+        assert_eq!(
+            self.cores.len(),
+            baseline.cores.len(),
+            "core count mismatch"
+        );
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (a, b) in self.cores.iter().zip(&baseline.cores) {
+            if let Some(base_ipc) = b.checked_ipc().filter(|&v| v > 0.0) {
+                sum += a.ipc() / base_ipc;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
     }
 
     /// Throughput speedup for multithreaded workloads: baseline total
@@ -103,8 +126,7 @@ pub fn run_one(spec: &RunSpec, workload: &Workload) -> RunResult {
     let mut cycles = vec![0f64; ncores];
     let mut instructions = vec![0u64; ncores];
     let mut completed = vec![false; ncores];
-    let mut snapshots: Vec<Option<(u64, u64, ziv_core::metrics::CoreMetrics)>> =
-        vec![None; ncores];
+    let mut snapshots: Vec<Option<(u64, u64, ziv_core::metrics::CoreMetrics)>> = vec![None; ncores];
     let mut done = 0usize;
     // Restarted records get fresh, never-in-the-future sequence numbers
     // so the MIN oracle treats them as never-reused.
@@ -174,8 +196,11 @@ pub fn run_one(spec: &RunSpec, workload: &Workload) -> RunResult {
             // Snapshot at every completed lap: the reported IPC then
             // covers (nearly) the whole co-run window, so repeated
             // inclusion-victim damage to fast cores is measured.
-            snapshots[core] =
-                Some((instructions[core], cycles[core] as u64, h.metrics().per_core[core]));
+            snapshots[core] = Some((
+                instructions[core],
+                cycles[core] as u64,
+                h.metrics().per_core[core],
+            ));
         }
     }
 
@@ -183,8 +208,7 @@ pub fn run_one(spec: &RunSpec, workload: &Workload) -> RunResult {
         if snapshots[c].is_none() {
             // Issue cap reached before this core finished: snapshot its
             // progress so far.
-            snapshots[c] =
-                Some((instructions[c], cycles[c] as u64, h.metrics().per_core[c]));
+            snapshots[c] = Some((instructions[c], cycles[c] as u64, h.metrics().per_core[c]));
         }
         let (instr, cyc, mut per_core) = snapshots[c].expect("every core snapshotted");
         per_core.instructions = instr;
@@ -220,7 +244,13 @@ mod tests {
 
     fn small_workload(cores: usize) -> Workload {
         let sys = SystemConfig::scaled();
-        mixes::homogeneous(apps::APPS[4], cores, 3_000, 1, ScaleParams::from_system(&sys))
+        mixes::homogeneous(
+            apps::APPS[4],
+            cores,
+            3_000,
+            1,
+            ScaleParams::from_system(&sys),
+        )
     }
 
     #[test]
@@ -245,13 +275,30 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let spec =
-            RunSpec::new("ZIV", SystemConfig::scaled()).with_mode(LlcMode::Ziv(ZivProperty::LikelyDead));
+        let spec = RunSpec::new("ZIV", SystemConfig::scaled())
+            .with_mode(LlcMode::Ziv(ZivProperty::LikelyDead));
         let wl = small_workload(2);
         let a = run_one(&spec, &wl);
         let b = run_one(&spec, &wl);
         assert_eq!(a.metrics.llc_misses, b.metrics.llc_misses);
         assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+    }
+
+    #[test]
+    fn zero_cycle_baseline_core_does_not_poison_speedup() {
+        let spec = RunSpec::new("I-LRU", SystemConfig::scaled());
+        let mut base = run_one(&spec, &small_workload(2));
+        let good = run_one(&spec, &small_workload(2));
+        // A parked/degenerate baseline core: zero cycles, zero IPC.
+        base.cores[1].cycles = 0;
+        base.cores[1].instructions = 0;
+        assert_eq!(base.cores[1].checked_ipc(), None);
+        let s = good.weighted_speedup(&base);
+        assert!(s.is_finite(), "speedup must stay finite, got {s}");
+        assert!(s > 0.0);
+        // All-degenerate baseline: neutral speedup, still finite.
+        base.cores[0].cycles = 0;
+        assert_eq!(good.weighted_speedup(&base), 1.0);
     }
 
     #[test]
@@ -273,12 +320,18 @@ mod tests {
         let stream = mixes::homogeneous(apps::app_by_name("stream").unwrap(), 4, 12_000, 5, sc);
         let mut traces = hot.traces;
         traces.extend(stream.traces.into_iter().skip(2));
-        let wl = Workload { name: "hot-vs-stream".into(), traces };
+        let wl = Workload {
+            name: "hot-vs-stream".into(),
+            traces,
+        };
         let ziv = RunSpec::new("ZIV", sys.clone()).with_mode(LlcMode::Ziv(ZivProperty::NotInPrC));
         let incl = RunSpec::new("I", sys);
         let rz = run_one(&ziv, &wl);
         let ri = run_one(&incl, &wl);
         assert_eq!(rz.metrics.inclusion_victims, 0);
-        assert!(ri.metrics.inclusion_victims > 0, "circset must create inclusion victims");
+        assert!(
+            ri.metrics.inclusion_victims > 0,
+            "circset must create inclusion victims"
+        );
     }
 }

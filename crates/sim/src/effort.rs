@@ -18,9 +18,22 @@ pub struct Effort {
 
 impl Effort {
     /// Reads the effort level from the environment.
+    ///
+    /// When both `ZIV_FAST` and `ZIV_FULL` are set, fast wins and a
+    /// warning is printed to stderr (once per process) instead of
+    /// silently preferring one.
     pub fn from_env() -> Self {
         let fast = std::env::var_os("ZIV_FAST").is_some();
         let full = std::env::var_os("ZIV_FULL").is_some();
+        if fast && full {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: both ZIV_FAST and ZIV_FULL are set; using ZIV_FAST \
+                     (unset one to silence this warning)"
+                );
+            });
+        }
         let threads = crate::spec::default_threads();
         if fast {
             Effort {

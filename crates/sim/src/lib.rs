@@ -36,4 +36,6 @@ pub use csv::{grid_to_csv, summary_to_csv, GRID_COLUMNS};
 pub use driver::{run_one, CoreRunStats, RunResult};
 pub use effort::Effort;
 pub use report::{normalized_metric, speedup_summary, NormalizedRows};
-pub use spec::{run_grid, GridResult, RunSpec};
+pub use spec::{
+    default_threads, run_cells, run_grid, GridObserver, GridResult, NoopObserver, RunSpec,
+};

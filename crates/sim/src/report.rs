@@ -34,7 +34,10 @@ impl NormalizedRows {
 }
 
 fn results_for_spec(grid: &[GridResult], spec: usize) -> Vec<&RunResult> {
-    grid.iter().filter(|g| g.spec_index == spec).map(|g| &g.result).collect()
+    grid.iter()
+        .filter(|g| g.spec_index == spec)
+        .map(|g| &g.result)
+        .collect()
 }
 
 /// Computes weighted-speedup summaries of every spec against the
@@ -43,7 +46,11 @@ fn results_for_spec(grid: &[GridResult], spec: usize) -> Vec<&RunResult> {
 /// # Panics
 ///
 /// Panics if the grid is ragged (unequal workload coverage per spec).
-pub fn speedup_summary(grid: &[GridResult], spec_count: usize, baseline_spec: usize) -> NormalizedRows {
+pub fn speedup_summary(
+    grid: &[GridResult],
+    spec_count: usize,
+    baseline_spec: usize,
+) -> NormalizedRows {
     let base = results_for_spec(grid, baseline_spec);
     let mut rows = Vec::with_capacity(spec_count);
     for s in 0..spec_count {
@@ -58,7 +65,10 @@ pub fn speedup_summary(grid: &[GridResult], spec_count: usize, baseline_spec: us
             })
             .collect();
         let label = runs.first().map(|r| r.label.clone()).unwrap_or_default();
-        rows.push((label, Summary::of(&speedups).expect("non-empty positive speedups")));
+        rows.push((
+            label,
+            Summary::of(&speedups).expect("non-empty positive speedups"),
+        ));
     }
     NormalizedRows { rows }
 }
@@ -94,8 +104,12 @@ pub fn normalized_metric(
             })
             .collect();
         let label = runs.first().map(|r| r.label.clone()).unwrap_or_default();
-        let summary = Summary::of(&ratios)
-            .unwrap_or(Summary { gmean: 0.0, min: 0.0, max: 0.0, count: 0 });
+        let summary = Summary::of(&ratios).unwrap_or(Summary {
+            gmean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            count: 0,
+        });
         rows.push((label, summary));
     }
     NormalizedRows { rows }

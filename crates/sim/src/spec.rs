@@ -84,6 +84,32 @@ impl RunSpec {
         self
     }
 
+    /// Feeds every simulation-determining field into a stable content
+    /// digest — the campaign harness's cell addressing.
+    ///
+    /// The `label` is presentation-only and deliberately **excluded**:
+    /// relabeling a configuration must not invalidate its cached
+    /// results. Enum-valued fields (mode, policy, directory mode) and
+    /// the optional CHAR/prefetch overrides are digested through their
+    /// `Debug` renderings, which capture every variant and parameter;
+    /// renaming a variant in source therefore invalidates the cache,
+    /// which is the safe direction to fail in.
+    pub fn digest_into(&self, h: &mut ziv_common::Fnv1a) {
+        self.system.digest_into(h);
+        h.write_str(&format!("{:?}", self.mode));
+        h.write_str(&format!("{:?}", self.policy));
+        h.write_str(&format!("{:?}", self.dir_mode));
+        h.write_u64(self.seed);
+        match &self.char_cfg {
+            Some(cc) => h.write_str(&format!("{cc:?}")),
+            None => h.write_u64(0),
+        }
+        match &self.prefetch {
+            Some(pf) => h.write_str(&format!("{pf:?}")),
+            None => h.write_u64(0),
+        }
+    }
+
     /// Builds the hierarchy configuration, constructing the MIN oracle's
     /// future knowledge from the workload when needed. The global stream
     /// position of record `i` of core `c` is `i × ncores + c` — the same
@@ -126,12 +152,58 @@ pub struct GridResult {
     pub result: RunResult,
 }
 
-/// Runs every `spec × workload` combination, fanning out across OS
-/// threads, and returns the results indexed by `(spec, workload)`.
+/// Observer of cell-level experiment execution, called from worker
+/// threads as cells start and finish. The campaign harness hooks this
+/// to append finished cells to its result ledger and drive progress
+/// telemetry; `run_grid` itself uses the no-op [`NoopObserver`].
+pub trait GridObserver: Sync {
+    /// A worker picked up the cell `(spec_index, workload_index)`.
+    fn cell_started(&self, spec_index: usize, workload_index: usize) {
+        let _ = (spec_index, workload_index);
+    }
+
+    /// A worker finished a cell; `wall` is the cell's wall-clock cost.
+    fn cell_finished(
+        &self,
+        spec_index: usize,
+        workload_index: usize,
+        result: &RunResult,
+        wall: std::time::Duration,
+    ) {
+        let _ = (spec_index, workload_index, result, wall);
+    }
+}
+
+/// The do-nothing [`GridObserver`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl GridObserver for NoopObserver {}
+
+/// Runs the listed `(spec_index, workload_index)` cells, fanning out
+/// across OS threads, and returns their results sorted by
+/// `(spec_index, workload_index)`.
 ///
-/// Deterministic: results are identical regardless of thread count.
-pub fn run_grid(specs: &[RunSpec], workloads: &[Workload], threads: usize) -> Vec<GridResult> {
-    let total = specs.len() * workloads.len();
+/// This is the cache-aware entry point: a caller that already holds
+/// results for some cells (the campaign harness's content-addressed
+/// ledger) passes only the missing cells. Deterministic: per-cell
+/// results are identical regardless of thread count or cell order.
+///
+/// # Panics
+///
+/// Panics if a cell index is out of range for `specs` / `workloads`.
+pub fn run_cells(
+    specs: &[RunSpec],
+    workloads: &[Workload],
+    cells: &[(usize, usize)],
+    threads: usize,
+    observer: &dyn GridObserver,
+) -> Vec<GridResult> {
+    for &(s, w) in cells {
+        assert!(s < specs.len(), "spec index {s} out of range");
+        assert!(w < workloads.len(), "workload index {w} out of range");
+    }
+    let total = cells.len();
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<GridResult>> = Mutex::new(Vec::with_capacity(total));
     let workers = threads.max(1).min(total.max(1));
@@ -143,10 +215,16 @@ pub fn run_grid(specs: &[RunSpec], workloads: &[Workload], threads: usize) -> Ve
                 if idx >= total {
                     break;
                 }
-                let spec_index = idx / workloads.len();
-                let workload_index = idx % workloads.len();
+                let (spec_index, workload_index) = cells[idx];
+                observer.cell_started(spec_index, workload_index);
+                let started = std::time::Instant::now();
                 let result = run_one(&specs[spec_index], &workloads[workload_index]);
-                results.lock().unwrap().push(GridResult { spec_index, workload_index, result });
+                observer.cell_finished(spec_index, workload_index, &result, started.elapsed());
+                results.lock().unwrap().push(GridResult {
+                    spec_index,
+                    workload_index,
+                    result,
+                });
             });
         }
     });
@@ -156,9 +234,22 @@ pub fn run_grid(specs: &[RunSpec], workloads: &[Workload], threads: usize) -> Ve
     out
 }
 
+/// Runs every `spec × workload` combination, fanning out across OS
+/// threads, and returns the results indexed by `(spec, workload)`.
+///
+/// Deterministic: results are identical regardless of thread count.
+pub fn run_grid(specs: &[RunSpec], workloads: &[Workload], threads: usize) -> Vec<GridResult> {
+    let cells: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..workloads.len()).map(move |w| (s, w)))
+        .collect();
+    run_cells(specs, workloads, &cells, threads, &NoopObserver)
+}
+
 /// Default worker-thread count for experiment grids.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
@@ -185,8 +276,75 @@ mod tests {
         let wls = workloads();
         let grid = run_grid(&specs, &wls, 4);
         assert_eq!(grid.len(), 4);
-        let cells: Vec<_> = grid.iter().map(|g| (g.spec_index, g.workload_index)).collect();
+        let cells: Vec<_> = grid
+            .iter()
+            .map(|g| (g.spec_index, g.workload_index))
+            .collect();
         assert_eq!(cells, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn run_cells_covers_only_requested_cells_and_notifies() {
+        use std::sync::atomic::AtomicUsize;
+        struct Counter {
+            started: AtomicUsize,
+            finished: AtomicUsize,
+        }
+        impl GridObserver for Counter {
+            fn cell_started(&self, _s: usize, _w: usize) {
+                self.started.fetch_add(1, Ordering::Relaxed);
+            }
+            fn cell_finished(
+                &self,
+                _s: usize,
+                _w: usize,
+                result: &RunResult,
+                wall: std::time::Duration,
+            ) {
+                assert!(result.metrics.llc_accesses > 0);
+                assert!(wall > std::time::Duration::ZERO);
+                self.finished.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let sys = SystemConfig::scaled();
+        let specs = vec![
+            RunSpec::new("I-LRU", sys.clone()),
+            RunSpec::new("NI-LRU", sys).with_mode(LlcMode::NonInclusive),
+        ];
+        let wls = workloads();
+        let obs = Counter {
+            started: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+        };
+        let cells = vec![(1, 0), (0, 1)];
+        let out = run_cells(&specs, &wls, &cells, 2, &obs);
+        assert_eq!(obs.started.load(Ordering::Relaxed), 2);
+        assert_eq!(obs.finished.load(Ordering::Relaxed), 2);
+        // Sorted output, exactly the requested cells.
+        let got: Vec<_> = out
+            .iter()
+            .map(|g| (g.spec_index, g.workload_index))
+            .collect();
+        assert_eq!(got, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn spec_digest_ignores_label_but_not_semantics() {
+        let sys = SystemConfig::scaled();
+        let digest = |s: &RunSpec| {
+            let mut h = ziv_common::Fnv1a::new();
+            s.digest_into(&mut h);
+            h.finish()
+        };
+        let a = RunSpec::new("one label", sys.clone());
+        let b = RunSpec::new("another label", sys.clone());
+        assert_eq!(digest(&a), digest(&b), "label must not affect the digest");
+        let modes = RunSpec::new("x", sys.clone()).with_mode(LlcMode::NonInclusive);
+        let seeds = RunSpec::new("x", sys.clone()).with_seed(99);
+        let policies = RunSpec::new("x", sys).with_policy(ziv_replacement::PolicyKind::Srrip);
+        for changed in [&modes, &seeds, &policies] {
+            assert_ne!(digest(&a), digest(changed));
+        }
     }
 
     #[test]

@@ -97,18 +97,120 @@ pub struct AppSpec {
 /// The synthetic application suite (12 profiles spanning the behavior
 /// classes the paper's 36 SPEC pairs cover).
 pub const APPS: [AppSpec; 12] = [
-    AppSpec { name: "stream", class: AppClass::Streaming { footprint_x_llc: 4.0 }, write_ratio: 0.10, overlap: 0.75, gap_mean: 3.0 },
-    AppSpec { name: "wstream", class: AppClass::Streaming { footprint_x_llc: 2.0 }, write_ratio: 0.70, overlap: 0.70, gap_mean: 3.0 },
-    AppSpec { name: "circset", class: AppClass::CircularSet { blocks_per_set: 24, sets_covered: 0.5 }, write_ratio: 0.05, overlap: 0.35, gap_mean: 3.0 },
-    AppSpec { name: "circbig", class: AppClass::CircularGlobal { footprint_x_llc: 1.5 }, write_ratio: 0.05, overlap: 0.40, gap_mean: 3.0 },
-    AppSpec { name: "hotl2", class: AppClass::HotPrivate { footprint_x_l2: 0.5 }, write_ratio: 0.30, overlap: 0.25, gap_mean: 2.0 },
-    AppSpec { name: "hotl2big", class: AppClass::HotPrivate { footprint_x_l2: 1.8 }, write_ratio: 0.30, overlap: 0.25, gap_mean: 2.0 },
-    AppSpec { name: "chase", class: AppClass::PointerChase { footprint_x_llc: 2.0 }, write_ratio: 0.0, overlap: 0.10, gap_mean: 5.0 },
-    AppSpec { name: "zipfdb", class: AppClass::Zipf { footprint_x_llc: 4.0, exponent: 0.85 }, write_ratio: 0.15, overlap: 0.40, gap_mean: 4.0 },
-    AppSpec { name: "stencil", class: AppClass::Stencil { footprint_x_llc: 2.0 }, write_ratio: 0.33, overlap: 0.60, gap_mean: 2.0 },
-    AppSpec { name: "tiles", class: AppClass::Tiled { tile_x_l2: 0.6, tiles: 16, passes_per_tile: 8 }, write_ratio: 0.20, overlap: 0.50, gap_mean: 2.0 },
-    AppSpec { name: "scanphase", class: AppClass::PhasedScan { hot_x_l2: 0.5, stream_x_llc: 2.0 }, write_ratio: 0.20, overlap: 0.45, gap_mean: 3.0 },
-    AppSpec { name: "zipfnear", class: AppClass::Zipf { footprint_x_llc: 0.25, exponent: 0.6 }, write_ratio: 0.25, overlap: 0.30, gap_mean: 2.0 },
+    AppSpec {
+        name: "stream",
+        class: AppClass::Streaming {
+            footprint_x_llc: 4.0,
+        },
+        write_ratio: 0.10,
+        overlap: 0.75,
+        gap_mean: 3.0,
+    },
+    AppSpec {
+        name: "wstream",
+        class: AppClass::Streaming {
+            footprint_x_llc: 2.0,
+        },
+        write_ratio: 0.70,
+        overlap: 0.70,
+        gap_mean: 3.0,
+    },
+    AppSpec {
+        name: "circset",
+        class: AppClass::CircularSet {
+            blocks_per_set: 24,
+            sets_covered: 0.5,
+        },
+        write_ratio: 0.05,
+        overlap: 0.35,
+        gap_mean: 3.0,
+    },
+    AppSpec {
+        name: "circbig",
+        class: AppClass::CircularGlobal {
+            footprint_x_llc: 1.5,
+        },
+        write_ratio: 0.05,
+        overlap: 0.40,
+        gap_mean: 3.0,
+    },
+    AppSpec {
+        name: "hotl2",
+        class: AppClass::HotPrivate {
+            footprint_x_l2: 0.5,
+        },
+        write_ratio: 0.30,
+        overlap: 0.25,
+        gap_mean: 2.0,
+    },
+    AppSpec {
+        name: "hotl2big",
+        class: AppClass::HotPrivate {
+            footprint_x_l2: 1.8,
+        },
+        write_ratio: 0.30,
+        overlap: 0.25,
+        gap_mean: 2.0,
+    },
+    AppSpec {
+        name: "chase",
+        class: AppClass::PointerChase {
+            footprint_x_llc: 2.0,
+        },
+        write_ratio: 0.0,
+        overlap: 0.10,
+        gap_mean: 5.0,
+    },
+    AppSpec {
+        name: "zipfdb",
+        class: AppClass::Zipf {
+            footprint_x_llc: 4.0,
+            exponent: 0.85,
+        },
+        write_ratio: 0.15,
+        overlap: 0.40,
+        gap_mean: 4.0,
+    },
+    AppSpec {
+        name: "stencil",
+        class: AppClass::Stencil {
+            footprint_x_llc: 2.0,
+        },
+        write_ratio: 0.33,
+        overlap: 0.60,
+        gap_mean: 2.0,
+    },
+    AppSpec {
+        name: "tiles",
+        class: AppClass::Tiled {
+            tile_x_l2: 0.6,
+            tiles: 16,
+            passes_per_tile: 8,
+        },
+        write_ratio: 0.20,
+        overlap: 0.50,
+        gap_mean: 2.0,
+    },
+    AppSpec {
+        name: "scanphase",
+        class: AppClass::PhasedScan {
+            hot_x_l2: 0.5,
+            stream_x_llc: 2.0,
+        },
+        write_ratio: 0.20,
+        overlap: 0.45,
+        gap_mean: 3.0,
+    },
+    AppSpec {
+        name: "zipfnear",
+        class: AppClass::Zipf {
+            footprint_x_llc: 0.25,
+            exponent: 0.6,
+        },
+        write_ratio: 0.25,
+        overlap: 0.30,
+        gap_mean: 2.0,
+    },
 ];
 
 /// Looks up an application by name.
@@ -119,14 +221,48 @@ pub fn app_by_name(name: &str) -> Option<AppSpec> {
 /// Internal per-class generator state.
 #[derive(Debug)]
 enum GenState {
-    Sequential { footprint: u64, pos: u64 },
-    CircularSet { stride: u64, sets: u64, blocks: u64, set_cursor: u64, pointers: Vec<u32> },
-    HotRandom { footprint: u64 },
-    Chase { perm: Vec<u32>, pos: u32 },
-    Zipf { cdf: Vec<f64>, total: f64 },
-    Stencil { footprint: u64, pos: u64, row: u64 },
-    Tiled { tile: u64, tiles: u64, passes: u32, pos: u64, tile_idx: u64, pass: u32 },
-    Phased { hot: u64, stream: u64, in_hot: bool, count: u32, pos: u64 },
+    Sequential {
+        footprint: u64,
+        pos: u64,
+    },
+    CircularSet {
+        stride: u64,
+        sets: u64,
+        blocks: u64,
+        set_cursor: u64,
+        pointers: Vec<u32>,
+    },
+    HotRandom {
+        footprint: u64,
+    },
+    Chase {
+        perm: Vec<u32>,
+        pos: u32,
+    },
+    Zipf {
+        cdf: Vec<f64>,
+        total: f64,
+    },
+    Stencil {
+        footprint: u64,
+        pos: u64,
+        row: u64,
+    },
+    Tiled {
+        tile: u64,
+        tiles: u64,
+        passes: u32,
+        pos: u64,
+        tile_idx: u64,
+        pass: u32,
+    },
+    Phased {
+        hot: u64,
+        stream: u64,
+        in_hot: bool,
+        count: u32,
+        pos: u64,
+    },
 }
 
 fn build_state(class: AppClass, scale: ScaleParams, rng: &mut SimRng) -> GenState {
@@ -137,7 +273,10 @@ fn build_state(class: AppClass, scale: ScaleParams, rng: &mut SimRng) -> GenStat
             footprint: ((llc as f64 * footprint_x_llc) as u64).max(64),
             pos: 0,
         },
-        AppClass::CircularSet { blocks_per_set, sets_covered } => {
+        AppClass::CircularSet {
+            blocks_per_set,
+            sets_covered,
+        } => {
             // Lines spaced `llc_lines / ways` apart map to the same LLC
             // set (bank-interleaved modulo indexing, 16-way LLC).
             let stride = (llc / LLC_WAYS).max(1);
@@ -169,7 +308,10 @@ fn build_state(class: AppClass, scale: ScaleParams, rng: &mut SimRng) -> GenStat
             }
             GenState::Chase { perm, pos: 0 }
         }
-        AppClass::Zipf { footprint_x_llc, exponent } => {
+        AppClass::Zipf {
+            footprint_x_llc,
+            exponent,
+        } => {
             let n = ((llc as f64 * footprint_x_llc) as u64).max(64) as usize;
             let mut cdf = Vec::with_capacity(n);
             let mut total = 0.0;
@@ -184,7 +326,11 @@ fn build_state(class: AppClass, scale: ScaleParams, rng: &mut SimRng) -> GenStat
             pos: 0,
             row: (l2 / 2).max(16),
         },
-        AppClass::Tiled { tile_x_l2, tiles, passes_per_tile } => GenState::Tiled {
+        AppClass::Tiled {
+            tile_x_l2,
+            tiles,
+            passes_per_tile,
+        } => GenState::Tiled {
             tile: ((l2 as f64 * tile_x_l2) as u64).max(16),
             tiles: tiles as u64,
             passes: passes_per_tile,
@@ -192,7 +338,10 @@ fn build_state(class: AppClass, scale: ScaleParams, rng: &mut SimRng) -> GenStat
             tile_idx: 0,
             pass: 0,
         },
-        AppClass::PhasedScan { hot_x_l2, stream_x_llc } => GenState::Phased {
+        AppClass::PhasedScan {
+            hot_x_l2,
+            stream_x_llc,
+        } => GenState::Phased {
             hot: ((l2 as f64 * hot_x_l2) as u64).max(8),
             stream: ((llc as f64 * stream_x_llc) as u64).max(64),
             in_hot: true,
@@ -210,7 +359,13 @@ fn next_line(state: &mut GenState, rng: &mut SimRng) -> (u64, u64) {
             *pos = (*pos + 1) % *footprint;
             (l, 0)
         }
-        GenState::CircularSet { stride, sets, blocks, set_cursor, pointers } => {
+        GenState::CircularSet {
+            stride,
+            sets,
+            blocks,
+            set_cursor,
+            pointers,
+        } => {
             let s = *set_cursor;
             *set_cursor = (*set_cursor + 1) % *sets;
             let p = &mut pointers[s as usize];
@@ -229,7 +384,11 @@ fn next_line(state: &mut GenState, rng: &mut SimRng) -> (u64, u64) {
             let idx = cdf.partition_point(|&c| c < u);
             (idx.min(cdf.len() - 1) as u64, 4)
         }
-        GenState::Stencil { footprint, pos, row } => {
+        GenState::Stencil {
+            footprint,
+            pos,
+            row,
+        } => {
             // Emit center, then +row, then -row around a sweeping cursor.
             let phase = *pos % 3;
             let center = (*pos / 3) % *footprint;
@@ -241,7 +400,14 @@ fn next_line(state: &mut GenState, rng: &mut SimRng) -> (u64, u64) {
             *pos += 1;
             (l, 5 + phase)
         }
-        GenState::Tiled { tile, tiles, passes, pos, tile_idx, pass } => {
+        GenState::Tiled {
+            tile,
+            tiles,
+            passes,
+            pos,
+            tile_idx,
+            pass,
+        } => {
             let base = *tile_idx * *tile;
             let l = base + *pos;
             *pos += 1;
@@ -255,9 +421,15 @@ fn next_line(state: &mut GenState, rng: &mut SimRng) -> (u64, u64) {
             }
             (l, 8)
         }
-        GenState::Phased { hot, stream, in_hot, count, pos } => {
+        GenState::Phased {
+            hot,
+            stream,
+            in_hot,
+            count,
+            pos,
+        } => {
             *count += 1;
-            
+
             if *in_hot {
                 if *count >= 2000 {
                     *in_hot = false;
@@ -279,7 +451,13 @@ fn next_line(state: &mut GenState, rng: &mut SimRng) -> (u64, u64) {
 
 /// Generates a core trace of `len` accesses for `spec`, with all lines
 /// offset by `base_line` (multiprogrammed address-space isolation).
-pub fn generate(spec: AppSpec, len: usize, base_line: u64, seed: u64, scale: ScaleParams) -> CoreTrace {
+pub fn generate(
+    spec: AppSpec,
+    len: usize,
+    base_line: u64,
+    seed: u64,
+    scale: ScaleParams,
+) -> CoreTrace {
     let mut rng = SimRng::seed_from_u64(seed ^ x_app_seed(spec.name));
     let mut state = build_state(spec.class, scale, &mut rng);
     let gap_p = 1.0 / (1.0 + spec.gap_mean);
@@ -294,13 +472,18 @@ pub fn generate(spec: AppSpec, len: usize, base_line: u64, seed: u64, scale: Sca
             gap: rng.geometric(gap_p, 255) as u8,
         });
     }
-    CoreTrace { records, overlap: spec.overlap, app_name: spec.name }
+    CoreTrace {
+        records,
+        overlap: spec.overlap,
+        app_name: spec.name,
+    }
 }
 
 /// Stable per-app hash for PC-space separation.
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(1469598103934665603u64, |h, b| (h ^ b as u64).wrapping_mul(1099511628211))
-        % 4096
+    name.bytes().fold(1469598103934665603u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(1099511628211)
+    }) % 4096
 }
 
 /// Stable per-app seed salt.
@@ -313,7 +496,10 @@ mod tests {
     use super::*;
 
     fn scale() -> ScaleParams {
-        ScaleParams { llc_lines: 16 * 1024, l2_lines: 512 }
+        ScaleParams {
+            llc_lines: 16 * 1024,
+            l2_lines: 512,
+        }
     }
 
     #[test]
@@ -380,7 +566,10 @@ mod tests {
                 .insert(line.raw());
         }
         let max_depth = per_set_lines.values().map(|s| s.len()).max().unwrap();
-        assert!(max_depth > 16, "max per-set depth {max_depth} must exceed associativity");
+        assert!(
+            max_depth > 16,
+            "max per-set depth {max_depth} must exceed associativity"
+        );
     }
 
     #[test]
@@ -388,7 +577,10 @@ mod tests {
         let app = app_by_name("hotl2").unwrap();
         let t = generate(app, 5_000, 0, 9, scale());
         let max = t.records.iter().map(|r| r.addr.line().raw()).max().unwrap();
-        assert!(max < 256, "footprint must be half the 512-line L2, got {max}");
+        assert!(
+            max < 256,
+            "footprint must be half the 512-line L2, got {max}"
+        );
     }
 
     #[test]
@@ -411,18 +603,24 @@ mod tests {
     #[test]
     fn chase_visits_whole_cycle() {
         let app = app_by_name("chase").unwrap();
-        let small = ScaleParams { llc_lines: 64, l2_lines: 16 };
+        let small = ScaleParams {
+            llc_lines: 64,
+            l2_lines: 16,
+        };
         let t = generate(app, 128, 0, 13, small);
         let distinct: std::collections::HashSet<u64> =
             t.records.iter().map(|r| r.addr.line().raw()).collect();
-        assert_eq!(distinct.len(), 128, "a permutation cycle visits every line once per lap");
+        assert_eq!(
+            distinct.len(),
+            128,
+            "a permutation cycle visits every line once per lap"
+        );
     }
 
     #[test]
     fn gap_mean_is_plausible() {
         let t = generate(APPS[0], 50_000, 0, 15, scale());
-        let mean =
-            t.records.iter().map(|r| r.gap as f64).sum::<f64>() / t.records.len() as f64;
+        let mean = t.records.iter().map(|r| r.gap as f64).sum::<f64>() / t.records.len() as f64;
         assert!((mean - 3.0).abs() < 0.3, "gap mean {mean}");
     }
 }

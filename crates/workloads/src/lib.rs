@@ -39,7 +39,10 @@
 pub mod apps;
 pub mod mixes;
 pub mod multithreaded;
+pub mod recipe;
 pub mod trace_io;
+
+pub use recipe::{MtApp, Recipe, RecipeKind};
 
 use ziv_common::Addr;
 
@@ -112,7 +115,10 @@ pub struct ScaleParams {
 impl ScaleParams {
     /// Derives scale parameters from a system configuration.
     pub fn from_system(cfg: &ziv_common::config::SystemConfig) -> Self {
-        ScaleParams { llc_lines: cfg.llc.total_blocks(), l2_lines: cfg.l2.blocks() }
+        ScaleParams {
+            llc_lines: cfg.llc.total_blocks(),
+            l2_lines: cfg.l2.blocks(),
+        }
     }
 }
 
@@ -124,8 +130,18 @@ mod tests {
     fn core_trace_counts_instructions() {
         let t = CoreTrace {
             records: vec![
-                TraceRecord { addr: Addr::new(0), pc: 0, is_write: false, gap: 3 },
-                TraceRecord { addr: Addr::new(64), pc: 0, is_write: false, gap: 0 },
+                TraceRecord {
+                    addr: Addr::new(0),
+                    pc: 0,
+                    is_write: false,
+                    gap: 3,
+                },
+                TraceRecord {
+                    addr: Addr::new(64),
+                    pc: 0,
+                    is_write: false,
+                    gap: 0,
+                },
             ],
             overlap: 0.5,
             app_name: "test",

@@ -33,7 +33,10 @@ pub fn homogeneous(
             )
         })
         .collect();
-    Workload { name: format!("homo-{}", app.name), traces }
+    Workload {
+        name: format!("homo-{}", app.name),
+        traces,
+    }
 }
 
 /// All homogeneous mixes, one per application.
@@ -43,7 +46,9 @@ pub fn all_homogeneous(
     seed: u64,
     scale: ScaleParams,
 ) -> Vec<Workload> {
-    APPS.iter().map(|&a| homogeneous(a, cores, accesses_per_core, seed, scale)).collect()
+    APPS.iter()
+        .map(|&a| homogeneous(a, cores, accesses_per_core, seed, scale))
+        .collect()
 }
 
 /// A heterogeneous mix: `cores` applications drawn from a rotation that
@@ -80,7 +85,10 @@ pub fn heterogeneous(
             )
         })
         .collect();
-    Workload { name: format!("hetero-{mix_index:02}"), traces }
+    Workload {
+        name: format!("hetero-{mix_index:02}"),
+        traces,
+    }
 }
 
 /// A batch of heterogeneous mixes.
@@ -91,7 +99,9 @@ pub fn all_heterogeneous(
     seed: u64,
     scale: ScaleParams,
 ) -> Vec<Workload> {
-    (0..count).map(|i| heterogeneous(i, cores, accesses_per_core, seed, scale)).collect()
+    (0..count)
+        .map(|i| heterogeneous(i, cores, accesses_per_core, seed, scale))
+        .collect()
 }
 
 /// The default experiment suite: all homogeneous mixes plus `hetero`
@@ -105,7 +115,13 @@ pub fn default_suite(
     scale: ScaleParams,
 ) -> Vec<Workload> {
     let mut suite = all_homogeneous(cores, accesses_per_core, seed, scale);
-    suite.extend(all_heterogeneous(hetero, cores, accesses_per_core, seed, scale));
+    suite.extend(all_heterogeneous(
+        hetero,
+        cores,
+        accesses_per_core,
+        seed,
+        scale,
+    ));
     suite
 }
 
@@ -114,7 +130,10 @@ mod tests {
     use super::*;
 
     fn scale() -> ScaleParams {
-        ScaleParams { llc_lines: 16 * 1024, l2_lines: 512 }
+        ScaleParams {
+            llc_lines: 16 * 1024,
+            l2_lines: 512,
+        }
     }
 
     #[test]
@@ -131,7 +150,13 @@ mod tests {
 
     #[test]
     fn homogeneous_cores_use_different_seeds() {
-        let wl = homogeneous(crate::apps::app_by_name("hotl2").unwrap(), 2, 500, 1, scale());
+        let wl = homogeneous(
+            crate::apps::app_by_name("hotl2").unwrap(),
+            2,
+            500,
+            1,
+            scale(),
+        );
         let rel: Vec<Vec<u64>> = wl
             .traces
             .iter()

@@ -13,7 +13,12 @@ use ziv_common::{Addr, SimRng};
 const SHARED_BASE: u64 = 1 << 36;
 
 fn record(line: u64, pc: u64, is_write: bool, gap: u8) -> TraceRecord {
-    TraceRecord { addr: Addr::new(line << 6), pc, is_write, gap }
+    TraceRecord {
+        addr: Addr::new(line << 6),
+        pc,
+        is_write,
+        gap,
+    }
 }
 
 /// canneal-like: random reads over a large shared graph (~2× LLC) with
@@ -27,13 +32,25 @@ pub fn canneal(cores: usize, accesses_per_core: usize, seed: u64, scale: ScalePa
             let records = (0..accesses_per_core)
                 .map(|_| {
                     let line = SHARED_BASE + rng.below(graph);
-                    record(line, 0x20_0000, rng.chance(0.10), rng.geometric(0.25, 255) as u8)
+                    record(
+                        line,
+                        0x20_0000,
+                        rng.chance(0.10),
+                        rng.geometric(0.25, 255) as u8,
+                    )
                 })
                 .collect();
-            CoreTrace { records, overlap: 0.30, app_name: "canneal" }
+            CoreTrace {
+                records,
+                overlap: 0.30,
+                app_name: "canneal",
+            }
         })
         .collect();
-    Workload { name: "canneal".into(), traces }
+    Workload {
+        name: "canneal".into(),
+        traces,
+    }
 }
 
 /// facesim-like: per-core blocked regions with heavy LLC reuse plus a
@@ -61,10 +78,17 @@ pub fn facesim(cores: usize, accesses_per_core: usize, seed: u64, scale: ScalePa
                     }
                 })
                 .collect();
-            CoreTrace { records, overlap: 0.50, app_name: "facesim" }
+            CoreTrace {
+                records,
+                overlap: 0.50,
+                app_name: "facesim",
+            }
         })
         .collect();
-    Workload { name: "facesim".into(), traces }
+    Workload {
+        name: "facesim".into(),
+        traces,
+    }
 }
 
 /// vips-like image pipeline: cores stream a read-shared input image and
@@ -95,10 +119,17 @@ pub fn vips(cores: usize, accesses_per_core: usize, seed: u64, scale: ScaleParam
                     }
                 })
                 .collect();
-            CoreTrace { records, overlap: 0.60, app_name: "vips" }
+            CoreTrace {
+                records,
+                overlap: 0.60,
+                app_name: "vips",
+            }
         })
         .collect();
-    Workload { name: "vips".into(), traces }
+    Workload {
+        name: "vips".into(),
+        traces,
+    }
 }
 
 /// 316.applu-like: stencil sweeps over a block-partitioned shared grid
@@ -146,10 +177,17 @@ pub fn applu(cores: usize, accesses_per_core: usize, seed: u64, scale: ScalePara
                     }
                 })
                 .collect();
-            CoreTrace { records, overlap: 0.50, app_name: "applu" }
+            CoreTrace {
+                records,
+                overlap: 0.50,
+                app_name: "applu",
+            }
         })
         .collect();
-    Workload { name: "316.applu".into(), traces }
+    Workload {
+        name: "316.applu".into(),
+        traces,
+    }
 }
 
 /// TPC-E-like OLTP: zipf reads over a large shared database, per-core
@@ -184,14 +222,26 @@ pub fn tpce(cores: usize, accesses_per_core: usize, seed: u64, scale: ScaleParam
                         log_pos = (log_pos + 1) % 256;
                         record(l, 0x24_0004, true, gap)
                     } else {
-                        record(SHARED_BASE + 16 * db + rng.below(meta), 0x24_0008, rng.chance(0.3), gap)
+                        record(
+                            SHARED_BASE + 16 * db + rng.below(meta),
+                            0x24_0008,
+                            rng.chance(0.3),
+                            gap,
+                        )
                     }
                 })
                 .collect();
-            CoreTrace { records, overlap: 0.35, app_name: "tpce" }
+            CoreTrace {
+                records,
+                overlap: 0.35,
+                app_name: "tpce",
+            }
         })
         .collect();
-    Workload { name: "TPC-E".into(), traces }
+    Workload {
+        name: "TPC-E".into(),
+        traces,
+    }
 }
 
 /// The paper's Fig 16/17 multithreaded set at `cores` cores (canneal,
@@ -215,7 +265,10 @@ mod tests {
     use super::*;
 
     fn scale() -> ScaleParams {
-        ScaleParams { llc_lines: 2048, l2_lines: 128 }
+        ScaleParams {
+            llc_lines: 2048,
+            l2_lines: 128,
+        }
     }
 
     #[test]
@@ -238,7 +291,10 @@ mod tests {
             .map(|t| t.records.iter().map(|r| r.addr.line().raw()).collect())
             .collect();
         let shared01 = sets[0].intersection(&sets[1]).count();
-        assert!(shared01 > 10, "cores must share graph lines, got {shared01}");
+        assert!(
+            shared01 > 10,
+            "cores must share graph lines, got {shared01}"
+        );
     }
 
     #[test]
@@ -248,10 +304,18 @@ mod tests {
             .traces
             .iter()
             .map(|t| {
-                t.records.iter().filter(|r| r.is_write).map(|r| r.addr.line().raw()).collect()
+                t.records
+                    .iter()
+                    .filter(|r| r.is_write)
+                    .map(|r| r.addr.line().raw())
+                    .collect()
             })
             .collect();
-        assert_eq!(writes[0].intersection(&writes[1]).count(), 0, "bands must not overlap");
+        assert_eq!(
+            writes[0].intersection(&writes[1]).count(),
+            0,
+            "bands must not overlap"
+        );
     }
 
     #[test]
@@ -262,7 +326,10 @@ mod tests {
             .iter()
             .map(|t| t.records.iter().map(|r| r.addr.line().raw()).collect())
             .collect();
-        assert!(sets[0].intersection(&sets[1]).count() > 0, "boundary lines shared");
+        assert!(
+            sets[0].intersection(&sets[1]).count() > 0,
+            "boundary lines shared"
+        );
     }
 
     #[test]

@@ -34,14 +34,21 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseTraceError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseTraceError {
-    ParseTraceError { line, message: message.into() }
+    ParseTraceError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Writes a workload in the ziv-trace text format.
@@ -57,7 +64,12 @@ pub fn write_trace<W: Write>(workload: &Workload, mut out: W) -> std::io::Result
     }
     // Interleave round-robin so the file reflects the nominal global
     // order (and streams well for very long traces).
-    let longest = workload.traces.iter().map(|t| t.records.len()).max().unwrap_or(0);
+    let longest = workload
+        .traces
+        .iter()
+        .map(|t| t.records.len())
+        .max()
+        .unwrap_or(0);
     for i in 0..longest {
         for (c, t) in workload.traces.iter().enumerate() {
             if let Some(r) = t.records.get(i) {
@@ -110,8 +122,9 @@ pub fn read_trace<R: Read>(input: R) -> Result<Workload, ParseTraceError> {
                 let mut overlap = DEFAULT_OVERLAP;
                 let mut app = "imported".to_string();
                 while let Some(key) = parts.next() {
-                    let value =
-                        parts.next().ok_or_else(|| err(lineno, format!("{key} needs a value")))?;
+                    let value = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, format!("{key} needs a value")))?;
                     match key {
                         "overlap" => {
                             overlap = value
@@ -156,7 +169,12 @@ pub fn read_trace<R: Read>(input: R) -> Result<Workload, ParseTraceError> {
         if per_core.len() <= core {
             per_core.resize_with(core + 1, Vec::new);
         }
-        per_core[core].push(TraceRecord { addr: Addr::new(addr), pc, is_write, gap });
+        per_core[core].push(TraceRecord {
+            addr: Addr::new(addr),
+            pc,
+            is_write,
+            gap,
+        });
     }
 
     if per_core.is_empty() {
@@ -187,7 +205,10 @@ mod tests {
     use crate::{apps, mixes, ScaleParams};
 
     fn sample() -> Workload {
-        let scale = ScaleParams { llc_lines: 1024, l2_lines: 64 };
+        let scale = ScaleParams {
+            llc_lines: 1024,
+            l2_lines: 64,
+        };
         mixes::homogeneous(apps::APPS[4], 2, 50, 9, scale)
     }
 
@@ -241,7 +262,10 @@ mod tests {
         assert!(e.message.contains("expected r or w"));
 
         let bad = "0 1040 400 r 3 extra\n";
-        assert!(read_trace(bad.as_bytes()).unwrap_err().message.contains("trailing"));
+        assert!(read_trace(bad.as_bytes())
+            .unwrap_err()
+            .message
+            .contains("trailing"));
     }
 
     #[test]
@@ -252,7 +276,10 @@ mod tests {
 
     #[test]
     fn display_formats_error() {
-        let e = ParseTraceError { line: 7, message: "boom".into() };
+        let e = ParseTraceError {
+            line: 7,
+            message: "boom".into(),
+        };
         assert_eq!(e.to_string(), "trace parse error at line 7: boom");
     }
 }

@@ -58,10 +58,7 @@ fn main() {
         ("NI-LRU", LlcMode::NonInclusive),
         ("ZIV-LikelyDead", LlcMode::Ziv(ZivProperty::LikelyDead)),
     ] {
-        let r = ziv::sim::run_one(
-            &RunSpec::new(name, server.clone()).with_mode(mode),
-            &tpce,
-        );
+        let r = ziv::sim::run_one(&RunSpec::new(name, server.clone()).with_mode(mode), &tpce);
         println!(
             "  {:<16} speedup {:.3}   inclusion victims {}   relocations {}",
             name,

@@ -28,9 +28,7 @@ fn main() {
     let mut specs = Vec::new();
     for l2 in L2Size::TABLE1 {
         let sys = SystemConfig::scaled_with_l2(l2);
-        for (policy, policy_label) in
-            [(PolicyKind::Lru, "LRU"), (PolicyKind::Hawkeye, "Hawkeye")]
-        {
+        for (policy, policy_label) in [(PolicyKind::Lru, "LRU"), (PolicyKind::Hawkeye, "Hawkeye")] {
             let modes: Vec<LlcMode> = match policy {
                 PolicyKind::Lru => vec![
                     LlcMode::Inclusive,
@@ -54,7 +52,9 @@ fn main() {
             for mode in modes {
                 let label = format!("{}-{} {}", mode.label(), policy_label, l2.label());
                 specs.push(
-                    RunSpec::new(label, sys.clone()).with_mode(mode).with_policy(policy),
+                    RunSpec::new(label, sys.clone())
+                        .with_mode(mode)
+                        .with_policy(policy),
                 );
             }
         }

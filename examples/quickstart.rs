@@ -13,7 +13,10 @@ fn main() {
     let stream = mixes::homogeneous(apps::app_by_name("stream").unwrap(), 8, 150_000, 5, sc);
     let mut traces = hot.traces;
     traces.extend(stream.traces.into_iter().skip(4));
-    let wl = Workload { name: "hot-vs-stream".into(), traces };
+    let wl = Workload {
+        name: "hot-vs-stream".into(),
+        traces,
+    };
 
     let t0 = std::time::Instant::now();
     let base = run_one(&RunSpec::new("I-LRU", sys.clone()), &wl);
@@ -22,11 +25,25 @@ fn main() {
         &RunSpec::new("ZIV-LikelyDead", sys).with_mode(LlcMode::Ziv(ZivProperty::LikelyDead)),
         &wl,
     );
-    println!("accesses: {}  I-LRU time: {:?}  ({:.1} M acc/s)",
-        wl.total_accesses(), t1, wl.total_accesses() as f64 / t1.as_secs_f64() / 1e6);
-    println!("I-LRU   : inclusion victims {}  LLC misses {}", base.metrics.inclusion_victims, base.metrics.llc_misses);
-    println!("ZIV     : inclusion victims {}  LLC misses {}  relocations {} ({:.1}% of misses)",
-        ziv.metrics.inclusion_victims, ziv.metrics.llc_misses, ziv.metrics.relocations,
-        100.0 * ziv.metrics.relocation_rate());
-    println!("ZIV weighted speedup over I-LRU: {:.3}", ziv.weighted_speedup(&base));
+    println!(
+        "accesses: {}  I-LRU time: {:?}  ({:.1} M acc/s)",
+        wl.total_accesses(),
+        t1,
+        wl.total_accesses() as f64 / t1.as_secs_f64() / 1e6
+    );
+    println!(
+        "I-LRU   : inclusion victims {}  LLC misses {}",
+        base.metrics.inclusion_victims, base.metrics.llc_misses
+    );
+    println!(
+        "ZIV     : inclusion victims {}  LLC misses {}  relocations {} ({:.1}% of misses)",
+        ziv.metrics.inclusion_victims,
+        ziv.metrics.llc_misses,
+        ziv.metrics.relocations,
+        100.0 * ziv.metrics.relocation_rate()
+    );
+    println!(
+        "ZIV weighted speedup over I-LRU: {:.3}",
+        ziv.weighted_speedup(&base)
+    );
 }

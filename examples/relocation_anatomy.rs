@@ -80,7 +80,10 @@ fn main() {
         read(&mut h, 0, b, &mut now, &mut seq); // L1 hit: keeps B private, invisible to the LLC
     }
     dump(&h, "after the conflict stream");
-    match h.directory().relocated_location(ziv::common::LineAddr::new(b)) {
+    match h
+        .directory()
+        .relocated_location(ziv::common::LineAddr::new(b))
+    {
         Some(loc) => println!(
             "B now lives at {}/set{}/way{} in the Relocated state, reachable only\n\
              through its sparse-directory entry — and core 0 never lost its L1 copy.\n",
@@ -110,7 +113,9 @@ fn main() {
     println!(
         "B relocated copy present: {}   (Section III-C2: a relocated block is\n\
          invalidated when its last private copy leaves — the next access misses)",
-        h.directory().relocated_location(ziv::common::LineAddr::new(b)).is_some()
+        h.directory()
+            .relocated_location(ziv::common::LineAddr::new(b))
+            .is_some()
     );
     assert_eq!(h.metrics().inclusion_victims, 0);
     println!("\ninclusion victims across the whole walkthrough: 0 (the guarantee)");

@@ -8,9 +8,7 @@
 //!
 //! Run with `cargo run --release --example side_channel`.
 
-use ziv_common::config::{
-    CacheGeometry, DirRatio, DramParams, LlcConfig, NocParams, SystemConfig,
-};
+use ziv_common::config::{CacheGeometry, DirRatio, DramParams, LlcConfig, NocParams, SystemConfig};
 use ziv_common::{Addr, CoreId};
 use ziv_core::{Access, CacheHierarchy, HierarchyConfig, LlcMode, ZivProperty};
 
@@ -45,7 +43,11 @@ fn mount_attack(mode: LlcMode) -> (usize, u64) {
     let mut now = 0u64;
     let mut seq = 0u64;
     let go = |h: &mut CacheHierarchy, core: CoreId, line: u64, now: &mut u64, seq: &mut u64| {
-        let lat = h.access(&Access::read(core, Addr::new(line * 64), 0x400 + line % 8), *now, *seq);
+        let lat = h.access(
+            &Access::read(core, Addr::new(line * 64), 0x400 + line % 8),
+            *now,
+            *seq,
+        );
         *now += 1 + lat;
         *seq += 1;
         lat

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate for the ziv workspace: formatting, lints, build, and
+# the full test suite, with no network access required.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "CI OK"

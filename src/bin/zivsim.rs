@@ -1,10 +1,16 @@
 //! `zivsim` — command-line driver for the ZIV LLC simulator.
 //!
 //! ```text
-//! zivsim list                             # available modes, policies, apps
+//! zivsim list                             # available modes, policies, apps, campaigns
 //! zivsim run  [options]                   # one configuration, one workload
 //! zivsim compare [options]                # every mode on one workload
 //! zivsim export <file> [options]          # write the workload as a ziv-trace file
+//! zivsim campaign <name> [options]        # run a named figure campaign end-to-end
+//!
+//! campaign options:
+//!   --resume                              (reuse the ledger: skip completed cells)
+//!   --results-dir <D>                     (default results/<name>)
+//!   --threads <N>                         (default: available parallelism)
 //!
 //! options:
 //!   --mode <inclusive|noninclusive|qbs|sharp|charonbase|
@@ -33,8 +39,12 @@ struct Options {
     accesses: usize,
     cores: usize,
     seed: u64,
+    seed_explicit: bool,
     paper_scale: bool,
     prefetch: bool,
+    resume: bool,
+    results_dir: Option<String>,
+    threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -48,8 +58,12 @@ impl Default for Options {
             accesses: 50_000,
             cores: 8,
             seed: 2026,
+            seed_explicit: false,
             paper_scale: false,
             prefetch: false,
+            resume: false,
+            results_dir: None,
+            threads: None,
         }
     }
 }
@@ -93,7 +107,11 @@ fn parse_l2(s: &str) -> Result<L2Size, String> {
         "512" => L2Size::K512,
         "768" => L2Size::K768,
         "1024" | "1m" | "1M" => L2Size::M1,
-        other => return Err(format!("unknown L2 size '{other}' (use 128/256/512/768/1024)")),
+        other => {
+            return Err(format!(
+                "unknown L2 size '{other}' (use 128/256/512/768/1024)"
+            ))
+        }
     })
 }
 
@@ -101,15 +119,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
-    let mut positional_allowed = opts.command == "export";
+    let mut positional_allowed = opts.command == "export" || opts.command == "campaign";
     while let Some(flag) = it.next() {
         if positional_allowed && !flag.starts_with("--") {
-            // The export file path (consumed by cmd_export from raw args).
+            // The export file path / campaign name (consumed from raw args).
             positional_allowed = false;
             continue;
         }
         let mut value = || {
-            it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
             "--mode" => opts.mode = parse_mode(&value()?)?,
@@ -120,9 +140,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.accesses = value()?.parse().map_err(|e| format!("--accesses: {e}"))?
             }
             "--cores" => opts.cores = value()?.parse().map_err(|e| format!("--cores: {e}"))?,
-            "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                opts.seed_explicit = true;
+            }
             "--paper-scale" => opts.paper_scale = true,
             "--prefetch" => opts.prefetch = true,
+            "--resume" => opts.resume = true,
+            "--results-dir" => opts.results_dir = Some(value()?),
+            "--threads" => {
+                opts.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -140,31 +168,70 @@ fn system_for(opts: &Options) -> SystemConfig {
 fn build_workload(opts: &Options) -> Result<Workload, String> {
     let sys = system_for(opts);
     let scale = ScaleParams::from_system(&sys);
-    let (kind, arg) = opts
-        .workload
-        .split_once(':')
-        .ok_or_else(|| format!("workload '{}' must look like homo:APP / hetero:N / mt:NAME", opts.workload))?;
+    let (kind, arg) = opts.workload.split_once(':').ok_or_else(|| {
+        format!(
+            "workload '{}' must look like homo:APP / hetero:N / mt:NAME",
+            opts.workload
+        )
+    })?;
     match kind {
         "homo" => {
             let app = apps::app_by_name(arg)
                 .ok_or_else(|| format!("unknown app '{arg}' (see `zivsim list`)"))?;
-            Ok(mixes::homogeneous(app, opts.cores, opts.accesses, opts.seed, scale))
+            Ok(mixes::homogeneous(
+                app,
+                opts.cores,
+                opts.accesses,
+                opts.seed,
+                scale,
+            ))
         }
         "hetero" => {
             let idx: usize = arg.parse().map_err(|e| format!("hetero index: {e}"))?;
-            Ok(mixes::heterogeneous(idx, opts.cores, opts.accesses, opts.seed, scale))
+            Ok(mixes::heterogeneous(
+                idx,
+                opts.cores,
+                opts.accesses,
+                opts.seed,
+                scale,
+            ))
         }
         "file" => {
-            let f = std::fs::File::open(arg)
-                .map_err(|e| format!("cannot open trace '{arg}': {e}"))?;
+            let f =
+                std::fs::File::open(arg).map_err(|e| format!("cannot open trace '{arg}': {e}"))?;
             ziv::workloads::trace_io::read_trace(f).map_err(|e| e.to_string())
         }
         "mt" => match arg {
-            "canneal" => Ok(multithreaded::canneal(opts.cores, opts.accesses, opts.seed, scale)),
-            "facesim" => Ok(multithreaded::facesim(opts.cores, opts.accesses, opts.seed, scale)),
-            "vips" => Ok(multithreaded::vips(opts.cores, opts.accesses, opts.seed, scale)),
-            "applu" => Ok(multithreaded::applu(opts.cores, opts.accesses, opts.seed, scale)),
-            "tpce" => Ok(multithreaded::tpce(opts.cores, opts.accesses, opts.seed, scale)),
+            "canneal" => Ok(multithreaded::canneal(
+                opts.cores,
+                opts.accesses,
+                opts.seed,
+                scale,
+            )),
+            "facesim" => Ok(multithreaded::facesim(
+                opts.cores,
+                opts.accesses,
+                opts.seed,
+                scale,
+            )),
+            "vips" => Ok(multithreaded::vips(
+                opts.cores,
+                opts.accesses,
+                opts.seed,
+                scale,
+            )),
+            "applu" => Ok(multithreaded::applu(
+                opts.cores,
+                opts.accesses,
+                opts.seed,
+                scale,
+            )),
+            "tpce" => Ok(multithreaded::tpce(
+                opts.cores,
+                opts.accesses,
+                opts.seed,
+                scale,
+            )),
             other => Err(format!("unknown multithreaded workload '{other}'")),
         },
         other => Err(format!("unknown workload kind '{other}'")),
@@ -175,7 +242,11 @@ fn print_result(r: &ziv::sim::RunResult, baseline: Option<&ziv::sim::RunResult>)
     let m = &r.metrics;
     println!("config: {}   workload: {}", r.label, r.workload);
     if let Some(b) = baseline {
-        println!("weighted speedup vs {}: {:.3}", b.label, r.weighted_speedup(b));
+        println!(
+            "weighted speedup vs {}: {:.3}",
+            b.label,
+            r.weighted_speedup(b)
+        );
     }
     println!(
         "LLC: {} accesses, {} hits ({} on relocated blocks), {} misses",
@@ -194,7 +265,10 @@ fn print_result(r: &ziv::sim::RunResult, baseline: Option<&ziv::sim::RunResult>)
     );
     println!(
         "DRAM: {} accesses   writebacks: {} (+{} relocated)   relocation EPI: {:.2} pJ",
-        m.dram_accesses, m.llc_writebacks, m.relocated_writebacks, m.relocation_epi_pj()
+        m.dram_accesses,
+        m.llc_writebacks,
+        m.relocated_writebacks,
+        m.relocation_epi_pj()
     );
     let ipc: Vec<String> = r.cores.iter().map(|c| format!("{:.3}", c.ipc())).collect();
     println!("per-core IPC: [{}]", ipc.join(", "));
@@ -203,10 +277,20 @@ fn print_result(r: &ziv::sim::RunResult, baseline: Option<&ziv::sim::RunResult>)
 fn cmd_list() {
     println!("modes:");
     for m in [
-        "inclusive", "noninclusive", "qbs", "sharp", "charonbase",
-        "tlh", "eci", "ric", "waypart",
-        "ziv-notinprc", "ziv-lrunotinprc", "ziv-likelydead",
-        "ziv-mrnotinprc", "ziv-mrlikelydead",
+        "inclusive",
+        "noninclusive",
+        "qbs",
+        "sharp",
+        "charonbase",
+        "tlh",
+        "eci",
+        "ric",
+        "waypart",
+        "ziv-notinprc",
+        "ziv-lrunotinprc",
+        "ziv-likelydead",
+        "ziv-mrnotinprc",
+        "ziv-mrlikelydead",
     ] {
         println!("  {m}");
     }
@@ -216,16 +300,60 @@ fn cmd_list() {
         println!("  {:<12} {:?}", a.name, a.class);
     }
     println!("multithreaded (mt:<name>): canneal facesim vips applu tpce");
+    println!("campaigns (zivsim campaign <name>):");
+    for (name, desc) in ziv::harness::campaigns::names() {
+        println!("  {name:<24} {desc}");
+    }
+}
+
+fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
+    use ziv::harness::{campaigns, run_campaign, CampaignParams, RunnerConfig, StderrProgress};
+    let name = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| {
+            let list: Vec<&str> = campaigns::names().iter().map(|(n, _)| *n).collect();
+            format!("campaign needs a name (one of: {})", list.join(", "))
+        })?;
+    let mut params = CampaignParams::from_env();
+    if opts.seed_explicit {
+        params.seed = opts.seed;
+    }
+    params.cores = opts.cores;
+    let campaign = campaigns::by_name(name, &params).ok_or_else(|| {
+        let list: Vec<&str> = campaigns::names().iter().map(|(n, _)| *n).collect();
+        format!("unknown campaign '{name}' (one of: {})", list.join(", "))
+    })?;
+    let cfg = RunnerConfig {
+        results_dir: opts
+            .results_dir
+            .clone()
+            .unwrap_or_else(|| format!("results/{name}"))
+            .into(),
+        threads: opts.threads.unwrap_or(params.effort.threads),
+        resume: opts.resume,
+    };
+    let outcome = run_campaign(&campaign, &cfg, &StderrProgress).map_err(|e| e.to_string())?;
+    let rows =
+        ziv::sim::speedup_summary(&outcome.grid, campaign.specs.len(), campaign.baseline_spec);
+    println!("{}", rows.to_table("speedup"));
+    println!("wrote {}", outcome.grid_csv.display());
+    println!("wrote {}", outcome.summary_csv.display());
+    println!("ledger {}", outcome.ledger_path.display());
+    Ok(())
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let wl = build_workload(opts)?;
     let sys = system_for(opts);
     let baseline_spec = RunSpec::new("I-LRU (baseline)", sys.clone());
-    let mut spec = RunSpec::new(format!("{}-{}", opts.mode.label(), opts.policy.label()), sys)
-        .with_mode(opts.mode)
-        .with_policy(opts.policy)
-        .with_seed(opts.seed);
+    let mut spec = RunSpec::new(
+        format!("{}-{}", opts.mode.label(), opts.policy.label()),
+        sys,
+    )
+    .with_mode(opts.mode)
+    .with_policy(opts.policy)
+    .with_seed(opts.seed);
     if opts.prefetch {
         spec = spec.with_prefetch(ziv::core::prefetch::PrefetchConfig::default());
     }
@@ -272,7 +400,11 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
             s
         })
         .collect();
-    let grid = run_grid(&specs, std::slice::from_ref(&wl), Effort::from_env().threads);
+    let grid = run_grid(
+        &specs,
+        std::slice::from_ref(&wl),
+        Effort::from_env().threads,
+    );
     let base = &grid[0].result;
     println!(
         "{:<18} {:>8} {:>12} {:>12} {:>12}",
@@ -293,17 +425,27 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
-    let path = args.get(1).filter(|a| !a.starts_with("--")).ok_or("export needs a file path")?;
+    let path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("export needs a file path")?;
     let wl = build_workload(opts)?;
     let f = std::fs::File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
     ziv::workloads::trace_io::write_trace(&wl, std::io::BufWriter::new(f))
         .map_err(|e| e.to_string())?;
-    println!("wrote {} accesses ({} cores) to {path}", wl.total_accesses(), wl.cores());
+    println!(
+        "wrote {} accesses ({} cores) to {path}",
+        wl.total_accesses(),
+        wl.cores()
+    );
     Ok(())
 }
 
 fn usage() {
-    println!("usage: zivsim <list|run|compare> [options]   (see --help text in the source header)");
+    println!(
+        "usage: zivsim <list|run|compare|export|campaign> [options]   \
+         (see --help text in the source header)"
+    );
 }
 
 fn main() -> ExitCode {
@@ -324,6 +466,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
         "export" => cmd_export(&args, &opts),
+        "campaign" => cmd_campaign(&args, &opts),
         _ => {
             usage();
             Ok(())
@@ -364,6 +507,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_campaign_flags() {
+        let o = parse_args(&args(
+            "campaign fig08-lru-perf --resume --results-dir out --threads 3",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "campaign");
+        assert!(o.resume);
+        assert_eq!(o.results_dir.as_deref(), Some("out"));
+        assert_eq!(o.threads, Some(3));
+        assert!(!o.seed_explicit);
+        assert!(
+            parse_args(&args("campaign smoke --seed 5"))
+                .unwrap()
+                .seed_explicit
+        );
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_values() {
         assert!(parse_args(&args("run --mode bogus")).is_err());
         assert!(parse_args(&args("run --policy bogus")).is_err());
@@ -374,7 +535,11 @@ mod tests {
 
     #[test]
     fn builds_workloads_of_each_kind() {
-        let mut o = Options { accesses: 50, cores: 2, ..Options::default() };
+        let mut o = Options {
+            accesses: 50,
+            cores: 2,
+            ..Options::default()
+        };
         o.workload = "homo:stream".into();
         assert_eq!(build_workload(&o).unwrap().cores(), 2);
         o.workload = "hetero:3".into();
@@ -390,10 +555,20 @@ mod tests {
     #[test]
     fn every_listed_mode_parses() {
         for m in [
-            "inclusive", "noninclusive", "qbs", "sharp", "charonbase",
-            "tlh", "eci", "ric", "waypart",
-            "ziv-notinprc", "ziv-lrunotinprc", "ziv-likelydead",
-            "ziv-mrnotinprc", "ziv-mrlikelydead",
+            "inclusive",
+            "noninclusive",
+            "qbs",
+            "sharp",
+            "charonbase",
+            "tlh",
+            "eci",
+            "ric",
+            "waypart",
+            "ziv-notinprc",
+            "ziv-lrunotinprc",
+            "ziv-likelydead",
+            "ziv-mrnotinprc",
+            "ziv-mrlikelydead",
         ] {
             parse_mode(m).unwrap();
         }

@@ -26,6 +26,8 @@
 //!   its five relocation-set properties).
 //! - [`workloads`] — synthetic SPEC / PARSEC / TPC-E stand-ins.
 //! - [`sim`] — the trace driver, parallel experiment grids, reporting.
+//! - [`harness`] — resumable experiment campaigns with a
+//!   content-addressed result cache and run telemetry.
 //!
 //! # Quick start
 //!
@@ -53,6 +55,7 @@ pub use ziv_common as common;
 pub use ziv_core as core;
 pub use ziv_directory as directory;
 pub use ziv_dram as dram;
+pub use ziv_harness as harness;
 pub use ziv_noc as noc;
 pub use ziv_replacement as replacement;
 pub use ziv_sim as sim;

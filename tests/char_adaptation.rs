@@ -28,7 +28,10 @@ fn tiny() -> SystemConfig {
 #[test]
 fn relocation_pressure_lowers_the_char_threshold() {
     // Small decrement interval so the adaptation fires within the test.
-    let char_cfg = CharConfig { decrement_interval: 64, ..CharConfig::default() };
+    let char_cfg = CharConfig {
+        decrement_interval: 64,
+        ..CharConfig::default()
+    };
     let cfg = HierarchyConfig::new(tiny())
         .with_mode(LlcMode::Ziv(ZivProperty::LikelyDead))
         .with_char(char_cfg);
@@ -74,14 +77,22 @@ fn char_on_base_reduces_but_does_not_eliminate_victims() {
     // The Section V-A comparison point: CHARonBase reduces inclusion
     // victims relative to the baseline but offers no guarantee.
     let mut counts = Vec::new();
-    for mode in [LlcMode::Inclusive, LlcMode::CharOnBase, LlcMode::Ziv(ZivProperty::LikelyDead)] {
+    for mode in [
+        LlcMode::Inclusive,
+        LlcMode::CharOnBase,
+        LlcMode::Ziv(ZivProperty::LikelyDead),
+    ] {
         let cfg = HierarchyConfig::new(tiny()).with_mode(mode);
         let mut h = CacheHierarchy::new(&cfg);
         let mut rng = ziv::common::SimRng::seed_from_u64(2);
         let mut now = 0u64;
         for seq in 0..40_000u64 {
             let core = CoreId::new((seq % 2) as usize);
-            let line = if rng.chance(0.5) { rng.below(16) } else { 16 + rng.below(512) };
+            let line = if rng.chance(0.5) {
+                rng.below(16)
+            } else {
+                16 + rng.below(512)
+            };
             let a = Access::read(core, Addr::new(line * 64), 0x400 + line % 8);
             now += 1 + h.access(&a, now, seq);
         }

@@ -32,7 +32,11 @@ struct D {
 impl D {
     fn new(mode: LlcMode, ratio: DirRatio) -> D {
         let cfg = HierarchyConfig::new(tiny(2, ratio)).with_mode(mode);
-        D { h: CacheHierarchy::new(&cfg), now: 0, seq: 0 }
+        D {
+            h: CacheHierarchy::new(&cfg),
+            now: 0,
+            seq: 0,
+        }
     }
 
     fn go(&mut self, core: usize, line: u64, write: bool, instr: bool) -> u64 {
@@ -64,7 +68,12 @@ impl D {
         for i in 2..12u64 {
             self.read(core, i * 8);
             self.read(core, b);
-            if self.h.directory().relocated_location(LineAddr::new(b)).is_some() {
+            if self
+                .h
+                .directory()
+                .relocated_location(LineAddr::new(b))
+                .is_some()
+            {
                 return true;
             }
         }
@@ -87,7 +96,11 @@ fn dirty_block_relocates_and_writes_back_to_memory_on_death() {
     for i in 1..40u64 {
         d.read(0, i * 4 + 4096);
     }
-    assert!(!d.h.directory().relocated_location(LineAddr::new(b)).is_some());
+    assert!(d
+        .h
+        .directory()
+        .relocated_location(LineAddr::new(b))
+        .is_none());
     assert!(
         d.h.metrics().relocated_writebacks > wb_before,
         "dirty relocated block must write back to memory"
@@ -144,7 +157,10 @@ fn instruction_fetches_participate_in_inclusion() {
     let mut d = D::new(LlcMode::Ziv(ZivProperty::NotInPrC), DirRatio::X2);
     let code = 8u64;
     d.go(0, code, false, true); // ifetch
-    assert!(d.force_relocation(0, code), "code lines relocate like data lines");
+    assert!(
+        d.force_relocation(0, code),
+        "code lines relocate like data lines"
+    );
     assert_eq!(d.h.metrics().inclusion_victims, 0);
     d.h.verify_invariants().unwrap();
     // The code line is still an L1I hit.
@@ -167,8 +183,14 @@ fn inclusive_mode_flushes_dirty_inclusion_victims_to_memory() {
             break;
         }
     }
-    assert!(d.h.metrics().inclusion_victims > 0, "inclusive mode must victimize");
-    assert!(d.h.metrics().llc_writebacks > wbs_before, "dirty victim data must survive");
+    assert!(
+        d.h.metrics().inclusion_victims > 0,
+        "inclusive mode must victimize"
+    );
+    assert!(
+        d.h.metrics().llc_writebacks > wbs_before,
+        "dirty victim data must survive"
+    );
     d.h.verify_invariants().unwrap();
 }
 
@@ -196,7 +218,10 @@ fn repeated_relocation_of_the_same_line_is_stable() {
     let b = 8u64;
     d.read(0, b);
     assert!(d.force_relocation(0, b));
-    let first = d.h.directory().relocated_location(LineAddr::new(b)).unwrap();
+    let first =
+        d.h.directory()
+            .relocated_location(LineAddr::new(b))
+            .unwrap();
     // Hammer every set with conflicting private-hot lines from core 1 so
     // relocation targets keep moving; B must stay reachable throughout.
     for round in 0..30u64 {
@@ -206,7 +231,9 @@ fn repeated_relocation_of_the_same_line_is_stable() {
         d.read(0, b); // keep B privately hot for core 0
         d.h.verify_invariants().unwrap();
         assert!(
-            d.h.directory().relocated_location(LineAddr::new(b)).is_some()
+            d.h.directory()
+                .relocated_location(LineAddr::new(b))
+                .is_some()
                 || d.h.llc().probe(LineAddr::new(b)).is_some(),
             "B must remain in the LLC (relocated or home) while privately cached"
         );

@@ -35,7 +35,11 @@ fn circular_workload(n: u64, laps: usize) -> Workload {
         .collect();
     Workload {
         name: format!("circular-{n}"),
-        traces: vec![ziv::workloads::CoreTrace { records, overlap: 0.3, app_name: "circ" }],
+        traces: vec![ziv::workloads::CoreTrace {
+            records,
+            overlap: 0.3,
+            app_name: "circ",
+        }],
     }
 }
 
@@ -45,7 +49,10 @@ fn min_beats_lru_on_thrashing_circular_pattern() {
     // (every access misses once private caches are exceeded), while
     // Belady's MIN retains a resident prefix.
     let wl = circular_workload(192, 12);
-    let lru = ziv::sim::run_one(&RunSpec::new("NI-LRU", tiny(1)).with_mode(LlcMode::NonInclusive), &wl);
+    let lru = ziv::sim::run_one(
+        &RunSpec::new("NI-LRU", tiny(1)).with_mode(LlcMode::NonInclusive),
+        &wl,
+    );
     let min = ziv::sim::run_one(
         &RunSpec::new("NI-MIN", tiny(1))
             .with_mode(LlcMode::NonInclusive)
@@ -78,11 +85,17 @@ fn min_inclusive_victimizes_recently_used_blocks() {
         .collect();
     let wl = Workload {
         name: "circular-set".into(),
-        traces: vec![ziv::workloads::CoreTrace { records, overlap: 0.3, app_name: "circ" }],
+        traces: vec![ziv::workloads::CoreTrace {
+            records,
+            overlap: 0.3,
+            app_name: "circ",
+        }],
     };
     let lru = ziv::sim::run_one(&RunSpec::new("I-LRU", tiny(1)), &wl);
-    let min =
-        ziv::sim::run_one(&RunSpec::new("I-MIN", tiny(1)).with_policy(PolicyKind::Min), &wl);
+    let min = ziv::sim::run_one(
+        &RunSpec::new("I-MIN", tiny(1)).with_policy(PolicyKind::Min),
+        &wl,
+    );
     assert!(
         min.metrics.inclusion_victims > lru.metrics.inclusion_victims,
         "I-MIN {} vs I-LRU {}",
@@ -152,7 +165,11 @@ fn attacker_cannot_flush_victim_private_caches_under_ziv() {
             assert_eq!(slow, 0, "{}: victim must be isolated", mode.label());
             assert_eq!(h.metrics().inclusion_victims, 0);
         } else {
-            assert!(slow > 0, "{}: attacker must observe something", mode.label());
+            assert!(
+                slow > 0,
+                "{}: attacker must observe something",
+                mode.label()
+            );
         }
     }
 }

@@ -143,7 +143,11 @@ fn hawkeye_beats_lru_on_circular_patterns() {
         .collect();
     let wl = Workload {
         name: "circ24".into(),
-        traces: vec![ziv::workloads::CoreTrace { records, overlap: 0.3, app_name: "c" }],
+        traces: vec![ziv::workloads::CoreTrace {
+            records,
+            overlap: 0.3,
+            app_name: "c",
+        }],
     };
     let lru = ziv::sim::run_one(
         &RunSpec::new("NI-LRU", sys.clone()).with_mode(LlcMode::NonInclusive),

@@ -35,7 +35,11 @@ struct Driver {
 impl Driver {
     fn new(mode: LlcMode) -> Driver {
         let cfg = HierarchyConfig::new(tiny()).with_mode(mode);
-        Driver { h: CacheHierarchy::new(&cfg), now: 0, seq: 0 }
+        Driver {
+            h: CacheHierarchy::new(&cfg),
+            now: 0,
+            seq: 0,
+        }
     }
 
     fn read(&mut self, core: usize, line: u64) -> u64 {
@@ -77,13 +81,12 @@ fn fill_relocate_access_rerelocate_invalidate() {
 
     // If a relocation happened, B (or another privately cached victim)
     // is in the Relocated state and reachable through the directory.
-    let relocated: Vec<_> = d
-        .h
-        .llc()
-        .resident_blocks()
-        .into_iter()
-        .filter(|(_, st)| st.relocated)
-        .collect();
+    let relocated: Vec<_> =
+        d.h.llc()
+            .resident_blocks()
+            .into_iter()
+            .filter(|(_, st)| st.relocated)
+            .collect();
     assert!(
         d.h.metrics().relocations > 0,
         "conflict pattern must force at least one relocation; metrics: {:?}",
@@ -98,7 +101,11 @@ fn fill_relocate_access_rerelocate_invalidate() {
     // (an LLC hit, counted as such).
     let hits_before = d.h.metrics().llc_hits;
     let relocated_hits_before = d.h.metrics().relocated_hits;
-    if d.h.directory().relocated_location(ziv::common::LineAddr::new(b)).is_some() {
+    if d.h
+        .directory()
+        .relocated_location(ziv::common::LineAddr::new(b))
+        .is_some()
+    {
         d.read(1, b);
         assert_eq!(d.h.metrics().llc_hits, hits_before + 1);
         assert_eq!(d.h.metrics().relocated_hits, relocated_hits_before + 1);
@@ -116,7 +123,11 @@ fn relocated_block_invalidated_when_last_copy_leaves() {
         d.read(0, conflict_line(i));
         d.read(0, b);
     }
-    if d.h.directory().relocated_location(ziv::common::LineAddr::new(b)).is_none() {
+    if d.h
+        .directory()
+        .relocated_location(ziv::common::LineAddr::new(b))
+        .is_none()
+    {
         // The pattern didn't relocate B itself this time; nothing to do.
         return;
     }
@@ -130,13 +141,16 @@ fn relocated_block_invalidated_when_last_copy_leaves() {
     // B is gone from core 0's private caches; its relocated LLC copy
     // must be gone too (Section III-C2: the life of a relocated block
     // ends with its last private copy).
-    assert_eq!(d.h.directory().relocated_location(ziv::common::LineAddr::new(b)), None);
-    let still_relocated = d
-        .h
-        .llc()
-        .resident_blocks()
-        .into_iter()
-        .any(|(_, st)| st.relocated && st.line == ziv::common::LineAddr::new(b));
+    assert_eq!(
+        d.h.directory()
+            .relocated_location(ziv::common::LineAddr::new(b)),
+        None
+    );
+    let still_relocated =
+        d.h.llc()
+            .resident_blocks()
+            .into_iter()
+            .any(|(_, st)| st.relocated && st.line == ziv::common::LineAddr::new(b));
     assert!(!still_relocated, "relocated copy of B must be invalidated");
     assert_eq!(d.h.metrics().inclusion_victims, 0);
     d.h.verify_invariants().unwrap();
