@@ -121,12 +121,19 @@ pub fn run_figure_campaign(name: &str) -> (ziv_harness::Campaign, ziv_harness::C
     let campaign = campaigns::by_name(name, &params)
         .unwrap_or_else(|| panic!("campaign '{name}' is not registered"));
     let cfg = RunnerConfig {
-        results_dir: campaign_results_dir(name),
         threads: params.effort.threads,
         resume: true,
+        params: Some(params),
+        ..RunnerConfig::new(campaign_results_dir(name))
     };
     let outcome = run_campaign(&campaign, &cfg, &StderrProgress)
         .unwrap_or_else(|e| panic!("campaign '{name}' failed: {e}"));
+    assert!(
+        outcome.failures.is_empty(),
+        "campaign '{name}': {} cell(s) failed — see {}/failures/",
+        outcome.failures.len(),
+        campaign_results_dir(name).display()
+    );
     (campaign, outcome)
 }
 

@@ -26,6 +26,7 @@
 pub mod addr;
 pub mod config;
 pub mod digest;
+pub mod error;
 pub mod ids;
 pub mod json;
 pub mod rng;
@@ -34,6 +35,7 @@ pub mod stats;
 pub use addr::{Addr, LineAddr};
 pub use config::{CacheGeometry, L2Size, LlcConfig, SystemConfig};
 pub use digest::Fnv1a;
+pub use error::{AuditViolation, SimError, ViolationKind};
 pub use ids::{BankId, CoreId, WayIdx};
 pub use rng::SimRng;
 

@@ -2,6 +2,7 @@
 //! LLC (in any of the seven modes), the sparse directory, the CHAR
 //! engine, the mesh, and main memory — orchestrated access by access.
 
+use crate::audit::FaultInjection;
 use crate::llc::{EvictedBlock, FillOutcome, LlcMode, SharedLlc, ZivProperty};
 use crate::metrics::Metrics;
 use crate::prefetch::{PrefetchConfig, StridePrefetcher};
@@ -85,6 +86,9 @@ pub struct HierarchyConfig {
     /// Optional per-core stride prefetcher (the prefetching × inclusion
     /// extension study; Table I's machine has none).
     pub prefetch: Option<PrefetchConfig>,
+    /// Optional deliberate fault injection (mutation tests and campaign
+    /// fault-isolation tests). `None` in every real experiment.
+    pub fault: Option<FaultInjection>,
 }
 
 impl HierarchyConfig {
@@ -99,6 +103,7 @@ impl HierarchyConfig {
             seed: 0x5eed,
             future: None,
             prefetch: None,
+            fault: None,
         }
     }
 
@@ -143,6 +148,12 @@ impl HierarchyConfig {
         self.prefetch = Some(prefetch);
         self
     }
+
+    /// Arms a deliberate fault (see [`FaultInjection`]).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
+    }
 }
 
 /// The simulated cache hierarchy.
@@ -161,6 +172,14 @@ pub struct CacheHierarchy {
     prefetchers: Option<Vec<StridePrefetcher>>,
     /// Per-core private-hit counters for TLH hint sampling.
     tlh_counters: Vec<u32>,
+    /// Armed fault injection; cleared once a one-shot fault is applied.
+    fault: Option<FaultInjection>,
+    /// Demand accesses performed (drives fault timing; also the access
+    /// index reported by [`CacheHierarchy::verify_invariants`]).
+    accesses_done: u64,
+    /// When set, the next inclusive back-invalidation is "lost"
+    /// ([`FaultInjection::SkipBackInvalidation`]).
+    skip_next_back_invalidation: bool,
 }
 
 impl CacheHierarchy {
@@ -216,6 +235,9 @@ impl CacheHierarchy {
                 .prefetch
                 .map(|p| (0..sys.cores).map(|_| StridePrefetcher::new(p)).collect()),
             tlh_counters: vec![0; sys.cores],
+            fault: cfg.fault,
+            accesses_done: 0,
+            skip_next_back_invalidation: false,
         };
         if let LlcMode::WayPartitioned = cfg.mode {
             let parts = sys.cores.min(sys.llc.bank_geometry.ways as usize);
@@ -282,6 +304,13 @@ impl CacheHierarchy {
     /// Performs one demand access at cycle `now` with global stream
     /// position `seq`; returns the access latency in cycles.
     pub fn access(&mut self, a: &Access, now: Cycle, seq: u64) -> Cycle {
+        let access_index = self.accesses_done;
+        self.accesses_done += 1;
+        if self.fault.is_some() {
+            if let Some(stall) = self.apply_fault(access_index, a.core) {
+                return stall;
+            }
+        }
         let line = a.addr.line();
         let ci = a.core.index();
         self.metrics.per_core[ci].accesses += 1;
@@ -487,6 +516,7 @@ impl CacheHierarchy {
             }
             let fill = self.llc.fill(line, &ctx, &self.dir, a.core, now);
             self.metrics.llc_writes_energy_events += 1;
+            self.metrics.llc_demand_fills += 1;
             self.apply_fill_outcome(line, fill, now);
             if owner_dirty {
                 self.llc.update_state(fill.loc, |s| s.dirty = true);
@@ -503,6 +533,7 @@ impl CacheHierarchy {
         self.metrics.per_core[ci].llc_misses += 1;
         let fill = self.llc.fill(line, &ctx, &self.dir, a.core, now);
         self.metrics.llc_writes_energy_events += 1;
+        self.metrics.llc_demand_fills += 1;
         self.apply_fill_outcome(line, fill, now);
         let mem = self.dram.access(line, now + base, false);
         self.metrics.dram_accesses += 1;
@@ -678,6 +709,16 @@ impl CacheHierarchy {
                     .probe(ev.line)
                     .map(|e| e.sharers.iter().collect())
                     .unwrap_or_default();
+                if self.skip_next_back_invalidation && !sharers.is_empty() {
+                    // Injected fault: the back-invalidation message is
+                    // "lost". The private copies and directory entry
+                    // survive with no LLC copy — an inclusion hole the
+                    // auditor must catch. Sharerless evictions don't
+                    // consume the fault: there is no message to lose.
+                    self.skip_next_back_invalidation = false;
+                    self.fault = None;
+                    return;
+                }
                 let mut any_dirty = ev.dirty;
                 for s in sharers {
                     if self.cores[s.index()].invalidate(ev.line).is_some_and(|d| d) {
@@ -830,55 +871,75 @@ impl CacheHierarchy {
         }
     }
 
+    /// The per-core private hierarchies (audit walks, tests).
+    pub fn private_cores(&self) -> &[PrivateHierarchy] {
+        &self.cores
+    }
+
+    /// Demand accesses performed so far (the auditor's access index).
+    pub fn accesses_done(&self) -> u64 {
+        self.accesses_done
+    }
+
+    /// Applies an armed fault at access `idx`. Returns a latency when
+    /// the fault hijacks the access itself (`StallCore`).
+    fn apply_fault(&mut self, idx: u64, requester: CoreId) -> Option<Cycle> {
+        match self.fault? {
+            FaultInjection::CorruptDirectory { at_access } if idx >= at_access => {
+                // Clear one live sharer bit, preferring a line owned by a
+                // core other than the requester (whose access this cycle
+                // could otherwise coincidentally repair the damage).
+                let mut target = None;
+                for (ci, core) in self.cores.iter().enumerate() {
+                    if ci == requester.index() {
+                        continue;
+                    }
+                    if let Some(line) = core.resident_lines().into_iter().next() {
+                        target = Some((ci, line));
+                        break;
+                    }
+                }
+                if target.is_none() {
+                    target = self.cores[requester.index()]
+                        .resident_lines()
+                        .into_iter()
+                        .next()
+                        .map(|line| (requester.index(), line));
+                }
+                if let Some((ci, line)) = target {
+                    if let Some(e) = self.dir.probe_mut(line) {
+                        e.sharers.remove(CoreId::new(ci));
+                        self.fault = None; // one-shot, applied
+                    }
+                }
+                None
+            }
+            FaultInjection::SkipBackInvalidation { at_access } if idx >= at_access => {
+                // Armed until an inclusive back-invalidation consumes it
+                // (see handle_llc_eviction).
+                self.skip_next_back_invalidation = true;
+                None
+            }
+            FaultInjection::StallCore { at_access } if idx >= at_access => {
+                // The livelock scenario: the access never completes in
+                // any reasonable time. Modeled as an astronomical
+                // latency so the per-cell watchdog budget trips.
+                Some(1 << 32)
+            }
+            _ => None,
+        }
+    }
+
     /// Checks the hierarchy's structural invariants; returns a
     /// description of the first violation. Used by tests and debug runs.
     ///
-    /// - inclusive modes: every privately cached block has an LLC copy
-    ///   (home or relocated);
-    /// - every privately cached block has a directory entry;
-    /// - every relocated LLC block is pointed to by its directory entry;
-    /// - `NotInPrC` state matches directory presence.
+    /// This is the [`crate::audit::Auditor`]'s structural walk
+    /// (inclusion, directory ↔ LLC ↔ private consistency, the ZIV
+    /// guarantee) rendered as a string; use
+    /// [`crate::audit::Auditor::check_structure`] directly for the typed
+    /// [`ziv_common::AuditViolation`].
     pub fn verify_invariants(&self) -> Result<(), String> {
-        for (ci, core) in self.cores.iter().enumerate() {
-            for line in core.resident_lines() {
-                let entry = self.dir.probe(line).ok_or_else(|| {
-                    format!("core{ci}: {line} cached privately but untracked by directory")
-                })?;
-                if !entry.sharers.contains(CoreId::new(ci)) {
-                    return Err(format!("core{ci}: {line} cached but not a sharer"));
-                }
-                if self.mode.is_inclusive() && !self.mode.allows_llc_miss_under_dir_hit() {
-                    let in_home = self.llc.probe(line).is_some();
-                    let relocated = entry.relocated.is_some();
-                    if !in_home && !relocated {
-                        return Err(format!("core{ci}: {line} violates inclusion (no LLC copy)"));
-                    }
-                }
-            }
-        }
-        for (loc, st) in self.llc.resident_blocks() {
-            if st.relocated {
-                match self.dir.relocated_location(st.line) {
-                    Some(ptr) if ptr == loc => {}
-                    other => {
-                        return Err(format!(
-                            "relocated block {} at {:?} has directory pointer {:?}",
-                            st.line, loc, other
-                        ))
-                    }
-                }
-            }
-            if st.not_in_prc && self.dir.is_privately_cached(st.line) {
-                return Err(format!("{} marked NotInPrC but privately cached", st.line));
-            }
-            if !st.relocated && !st.not_in_prc && self.mode.is_ziv() {
-                // (A block can be neither: filled but since evicted from
-                // private caches before any notice cannot happen — the
-                // notice is synchronous — so non-relocated, in-PrC blocks
-                // must genuinely be privately cached or newly filled.)
-            }
-        }
-        Ok(())
+        crate::audit::Auditor::check_structure(self, self.accesses_done).map_err(|v| v.to_string())
     }
 
     /// Total inclusion victims (convenience for the ZIV guarantee tests).

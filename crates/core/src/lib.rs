@@ -44,12 +44,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 mod hierarchy;
 pub mod llc;
 pub mod metrics;
 pub mod prefetch;
 pub mod private;
 
+pub use audit::{AuditCadence, Auditor, FaultInjection};
 pub use hierarchy::{Access, CacheHierarchy, HierarchyConfig};
 pub use llc::{LlcMode, ZivProperty};
 pub use metrics::Metrics;

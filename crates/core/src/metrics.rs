@@ -52,6 +52,10 @@ pub struct Metrics {
     pub relocated_hits: u64,
     /// Total LLC misses.
     pub llc_misses: u64,
+    /// LLC fills performed on the demand path. Conservation law checked
+    /// by the auditor: every demand miss fills, so this must equal
+    /// `llc_misses` at all times during a run.
+    pub llc_demand_fills: u64,
     /// Private cache blocks invalidated because their LLC copy was
     /// evicted — **the inclusion victims of Fig 2** (one count per core
     /// whose private hierarchy lost the block).
@@ -191,7 +195,7 @@ macro_rules! core_metrics_u64_fields {
 macro_rules! metrics_u64_fields {
     ($mac:ident!($($extra:tt)*)) => {
         $mac!($($extra)* llc_accesses, llc_hits, relocated_hits, llc_misses,
-              inclusion_victims, inclusion_victim_events,
+              llc_demand_fills, inclusion_victims, inclusion_victim_events,
               directory_back_invalidations, coherence_invalidations,
               relocations, cross_bank_relocations, in_set_alternate_victims,
               ziv_guarantee_fallbacks, qbs_queries, sharp_alarms,

@@ -142,6 +142,19 @@ impl DirectorySlice {
     pub fn occupancy(&self) -> usize {
         self.array.total_valid()
     }
+
+    /// Every valid entry in the slice as `(tracked line, state)` — the
+    /// audit walk. `bank_index` is needed to reconstruct full line
+    /// addresses from stored tags.
+    pub fn entries(&self, bank_index: u64) -> Vec<(LineAddr, DirEntryState)> {
+        let mut out = Vec::with_capacity(self.array.total_valid());
+        for set in 0..self.geometry().sets {
+            for w in self.array.iter_set(set) {
+                out.push((self.line_at(set, w.way, bank_index), *w.state));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -233,6 +233,19 @@ impl SparseDirectory {
         state.relocated = loc;
     }
 
+    /// Every tracked block and its state — finite slices plus the
+    /// ZeroDEV spill. This is the directory side of the audit walk
+    /// (directory → private-cache consistency); order is deterministic
+    /// for the slices and unspecified for the spill.
+    pub fn iter_entries(&self) -> Vec<(LineAddr, DirEntryState)> {
+        let mut out = Vec::with_capacity(self.occupancy());
+        for (b, slice) in self.slices.iter().enumerate() {
+            out.extend(slice.entries(b as u64));
+        }
+        out.extend(self.spill.iter().map(|(l, s)| (*l, *s)));
+        out
+    }
+
     /// Number of tracked blocks (finite structure + spill).
     pub fn occupancy(&self) -> usize {
         self.slices.iter().map(|s| s.occupancy()).sum::<usize>() + self.spill.len()

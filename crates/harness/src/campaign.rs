@@ -17,7 +17,11 @@ use ziv_workloads::{apps, Recipe, ScaleParams};
 /// Version tag mixed into every cell digest. Bump when the digested
 /// field set or the simulator's observable behavior changes in a way
 /// that must invalidate previously cached results.
-pub const CELL_SCHEMA_VERSION: u64 = 1;
+///
+/// History: 1 → 2 when [`ziv_core::Metrics`] gained `llc_demand_fills`
+/// (the demand-fill conservation counter) — old ledger lines no longer
+/// parse, so their cells must re-address.
+pub const CELL_SCHEMA_VERSION: u64 = 2;
 
 /// The content address of one campaign cell: a stable FNV-1a digest of
 /// `(CELL_SCHEMA_VERSION, RunSpec semantics, Recipe semantics)`.
@@ -358,7 +362,7 @@ mod tests {
     fn cell_digest_is_stable_across_processes() {
         let c = campaigns::by_name("smoke", &CampaignParams::tiny()).unwrap();
         let got = c.cell_digest(0, 0);
-        let golden = CellDigest(0x0232_432a_0901_3838);
+        let golden = CellDigest(0x8585_162d_4e2f_f845);
         assert_eq!(got, golden, "digest changed: got {got}, pinned {golden}");
     }
 }

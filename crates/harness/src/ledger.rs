@@ -21,6 +21,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 use std::sync::Mutex;
 use ziv_common::json::{self, JsonValue};
+use ziv_common::SimError;
 use ziv_core::Metrics;
 use ziv_sim::{CoreRunStats, RunResult};
 use ziv_workloads::apps;
@@ -117,20 +118,97 @@ fn result_from_json(v: &JsonValue) -> Result<(CellDigest, RunResult), String> {
     ))
 }
 
+/// A failed cell as recorded in the ledger: the error's machine tag,
+/// its rendered message, and — for audit violations and watchdog trips
+/// — the access index at which it was detected.
+///
+/// A failure entry deliberately does **not** satisfy
+/// [`Ledger::get`], so a `--resume` pass retries the cell; it exists so
+/// an interrupted campaign's post-mortem (`ledger.jsonl`) shows *why*
+/// a cell has no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// Spec label at the time of failure.
+    pub label: String,
+    /// Workload name at the time of failure.
+    pub workload: String,
+    /// [`SimError::kind_tag`] of the error.
+    pub kind: String,
+    /// Rendered error message.
+    pub message: String,
+    /// Access index of detection, when the failure is tied to one.
+    pub access_index: Option<u64>,
+}
+
+fn error_to_json(digest: CellDigest, label: &str, workload: &str, error: &SimError) -> JsonValue {
+    let mut err_fields = vec![
+        ("kind".to_string(), JsonValue::str(error.kind_tag())),
+        ("message".to_string(), JsonValue::str(error.to_string())),
+    ];
+    if let Some(idx) = error.access_index() {
+        err_fields.push(("access_index".to_string(), JsonValue::u64(idx)));
+    }
+    JsonValue::Obj(vec![
+        ("digest".to_string(), JsonValue::str(digest.hex())),
+        ("label".to_string(), JsonValue::str(label)),
+        ("workload".to_string(), JsonValue::str(workload)),
+        ("error".to_string(), JsonValue::Obj(err_fields)),
+    ])
+}
+
+fn error_from_json(v: &JsonValue) -> Result<(CellDigest, FailedCell), String> {
+    let digest = v
+        .get("digest")
+        .and_then(JsonValue::as_str)
+        .and_then(CellDigest::from_hex)
+        .ok_or("missing or malformed 'digest'")?;
+    let err = v.get("error").ok_or("missing 'error'")?;
+    Ok((
+        digest,
+        FailedCell {
+            label: v
+                .get("label")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            workload: v
+                .get("workload")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            kind: err
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or("error missing 'kind'")?
+                .to_string(),
+            message: err
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            access_index: err.get("access_index").and_then(JsonValue::as_u64),
+        },
+    ))
+}
+
 /// The in-memory view of a ledger file: every completed cell, keyed by
-/// its content digest.
+/// its content digest, plus the still-failed cells (see [`FailedCell`]).
 #[derive(Debug, Default)]
 pub struct Ledger {
     entries: HashMap<CellDigest, RunResult>,
+    failures: HashMap<CellDigest, FailedCell>,
     skipped: usize,
 }
 
 impl Ledger {
     /// Loads a ledger file. A missing file is an empty ledger.
-    /// Unparseable lines (a truncated final line from an interrupted
-    /// run, or hand-edited damage) are skipped and counted in
+    /// Unparseable lines — a truncated final line from an interrupted
+    /// run, hand-edited damage, even garbage bytes that are not valid
+    /// UTF-8 — are skipped and counted in
     /// [`skipped_lines`](Ledger::skipped_lines) rather than failing
-    /// the load; on duplicate digests the last line wins.
+    /// the load; on duplicate digests the last line wins, including
+    /// across result and error lines (a success supersedes an earlier
+    /// failure and vice versa).
     ///
     /// # Errors
     ///
@@ -142,16 +220,45 @@ impl Ledger {
             Err(e) => return Err(e),
         };
         let mut ledger = Ledger::default();
-        for line in BufReader::new(file).lines() {
-            let line = line?;
-            if line.trim().is_empty() {
+        let mut reader = BufReader::new(file);
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if reader.read_until(b'\n', &mut buf)? == 0 {
+                break;
+            }
+            // A crashed writer can leave arbitrary bytes, not just a
+            // truncated JSON prefix — tolerate invalid UTF-8 too.
+            let line = match std::str::from_utf8(&buf) {
+                Ok(s) => s.trim(),
+                Err(_) => {
+                    ledger.skipped += 1;
+                    continue;
+                }
+            };
+            if line.is_empty() {
                 continue;
             }
-            match json::parse(&line).and_then(|v| result_from_json(&v)) {
-                Ok((digest, result)) => {
-                    ledger.entries.insert(digest, result);
+            let Ok(v) = json::parse(line) else {
+                ledger.skipped += 1;
+                continue;
+            };
+            if v.get("error").is_some() {
+                match error_from_json(&v) {
+                    Ok((digest, failed)) => {
+                        ledger.entries.remove(&digest);
+                        ledger.failures.insert(digest, failed);
+                    }
+                    Err(_) => ledger.skipped += 1,
                 }
-                Err(_) => ledger.skipped += 1,
+            } else {
+                match result_from_json(&v) {
+                    Ok((digest, result)) => {
+                        ledger.failures.remove(&digest);
+                        ledger.entries.insert(digest, result);
+                    }
+                    Err(_) => ledger.skipped += 1,
+                }
             }
         }
         Ok(ledger)
@@ -180,6 +287,17 @@ impl Ledger {
     /// Number of lines skipped as unparseable during the load.
     pub fn skipped_lines(&self) -> usize {
         self.skipped
+    }
+
+    /// The recorded failure for a cell digest, if its most recent
+    /// ledger line is an error entry.
+    pub fn failure(&self, digest: CellDigest) -> Option<&FailedCell> {
+        self.failures.get(&digest)
+    }
+
+    /// Number of cells whose most recent ledger line is a failure.
+    pub fn failed_count(&self) -> usize {
+        self.failures.len()
     }
 }
 
@@ -233,6 +351,31 @@ impl LedgerWriter {
     /// Panics if another thread poisoned the writer lock.
     pub fn append(&self, digest: CellDigest, result: &RunResult) -> std::io::Result<()> {
         let line = result_to_json(digest, result).to_string();
+        let mut f = self.file.lock().unwrap();
+        writeln!(f, "{line}")?;
+        f.flush()
+    }
+
+    /// Appends one failed cell as an error entry and flushes. The entry
+    /// never satisfies [`Ledger::get`], so a later `--resume` retries
+    /// exactly this cell; a subsequent successful append for the same
+    /// digest supersedes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread poisoned the writer lock.
+    pub fn append_error(
+        &self,
+        digest: CellDigest,
+        label: &str,
+        workload: &str,
+        error: &SimError,
+    ) -> std::io::Result<()> {
+        let line = error_to_json(digest, label, workload, error).to_string();
         let mut f = self.file.lock().unwrap();
         writeln!(f, "{line}")?;
         f.flush()
@@ -341,6 +484,73 @@ mod tests {
         let ledger = Ledger::load(&path).unwrap();
         assert_eq!(ledger.skipped_lines(), 1, "the fragment stays isolated");
         assert_eq!(ledger.get(CellDigest(3)), Some(&r));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_utf8_garbage_lines_are_skipped_not_fatal() {
+        let r = sample_result();
+        let path = tmp("garbage");
+        std::fs::remove_file(&path).ok();
+        let w = LedgerWriter::append_to(&path).unwrap();
+        w.append(CellDigest(1), &r).unwrap();
+        // A crashed writer (or disk corruption) left raw bytes that are
+        // not valid UTF-8 on their own line, then the campaign went on.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&[0xff, 0xfe, 0x80, b'{', 0xc0, b'\n']);
+        std::fs::write(&path, raw).unwrap();
+        let w = LedgerWriter::append_to(&path).unwrap();
+        w.append(CellDigest(2), &r).unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.skipped_lines(), 1);
+        assert_eq!(ledger.get(CellDigest(1)), Some(&r));
+        assert_eq!(ledger.get(CellDigest(2)), Some(&r));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_entries_round_trip_and_do_not_satisfy_get() {
+        use ziv_common::{AuditViolation, ViolationKind};
+        let path = tmp("errors");
+        std::fs::remove_file(&path).ok();
+        let w = LedgerWriter::append_to(&path).unwrap();
+        let e = SimError::from(AuditViolation {
+            kind: ViolationKind::InclusionHole,
+            access_index: 41,
+            line: None,
+            detail: "no LLC copy".into(),
+        });
+        w.append_error(CellDigest(9), "Z-LRU", "homo-circset", &e)
+            .unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.len(), 0, "a failure is not a cached result");
+        assert!(ledger.get(CellDigest(9)).is_none(), "resume must retry it");
+        assert_eq!(ledger.failed_count(), 1);
+        let f = ledger.failure(CellDigest(9)).unwrap();
+        assert_eq!(f.kind, "audit");
+        assert_eq!(f.access_index, Some(41));
+        assert_eq!(f.label, "Z-LRU");
+        assert!(f.message.contains("inclusion-hole"), "{}", f.message);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn later_success_supersedes_failure_and_vice_versa() {
+        let r = sample_result();
+        let path = tmp("supersede");
+        std::fs::remove_file(&path).ok();
+        let w = LedgerWriter::append_to(&path).unwrap();
+        let e = SimError::Config("boom".into());
+        w.append_error(CellDigest(5), "L", "w", &e).unwrap();
+        w.append(CellDigest(5), &r).unwrap(); // retried and succeeded
+        w.append(CellDigest(6), &r).unwrap();
+        w.append_error(CellDigest(6), "L", "w", &e).unwrap(); // regressed
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.get(CellDigest(5)), Some(&r));
+        assert!(ledger.failure(CellDigest(5)).is_none());
+        assert!(ledger.get(CellDigest(6)).is_none());
+        assert!(ledger.failure(CellDigest(6)).is_some());
         std::fs::remove_file(&path).ok();
     }
 

@@ -32,6 +32,11 @@
 //! - [`ProgressSink`] / [`Telemetry`]: the observability layer —
 //!   per-cell wall-clock timing, a live progress line, and a
 //!   worker-utilization summary.
+//! - [`FailureRecord`] / [`replay`]: the robustness layer — a failing
+//!   cell (invariant-audit violation, watchdog trip) is isolated,
+//!   recorded as a ledger error entry that `--resume` retries, and
+//!   dumped as a minimized repro record that `zivsim replay`
+//!   re-executes deterministically.
 //!
 //! # Examples
 //!
@@ -42,9 +47,10 @@
 //! params.seed = 7;
 //! let campaign = campaigns::by_name("smoke", &params).unwrap();
 //! let dir = std::env::temp_dir().join("ziv-harness-doc");
-//! let cfg = RunnerConfig { results_dir: dir.clone(), threads: 2, resume: false };
+//! let cfg = RunnerConfig { threads: 2, ..RunnerConfig::new(dir.clone()) };
 //! let first = run_campaign(&campaign, &cfg, &NullSink).unwrap();
 //! assert_eq!(first.telemetry.executed_cells, first.telemetry.total_cells);
+//! assert!(first.failures.is_empty());
 //!
 //! // Immediately resuming recomputes nothing and exports identical CSVs.
 //! let cfg = RunnerConfig { resume: true, ..cfg };
@@ -57,11 +63,13 @@
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+mod failure;
 mod ledger;
 mod runner;
 mod telemetry;
 
 pub use campaign::{campaigns, Campaign, CampaignParams, CellDigest, CELL_SCHEMA_VERSION};
-pub use ledger::{Ledger, LedgerWriter};
-pub use runner::{run_campaign, CampaignOutcome, RunnerConfig};
+pub use failure::{replay, FailureRecord, ReplayReport, FAILURE_SCHEMA_VERSION};
+pub use ledger::{FailedCell, Ledger, LedgerWriter};
+pub use runner::{run_campaign, CampaignOutcome, CellFailure, RunnerConfig};
 pub use telemetry::{CellTiming, NullSink, ProgressSink, StderrProgress, Telemetry};

@@ -1,35 +1,94 @@
 //! The campaign runner: cache partition → parallel execution →
-//! ledger append → CSV export.
+//! ledger append → CSV export, with per-cell fault isolation.
 
-use crate::campaign::{Campaign, CellDigest};
+use crate::campaign::{Campaign, CampaignParams, CellDigest};
+use crate::failure::FailureRecord;
 use crate::ledger::{Ledger, LedgerWriter};
 use crate::telemetry::{CellTiming, ProgressSink, Telemetry};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use ziv_common::SimError;
+use ziv_core::AuditCadence;
 use ziv_sim::{
-    grid_to_csv, run_cells, speedup_summary, summary_to_csv, GridObserver, GridResult, RunResult,
+    run_cells_checked, speedup_summary, write_grid_csv, write_summary_csv, CellBudget,
+    GridObserver, GridResult, RunOptions, RunResult,
 };
 use ziv_workloads::Workload;
 
 /// How to run a campaign.
 #[derive(Debug, Clone)]
 pub struct RunnerConfig {
-    /// Directory receiving `ledger.jsonl`, `grid.csv`, `summary.csv`.
+    /// Directory receiving `ledger.jsonl`, `grid.csv`, `summary.csv`,
+    /// and `failures/` repro records.
     pub results_dir: PathBuf,
     /// Worker threads for the missing cells.
     pub threads: usize,
     /// Reuse an existing ledger (`--resume`). When `false` any
     /// existing ledger is discarded and every cell recomputes.
     pub resume: bool,
+    /// How often the invariant auditor walks the hierarchy during each
+    /// cell (`--audit`). `Off` costs nothing measurable.
+    pub audit: AuditCadence,
+    /// Fail fast (`--strict`): stop claiming new cells after the first
+    /// failure. Cells already in flight still settle.
+    pub strict: bool,
+    /// Explicit per-core cycle budget (`--cell-budget`); `None` uses a
+    /// generous budget derived from each workload's size.
+    pub cell_budget: Option<u64>,
+    /// Campaign parameters for failure-repro records. When set, each
+    /// failing cell dumps a replayable record to
+    /// `<results-dir>/failures/<digest>.json`; when `None` (a
+    /// hand-built campaign not reproducible from params), only the
+    /// ledger error entry is written.
+    pub params: Option<CampaignParams>,
+}
+
+impl RunnerConfig {
+    /// A config with conservative defaults: single-threaded, no resume,
+    /// auditing off, watchdog on its derived budget, not strict, no
+    /// repro records.
+    pub fn new(results_dir: impl Into<PathBuf>) -> Self {
+        RunnerConfig {
+            results_dir: results_dir.into(),
+            threads: 1,
+            resume: false,
+            audit: AuditCadence::Off,
+            strict: false,
+            cell_budget: None,
+            params: None,
+        }
+    }
+}
+
+/// One failed cell of a campaign run.
+#[derive(Debug)]
+pub struct CellFailure {
+    /// Index of the cell's spec in the campaign.
+    pub spec_index: usize,
+    /// Index of the cell's recipe in the campaign.
+    pub workload_index: usize,
+    /// The cell's content digest.
+    pub digest: CellDigest,
+    /// Spec label.
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// The typed error that felled the cell.
+    pub error: SimError,
+    /// Path of the replayable repro record, when one was written.
+    pub record_path: Option<PathBuf>,
 }
 
 /// What a campaign run produced.
 #[derive(Debug)]
 pub struct CampaignOutcome {
     /// The full grid, cached + fresh, sorted by `(spec, workload)`.
+    /// Failed cells are absent.
     pub grid: Vec<GridResult>,
+    /// Cells that failed this run (empty on a clean campaign).
+    pub failures: Vec<CellFailure>,
     /// Execution summary.
     pub telemetry: Telemetry,
     /// Path of the per-cell CSV.
@@ -40,17 +99,29 @@ pub struct CampaignOutcome {
     pub ledger_path: PathBuf,
 }
 
-/// Forwards `run_cells` completions into the ledger and the progress
-/// sink. Ledger I/O errors are latched (observers cannot propagate)
-/// and re-raised after the grid finishes.
+/// Forwards `run_cells_checked` completions into the ledger and the
+/// progress sink. Ledger I/O errors are latched (observers cannot
+/// propagate) and re-raised after the grid finishes.
 struct CampaignObserver<'a> {
+    campaign: &'a Campaign,
+    cfg: &'a RunnerConfig,
     digests: &'a [Vec<CellDigest>],
+    /// Actual watchdog budget per workload index (for repro records).
+    budgets: &'a [u64],
     writer: &'a LedgerWriter,
     sink: &'a dyn ProgressSink,
     done: AtomicUsize,
+    failed: AtomicUsize,
     total: usize,
     timings: Mutex<Vec<CellTiming>>,
-    io_error: Mutex<Option<std::io::Error>>,
+    record_paths: Mutex<Vec<(usize, usize, PathBuf)>>,
+    io_error: Mutex<Option<SimError>>,
+}
+
+impl CampaignObserver<'_> {
+    fn latch(&self, e: SimError) {
+        self.io_error.lock().unwrap().get_or_insert(e);
+    }
 }
 
 impl GridObserver for CampaignObserver<'_> {
@@ -65,7 +136,11 @@ impl GridObserver for CampaignObserver<'_> {
             .writer
             .append(self.digests[spec_index][workload_index], result)
         {
-            self.io_error.lock().unwrap().get_or_insert(e);
+            self.latch(SimError::io(
+                "append ledger entry",
+                self.cfg.results_dir.join("ledger.jsonl"),
+                e,
+            ));
         }
         let timing = CellTiming {
             spec_index,
@@ -77,6 +152,63 @@ impl GridObserver for CampaignObserver<'_> {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         self.sink.cell_finished(&timing, done, self.total);
         self.timings.lock().unwrap().push(timing);
+    }
+
+    fn cell_failed(
+        &self,
+        spec_index: usize,
+        workload_index: usize,
+        error: &SimError,
+        _wall: Duration,
+    ) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        let digest = self.digests[spec_index][workload_index];
+        let label = &self.campaign.specs[spec_index].label;
+        let workload = self.campaign.recipes[workload_index].workload_name();
+        if let Err(e) = self.writer.append_error(digest, label, &workload, error) {
+            self.latch(SimError::io(
+                "append ledger error entry",
+                self.cfg.results_dir.join("ledger.jsonl"),
+                e,
+            ));
+        }
+        if let Some(params) = self.cfg.params {
+            let record = FailureRecord {
+                campaign: self.campaign.name.clone(),
+                params,
+                spec_index,
+                workload_index,
+                digest,
+                label: label.clone(),
+                workload: workload.clone(),
+                audit: self.cfg.audit.label(),
+                budget_cycles: self.budgets[workload_index],
+                error_kind: error.kind_tag().to_string(),
+                error_message: error.to_string(),
+                violation: error
+                    .violation()
+                    .map(|v| (v.kind.as_str().to_string(), v.access_index)),
+                fault: self.campaign.specs[spec_index]
+                    .fault
+                    .map(|f| (f.kind_str().to_string(), f.at_access())),
+            };
+            match record.save(&self.cfg.results_dir.join("failures")) {
+                Ok(path) => {
+                    self.record_paths
+                        .lock()
+                        .unwrap()
+                        .push((spec_index, workload_index, path))
+                }
+                Err(e) => self.latch(e),
+            }
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sink
+            .cell_failed(label, &workload, error, done, self.total);
+    }
+
+    fn should_abort(&self) -> bool {
+        self.cfg.strict && self.failed.load(Ordering::Relaxed) > 0
     }
 }
 
@@ -91,21 +223,33 @@ impl GridObserver for CampaignObserver<'_> {
 /// round-trip their `u64` counters exactly, and the grid is assembled
 /// in `(spec, workload)` order with the campaign's current labels.
 ///
+/// **Fault isolation**: a cell that fails its invariant audit or trips
+/// the watchdog does not take the campaign down. It is recorded as an
+/// error entry in the ledger (so `--resume` retries exactly that cell),
+/// dumped as a replayable repro record when `cfg.params` is set, and
+/// reported in [`CampaignOutcome::failures`]; the remaining cells still
+/// run — unless `cfg.strict`, which stops claiming new cells after the
+/// first failure.
+///
 /// # Errors
 ///
-/// Propagates I/O errors from the results directory, the ledger, or
-/// the CSV files.
+/// Returns [`SimError::Io`] for results-directory, ledger, or CSV I/O
+/// failures. Cell failures are **not** errors here; they come back in
+/// the outcome.
 pub fn run_campaign(
     campaign: &Campaign,
     cfg: &RunnerConfig,
     sink: &dyn ProgressSink,
-) -> std::io::Result<CampaignOutcome> {
-    std::fs::create_dir_all(&cfg.results_dir)?;
+) -> Result<CampaignOutcome, SimError> {
+    std::fs::create_dir_all(&cfg.results_dir)
+        .map_err(|e| SimError::io("create results dir", &cfg.results_dir, e))?;
     let ledger_path = cfg.results_dir.join("ledger.jsonl");
     if !cfg.resume && ledger_path.exists() {
-        std::fs::remove_file(&ledger_path)?;
+        std::fs::remove_file(&ledger_path)
+            .map_err(|e| SimError::io("reset ledger", &ledger_path, e))?;
     }
-    let ledger = Ledger::load(&ledger_path)?;
+    let ledger =
+        Ledger::load(&ledger_path).map_err(|e| SimError::io("load ledger", &ledger_path, e))?;
     if ledger.skipped_lines() > 0 {
         eprintln!(
             "warning: skipped {} unparseable ledger line(s) in {} (interrupted write?)",
@@ -117,6 +261,7 @@ pub fn run_campaign(
     // Partition the grid against the ledger. Cached results take the
     // campaign's *current* label and workload name (the digest ignores
     // labels, so a relabel must not leak stale names into the CSVs).
+    // Cells whose latest ledger line is an error entry are retried.
     let digests: Vec<Vec<CellDigest>> = (0..campaign.specs.len())
         .map(|s| {
             (0..campaign.recipes.len())
@@ -149,40 +294,87 @@ pub fn run_campaign(
     let workers = cfg.threads.max(1).min(missing.len().max(1));
     let started = Instant::now();
     let mut timings = Vec::new();
+    let mut failures: Vec<CellFailure> = Vec::new();
+    let mut executed_cells = 0;
     if !missing.is_empty() {
         let workloads: Vec<Workload> = campaign.recipes.iter().map(|r| r.build()).collect();
-        let writer = LedgerWriter::append_to(&ledger_path)?;
+        let budget = match cfg.cell_budget {
+            Some(cycles) => CellBudget::Cycles(cycles),
+            None => CellBudget::Derived,
+        };
+        let budgets: Vec<u64> = workloads.iter().map(|w| budget.cycles_for(w)).collect();
+        let opts = RunOptions {
+            audit: cfg.audit,
+            budget: Some(budget),
+        };
+        let writer = LedgerWriter::append_to(&ledger_path)
+            .map_err(|e| SimError::io("open ledger for append", &ledger_path, e))?;
         let observer = CampaignObserver {
+            campaign,
+            cfg,
             digests: &digests,
+            budgets: &budgets,
             writer: &writer,
             sink,
             done: AtomicUsize::new(cached_cells),
+            failed: AtomicUsize::new(0),
             total: campaign.total_cells(),
             timings: Mutex::new(Vec::with_capacity(missing.len())),
+            record_paths: Mutex::new(Vec::new()),
             io_error: Mutex::new(None),
         };
-        let fresh = run_cells(
+        let runs = run_cells_checked(
             &campaign.specs,
             &workloads,
             &missing,
             cfg.threads,
+            &opts,
             &observer,
         );
         if let Some(e) = observer.io_error.into_inner().unwrap() {
             return Err(e);
         }
         timings = observer.timings.into_inner().unwrap();
-        grid.extend(fresh);
+        let mut record_paths = observer.record_paths.into_inner().unwrap();
+        for run in runs {
+            match run.outcome {
+                Ok(result) => {
+                    executed_cells += 1;
+                    grid.push(GridResult {
+                        spec_index: run.spec_index,
+                        workload_index: run.workload_index,
+                        result,
+                    });
+                }
+                Err(error) => {
+                    let record_path = record_paths
+                        .iter()
+                        .position(|(s, w, _)| *s == run.spec_index && *w == run.workload_index)
+                        .map(|i| record_paths.swap_remove(i).2);
+                    failures.push(CellFailure {
+                        spec_index: run.spec_index,
+                        workload_index: run.workload_index,
+                        digest: digests[run.spec_index][run.workload_index],
+                        label: campaign.specs[run.spec_index].label.clone(),
+                        workload: campaign.recipes[run.workload_index].workload_name(),
+                        error,
+                        record_path,
+                    });
+                }
+            }
+        }
     }
     let wall = started.elapsed();
     grid.sort_by_key(|g| (g.spec_index, g.workload_index));
     timings.sort_by_key(|t| (t.spec_index, t.workload_index));
+    failures.sort_by_key(|f| (f.spec_index, f.workload_index));
 
     let telemetry = Telemetry {
         campaign: campaign.name.clone(),
         total_cells: campaign.total_cells(),
         cached_cells,
-        executed_cells: missing.len(),
+        executed_cells,
+        failed_cells: failures.len(),
         workers: if missing.is_empty() { 0 } else { workers },
         wall,
         busy: timings.iter().map(|t| t.wall).sum(),
@@ -190,21 +382,15 @@ pub fn run_campaign(
     };
 
     let grid_csv = cfg.results_dir.join("grid.csv");
-    grid_to_csv(
-        &grid,
-        std::io::BufWriter::new(std::fs::File::create(&grid_csv)?),
-    )?;
+    write_grid_csv(&grid_csv, &grid)?;
     let summary_csv = cfg.results_dir.join("summary.csv");
     let rows = speedup_summary(&grid, campaign.specs.len(), campaign.baseline_spec);
-    summary_to_csv(
-        &rows,
-        "weighted_speedup",
-        std::io::BufWriter::new(std::fs::File::create(&summary_csv)?),
-    )?;
+    write_summary_csv(&summary_csv, &rows, "weighted_speedup")?;
 
     sink.campaign_finished(&telemetry);
     Ok(CampaignOutcome {
         grid,
+        failures,
         telemetry,
         grid_csv,
         summary_csv,

@@ -3,6 +3,7 @@
 
 use std::io::Write;
 use std::time::Duration;
+use ziv_common::SimError;
 
 /// Timing record of one executed (not cached) cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +31,8 @@ pub struct Telemetry {
     pub cached_cells: usize,
     /// Cells actually simulated this run.
     pub executed_cells: usize,
+    /// Cells that failed (audit violation, watchdog trip, I/O error).
+    pub failed_cells: usize,
     /// Worker threads used for the executed cells.
     pub workers: usize,
     /// Wall clock of the execution phase.
@@ -60,8 +63,13 @@ impl Telemetry {
 
     /// Human-readable summary lines (what [`StderrProgress`] prints).
     pub fn summary_lines(&self) -> Vec<String> {
+        let failed = if self.failed_cells > 0 {
+            format!(", {} FAILED", self.failed_cells)
+        } else {
+            String::new()
+        };
         let mut lines = vec![format!(
-            "campaign {}: {} cells ({} cached, {} executed) in {:.2}s",
+            "campaign {}: {} cells ({} cached, {} executed{failed}) in {:.2}s",
             self.campaign,
             self.total_cells,
             self.cached_cells,
@@ -104,6 +112,20 @@ pub trait ProgressSink: Sync {
         let _ = (timing, done, total);
     }
 
+    /// One cell failed (audit violation, watchdog trip). The campaign
+    /// continues unless it runs `--strict`; `done` counts settled cells
+    /// (finished or failed, including cached), out of `total`.
+    fn cell_failed(
+        &self,
+        label: &str,
+        workload: &str,
+        error: &SimError,
+        done: usize,
+        total: usize,
+    ) {
+        let _ = (label, workload, error, done, total);
+    }
+
     /// The campaign completed (CSVs written).
     fn campaign_finished(&self, telemetry: &Telemetry) {
         let _ = telemetry;
@@ -142,6 +164,23 @@ impl ProgressSink for StderrProgress {
         let _ = err.flush();
     }
 
+    fn cell_failed(
+        &self,
+        label: &str,
+        workload: &str,
+        error: &SimError,
+        done: usize,
+        total: usize,
+    ) {
+        let mut err = std::io::stderr().lock();
+        // End the \r status line so the failure stays visible.
+        let _ = writeln!(
+            err,
+            "\r[{done}/{total}] {label} × {workload} FAILED: {error}\x1b[K"
+        );
+        let _ = err.flush();
+    }
+
     fn campaign_finished(&self, telemetry: &Telemetry) {
         let mut err = std::io::stderr().lock();
         if telemetry.executed_cells > 0 {
@@ -163,6 +202,7 @@ mod tests {
             total_cells: executed + 3,
             cached_cells: 3,
             executed_cells: executed,
+            failed_cells: 0,
             workers,
             wall: Duration::from_millis(wall_ms),
             busy: Duration::from_millis(busy_ms),

@@ -38,9 +38,8 @@ fn resume_executes_zero_new_cells_and_reexports_identical_csvs() {
     let campaign = campaigns::by_name("smoke", &params()).unwrap();
     let dir = temp_dir("resume-zero");
     let cfg = RunnerConfig {
-        results_dir: dir.clone(),
         threads: 2,
-        resume: false,
+        ..RunnerConfig::new(dir.clone())
     };
 
     let first = run_campaign(&campaign, &cfg, &NullSink).unwrap();
@@ -86,11 +85,7 @@ fn interrupted_campaign_resumes_to_byte_identical_csvs() {
 
     // Reference: uninterrupted single pass, single-threaded.
     let ref_dir = temp_dir("interrupt-ref");
-    let ref_cfg = RunnerConfig {
-        results_dir: ref_dir.clone(),
-        threads: 1,
-        resume: false,
-    };
+    let ref_cfg = RunnerConfig::new(ref_dir.clone());
     let reference = run_campaign(&campaign, &ref_cfg, &NullSink).unwrap();
     let ref_grid = fs::read(&reference.grid_csv).unwrap();
     let ref_summary = fs::read(&reference.summary_csv).unwrap();
@@ -100,9 +95,8 @@ fn interrupted_campaign_resumes_to_byte_identical_csvs() {
     // killed mid-append leaves behind.
     let dir = temp_dir("interrupt-cut");
     let cfg = RunnerConfig {
-        results_dir: dir.clone(),
         threads: 4,
-        resume: false,
+        ..RunnerConfig::new(dir.clone())
     };
     let full = run_campaign(&campaign, &cfg, &NullSink).unwrap();
     let ledger_text = fs::read_to_string(&full.ledger_path).unwrap();
@@ -145,9 +139,8 @@ fn thread_count_does_not_change_exports_or_digests() {
     for threads in [1, 4] {
         let dir = temp_dir(&format!("threads-{threads}"));
         let cfg = RunnerConfig {
-            results_dir: dir.clone(),
             threads,
-            resume: false,
+            ..RunnerConfig::new(dir.clone())
         };
         let out = run_campaign(&campaign, &cfg, &NullSink).unwrap();
         grids.push(fs::read(&out.grid_csv).unwrap());
@@ -160,9 +153,9 @@ fn thread_count_does_not_change_exports_or_digests() {
     // campaign — digests depend only on semantic cell content.
     let rebuilt = campaigns::by_name("smoke", &params()).unwrap();
     let cfg = RunnerConfig {
-        results_dir: dirs[1].clone(),
         threads: 2,
         resume: true,
+        ..RunnerConfig::new(dirs[1].clone())
     };
     let out = run_campaign(&rebuilt, &cfg, &NullSink).unwrap();
     assert_eq!(out.telemetry.executed_cells, 0);

@@ -1,0 +1,193 @@
+//! End-to-end campaign fault isolation: an injected failing cell is
+//! recorded (ledger error entry + replayable repro record) while the
+//! rest of the campaign completes; `--resume` retries exactly the
+//! failed cell; `--strict` stops after the first failure; and the repro
+//! record deterministically reproduces the violation under `replay`.
+
+use std::fs;
+use std::path::PathBuf;
+use ziv_core::{AuditCadence, FaultInjection};
+use ziv_harness::{
+    campaigns, replay, run_campaign, CampaignParams, FailureRecord, Ledger, NullSink, RunnerConfig,
+};
+
+const FAULT_AT: u64 = 200;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ziv-harness-fault-it")
+        .join(format!("{name}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn params() -> CampaignParams {
+    CampaignParams::tiny()
+}
+
+/// The smoke campaign with a deliberate directory corruption armed in
+/// cell (0, 0): spec 0's run clears a live sharer bit at `FAULT_AT`.
+fn faulted_smoke() -> ziv_harness::Campaign {
+    let mut campaign = campaigns::by_name("smoke", &params()).unwrap();
+    campaign.specs[0] = campaign.specs[0]
+        .clone()
+        .with_fault(FaultInjection::CorruptDirectory {
+            at_access: FAULT_AT,
+        });
+    campaign
+}
+
+fn audited_cfg(dir: &std::path::Path) -> RunnerConfig {
+    RunnerConfig {
+        threads: 2,
+        audit: AuditCadence::EveryAccess,
+        params: Some(params()),
+        ..RunnerConfig::new(dir.to_path_buf())
+    }
+}
+
+#[test]
+fn failing_cell_is_isolated_recorded_and_retried_on_resume() {
+    let campaign = faulted_smoke();
+    let total = campaign.total_cells();
+    let dir = temp_dir("isolate");
+    let cfg = audited_cfg(&dir);
+
+    let outcome = run_campaign(&campaign, &cfg, &NullSink).unwrap();
+
+    // The faulted spec fails both its cells (the fault arms on every
+    // run of spec 0); every other cell still completes.
+    assert!(!outcome.failures.is_empty(), "injected fault must surface");
+    let failed_cells: Vec<_> = outcome
+        .failures
+        .iter()
+        .map(|f| (f.spec_index, f.workload_index))
+        .collect();
+    assert!(
+        failed_cells.iter().all(|&(s, _)| s == 0),
+        "only the faulted spec may fail: {failed_cells:?}"
+    );
+    assert_eq!(
+        outcome.grid.len() + outcome.failures.len(),
+        total,
+        "failed cells are absent from the grid, not silently dropped"
+    );
+    assert_eq!(outcome.telemetry.failed_cells, outcome.failures.len());
+    assert!(outcome.grid.iter().all(|g| g.spec_index != 0));
+
+    // Each failure left an error entry in the ledger that does NOT
+    // satisfy `get` — so resume retries it — plus a repro record.
+    let ledger = Ledger::load(&outcome.ledger_path).unwrap();
+    assert_eq!(ledger.failed_count(), outcome.failures.len());
+    for f in &outcome.failures {
+        assert!(ledger.get(f.digest).is_none());
+        let entry = ledger.failure(f.digest).unwrap();
+        assert_eq!(entry.kind, "audit");
+        assert_eq!(entry.access_index, Some(FAULT_AT));
+        let record_path = f.record_path.as_ref().expect("repro record written");
+        assert!(record_path.exists());
+    }
+
+    // Resume with the same (still-faulted) campaign: only the failed
+    // cells re-run, and they fail at the same access index again.
+    let cfg = RunnerConfig {
+        resume: true,
+        ..audited_cfg(&dir)
+    };
+    let again = run_campaign(&campaign, &cfg, &NullSink).unwrap();
+    assert_eq!(
+        again.telemetry.cached_cells,
+        total - failed_cells.len(),
+        "resume must reuse every completed cell"
+    );
+    assert_eq!(again.failures.len(), failed_cells.len());
+    for f in &again.failures {
+        assert_eq!(f.error.access_index(), Some(FAULT_AT), "deterministic");
+    }
+
+    // "Fix the bug" (drop the fault): resume now runs only the cells
+    // the healthy spec addresses — the rest stay cached — and the
+    // campaign comes back clean.
+    let healthy = campaigns::by_name("smoke", &params()).unwrap();
+    let cfg = RunnerConfig {
+        resume: true,
+        ..audited_cfg(&dir)
+    };
+    let fixed = run_campaign(&healthy, &cfg, &NullSink).unwrap();
+    assert!(fixed.failures.is_empty());
+    assert_eq!(fixed.grid.len(), total);
+    assert_eq!(
+        fixed.telemetry.executed_cells,
+        failed_cells.len(),
+        "only the previously failing cells re-run"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn strict_mode_stops_after_the_first_failure() {
+    let campaign = faulted_smoke();
+    let dir = temp_dir("strict");
+    // Single-threaded so the claim order is deterministic: cell (0, 0)
+    // — the faulted spec — is claimed first and fails.
+    let cfg = RunnerConfig {
+        threads: 1,
+        strict: true,
+        ..audited_cfg(&dir)
+    };
+    let outcome = run_campaign(&campaign, &cfg, &NullSink).unwrap();
+    assert_eq!(outcome.failures.len(), 1, "fail fast: exactly one failure");
+    assert!(
+        outcome.grid.len() < campaign.total_cells() - 1,
+        "strict must abort the remaining cells"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_record_replays_the_violation_at_the_same_access() {
+    let campaign = faulted_smoke();
+    let dir = temp_dir("replay");
+    let cfg = RunnerConfig {
+        threads: 1,
+        strict: true,
+        ..audited_cfg(&dir)
+    };
+    let outcome = run_campaign(&campaign, &cfg, &NullSink).unwrap();
+    let record_path = outcome.failures[0].record_path.clone().unwrap();
+
+    // Round-trip through disk, then replay in (conceptually) a fresh
+    // process: same campaign params, same fault, every-access audit.
+    let record = FailureRecord::load(&record_path).unwrap();
+    assert_eq!(record.campaign, "smoke");
+    assert_eq!(
+        record.fault.as_deref_pair(),
+        Some(("corrupt-directory", FAULT_AT))
+    );
+    assert_eq!(
+        record.violation.as_ref().map(|(_, idx)| *idx),
+        Some(FAULT_AT)
+    );
+
+    let report = replay(&record).unwrap();
+    assert!(report.reproduced, "replay must reproduce: {}", report.note);
+    let err = report.error.unwrap();
+    assert_eq!(err.access_index(), Some(FAULT_AT), "same access index");
+    assert_eq!(
+        err.violation().map(|v| v.kind.as_str()),
+        record.violation.as_ref().map(|(k, _)| k.as_str()),
+        "same violation kind"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Helper: compare an `Option<(String, u64)>` against `(&str, u64)`.
+trait PairExt {
+    fn as_deref_pair(&self) -> Option<(&str, u64)>;
+}
+
+impl PairExt for Option<(String, u64)> {
+    fn as_deref_pair(&self) -> Option<(&str, u64)> {
+        self.as_ref().map(|(s, n)| (s.as_str(), *n))
+    }
+}

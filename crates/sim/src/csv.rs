@@ -12,6 +12,8 @@ use crate::driver::RunResult;
 use crate::report::NormalizedRows;
 use crate::spec::GridResult;
 use std::io::Write;
+use std::path::Path;
+use ziv_common::SimError;
 
 /// Escapes a CSV field (quotes fields containing commas or quotes).
 fn esc(field: &str) -> String {
@@ -125,6 +127,40 @@ pub fn summary_to_csv<W: Write>(
         )?;
     }
     Ok(())
+}
+
+/// Writes the grid CSV to `path`, with the file path attached to any
+/// failure (create or write) as a [`SimError::Io`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_grid_csv(path: &Path, grid: &[GridResult]) -> Result<(), SimError> {
+    let file = std::fs::File::create(path).map_err(|e| SimError::io("create grid CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    grid_to_csv(grid, &mut w).map_err(|e| SimError::io("write grid CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush grid CSV", path, e))
+}
+
+/// Writes the summary CSV to `path`, with the file path attached to any
+/// failure as a [`SimError::Io`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_summary_csv(
+    path: &Path,
+    rows: &NormalizedRows,
+    value_name: &str,
+) -> Result<(), SimError> {
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create summary CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    summary_to_csv(rows, value_name, &mut w)
+        .map_err(|e| SimError::io("write summary CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush summary CSV", path, e))
 }
 
 #[cfg(test)]

@@ -7,8 +7,60 @@
 //! out-of-order core with MLP achieves (DESIGN.md §5.1).
 
 use crate::spec::RunSpec;
-use ziv_core::{Access, CacheHierarchy, Metrics};
+use ziv_common::SimError;
+use ziv_core::{Access, AuditCadence, Auditor, CacheHierarchy, Metrics};
 use ziv_workloads::Workload;
+
+/// Per-cell cycle budget for the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellBudget {
+    /// Explicit per-core cycle cap (`--cell-budget`).
+    Cycles(u64),
+    /// Generous cap derived from the workload size (see
+    /// [`derived_budget`]): orders of magnitude above any healthy run,
+    /// tripped only by a livelocked or stalled model.
+    Derived,
+}
+
+impl CellBudget {
+    /// Resolves the budget, in per-core cycles, for `workload`.
+    pub fn cycles_for(&self, workload: &Workload) -> u64 {
+        match self {
+            CellBudget::Cycles(c) => *c,
+            CellBudget::Derived => derived_budget(workload),
+        }
+    }
+}
+
+/// The derived watchdog budget: every access can lap the trace
+/// [`32`-fold under the issue cap] and still spend thousands of cycles
+/// without coming near this, so only a genuinely stuck model trips it.
+pub fn derived_budget(workload: &Workload) -> u64 {
+    workload
+        .total_accesses()
+        .saturating_mul(50_000)
+        .max(10_000_000)
+}
+
+/// Robustness options for a checked run: audit cadence and watchdog
+/// budget. The default (`audit off`, no budget) makes
+/// [`run_one_checked`] behave exactly like [`run_one`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// How often the auditor walks the hierarchy.
+    pub audit: AuditCadence,
+    /// Watchdog budget; `None` disables the watchdog.
+    pub budget: Option<CellBudget>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            audit: AuditCadence::Off,
+            budget: None,
+        }
+    }
+}
 
 /// Per-core results of one run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +159,30 @@ impl RunResult {
 ///
 /// Panics if the workload's core count exceeds the system's.
 pub fn run_one(spec: &RunSpec, workload: &Workload) -> RunResult {
+    run_one_checked(spec, workload, &RunOptions::default())
+        .expect("a run with auditing and watchdog disabled is infallible")
+}
+
+/// Simulates `workload` under `spec` with runtime invariant auditing and
+/// an optional watchdog budget; audit violations and budget trips
+/// propagate as [`SimError`] values instead of panics.
+///
+/// # Errors
+///
+/// - [`SimError::Audit`] when an audit walk (at `opts.audit` cadence)
+///   finds an invariant violation — carrying the violation kind and the
+///   0-based index of the access after which it was first observed.
+/// - [`SimError::BudgetExceeded`] when any core's cycle clock crosses
+///   the watchdog budget before its trace completes.
+///
+/// # Panics
+///
+/// Panics if the workload's core count exceeds the system's.
+pub fn run_one_checked(
+    spec: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+) -> Result<RunResult, SimError> {
     let hier_cfg = spec.build_hierarchy_config(workload);
     let mut h = CacheHierarchy::new(&hier_cfg);
     let ncores = workload.cores();
@@ -142,6 +218,8 @@ pub fn run_one(spec: &RunSpec, workload: &Workload) -> RunResult {
     let mut laps = vec![0u32; ncores];
     let mut issued = 0u64;
     let issue_cap = workload.total_accesses().saturating_mul(32); // backstop
+    let mut auditor = Auditor::new(opts.audit);
+    let budget_cycles = opts.budget.map(|b| b.cycles_for(workload));
 
     // Smallest-cycle-first global interleaving.
     while done < ncores && issued < issue_cap {
@@ -186,7 +264,22 @@ pub fn run_one(spec: &RunSpec, workload: &Workload) -> RunResult {
         cycles[core] += (1 + rec.gap as u64) as f64 * base_cpi + exposed;
         instructions[core] += 1 + rec.gap as u64;
 
+        let access_index = issued;
         issued += 1;
+        if auditor.due() {
+            Auditor::check(&h, access_index).map_err(SimError::Audit)?;
+        }
+        if let Some(budget) = budget_cycles {
+            let c = cycles[core] as u64;
+            if c > budget {
+                return Err(SimError::BudgetExceeded {
+                    budget_cycles: budget,
+                    core,
+                    cycles: c,
+                    access_index,
+                });
+            }
+        }
         if finishing {
             laps[core] += 1;
             if !completed[core] {
@@ -220,7 +313,7 @@ pub fn run_one(spec: &RunSpec, workload: &Workload) -> RunResult {
     h.finalize();
     debug_assert!(h.verify_invariants().is_ok(), "{:?}", h.verify_invariants());
 
-    RunResult {
+    Ok(RunResult {
         label: spec.label.clone(),
         workload: workload.name.clone(),
         cores: (0..ncores)
@@ -231,7 +324,7 @@ pub fn run_one(spec: &RunSpec, workload: &Workload) -> RunResult {
             })
             .collect(),
         metrics: h.metrics().clone(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -32,10 +32,13 @@ mod effort;
 mod report;
 mod spec;
 
-pub use csv::{grid_to_csv, summary_to_csv, GRID_COLUMNS};
-pub use driver::{run_one, CoreRunStats, RunResult};
+pub use csv::{grid_to_csv, summary_to_csv, write_grid_csv, write_summary_csv, GRID_COLUMNS};
+pub use driver::{
+    derived_budget, run_one, run_one_checked, CellBudget, CoreRunStats, RunOptions, RunResult,
+};
 pub use effort::Effort;
 pub use report::{normalized_metric, speedup_summary, NormalizedRows};
 pub use spec::{
-    default_threads, run_cells, run_grid, GridObserver, GridResult, NoopObserver, RunSpec,
+    default_threads, run_cells, run_cells_checked, run_grid, CellRun, GridObserver, GridResult,
+    NoopObserver, RunSpec,
 };

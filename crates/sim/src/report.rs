@@ -4,6 +4,7 @@
 
 use crate::driver::RunResult;
 use crate::spec::GridResult;
+use std::collections::HashMap;
 use ziv_common::stats::Summary;
 
 /// Per-spec normalized rows: one summary per configuration, normalized
@@ -33,42 +34,53 @@ impl NormalizedRows {
     }
 }
 
-fn results_for_spec(grid: &[GridResult], spec: usize) -> Vec<&RunResult> {
+/// Baseline results keyed by workload index. A sparse map (rather than
+/// a parallel vector) keeps the aggregators correct on grids with
+/// holes: a failed cell under the fault-isolated campaign runner is
+/// simply absent, and every pairing below skips workloads missing from
+/// either side.
+fn baseline_by_workload(grid: &[GridResult], spec: usize) -> HashMap<usize, &RunResult> {
     grid.iter()
         .filter(|g| g.spec_index == spec)
-        .map(|g| &g.result)
+        .map(|g| (g.workload_index, &g.result))
         .collect()
 }
 
 /// Computes weighted-speedup summaries of every spec against the
 /// baseline spec (paper figures normalize to `I-LRU` at 256 KB).
 ///
-/// # Panics
-///
-/// Panics if the grid is ragged (unequal workload coverage per spec).
+/// Cells are paired by workload index; a workload missing from either a
+/// spec's row or the baseline row (a failed cell) is skipped for that
+/// pairing. A spec with no comparable cells gets an all-zero summary.
 pub fn speedup_summary(
     grid: &[GridResult],
     spec_count: usize,
     baseline_spec: usize,
 ) -> NormalizedRows {
-    let base = results_for_spec(grid, baseline_spec);
+    let base = baseline_by_workload(grid, baseline_spec);
     let mut rows = Vec::with_capacity(spec_count);
     for s in 0..spec_count {
-        let runs = results_for_spec(grid, s);
-        assert_eq!(runs.len(), base.len(), "ragged grid");
-        let speedups: Vec<f64> = runs
+        let speedups: Vec<f64> = grid
             .iter()
-            .zip(&base)
+            .filter(|g| g.spec_index == s)
+            .filter_map(|g| base.get(&g.workload_index).map(|b| (&g.result, *b)))
             .map(|(r, b)| {
                 debug_assert_eq!(r.workload, b.workload);
                 r.weighted_speedup(b)
             })
             .collect();
-        let label = runs.first().map(|r| r.label.clone()).unwrap_or_default();
-        rows.push((
-            label,
-            Summary::of(&speedups).expect("non-empty positive speedups"),
-        ));
+        let label = grid
+            .iter()
+            .find(|g| g.spec_index == s)
+            .map(|g| g.result.label.clone())
+            .unwrap_or_default();
+        let summary = Summary::of(&speedups).unwrap_or(Summary {
+            gmean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            count: 0,
+        });
+        rows.push((label, summary));
     }
     NormalizedRows { rows }
 }
@@ -76,21 +88,21 @@ pub fn speedup_summary(
 /// Computes baseline-normalized summaries of an arbitrary metric (LLC
 /// misses, L2 misses, inclusion victims...). Workloads where the
 /// baseline metric is zero are skipped for that ratio (and counted in
-/// the summary's `count`ed denominator only when valid).
+/// the summary's `count`ed denominator only when valid), as are
+/// workloads missing from either side (failed cells).
 pub fn normalized_metric(
     grid: &[GridResult],
     spec_count: usize,
     baseline_spec: usize,
     metric: impl Fn(&RunResult) -> f64,
 ) -> NormalizedRows {
-    let base = results_for_spec(grid, baseline_spec);
+    let base = baseline_by_workload(grid, baseline_spec);
     let mut rows = Vec::with_capacity(spec_count);
     for s in 0..spec_count {
-        let runs = results_for_spec(grid, s);
-        assert_eq!(runs.len(), base.len(), "ragged grid");
-        let ratios: Vec<f64> = runs
+        let ratios: Vec<f64> = grid
             .iter()
-            .zip(&base)
+            .filter(|g| g.spec_index == s)
+            .filter_map(|g| base.get(&g.workload_index).map(|b| (&g.result, *b)))
             .filter_map(|(r, b)| {
                 let denom = metric(b);
                 if denom > 0.0 {
@@ -103,7 +115,11 @@ pub fn normalized_metric(
                 }
             })
             .collect();
-        let label = runs.first().map(|r| r.label.clone()).unwrap_or_default();
+        let label = grid
+            .iter()
+            .find(|g| g.spec_index == s)
+            .map(|g| g.result.label.clone())
+            .unwrap_or_default();
         let summary = Summary::of(&ratios).unwrap_or(Summary {
             gmean: 0.0,
             min: 0.0,

@@ -1,11 +1,12 @@
 //! Run specifications (Send-able configuration data) and the parallel
 //! experiment grid runner.
 
-use crate::driver::{run_one, RunResult};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::driver::{run_one_checked, RunOptions, RunResult};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use ziv_common::config::SystemConfig;
-use ziv_core::{HierarchyConfig, LlcMode};
+use ziv_common::SimError;
+use ziv_core::{FaultInjection, HierarchyConfig, LlcMode};
 use ziv_directory::DirectoryMode;
 use ziv_replacement::{PolicyKind, PrecomputedFuture};
 use ziv_workloads::Workload;
@@ -31,6 +32,10 @@ pub struct RunSpec {
     pub char_cfg: Option<ziv_char::CharConfig>,
     /// Optional stride prefetching (the prefetch × inclusion extension).
     pub prefetch: Option<ziv_core::prefetch::PrefetchConfig>,
+    /// Optional deliberate fault injection (mutation tests, campaign
+    /// fault-isolation tests). Participates in the cell digest when set,
+    /// so a faulted cell never aliases a healthy cached result.
+    pub fault: Option<FaultInjection>,
 }
 
 impl RunSpec {
@@ -45,6 +50,7 @@ impl RunSpec {
             seed: 0x5eed,
             char_cfg: None,
             prefetch: None,
+            fault: None,
         }
     }
 
@@ -84,6 +90,12 @@ impl RunSpec {
         self
     }
 
+    /// Arms a deliberate fault (see [`FaultInjection`]).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Feeds every simulation-determining field into a stable content
     /// digest — the campaign harness's cell addressing.
     ///
@@ -108,6 +120,12 @@ impl RunSpec {
             Some(pf) => h.write_str(&format!("{pf:?}")),
             None => h.write_u64(0),
         }
+        // Appended after the original fields, and only when set: every
+        // fault-free spec keeps the digest it had before fault injection
+        // existed, so cached ledgers stay valid.
+        if let Some(fault) = &self.fault {
+            h.write_str(&format!("{fault:?}"));
+        }
     }
 
     /// Builds the hierarchy configuration, constructing the MIN oracle's
@@ -126,6 +144,9 @@ impl RunSpec {
         }
         if let Some(pf) = self.prefetch {
             cfg = cfg.with_prefetch(pf);
+        }
+        if let Some(fault) = self.fault {
+            cfg = cfg.with_fault(fault);
         }
         if self.policy == PolicyKind::Min {
             let ncores = workload.cores() as u64;
@@ -172,6 +193,26 @@ pub trait GridObserver: Sync {
     ) {
         let _ = (spec_index, workload_index, result, wall);
     }
+
+    /// A cell failed (audit violation, watchdog trip). Only reachable
+    /// through [`run_cells_checked`]; the plain [`run_cells`] path runs
+    /// with auditing off and cannot fail.
+    fn cell_failed(
+        &self,
+        spec_index: usize,
+        workload_index: usize,
+        error: &SimError,
+        wall: std::time::Duration,
+    ) {
+        let _ = (spec_index, workload_index, error, wall);
+    }
+
+    /// Polled by workers before claiming the next cell; return `true` to
+    /// stop the grid early (the campaign harness's `--strict` fail-fast).
+    /// Cells already in flight still complete.
+    fn should_abort(&self) -> bool {
+        false
+    }
 }
 
 /// The do-nothing [`GridObserver`].
@@ -199,18 +240,77 @@ pub fn run_cells(
     threads: usize,
     observer: &dyn GridObserver,
 ) -> Vec<GridResult> {
+    run_cells_checked(
+        specs,
+        workloads,
+        cells,
+        threads,
+        &RunOptions::default(),
+        observer,
+    )
+    .into_iter()
+    .map(|c| {
+        let result = c
+            .outcome
+            .expect("a run with auditing and watchdog disabled is infallible");
+        GridResult {
+            spec_index: c.spec_index,
+            workload_index: c.workload_index,
+            result,
+        }
+    })
+    .collect()
+}
+
+/// One cell's outcome under the fault-isolated runner: the result, or
+/// the typed error that felled it.
+#[derive(Debug)]
+pub struct CellRun {
+    /// Index of the spec in the grid's spec list.
+    pub spec_index: usize,
+    /// Index of the workload in the grid's workload list.
+    pub workload_index: usize,
+    /// The run's results, or its failure.
+    pub outcome: Result<RunResult, SimError>,
+}
+
+/// Fault-isolated variant of [`run_cells`]: each cell runs under
+/// `opts` (audit cadence + watchdog budget) and a failing cell is
+/// returned as an `Err` outcome — it never takes down its worker thread
+/// or the other cells. Workers poll [`GridObserver::should_abort`]
+/// between cells, so an observer can implement fail-fast.
+///
+/// Results are sorted by `(spec_index, workload_index)`; aborted cells
+/// are simply absent.
+///
+/// # Panics
+///
+/// Panics if a cell index is out of range for `specs` / `workloads`.
+pub fn run_cells_checked(
+    specs: &[RunSpec],
+    workloads: &[Workload],
+    cells: &[(usize, usize)],
+    threads: usize,
+    opts: &RunOptions,
+    observer: &dyn GridObserver,
+) -> Vec<CellRun> {
     for &(s, w) in cells {
         assert!(s < specs.len(), "spec index {s} out of range");
         assert!(w < workloads.len(), "workload index {w} out of range");
     }
     let total = cells.len();
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<GridResult>> = Mutex::new(Vec::with_capacity(total));
+    let aborted = AtomicBool::new(false);
+    let results: Mutex<Vec<CellRun>> = Mutex::new(Vec::with_capacity(total));
     let workers = threads.max(1).min(total.max(1));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if aborted.load(Ordering::Relaxed) || observer.should_abort() {
+                    aborted.store(true, Ordering::Relaxed);
+                    break;
+                }
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= total {
                     break;
@@ -218,12 +318,22 @@ pub fn run_cells(
                 let (spec_index, workload_index) = cells[idx];
                 observer.cell_started(spec_index, workload_index);
                 let started = std::time::Instant::now();
-                let result = run_one(&specs[spec_index], &workloads[workload_index]);
-                observer.cell_finished(spec_index, workload_index, &result, started.elapsed());
-                results.lock().unwrap().push(GridResult {
+                let outcome = run_one_checked(&specs[spec_index], &workloads[workload_index], opts);
+                match &outcome {
+                    Ok(result) => observer.cell_finished(
+                        spec_index,
+                        workload_index,
+                        result,
+                        started.elapsed(),
+                    ),
+                    Err(error) => {
+                        observer.cell_failed(spec_index, workload_index, error, started.elapsed())
+                    }
+                }
+                results.lock().unwrap().push(CellRun {
                     spec_index,
                     workload_index,
-                    result,
+                    outcome,
                 });
             });
         }

@@ -18,7 +18,8 @@
 
 use crate::{CoreTrace, TraceRecord, Workload};
 use std::io::{BufRead, BufReader, Read, Write};
-use ziv_common::Addr;
+use std::path::Path;
+use ziv_common::{Addr, SimError};
 
 /// Default latency-hiding factor for imported traces without metadata.
 pub const DEFAULT_OVERLAP: f64 = 0.4;
@@ -197,6 +198,34 @@ pub fn read_trace<R: Read>(input: R) -> Result<Workload, ParseTraceError> {
         })
         .collect();
     Ok(Workload { name, traces })
+}
+
+/// Reads a workload from a trace file at `path`, attaching the file
+/// path to both I/O and parse failures.
+///
+/// # Errors
+///
+/// - [`SimError::Io`] when the file cannot be opened.
+/// - [`SimError::Parse`] carrying `path` and the 1-based line number of
+///   the first malformed line.
+pub fn read_trace_file(path: &Path) -> Result<Workload, SimError> {
+    let file = std::fs::File::open(path).map_err(|e| SimError::io("open trace file", path, e))?;
+    read_trace(file).map_err(|e| SimError::parse(Some(path), e.line, e.message))
+}
+
+/// Writes a workload to a trace file at `path`, attaching the file path
+/// to any failure.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_trace_file(path: &Path, workload: &Workload) -> Result<(), SimError> {
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create trace file", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    write_trace(workload, &mut w).map_err(|e| SimError::io("write trace file", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush trace file", path, e))
 }
 
 #[cfg(test)]

@@ -1,0 +1,99 @@
+//! Property-based auditor tests: under arbitrary access sequences, the
+//! every-access invariant auditor stays silent in every LLC mode — the
+//! auditor's checks hold on healthy hierarchies, so any report in a
+//! campaign is a genuine model bug, not auditor noise.
+
+use proptest::prelude::*;
+use ziv::prelude::*;
+use ziv_common::config::{CacheGeometry, DramParams, LlcConfig, NocParams};
+use ziv_core::Auditor;
+
+fn tiny(cores: usize) -> SystemConfig {
+    SystemConfig {
+        cores,
+        l1i: CacheGeometry::new(2, 2),
+        l1d: CacheGeometry::new(2, 2),
+        l1_latency: 0,
+        l2: CacheGeometry::new(4, 2),
+        l2_latency: 4,
+        llc: LlcConfig::from_total_capacity(128 * 64, 4, 2),
+        dir_ratio: DirRatio::X2,
+        dir_base_ways: 8,
+        noc: NocParams::table1(),
+        dram: DramParams::ddr3_2133(),
+        base_cpi: 0.25,
+        scale_denominator: 1,
+    }
+}
+
+/// One step of an arbitrary access sequence.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    core: usize,
+    line: u64,
+    write: bool,
+}
+
+fn step_strategy(cores: usize) -> impl Strategy<Value = Step> {
+    (0..cores, 0u64..400, any::<bool>())
+        .prop_map(|(core, line, write)| Step { core, line, write })
+}
+
+/// Runs `steps` through a fresh hierarchy, auditing the full invariant
+/// set (structure + metric conservation) after every access.
+fn run_audited(mode: LlcMode, policy: PolicyKind, steps: &[Step]) -> Result<(), TestCaseError> {
+    let cfg = HierarchyConfig::new(tiny(3)).with_mode(mode).with_policy(policy);
+    let mut h = CacheHierarchy::new(&cfg);
+    let mut now = 0u64;
+    for (i, s) in steps.iter().enumerate() {
+        let addr = Addr::new(s.line * 64);
+        let a = if s.write {
+            Access::write(CoreId::new(s.core), addr, 0x400 + s.line % 32)
+        } else {
+            Access::read(CoreId::new(s.core), addr, 0x400 + s.line % 32)
+        };
+        now += 1 + h.access(&a, now, i as u64);
+        let audit = Auditor::check(&h, i as u64);
+        prop_assert!(
+            audit.is_ok(),
+            "{} after access {i}: {}",
+            mode.label(),
+            audit.err().unwrap()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_access_audit_is_silent_on_healthy_lru_modes(
+        steps in prop::collection::vec(step_strategy(3), 200..800),
+        mode_idx in 0usize..8,
+    ) {
+        let mode = [
+            LlcMode::Inclusive,
+            LlcMode::NonInclusive,
+            LlcMode::Qbs,
+            LlcMode::Sharp,
+            LlcMode::CharOnBase,
+            LlcMode::Ziv(ZivProperty::NotInPrC),
+            LlcMode::Ziv(ZivProperty::LruNotInPrC),
+            LlcMode::Ziv(ZivProperty::LikelyDead),
+        ][mode_idx];
+        run_audited(mode, PolicyKind::Lru, &steps)?;
+    }
+
+    #[test]
+    fn every_access_audit_is_silent_on_healthy_rrpv_modes(
+        steps in prop::collection::vec(step_strategy(3), 200..800),
+        mode_idx in 0usize..2,
+    ) {
+        let mode = [
+            LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC),
+            LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+        ][mode_idx];
+        run_audited(mode, PolicyKind::Hawkeye, &steps)?;
+    }
+}

@@ -18,4 +18,19 @@ cargo build --workspace --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== cargo test (release, debug assertions on)"
+# The figure campaigns run in release; keep the invariant-heavy paths
+# (auditor, ZIV guarantee fallback checks) exercised with
+# debug_assert!s compiled in at release optimization levels.
+RUSTFLAGS="-C debug-assertions" cargo test --workspace -q --release
+
+echo "== audit-enabled smoke campaign"
+# End-to-end through the release binary: every cell of the smallest
+# campaign under the sampled invariant auditor, into a throwaway
+# results dir. Any audit violation fails the gate with a repro record.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+ZIV_FAST=1 ./target/release/zivsim campaign smoke \
+    --audit sampled --results-dir "$SMOKE_DIR"
+
 echo "CI OK"

@@ -6,11 +6,21 @@
 //! zivsim compare [options]                # every mode on one workload
 //! zivsim export <file> [options]          # write the workload as a ziv-trace file
 //! zivsim campaign <name> [options]        # run a named figure campaign end-to-end
+//! zivsim replay <file>                    # re-run a failure repro record deterministically
 //!
 //! campaign options:
 //!   --resume                              (reuse the ledger: skip completed cells)
 //!   --results-dir <D>                     (default results/<name>)
 //!   --threads <N>                         (default: available parallelism)
+//!   --strict                              (stop claiming new cells after the first failure)
+//!   --inject-fault <S:W:KIND:AT>          (testing aid: arm a deliberate fault in spec S,
+//!                                          KIND = corrupt-directory|skip-back-invalidation|
+//!                                          stall-core, at access AT; W is informational)
+//!
+//! robustness options (run + campaign):
+//!   --audit <off|sampled|sampled:N|every-access>    (default off; invariant audit cadence)
+//!   --cell-budget <CYCLES>                (per-core watchdog budget; default derived
+//!                                          from the workload size)
 //!
 //! options:
 //!   --mode <inclusive|noninclusive|qbs|sharp|charonbase|
@@ -45,6 +55,10 @@ struct Options {
     resume: bool,
     results_dir: Option<String>,
     threads: Option<usize>,
+    audit: ziv::core::AuditCadence,
+    strict: bool,
+    cell_budget: Option<u64>,
+    inject_fault: Option<(usize, usize, ziv::core::FaultInjection)>,
 }
 
 impl Default for Options {
@@ -64,8 +78,35 @@ impl Default for Options {
             resume: false,
             results_dir: None,
             threads: None,
+            audit: ziv::core::AuditCadence::Off,
+            strict: false,
+            cell_budget: None,
+            inject_fault: None,
         }
     }
+}
+
+/// Parses `--inject-fault S:W:KIND:AT` (spec index, workload index,
+/// fault kind, trigger access).
+fn parse_inject_fault(s: &str) -> Result<(usize, usize, ziv::core::FaultInjection), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [spec, workload, kind, at] = parts.as_slice() else {
+        return Err(format!(
+            "--inject-fault '{s}' must look like SPEC:WORKLOAD:KIND:AT_ACCESS"
+        ));
+    };
+    let spec: usize = spec.parse().map_err(|e| format!("fault spec index: {e}"))?;
+    let workload: usize = workload
+        .parse()
+        .map_err(|e| format!("fault workload index: {e}"))?;
+    let at: u64 = at.parse().map_err(|e| format!("fault access index: {e}"))?;
+    let fault = ziv::core::FaultInjection::from_parts(kind, at).ok_or_else(|| {
+        format!(
+            "unknown fault kind '{kind}' \
+             (corrupt-directory, skip-back-invalidation, or stall-core)"
+        )
+    })?;
+    Ok((spec, workload, fault))
 }
 
 fn parse_mode(s: &str) -> Result<LlcMode, String> {
@@ -119,7 +160,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
-    let mut positional_allowed = opts.command == "export" || opts.command == "campaign";
+    let mut positional_allowed = matches!(opts.command.as_str(), "export" | "campaign" | "replay");
     while let Some(flag) = it.next() {
         if positional_allowed && !flag.starts_with("--") {
             // The export file path / campaign name (consumed from raw args).
@@ -151,6 +192,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--threads" => {
                 opts.threads = Some(value()?.parse().map_err(|e| format!("--threads: {e}"))?)
             }
+            "--audit" => opts.audit = ziv::core::AuditCadence::parse(&value()?)?,
+            "--strict" => opts.strict = true,
+            "--cell-budget" => {
+                opts.cell_budget = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--cell-budget: {e}"))?,
+                )
+            }
+            "--inject-fault" => opts.inject_fault = Some(parse_inject_fault(&value()?)?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -324,15 +375,28 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
         let list: Vec<&str> = campaigns::names().iter().map(|(n, _)| *n).collect();
         format!("unknown campaign '{name}' (one of: {})", list.join(", "))
     })?;
+    let mut campaign = campaign;
+    if let Some((spec_index, _workload_index, fault)) = opts.inject_fault {
+        let spec = campaign
+            .specs
+            .get(spec_index)
+            .ok_or_else(|| format!("--inject-fault: spec index {spec_index} out of range"))?;
+        campaign.specs[spec_index] = spec.clone().with_fault(fault);
+    }
     let cfg = RunnerConfig {
-        results_dir: opts
-            .results_dir
-            .clone()
-            .unwrap_or_else(|| format!("results/{name}"))
-            .into(),
         threads: opts.threads.unwrap_or(params.effort.threads),
         resume: opts.resume,
+        audit: opts.audit,
+        strict: opts.strict,
+        cell_budget: opts.cell_budget,
+        params: Some(params),
+        ..RunnerConfig::new(
+            opts.results_dir
+                .clone()
+                .unwrap_or_else(|| format!("results/{name}")),
+        )
     };
+    let results_dir = cfg.results_dir.clone();
     let outcome = run_campaign(&campaign, &cfg, &StderrProgress).map_err(|e| e.to_string())?;
     let rows =
         ziv::sim::speedup_summary(&outcome.grid, campaign.specs.len(), campaign.baseline_spec);
@@ -340,7 +404,49 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
     println!("wrote {}", outcome.grid_csv.display());
     println!("wrote {}", outcome.summary_csv.display());
     println!("ledger {}", outcome.ledger_path.display());
+    if !outcome.failures.is_empty() {
+        eprintln!("\n{} cell(s) FAILED:", outcome.failures.len());
+        for f in &outcome.failures {
+            eprintln!(
+                "  {} × {} [{}]: {}",
+                f.label,
+                f.workload,
+                f.digest.hex(),
+                f.error
+            );
+            if let Some(path) = &f.record_path {
+                eprintln!("    repro: zivsim replay {}", path.display());
+            }
+        }
+        return Err(format!(
+            "{} of {} cells failed (ledger keeps them marked for --resume; \
+             repro records under {}/failures/)",
+            outcome.failures.len(),
+            campaign.total_cells(),
+            results_dir.display()
+        ));
+    }
     Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    use ziv::harness::{replay, FailureRecord};
+    let path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("replay needs a repro-record file (results/<name>/failures/<digest>.json)")?;
+    let record = FailureRecord::load(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    println!(
+        "replaying {} × {} from campaign '{}' (audit {}, budget {} cycles)",
+        record.label, record.workload, record.campaign, record.audit, record.budget_cycles
+    );
+    let report = replay(&record).map_err(|e| e.to_string())?;
+    println!("{}", report.note);
+    if report.reproduced {
+        Ok(())
+    } else {
+        Err("replay did NOT reproduce the recorded failure".into())
+    }
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {
@@ -357,8 +463,14 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     if opts.prefetch {
         spec = spec.with_prefetch(ziv::core::prefetch::PrefetchConfig::default());
     }
-    let baseline = ziv::sim::run_one(&baseline_spec, &wl);
-    let result = ziv::sim::run_one(&spec, &wl);
+    let run_opts = ziv::sim::RunOptions {
+        audit: opts.audit,
+        budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
+    };
+    let baseline = ziv::sim::run_one_checked(&baseline_spec, &wl, &run_opts)
+        .map_err(|e| format!("baseline run: {e}"))?;
+    let result =
+        ziv::sim::run_one_checked(&spec, &wl, &run_opts).map_err(|e| format!("run: {e}"))?;
     print_result(&result, Some(&baseline));
     Ok(())
 }
@@ -443,7 +555,7 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 
 fn usage() {
     println!(
-        "usage: zivsim <list|run|compare|export|campaign> [options]   \
+        "usage: zivsim <list|run|compare|export|campaign|replay> [options]   \
          (see --help text in the source header)"
     );
 }
@@ -467,6 +579,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&opts),
         "export" => cmd_export(&args, &opts),
         "campaign" => cmd_campaign(&args, &opts),
+        "replay" => cmd_replay(&args),
         _ => {
             usage();
             Ok(())
@@ -522,6 +635,35 @@ mod tests {
                 .unwrap()
                 .seed_explicit
         );
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        let o = parse_args(&args(
+            "campaign smoke --audit every-access --strict --cell-budget 123456 \
+             --inject-fault 0:1:corrupt-directory:200",
+        ))
+        .unwrap();
+        assert_eq!(o.audit, ziv::core::AuditCadence::EveryAccess);
+        assert!(o.strict);
+        assert_eq!(o.cell_budget, Some(123_456));
+        let (s, w, fault) = o.inject_fault.unwrap();
+        assert_eq!((s, w), (0, 1));
+        assert_eq!(
+            fault,
+            ziv::core::FaultInjection::CorruptDirectory { at_access: 200 }
+        );
+
+        let o = parse_args(&args("run --audit sampled:64")).unwrap();
+        assert_eq!(o.audit, ziv::core::AuditCadence::Sampled { one_in: 64 });
+
+        assert!(parse_args(&args("campaign smoke --audit bogus")).is_err());
+        assert!(parse_args(&args("campaign smoke --inject-fault 0:0:nope:5")).is_err());
+        assert!(parse_args(&args("campaign smoke --inject-fault lopsided")).is_err());
+
+        // `replay` takes a positional file path like `export` does.
+        let o = parse_args(&args("replay results/smoke/failures/abc.json")).unwrap();
+        assert_eq!(o.command, "replay");
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Mutation tests for the invariant auditor: each deliberately injected
+//! fault must be *detected* (the checked run returns the matching typed
+//! error), *localized* (the violation names the right invariant), and
+//! *deterministic* (a second identical run reports the same access
+//! index). A healthy sweep across every LLC mode under every-access
+//! auditing must stay silent.
+
+use ziv::prelude::*;
+use ziv::sim::{run_one_checked, CellBudget, RunOptions};
+use ziv_common::SimError;
+use ziv_core::{AuditCadence, FaultInjection};
+
+const ACCESSES: usize = 2_000;
+const FAULT_AT: u64 = 300;
+
+fn workload_of(app: &str, cores: usize, accesses: usize) -> Workload {
+    let sys = SystemConfig::scaled();
+    let scale = ScaleParams::from_system(&sys);
+    mixes::homogeneous(
+        apps::app_by_name(app).unwrap(),
+        cores,
+        accesses,
+        0x2026,
+        scale,
+    )
+}
+
+fn workload() -> Workload {
+    workload_of("circset", 2, ACCESSES)
+}
+
+fn spec(mode: LlcMode) -> RunSpec {
+    // MaxRrpv ZIV properties read RRPV grades, so they need an
+    // RRPV-graded policy; everything else runs the LRU default.
+    let policy = match mode {
+        LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC)
+        | LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead) => PolicyKind::Srrip,
+        _ => PolicyKind::Lru,
+    };
+    RunSpec::new(mode.label(), SystemConfig::scaled())
+        .with_mode(mode)
+        .with_policy(policy)
+}
+
+fn audited() -> RunOptions {
+    RunOptions {
+        audit: AuditCadence::EveryAccess,
+        budget: None,
+    }
+}
+
+/// Runs `spec` with `fault` armed and returns the typed error the
+/// auditor must raise.
+fn run_faulted(mode: LlcMode, fault: FaultInjection, wl: &Workload) -> SimError {
+    let spec = spec(mode).with_fault(fault);
+    run_one_checked(&spec, wl, &audited()).expect_err("the injected fault must be detected")
+}
+
+#[test]
+fn corrupt_directory_is_caught_at_a_deterministic_index() {
+    let fault = FaultInjection::CorruptDirectory {
+        at_access: FAULT_AT,
+    };
+    let wl = workload();
+    let first = run_faulted(LlcMode::Inclusive, fault, &wl);
+    assert_eq!(first.kind_tag(), "audit");
+    let v = first.violation().expect("audit errors carry a violation");
+    assert_eq!(v.kind.as_str(), "missing-sharer-bit");
+    assert_eq!(first.access_index(), Some(FAULT_AT));
+
+    // Same spec, same workload, same fault: the second run must report
+    // the identical access index — the property `zivsim replay` relies
+    // on for deterministic reproduction.
+    let second = run_faulted(LlcMode::Inclusive, fault, &wl);
+    assert_eq!(second.access_index(), first.access_index());
+    assert_eq!(
+        second.violation().unwrap().kind,
+        first.violation().unwrap().kind
+    );
+}
+
+#[test]
+fn skipped_back_invalidation_is_an_inclusion_hole() {
+    // Four cores of `circset` under Hawkeye are the repo's
+    // inclusion-victim driver (see tests/trend_checks.rs): MIN-
+    // approximating replacement evicts LLC blocks still held privately,
+    // so real back-invalidations occur — giving the armed fault a
+    // back-invalidation to lose. (Under LRU the circular pattern
+    // produces none and the fault would never fire.)
+    let sys = SystemConfig::scaled();
+    let scale = ScaleParams::from_system(&sys);
+    let wl = mixes::homogeneous(
+        apps::app_by_name("circset").unwrap(),
+        4,
+        5_000,
+        0x2026,
+        scale,
+    );
+    let spec = RunSpec::new("I-Hawkeye", sys)
+        .with_policy(PolicyKind::Hawkeye)
+        .with_fault(FaultInjection::SkipBackInvalidation {
+            at_access: FAULT_AT,
+        });
+    let err = run_one_checked(&spec, &wl, &audited())
+        .expect_err("the lost back-invalidation must be detected");
+    assert_eq!(err.kind_tag(), "audit");
+    assert_eq!(err.violation().unwrap().kind.as_str(), "inclusion-hole");
+    assert!(err.access_index().unwrap() >= FAULT_AT);
+}
+
+#[test]
+fn stalled_core_trips_the_watchdog() {
+    let spec = spec(LlcMode::Inclusive).with_fault(FaultInjection::StallCore {
+        at_access: FAULT_AT,
+    });
+    let opts = RunOptions {
+        audit: AuditCadence::Off,
+        budget: Some(CellBudget::Cycles(5_000_000)),
+    };
+    let err = run_one_checked(&spec, &workload(), &opts)
+        .expect_err("a stalled core must exceed any finite budget");
+    assert_eq!(err.kind_tag(), "budget-exceeded");
+}
+
+#[test]
+fn healthy_runs_pass_every_access_audit_in_every_mode() {
+    // A shorter trace than the fault tests: healthy runs audit all the
+    // way to the end (faulted runs abort at detection), and ten modes
+    // at every-access cadence dominate this suite's wall clock.
+    let wl = workload_of("circset", 2, 800);
+    for mode in [
+        LlcMode::Inclusive,
+        LlcMode::NonInclusive,
+        LlcMode::Qbs,
+        LlcMode::Sharp,
+        LlcMode::CharOnBase,
+        LlcMode::Ziv(ZivProperty::NotInPrC),
+        LlcMode::Ziv(ZivProperty::LruNotInPrC),
+        LlcMode::Ziv(ZivProperty::LikelyDead),
+        LlcMode::Ziv(ZivProperty::MaxRrpvNotInPrC),
+        LlcMode::Ziv(ZivProperty::MaxRrpvLikelyDead),
+    ] {
+        let r = run_one_checked(&spec(mode), &wl, &audited());
+        assert!(
+            r.is_ok(),
+            "{}: healthy run failed audit: {}",
+            mode.label(),
+            r.err().unwrap()
+        );
+    }
+}
+
+#[test]
+fn audit_off_matches_the_unchecked_runner() {
+    let wl = workload();
+    let spec = spec(LlcMode::Ziv(ZivProperty::LikelyDead));
+    let unchecked = ziv::sim::run_one(&spec, &wl);
+    let checked = run_one_checked(
+        &spec,
+        &wl,
+        &RunOptions {
+            audit: AuditCadence::Off,
+            budget: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(checked.metrics, unchecked.metrics);
+    assert_eq!(checked.cores, unchecked.cores);
+}
