@@ -137,6 +137,151 @@ pub fn run_figure_campaign(name: &str) -> (ziv_harness::Campaign, ziv_harness::C
     (campaign, outcome)
 }
 
+/// One timed cell of the hot-path throughput bench: a `spec` ×
+/// `workload` pair driven end-to-end through [`ziv_sim::run_one`] with
+/// a wall clock around the whole run.
+#[derive(Debug, Clone)]
+pub struct ThroughputSample {
+    /// Figure-style spec label (`I-LRU 256KB`, …).
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Simulated accesses actually served, summed over cores (restart
+    /// laps included, so this can exceed the nominal trace length).
+    pub accesses: u64,
+    /// Best (minimum) wall-clock seconds over the timed repeats.
+    pub wall_seconds: f64,
+}
+
+impl ThroughputSample {
+    /// End-to-end simulated accesses per wall-clock second.
+    pub fn accesses_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.accesses as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times every cell (spec × recipe) of the named registered campaign
+/// through the plain unchecked driver — no auditor, no budget, no
+/// result cache, so the numbers measure the simulator hot path itself.
+/// Each cell runs `repeats` times (at least once) and keeps the fastest
+/// wall time; the access count is identical across repeats because runs
+/// are deterministic.
+///
+/// # Panics
+///
+/// Panics if `name` is not a registered campaign.
+pub fn run_throughput_bench(
+    name: &str,
+    params: &ziv_harness::CampaignParams,
+    repeats: usize,
+) -> Vec<ThroughputSample> {
+    let campaign = ziv_harness::campaigns::by_name(name, params)
+        .unwrap_or_else(|| panic!("campaign '{name}' is not registered"));
+    let workloads: Vec<Workload> = campaign.recipes.iter().map(|r| r.build()).collect();
+    let mut out = Vec::with_capacity(campaign.specs.len() * workloads.len());
+    for spec in &campaign.specs {
+        for wl in &workloads {
+            let mut best = f64::INFINITY;
+            let mut accesses = 0u64;
+            for _ in 0..repeats.max(1) {
+                let t0 = std::time::Instant::now();
+                let r = ziv_sim::run_one(spec, wl);
+                let dt = t0.elapsed().as_secs_f64();
+                accesses = r.metrics.per_core.iter().map(|c| c.accesses).sum();
+                if dt < best {
+                    best = dt;
+                }
+            }
+            out.push(ThroughputSample {
+                label: spec.label.clone(),
+                workload: wl.name.clone(),
+                accesses,
+                wall_seconds: best,
+            });
+        }
+    }
+    out
+}
+
+/// Per-mode aggregate of throughput samples: cells summed across
+/// workloads, in first-seen spec-label order.
+pub fn throughput_per_mode(samples: &[ThroughputSample]) -> Vec<ThroughputSample> {
+    let mut order: Vec<ThroughputSample> = Vec::new();
+    for s in samples {
+        match order.iter_mut().find(|m| m.label == s.label) {
+            Some(m) => {
+                m.accesses += s.accesses;
+                m.wall_seconds += s.wall_seconds;
+            }
+            None => order.push(ThroughputSample {
+                workload: String::from("(all)"),
+                ..s.clone()
+            }),
+        }
+    }
+    order
+}
+
+/// One sample as a compact JSON object row (escaping and float
+/// formatting via the workspace's own [`ziv_common::json`]).
+fn sample_json(s: &ThroughputSample) -> ziv_common::json::JsonValue {
+    use ziv_common::json::JsonValue;
+    // Round the derived/noisy floats so the file diffs readably.
+    let wall = (s.wall_seconds * 1e6).round() / 1e6;
+    let rate = (s.accesses_per_sec() * 10.0).round() / 10.0;
+    JsonValue::Obj(vec![
+        ("label".into(), JsonValue::str(s.label.clone())),
+        ("workload".into(), JsonValue::str(s.workload.clone())),
+        ("accesses".into(), JsonValue::u64(s.accesses)),
+        ("wall_seconds".into(), JsonValue::f64(wall)),
+        ("accesses_per_sec".into(), JsonValue::f64(rate)),
+    ])
+}
+
+/// Renders throughput samples as the `BENCH_hotpath.json` document:
+/// one row per cell, a per-mode aggregate (cells summed across
+/// workloads), and a grand total. Wall-clock numbers vary run to run —
+/// the file is a recorded baseline, not a gating artifact
+/// (DESIGN.md §8).
+pub fn throughput_report_json(
+    campaign: &str,
+    repeats: usize,
+    samples: &[ThroughputSample],
+) -> String {
+    use std::fmt::Write as _;
+    use ziv_common::json::JsonValue;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"hotpath-throughput\",");
+    let _ = writeln!(out, "  \"campaign\": {},", JsonValue::str(campaign));
+    let _ = writeln!(out, "  \"repeats\": {repeats},");
+    out.push_str("  \"cells\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", sample_json(s));
+    }
+    out.push_str("  ],\n  \"per_mode\": [\n");
+    let per_mode = throughput_per_mode(samples);
+    for (i, s) in per_mode.iter().enumerate() {
+        let comma = if i + 1 < per_mode.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", sample_json(s));
+    }
+    let total = ThroughputSample {
+        label: String::from("(total)"),
+        workload: String::from("(all)"),
+        accesses: samples.iter().map(|s| s.accesses).sum(),
+        wall_seconds: samples.iter().map(|s| s.wall_seconds).sum(),
+    };
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"total\": {}", sample_json(&total));
+    out.push_str("}\n");
+    out
+}
+
 /// Prints the standard figure banner.
 pub fn banner(figure: &str, title: &str, expectation: &str) {
     println!("==============================================================");
@@ -203,5 +348,95 @@ mod tests {
     fn mode_sets_match_paper() {
         assert_eq!(lru_modes().len(), 7);
         assert_eq!(hawkeye_modes().len(), 6);
+    }
+
+    fn sample(label: &str, workload: &str, accesses: u64, wall: f64) -> ThroughputSample {
+        ThroughputSample {
+            label: label.into(),
+            workload: workload.into(),
+            accesses,
+            wall_seconds: wall,
+        }
+    }
+
+    #[test]
+    fn per_mode_sums_across_workloads_in_label_order() {
+        let samples = vec![
+            sample("B", "w0", 100, 1.0),
+            sample("A", "w0", 200, 2.0),
+            sample("B", "w1", 300, 3.0),
+        ];
+        let agg = throughput_per_mode(&samples);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].label, "B");
+        assert_eq!(agg[0].accesses, 400);
+        assert_eq!(agg[0].wall_seconds, 4.0);
+        assert_eq!(agg[1].label, "A");
+        assert_eq!(agg[1].accesses, 200);
+    }
+
+    #[test]
+    fn accesses_per_sec_handles_zero_wall() {
+        assert_eq!(sample("A", "w", 10, 0.0).accesses_per_sec(), 0.0);
+        assert_eq!(sample("A", "w", 10, 2.0).accesses_per_sec(), 5.0);
+    }
+
+    #[test]
+    fn report_json_parses_with_the_workspace_parser() {
+        use ziv_common::json::JsonValue;
+        let samples = vec![
+            sample("I-LRU 256KB", "w\"0", 1000, 0.5),
+            sample("Z-LRU 256KB", "w1", 3000, 1.0),
+        ];
+        let json = throughput_report_json("smoke", 3, &samples);
+        let doc = ziv_common::json::parse(&json).expect("report must be valid JSON");
+        assert_eq!(
+            doc.get("bench").and_then(JsonValue::as_str),
+            Some("hotpath-throughput")
+        );
+        assert_eq!(
+            doc.get("campaign").and_then(JsonValue::as_str),
+            Some("smoke")
+        );
+        assert_eq!(doc.get("repeats").and_then(JsonValue::as_u64), Some(3));
+        let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(
+            cells[0].get("workload").and_then(JsonValue::as_str),
+            Some("w\"0")
+        );
+        assert_eq!(
+            cells[0].get("accesses_per_sec").and_then(JsonValue::as_f64),
+            Some(2000.0)
+        );
+        let total = doc.get("total").unwrap();
+        assert_eq!(
+            total.get("accesses").and_then(JsonValue::as_u64),
+            Some(4000)
+        );
+        assert_eq!(
+            doc.get("per_mode")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn throughput_bench_runs_the_smoke_campaign() {
+        let params = ziv_harness::CampaignParams::tiny();
+        let samples = run_throughput_bench("smoke", &params, 1);
+        let campaign = ziv_harness::campaigns::by_name("smoke", &params).unwrap();
+        assert_eq!(samples.len(), campaign.total_cells());
+        for s in &samples {
+            assert!(
+                s.accesses > 0,
+                "{} × {} served no accesses",
+                s.label,
+                s.workload
+            );
+            assert!(s.wall_seconds >= 0.0);
+        }
     }
 }

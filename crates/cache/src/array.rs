@@ -32,6 +32,17 @@ pub struct WayRef<'a, S> {
     pub state: &'a S,
 }
 
+/// Outcome of a fused tag-lookup / invalid-way walk
+/// ([`SetAssocArray::lookup_or_invalid_where`]): both answers from a
+/// single O(ways) scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The valid way holding the probed tag (and passing the filter).
+    pub hit: Option<WayIdx>,
+    /// The lowest-index invalid way of the set.
+    pub invalid: Option<WayIdx>,
+}
+
 impl<S: Default + Clone> SetAssocArray<S> {
     /// Creates an empty array of the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
@@ -91,6 +102,44 @@ impl<S: Default + Clone> SetAssocArray<S> {
     pub fn invalid_way(&self, set: SetIdx) -> Option<WayIdx> {
         let base = self.base(set);
         (0..self.geom.ways).find(|&w| !self.slots[base + w as usize].valid)
+    }
+
+    /// Fused tag lookup and invalid-way scan: one O(ways) walk answering
+    /// both [`lookup_where`](SetAssocArray::lookup_where) and
+    /// [`invalid_way`](SetAssocArray::invalid_way), for fill paths that
+    /// would otherwise pay two separate scans of the same set. Stops as
+    /// soon as both answers are known.
+    pub fn lookup_or_invalid_where(
+        &self,
+        set: SetIdx,
+        tag: u64,
+        mut filter: impl FnMut(&S) -> bool,
+    ) -> ProbeOutcome {
+        let base = self.base(set);
+        let mut out = ProbeOutcome {
+            hit: None,
+            invalid: None,
+        };
+        for w in 0..self.geom.ways {
+            let s = &self.slots[base + w as usize];
+            if s.valid {
+                if out.hit.is_none() && s.tag == tag && filter(&s.state) {
+                    out.hit = Some(w);
+                }
+            } else if out.invalid.is_none() {
+                out.invalid = Some(w);
+            }
+            if out.hit.is_some() && out.invalid.is_some() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// [`lookup_or_invalid_where`](SetAssocArray::lookup_or_invalid_where)
+    /// with no state filter.
+    pub fn lookup_or_invalid(&self, set: SetIdx, tag: u64) -> ProbeOutcome {
+        self.lookup_or_invalid_where(set, tag, |_| true)
     }
 
     /// Whether `(set, way)` holds a valid entry.
@@ -254,6 +303,32 @@ mod tests {
         assert_eq!(a.invalidate(2, 1), None);
         assert_eq!(a.lookup(2, 7), None);
         assert_eq!(a.invalid_way(2), Some(0));
+    }
+
+    #[test]
+    fn fused_probe_matches_separate_walks() {
+        let mut a = arr();
+        // Empty set: no hit, lowest invalid way.
+        assert_eq!(
+            a.lookup_or_invalid(0, 5),
+            ProbeOutcome {
+                hit: None,
+                invalid: Some(0)
+            }
+        );
+        // Hit in way 0, way 1 still invalid.
+        a.fill(0, 0, 5, St { dirty: true });
+        let p = a.lookup_or_invalid(0, 5);
+        assert_eq!((p.hit, p.invalid), (a.lookup(0, 5), a.invalid_way(0)));
+        assert_eq!((p.hit, p.invalid), (Some(0), Some(1)));
+        // Full set, miss: no hit, no invalid way.
+        a.fill(0, 1, 6, St::default());
+        let p = a.lookup_or_invalid(0, 99);
+        assert_eq!((p.hit, p.invalid), (None, None));
+        // Filter applies to the hit, not the invalid-way answer.
+        a.invalidate(0, 1);
+        let p = a.lookup_or_invalid_where(0, 5, |s| !s.dirty);
+        assert_eq!((p.hit, p.invalid), (None, Some(1)));
     }
 
     #[test]

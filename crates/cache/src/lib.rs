@@ -33,6 +33,6 @@ mod array;
 mod fifo;
 mod pv;
 
-pub use array::{SetAssocArray, WayRef};
+pub use array::{ProbeOutcome, SetAssocArray, WayRef};
 pub use fifo::{FifoFullError, RelocationFifo, RelocationRequest};
 pub use pv::PropertyVector;

@@ -152,11 +152,13 @@ impl Log2Histogram {
         c as f64 / self.total as f64
     }
 
-    /// Fraction of samples strictly below `threshold`.
+    /// Fraction of samples strictly below `2^threshold_log2`.
     /// (Used for the paper's "fraction of relocation intervals < 5
-    /// cycles" observation; exact below-threshold counting needs the
-    /// bucket containing the threshold, so we conservatively report the
-    /// CDF of the last fully-below bucket.)
+    /// cycles" observation.) Because bucket `i` holds exactly the values
+    /// in `[2^i, 2^(i+1))`, a power-of-two threshold lands on a bucket
+    /// boundary and the result is **exact**: every sample in buckets
+    /// `0..threshold_log2` is strictly below the threshold, and no
+    /// sample in later buckets is.
     pub fn fraction_below_pow2(&self, threshold_log2: usize) -> f64 {
         if threshold_log2 == 0 {
             return 0.0;
@@ -213,6 +215,11 @@ impl Log2Histogram {
 /// ```
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
+    if cols == 0 {
+        // No columns: nothing to align (and the separator-width
+        // arithmetic below would underflow `cols - 1`).
+        return String::new();
+    }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate().take(cols) {
@@ -319,6 +326,26 @@ mod tests {
     }
 
     #[test]
+    fn fraction_below_pow2_is_exact_at_pow2_thresholds() {
+        // Samples straddling the 2^3 = 8 boundary: 7 (bucket 2) is
+        // strictly below, 8 and 9 (bucket 3) are not. A pow2 threshold
+        // aligns with the bucket boundary, so the count is exact, not a
+        // conservative approximation.
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 7, 8, 9, 64] {
+            h.record(v);
+        }
+        let exact = [1u64, 7, 8, 9, 64].iter().filter(|&&v| v < 8).count();
+        assert_eq!(h.fraction_below_pow2(3), exact as f64 / 5.0);
+        // Exactness holds at every pow2 threshold for pow2 samples too:
+        // 2^k itself is never counted as "below 2^k".
+        let mut p = Log2Histogram::new();
+        p.record(16);
+        assert_eq!(p.fraction_below_pow2(4), 0.0);
+        assert_eq!(p.fraction_below_pow2(5), 1.0);
+    }
+
+    #[test]
     fn histogram_merge_adds() {
         let mut a = Log2Histogram::new();
         let mut b = Log2Histogram::new();
@@ -335,6 +362,14 @@ mod tests {
         let h = Log2Histogram::new();
         assert_eq!(h.cdf_at(63), 0.0);
         assert_eq!(h.max_bucket(), None);
+    }
+
+    #[test]
+    fn table_with_no_headers_is_empty() {
+        // Regression: `2 * (cols - 1)` underflowed usize for an empty
+        // header slice and panicked.
+        assert_eq!(render_table(&[], &[]), "");
+        assert_eq!(render_table(&[], &[vec!["orphan".into()]]), "");
     }
 
     #[test]

@@ -569,12 +569,16 @@ impl CacheHierarchy {
     /// (MESI upgrade). These are coherence invalidations, not inclusion
     /// victims.
     fn ensure_exclusive(&mut self, line: LineAddr, writer: CoreId, now: Cycle) {
-        let others: Vec<CoreId> = match self.dir.probe(line) {
-            Some(e) => e.sharers.iter().filter(|&s| s != writer).collect(),
+        // Sharer sets are `Copy` (a u128 bitvector): snapshot the set out
+        // of the directory entry so the cores can be mutated while
+        // iterating it — no per-access `Vec<CoreId>` (DESIGN.md §8).
+        let mut others = match self.dir.probe(line) {
+            Some(e) => e.sharers,
             None => return,
         };
+        others.remove(writer);
         let mut any_dirty = false;
-        for s in &others {
+        for s in others.iter() {
             if let Some(dirty) = self.cores[s.index()].invalidate(line) {
                 any_dirty |= dirty;
                 self.metrics.coherence_invalidations += 1;
@@ -582,8 +586,8 @@ impl CacheHierarchy {
         }
         if !others.is_empty() {
             if let Some(e) = self.dir.probe_mut(line) {
-                for s in &others {
-                    e.sharers.remove(*s);
+                for s in others.iter() {
+                    e.sharers.remove(s);
                 }
                 if e.dirty_owner.is_some_and(|o| o != writer) {
                     e.dirty_owner = None;
@@ -651,15 +655,15 @@ impl CacheHierarchy {
     /// its LLC copy stays, making its future reuse visible to the LLC.
     /// These forced invalidations are inclusion victims.
     fn eci_early_invalidate(&mut self, line: LineAddr, now: Cycle) {
-        let sharers: Vec<CoreId> = match self.dir.probe(line) {
-            Some(e) => e.sharers.iter().collect(),
+        let sharers = match self.dir.probe(line) {
+            Some(e) => e.sharers,
             None => return,
         };
         if sharers.is_empty() {
             return;
         }
         let mut any_dirty = false;
-        for s in &sharers {
+        for s in sharers.iter() {
             if self.cores[s.index()].invalidate(line).is_some_and(|d| d) {
                 any_dirty = true;
             }
@@ -703,11 +707,13 @@ impl CacheHierarchy {
                 }
             }
             if self.mode.is_inclusive() {
-                // Back-invalidation: the inclusion victims of Fig 2.
-                let sharers: Vec<CoreId> = self
+                // Back-invalidation: the inclusion victims of Fig 2. The
+                // sharer bitvector is iterated straight off the directory
+                // snapshot — the hot path allocates nothing.
+                let sharers = self
                     .dir
                     .probe(ev.line)
-                    .map(|e| e.sharers.iter().collect())
+                    .map(|e| e.sharers)
                     .unwrap_or_default();
                 if self.skip_next_back_invalidation && !sharers.is_empty() {
                     // Injected fault: the back-invalidation message is
@@ -720,7 +726,7 @@ impl CacheHierarchy {
                     return;
                 }
                 let mut any_dirty = ev.dirty;
-                for s in sharers {
+                for s in sharers.iter() {
                     if self.cores[s.index()].invalidate(ev.line).is_some_and(|d| d) {
                         any_dirty = true;
                     }

@@ -110,12 +110,15 @@ impl LlcBank {
     /// Recomputes every property bit of `set` from block and policy
     /// state. Called after any mutation of the set. O(ways).
     pub fn refresh_set(&mut self, set: SetIdx) {
-        let has_invalid = self.array.invalid_way(set).is_some();
-        self.pv_invalid.set(set, has_invalid);
-
+        // One walk derives the Invalid, NotInPrC, and LikelyDeadNotInPrC
+        // bits together (an invalid way exists iff fewer than `ways`
+        // slots are valid) — this runs after every set mutation, so the
+        // fused scan matters.
+        let mut valid_ways = 0usize;
         let mut any_nip = false;
         let mut any_dead_nip = false;
         for w in self.array.iter_set(set) {
+            valid_ways += 1;
             if !w.state.relocated && w.state.not_in_prc {
                 any_nip = true;
                 if w.state.likely_dead {
@@ -123,6 +126,8 @@ impl LlcBank {
                 }
             }
         }
+        self.pv_invalid
+            .set(set, valid_ways < self.array.geometry().ways as usize);
         self.pv_not_in_prc.set(set, any_nip);
         self.pv_likely_dead.set(set, any_dead_nip);
 

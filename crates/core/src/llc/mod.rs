@@ -212,6 +212,11 @@ pub struct SharedLlc {
     /// Number of way partitions for [`LlcMode::WayPartitioned`]
     /// (normally the core count, capped at the associativity).
     partitions: usize,
+    /// Reusable victim-order buffer for the per-fill `rank()` queries
+    /// (QBS/SHARP/ECI/CHARonBase/WayPartitioned). Taken with
+    /// `std::mem::take` for the duration of a query and put back, so the
+    /// steady-state fill path performs no heap allocation (DESIGN.md §8).
+    rank_scratch: Vec<WayIdx>,
 }
 
 impl SharedLlc {
@@ -241,6 +246,7 @@ impl SharedLlc {
             banks,
             rng: SimRng::seed_from_u64(seed ^ 0x51ac_c0de),
             partitions: 1,
+            rank_scratch: Vec::new(),
         }
     }
 
@@ -354,9 +360,15 @@ impl SharedLlc {
         core: ziv_common::CoreId,
         now: Cycle,
     ) -> FillOutcome {
-        debug_assert!(self.probe(line).is_none(), "fill of a resident line");
         let bank_id = self.cfg.bank_of(line);
         let set = self.cfg.set_of(line);
+        let tag = self.cfg.tag_of(line);
+        // Fused walk: the resident-line check and the invalid-way scan
+        // (every mode's highest-priority choice) share one O(ways) pass.
+        let probe = self.banks[bank_id.index()]
+            .array
+            .lookup_or_invalid_where(set, tag, |s| !s.relocated);
+        debug_assert!(probe.hit.is_none(), "fill of a resident line");
         let mut outcome = FillOutcome {
             loc: LlcLocation {
                 bank: bank_id,
@@ -374,7 +386,7 @@ impl SharedLlc {
         };
 
         // Invalid way: every mode's highest-priority choice.
-        if let Some(way) = self.banks[bank_id.index()].array.invalid_way(set) {
+        if let Some(way) = probe.invalid {
             self.install(bank_id, set, way, line, ctx);
             outcome.loc.way = way;
             return outcome;
@@ -387,7 +399,7 @@ impl SharedLlc {
             LlcMode::Eci => {
                 // Victimize normally, but also surface the next-ranked
                 // candidate for early core invalidation.
-                let mut order = Vec::new();
+                let mut order = std::mem::take(&mut self.rank_scratch);
                 self.banks[bank_id.index()]
                     .policy
                     .rank(set, ctx, &mut order);
@@ -397,7 +409,9 @@ impl SharedLlc {
                             Some(self.banks[bank_id.index()].array.state(set, next).line);
                     }
                 }
-                order[0]
+                let victim = order[0];
+                self.rank_scratch = order;
+                victim
             }
             LlcMode::WayPartitioned => self.choose_partitioned(bank_id, set, ctx, core),
             LlcMode::Qbs => self.choose_qbs(bank_id, set, ctx, dir, u8::MAX, &mut outcome),
@@ -469,12 +483,15 @@ impl SharedLlc {
         let my_part = core.index() % parts;
         let lo = (my_part * width) as WayIdx;
         let hi = lo + width as WayIdx;
-        let mut order = Vec::new();
+        let mut order = std::mem::take(&mut self.rank_scratch);
         self.banks[bank.index()].policy.rank(set, ctx, &mut order);
-        order
-            .into_iter()
+        let chosen = order
+            .iter()
+            .copied()
             .find(|&w| w >= lo && w < hi)
-            .expect("every partition has at least one way")
+            .expect("every partition has at least one way");
+        self.rank_scratch = order;
+        chosen
     }
 
     fn choose_qbs(
@@ -486,23 +503,26 @@ impl SharedLlc {
         max_queries: u8,
         outcome: &mut FillOutcome,
     ) -> WayIdx {
-        let mut order = Vec::new();
+        let mut order = std::mem::take(&mut self.rank_scratch);
         self.banks[bank.index()].policy.rank(set, ctx, &mut order);
         order.truncate(max_queries.max(1) as usize);
         let fallback = order[0];
+        let mut chosen = None;
         for &w in &order {
             let line = self.line_at(bank, set, w);
             outcome.qbs_queries += 1;
             if !dir.is_privately_cached(line) {
-                return w;
+                chosen = Some(w);
+                break;
             }
             // "The block is moved to the MRU position within the target
             // LLC set and the next victim candidate is considered."
             self.banks[bank.index()].policy.protect(set, w);
         }
+        self.rank_scratch = order;
         // Every block is privately cached: QBS gives up and victimizes
         // the baseline victim, generating inclusion victims.
-        fallback
+        chosen.unwrap_or(fallback)
     }
 
     fn choose_sharp(
@@ -514,23 +534,24 @@ impl SharedLlc {
         core: ziv_common::CoreId,
         outcome: &mut FillOutcome,
     ) -> WayIdx {
-        let mut order = Vec::new();
+        let mut order = std::mem::take(&mut self.rank_scratch);
         self.banks[bank.index()].policy.rank(set, ctx, &mut order);
         // Step 1: a block not resident in any private cache.
-        for &w in &order {
-            if !dir.is_privately_cached(self.line_at(bank, set, w)) {
-                return w;
-            }
-        }
+        let mut chosen = order
+            .iter()
+            .copied()
+            .find(|&w| !dir.is_privately_cached(self.line_at(bank, set, w)));
         // Step 2: a block resident only in the requesting core's caches.
-        for &w in &order {
-            let line = self.line_at(bank, set, w);
-            if dir
-                .probe(line)
-                .is_some_and(|s| s.sharers.is_sole_sharer(core))
-            {
-                return w;
-            }
+        if chosen.is_none() {
+            chosen = order.iter().copied().find(|&w| {
+                let line = self.line_at(bank, set, w);
+                dir.probe(line)
+                    .is_some_and(|s| s.sharers.is_sole_sharer(core))
+            });
+        }
+        self.rank_scratch = order;
+        if let Some(w) = chosen {
+            return w;
         }
         // Step 3: a random block; raise the alarm counter.
         outcome.sharp_alarm = true;
@@ -551,15 +572,14 @@ impl SharedLlc {
         }
         // Baseline victim is privately cached: prefer a LikelyDead block
         // (closest to eviction in rank order) from the same set.
-        let mut order = Vec::new();
+        let mut order = std::mem::take(&mut self.rank_scratch);
         self.banks[bank.index()].policy.rank(set, ctx, &mut order);
-        for &w in &order {
+        let chosen = order.iter().copied().find(|&w| {
             let st = self.banks[bank.index()].array.state(set, w);
-            if !st.relocated && st.likely_dead && st.not_in_prc {
-                return w;
-            }
-        }
-        baseline
+            !st.relocated && st.likely_dead && st.not_in_prc
+        });
+        self.rank_scratch = order;
+        chosen.unwrap_or(baseline)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -774,12 +794,12 @@ impl SharedLlc {
         out
     }
 
-    /// Rank order of a set under the bank's policy (diagnostics).
-    pub fn rank_of_set(&mut self, bank: BankId, set: SetIdx) -> Vec<WayIdx> {
-        let mut order = Vec::new();
+    /// Rank order of a set under the bank's policy (diagnostics). The
+    /// order is written into the caller-provided `out` buffer so repeated
+    /// queries reuse one allocation.
+    pub fn rank_of_set(&mut self, bank: BankId, set: SetIdx, out: &mut Vec<WayIdx>) {
         let ctx = neutral_ctx();
-        self.banks[bank.index()].policy.rank(set, &ctx, &mut order);
-        order
+        self.banks[bank.index()].policy.rank(set, &ctx, out);
     }
 }
 

@@ -16,6 +16,10 @@ pub struct DirectorySlice {
     /// Right-shift applied to line addresses before set indexing (the
     /// bank-interleaving bits, which are constant within a slice).
     bank_shift: u32,
+    /// Reusable NRU victim-order buffer for [`DirectorySlice::allocate`]
+    /// (directory allocations happen on every private fill of an
+    /// untracked line, so this is per-access state).
+    rank_buf: Vec<WayIdx>,
 }
 
 /// Neutral context for the NRU hooks (NRU ignores everything but the
@@ -32,6 +36,7 @@ impl DirectorySlice {
             array: SetAssocArray::new(geom),
             nru: Nru::new(geom),
             bank_shift,
+            rank_buf: Vec::new(),
         }
     }
 
@@ -105,22 +110,29 @@ impl DirectorySlice {
     ) -> (SetIdx, WayIdx, Option<(LineAddr, DirEntryState)>) {
         let set = self.set_of(line);
         let tag = self.tag_of(line);
+        // Fused walk: the duplicate-entry check and the invalid-way scan
+        // share one O(ways) pass over the set.
+        let probe = self.array.lookup_or_invalid(set, tag);
         assert!(
-            self.array.lookup(set, tag).is_none(),
+            probe.hit.is_none(),
             "allocate() on a line that already has a directory entry"
         );
-        if let Some(way) = self.array.invalid_way(set) {
+        if let Some(way) = probe.invalid {
             self.array.fill(set, way, tag, state);
             self.nru.on_fill(set, way, &nru_ctx());
             return (set, way, None);
         }
-        // Evict an NRU victim, skipping busy entries.
-        let mut order = Vec::new();
+        // Evict an NRU victim, skipping busy entries. The victim-order
+        // buffer is slice-owned scratch: allocations happen on every
+        // private fill of an untracked line, so no per-call `Vec`.
+        let mut order = std::mem::take(&mut self.rank_buf);
         self.nru.rank(set, &nru_ctx(), &mut order);
         let victim = order
-            .into_iter()
+            .iter()
+            .copied()
             .find(|&w| !self.array.state(set, w).busy)
             .expect("all directory ways busy");
+        self.rank_buf = order;
         let evicted_line = self.line_at(set, victim, bank_index);
         let (_, old_state) = self
             .array

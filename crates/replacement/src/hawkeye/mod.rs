@@ -234,7 +234,7 @@ impl ReplacementPolicy for Hawkeye {
         let base = set as usize * self.ways;
         // Prefer a cache-averse block (RRPV 7); otherwise the oldest
         // (highest-RRPV) friendly block.
-        let mut best = 0u8;
+        let mut best: WayIdx = 0;
         let mut best_r = 0u8;
         for w in 0..self.ways {
             let r = self.state[base + w].rrpv;

@@ -56,7 +56,7 @@ impl ReplacementPolicy for Lru {
 
     fn victim(&self, set: SetIdx, _ctx: &AccessCtx) -> WayIdx {
         let base = set as usize * self.ways;
-        let mut best = 0u8;
+        let mut best: WayIdx = 0;
         let mut best_stamp = u64::MAX;
         for w in 0..self.ways {
             let s = self.stamps[base + w];

@@ -69,7 +69,7 @@ impl ReplacementPolicy for MinOracle {
 
     fn victim(&self, set: SetIdx, ctx: &AccessCtx) -> WayIdx {
         let base = set as usize * self.ways;
-        let mut best = 0u8;
+        let mut best: WayIdx = 0;
         let mut best_key = 0u64;
         for w in 0..self.ways {
             let key = self.next_use_key(self.lines[base + w], ctx.seq);

@@ -121,7 +121,7 @@ impl ReplacementPolicy for Ship {
 
     fn victim(&self, set: SetIdx, _ctx: &AccessCtx) -> WayIdx {
         let base = set as usize * self.ways;
-        let mut best = 0u8;
+        let mut best: WayIdx = 0;
         let mut best_r = 0u8;
         for w in 0..self.ways {
             let r = self.meta[base + w].rrpv;

@@ -67,7 +67,7 @@ impl ReplacementPolicy for Srrip {
         // Without mutating (victim is a pure query), report the way that
         // aging would select: the highest RRPV, lowest way index first.
         let base = set as usize * self.ways;
-        let mut best = 0u8;
+        let mut best: WayIdx = 0;
         let mut best_r = 0u8;
         for w in 0..self.ways {
             let r = self.rrpvs[base + w];

@@ -24,6 +24,12 @@ echo "== cargo test (release, debug assertions on)"
 # debug_assert!s compiled in at release optimization levels.
 RUSTFLAGS="-C debug-assertions" cargo test --workspace -q --release
 
+echo "== hot-path determinism differential (release, debug assertions on)"
+# Explicit run of the hot-path differential: every LLC mode twice under
+# the every-access auditor plus byte-identical campaign ledgers, with
+# the fused-probe/scratch-buffer debug_assert!s compiled in.
+RUSTFLAGS="-C debug-assertions" cargo test -q --release --test hotpath_determinism
+
 echo "== audit-enabled smoke campaign"
 # End-to-end through the release binary: every cell of the smallest
 # campaign under the sampled invariant auditor, into a throwaway
@@ -32,5 +38,14 @@ SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 ZIV_FAST=1 ./target/release/zivsim campaign smoke \
     --audit sampled --results-dir "$SMOKE_DIR"
+
+echo "== hot-path throughput baseline (recorded, non-gating)"
+# End-to-end accesses/second over the smoke campaign through the plain
+# driver (no audit, no cache). The JSON report is a recorded baseline
+# for spotting hot-path regressions across commits; wall-clock numbers
+# depend on the machine, so nothing here gates.
+ZIV_FAST=1 ./target/release/zivsim bench-throughput \
+    --repeats 2 --out BENCH_hotpath.json
+echo "   (see BENCH_hotpath.json)"
 
 echo "CI OK"

@@ -7,6 +7,13 @@
 //! zivsim export <file> [options]          # write the workload as a ziv-trace file
 //! zivsim campaign <name> [options]        # run a named figure campaign end-to-end
 //! zivsim replay <file>                    # re-run a failure repro record deterministically
+//! zivsim bench-throughput [options]       # time the smoke campaign end-to-end (accesses/s)
+//!
+//! bench-throughput options:
+//!   --repeats <N>                         (timed repeats per cell, best-of; default 3)
+//!   --out <FILE>                          (JSON report path; default BENCH_hotpath.json)
+//!   --cores/--seed also apply. The report is a recorded performance
+//!   baseline, not a gate: wall-clock numbers vary with the machine.
 //!
 //! campaign options:
 //!   --resume                              (reuse the ledger: skip completed cells)
@@ -59,6 +66,8 @@ struct Options {
     strict: bool,
     cell_budget: Option<u64>,
     inject_fault: Option<(usize, usize, ziv::core::FaultInjection)>,
+    repeats: usize,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -82,6 +91,8 @@ impl Default for Options {
             strict: false,
             cell_budget: None,
             inject_fault: None,
+            repeats: 3,
+            out: None,
         }
     }
 }
@@ -202,6 +213,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--inject-fault" => opts.inject_fault = Some(parse_inject_fault(&value()?)?),
+            "--repeats" => {
+                opts.repeats = value()?.parse().map_err(|e| format!("--repeats: {e}"))?
+            }
+            "--out" => opts.out = Some(value()?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -429,6 +444,50 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench_throughput(opts: &Options) -> Result<(), String> {
+    use ziv::bench::{run_throughput_bench, throughput_per_mode, throughput_report_json};
+    let mut params = ziv::harness::CampaignParams::from_env();
+    if opts.seed_explicit {
+        params.seed = opts.seed;
+    }
+    params.cores = opts.cores;
+    let samples = run_throughput_bench("smoke", &params, opts.repeats);
+    println!(
+        "hot-path throughput (smoke campaign, best of {} repeat(s)):",
+        opts.repeats.max(1)
+    );
+    for s in throughput_per_mode(&samples) {
+        println!(
+            "  {:<28} {:>12.0} accesses/s  ({} accesses in {:.3}s)",
+            s.label,
+            s.accesses_per_sec(),
+            s.accesses,
+            s.wall_seconds
+        );
+    }
+    let total_acc: u64 = samples.iter().map(|s| s.accesses).sum();
+    let total_wall: f64 = samples.iter().map(|s| s.wall_seconds).sum();
+    println!(
+        "  {:<28} {:>12.0} accesses/s  ({} accesses in {:.3}s)",
+        "(total)",
+        if total_wall > 0.0 {
+            total_acc as f64 / total_wall
+        } else {
+            0.0
+        },
+        total_acc,
+        total_wall
+    );
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let json = throughput_report_json("smoke", opts.repeats.max(1), &samples);
+    std::fs::write(&path, json).map_err(|e| format!("cannot write '{path}': {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     use ziv::harness::{replay, FailureRecord};
     let path = args
@@ -555,7 +614,7 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 
 fn usage() {
     println!(
-        "usage: zivsim <list|run|compare|export|campaign|replay> [options]   \
+        "usage: zivsim <list|run|compare|export|campaign|replay|bench-throughput> [options]   \
          (see --help text in the source header)"
     );
 }
@@ -580,6 +639,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&args, &opts),
         "campaign" => cmd_campaign(&args, &opts),
         "replay" => cmd_replay(&args),
+        "bench-throughput" => cmd_bench_throughput(&opts),
         _ => {
             usage();
             Ok(())
@@ -664,6 +724,23 @@ mod tests {
         // `replay` takes a positional file path like `export` does.
         let o = parse_args(&args("replay results/smoke/failures/abc.json")).unwrap();
         assert_eq!(o.command, "replay");
+    }
+
+    #[test]
+    fn parses_bench_throughput_flags() {
+        let o = parse_args(&args(
+            "bench-throughput --repeats 5 --out /tmp/b.json --cores 4",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "bench-throughput");
+        assert_eq!(o.repeats, 5);
+        assert_eq!(o.out.as_deref(), Some("/tmp/b.json"));
+        assert_eq!(o.cores, 4);
+
+        let o = parse_args(&args("bench-throughput")).unwrap();
+        assert_eq!(o.repeats, 3, "default repeats");
+        assert!(o.out.is_none());
+        assert!(parse_args(&args("bench-throughput --repeats nope")).is_err());
     }
 
     #[test]

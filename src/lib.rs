@@ -28,6 +28,8 @@
 //! - [`sim`] — the trace driver, parallel experiment grids, reporting.
 //! - [`harness`] — resumable experiment campaigns with a
 //!   content-addressed result cache and run telemetry.
+//! - [`bench`] — figure-regeneration plumbing and the hot-path
+//!   throughput baseline (`zivsim bench-throughput`).
 //!
 //! # Quick start
 //!
@@ -49,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub use ziv_bench as bench;
 pub use ziv_cache as cache;
 pub use ziv_char as char_engine;
 pub use ziv_common as common;
