@@ -179,9 +179,31 @@ pub fn run_throughput_bench(
     params: &ziv_harness::CampaignParams,
     repeats: usize,
 ) -> Vec<ThroughputSample> {
+    run_throughput_bench_with(name, params, repeats, ziv_sim::ObserveConfig::disabled())
+}
+
+/// [`run_throughput_bench`] with the flight recorder configured — the
+/// instrument behind the tracing-on vs tracing-off overhead comparison
+/// (`zivsim bench-throughput --traced`, recorded non-gating by CI).
+/// With `observe` disabled this *is* `run_throughput_bench`: the same
+/// unchecked driver, one `Option` branch per event site.
+///
+/// # Panics
+///
+/// Panics if `name` is not a registered campaign.
+pub fn run_throughput_bench_with(
+    name: &str,
+    params: &ziv_harness::CampaignParams,
+    repeats: usize,
+    observe: ziv_sim::ObserveConfig,
+) -> Vec<ThroughputSample> {
     let campaign = ziv_harness::campaigns::by_name(name, params)
         .unwrap_or_else(|| panic!("campaign '{name}' is not registered"));
     let workloads: Vec<Workload> = campaign.recipes.iter().map(|r| r.build()).collect();
+    let opts = ziv_sim::RunOptions {
+        observe,
+        ..ziv_sim::RunOptions::default()
+    };
     let mut out = Vec::with_capacity(campaign.specs.len() * workloads.len());
     for spec in &campaign.specs {
         for wl in &workloads {
@@ -189,8 +211,9 @@ pub fn run_throughput_bench(
             let mut accesses = 0u64;
             for _ in 0..repeats.max(1) {
                 let t0 = std::time::Instant::now();
-                let r = ziv_sim::run_one(spec, wl);
+                let (r, _) = ziv_sim::run_one_traced(spec, wl, &opts);
                 let dt = t0.elapsed().as_secs_f64();
+                let r = r.expect("throughput bench runs unchecked: no audit, no budget");
                 accesses = r.metrics.per_core.iter().map(|c| c.accesses).sum();
                 if dt < best {
                     best = dt;

@@ -1,0 +1,57 @@
+//! Small filesystem helpers shared by the CLI and the harness.
+
+use crate::error::SimError;
+use std::path::Path;
+
+/// Creates every missing parent directory of `path`, so a subsequent
+/// `File::create(path)` cannot fail with "No such file or directory"
+/// just because the caller pointed `--out` into a fresh directory.
+///
+/// A bare filename (no parent component) is a no-op.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] when directory creation fails.
+///
+/// # Examples
+///
+/// ```
+/// use ziv_common::fsutil::create_parent_dirs;
+/// // Bare filenames have no parent to create.
+/// create_parent_dirs("report.json").unwrap();
+/// ```
+pub fn create_parent_dirs(path: impl AsRef<Path>) -> Result<(), SimError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| SimError::io("create parent directory", parent, e))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_nested_parents() {
+        let dir = std::env::temp_dir().join(format!("ziv_fsutil_{}", std::process::id()));
+        let target = dir.join("a/b/c/out.csv");
+        // Clean slate.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(!target.parent().unwrap().exists());
+        create_parent_dirs(&target).unwrap();
+        assert!(target.parent().unwrap().exists());
+        // Idempotent on an existing parent.
+        create_parent_dirs(&target).unwrap();
+        std::fs::write(&target, "x").unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bare_filename_is_noop() {
+        create_parent_dirs("just_a_name.json").unwrap();
+    }
+}

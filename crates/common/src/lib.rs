@@ -27,6 +27,7 @@ pub mod addr;
 pub mod config;
 pub mod digest;
 pub mod error;
+pub mod fsutil;
 pub mod ids;
 pub mod json;
 pub mod rng;

@@ -200,6 +200,102 @@ impl Log2Histogram {
     }
 }
 
+/// A dense 2-D grid of `u64` counters, indexed `(row, col)` — the
+/// backing store for the observability heatmaps (bank × set access,
+/// eviction, and relocation counts).
+///
+/// # Examples
+///
+/// ```
+/// use ziv_common::stats::CountGrid;
+/// let mut g = CountGrid::new(2, 4);
+/// g.inc(1, 3);
+/// g.inc(1, 3);
+/// assert_eq!(g.get(1, 3), 2);
+/// assert_eq!(g.total(), 2);
+/// assert_eq!(g.row(0), &[0, 0, 0, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountGrid {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl CountGrid {
+    /// Creates a zeroed `rows × cols` grid.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CountGrid {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Increments cell `(row, col)` by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of bounds.
+    #[inline]
+    pub fn inc(&mut self, row: usize, col: usize) {
+        self.add(row, col, 1);
+    }
+
+    /// Adds `n` to cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, n: u64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "CountGrid index out of bounds"
+        );
+        self.data[row * self.cols + col] += n;
+    }
+
+    /// Reads cell `(row, col)`; out-of-bounds cells read as zero.
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        if row < self.rows && col < self.cols {
+            self.data[row * self.cols + col]
+        } else {
+            0
+        }
+    }
+
+    /// One full row as a slice (length [`CountGrid::cols`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[u64] {
+        assert!(row < self.rows, "CountGrid row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Sum of every cell.
+    pub fn total(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// The largest single cell value (zero for an empty grid).
+    pub fn max(&self) -> u64 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+}
+
 /// Renders a simple aligned text table; used by the figure benches so
 /// their output reads like the paper's data series.
 ///
@@ -362,6 +458,29 @@ mod tests {
         let h = Log2Histogram::new();
         assert_eq!(h.cdf_at(63), 0.0);
         assert_eq!(h.max_bucket(), None);
+    }
+
+    #[test]
+    fn count_grid_indexes_row_major() {
+        let mut g = CountGrid::new(3, 2);
+        g.inc(0, 0);
+        g.inc(2, 1);
+        g.add(2, 1, 4);
+        assert_eq!(g.get(0, 0), 1);
+        assert_eq!(g.get(2, 1), 5);
+        assert_eq!(g.get(9, 9), 0, "out-of-bounds reads are zero");
+        assert_eq!(g.row(2), &[0, 5]);
+        assert_eq!(g.total(), 6);
+        assert_eq!(g.max(), 5);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn count_grid_write_out_of_bounds_panics() {
+        let mut g = CountGrid::new(1, 1);
+        g.inc(1, 0);
     }
 
     #[test]

@@ -5,13 +5,14 @@
 use crate::audit::FaultInjection;
 use crate::llc::{EvictedBlock, FillOutcome, LlcMode, SharedLlc, ZivProperty};
 use crate::metrics::Metrics;
+use crate::observe::{EventKind, FlightRecorder, TraceEvent};
 use crate::prefetch::{PrefetchConfig, StridePrefetcher};
 use crate::private::{EvictionNotice, PrivLookup, PrivateHierarchy};
 use std::rc::Rc;
 use ziv_char::{CharConfig, CharEngine};
 use ziv_common::config::SystemConfig;
 use ziv_common::{Addr, CoreId, Cycle, LineAddr};
-use ziv_directory::{DirectoryMode, EvictedEntry, RemovalOutcome, SparseDirectory};
+use ziv_directory::{DirectoryMode, EvictedEntry, LlcLocation, RemovalOutcome, SparseDirectory};
 use ziv_dram::DramModel;
 use ziv_noc::Mesh;
 use ziv_replacement::{AccessCtx, FutureKnowledge, PolicyKind};
@@ -180,6 +181,10 @@ pub struct CacheHierarchy {
     /// When set, the next inclusive back-invalidation is "lost"
     /// ([`FaultInjection::SkipBackInvalidation`]).
     skip_next_back_invalidation: bool,
+    /// Attached flight recorder (events/heatmaps). `None` in every
+    /// untraced run: each emission site pays one branch and nothing
+    /// else, keeping the hot path allocation-free.
+    recorder: Option<Box<FlightRecorder>>,
 }
 
 impl CacheHierarchy {
@@ -238,6 +243,7 @@ impl CacheHierarchy {
             fault: cfg.fault,
             accesses_done: 0,
             skip_next_back_invalidation: false,
+            recorder: None,
         };
         if let LlcMode::WayPartitioned = cfg.mode {
             let parts = sys.cores.min(sys.llc.bank_geometry.ways as usize);
@@ -265,6 +271,53 @@ impl CacheHierarchy {
     /// and cycles here).
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    /// Attaches a flight recorder; subsequent accesses emit events
+    /// and/or heatmap counts into it. Recording never alters simulation
+    /// behavior or metrics.
+    pub fn attach_recorder(&mut self, recorder: Box<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches the flight recorder for draining, if one was attached.
+    pub fn take_recorder(&mut self) -> Option<Box<FlightRecorder>> {
+        self.recorder.take()
+    }
+
+    /// Records an audit violation into the attached recorder (no-op
+    /// without one); the driver calls this before aborting a run so the
+    /// ring retains the verdict alongside the events leading up to it.
+    pub fn record_audit_violation(&mut self, v: &ziv_common::AuditViolation, now: Cycle) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record_violation(v, now);
+        }
+    }
+
+    /// Emits one typed event at the current access index; a single
+    /// branch when no recorder is attached.
+    #[inline]
+    fn emit_event(
+        &mut self,
+        kind: EventKind,
+        now: Cycle,
+        line: LineAddr,
+        core: Option<CoreId>,
+        loc: Option<LlcLocation>,
+    ) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        rec.record(TraceEvent {
+            kind,
+            access_index: self.accesses_done.saturating_sub(1),
+            cycle: now,
+            line: line.raw(),
+            core: core.map(|c| c.index() as u16),
+            bank: loc.map(|l| l.bank.index() as u16),
+            set: loc.map(|l| l.set),
+            way: loc.map(|l| l.way),
+        });
     }
 
     /// The DRAM model (energy/row-hit diagnostics).
@@ -424,6 +477,7 @@ impl CacheHierarchy {
         } else {
             let fill = self.llc.fill(line, &ctx, &self.dir, core, now);
             self.metrics.llc_writes_energy_events += 1;
+            self.emit_event(EventKind::Fill, now, line, Some(core), Some(fill.loc));
             self.apply_fill_outcome(line, fill, now);
             let _ = self.dram.access(line, now, false);
             self.metrics.dram_accesses += 1;
@@ -454,6 +508,12 @@ impl CacheHierarchy {
         };
         self.metrics.llc_accesses += 1;
         self.metrics.dir_energy_events += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            if let Some(hm) = rec.heatmap_mut() {
+                hm.accesses
+                    .inc(home.index(), self.cfg.llc.set_of(line) as usize);
+            }
+        }
 
         // Case 1: hit on a non-relocated block.
         if let Some(loc) = self.llc.probe(line) {
@@ -517,6 +577,7 @@ impl CacheHierarchy {
             let fill = self.llc.fill(line, &ctx, &self.dir, a.core, now);
             self.metrics.llc_writes_energy_events += 1;
             self.metrics.llc_demand_fills += 1;
+            self.emit_event(EventKind::Fill, now, line, Some(a.core), Some(fill.loc));
             self.apply_fill_outcome(line, fill, now);
             if owner_dirty {
                 self.llc.update_state(fill.loc, |s| s.dirty = true);
@@ -534,6 +595,7 @@ impl CacheHierarchy {
         let fill = self.llc.fill(line, &ctx, &self.dir, a.core, now);
         self.metrics.llc_writes_energy_events += 1;
         self.metrics.llc_demand_fills += 1;
+        self.emit_event(EventKind::Fill, now, line, Some(a.core), Some(fill.loc));
         self.apply_fill_outcome(line, fill, now);
         let mem = self.dram.access(line, now + base, false);
         self.metrics.dram_accesses += 1;
@@ -641,13 +703,25 @@ impl CacheHierarchy {
             }
             self.metrics.dir_energy_events += 1;
             self.dir.set_relocated(rel.moved_line, Some(rel.to));
+            if self.recorder.is_some() {
+                self.emit_event(
+                    EventKind::Relocation,
+                    now,
+                    rel.moved_line,
+                    None,
+                    Some(rel.to),
+                );
+                if let Some(hm) = self.recorder.as_mut().and_then(|r| r.heatmap_mut()) {
+                    hm.relocations.inc(rel.to.bank.index(), rel.to.set as usize);
+                }
+            }
             if let Some(ev) = rel.evicted_from_rs {
                 debug_assert!(!self.dir.is_privately_cached(ev.line));
-                self.handle_llc_eviction(ev, now);
+                self.handle_llc_eviction(ev, rel.to, now);
             }
         }
         if let Some(ev) = fill.evicted {
-            self.handle_llc_eviction(ev, now);
+            self.handle_llc_eviction(ev, fill.loc, now);
         }
     }
 
@@ -662,6 +736,11 @@ impl CacheHierarchy {
         if sharers.is_empty() {
             return;
         }
+        let event_loc = if self.recorder.is_some() {
+            self.llc.probe(line)
+        } else {
+            None
+        };
         let mut any_dirty = false;
         for s in sharers.iter() {
             if self.cores[s.index()].invalidate(line).is_some_and(|d| d) {
@@ -670,6 +749,7 @@ impl CacheHierarchy {
             self.metrics.inclusion_victims += 1;
             self.metrics.per_core[s.index()].inclusion_victims_suffered += 1;
             self.metrics.eci_early_invalidations += 1;
+            self.emit_event(EventKind::BackInvalidation, now, line, Some(s), event_loc);
         }
         self.dir.free_line(line);
         if let Some(loc) = self.llc.probe(line) {
@@ -682,8 +762,16 @@ impl CacheHierarchy {
         }
     }
 
-    /// Handles a block leaving the LLC.
-    fn handle_llc_eviction(&mut self, ev: EvictedBlock, now: Cycle) {
+    /// Handles a block leaving the LLC; `loc` is the (bank, set, way)
+    /// the block occupied (the fill's target location, or the
+    /// relocation destination for relocation-set evictions).
+    fn handle_llc_eviction(&mut self, ev: EvictedBlock, loc: LlcLocation, now: Cycle) {
+        if self.recorder.is_some() {
+            self.emit_event(EventKind::Eviction, now, ev.line, None, Some(loc));
+            if let Some(hm) = self.recorder.as_mut().and_then(|r| r.heatmap_mut()) {
+                hm.evictions.inc(loc.bank.index(), loc.set as usize);
+            }
+        }
         if ev.was_relocated {
             // Only the defensive ZIV fallback can evict a relocated
             // block; drop its directory pointer before back-invalidating.
@@ -732,6 +820,13 @@ impl CacheHierarchy {
                     }
                     self.metrics.inclusion_victims += 1;
                     self.metrics.per_core[s.index()].inclusion_victims_suffered += 1;
+                    self.emit_event(
+                        EventKind::BackInvalidation,
+                        now,
+                        ev.line,
+                        Some(s),
+                        Some(loc),
+                    );
                 }
                 self.metrics.inclusion_victim_events += 1;
                 self.dir.free_line(ev.line);
@@ -781,6 +876,22 @@ impl CacheHierarchy {
     /// the tracked sharers; invalidate the relocated LLC block if the
     /// entry was tracking one (Section III-F).
     fn handle_dir_eviction(&mut self, ev: EvictedEntry, now: Cycle) {
+        if self.recorder.is_some() {
+            let bank = self.cfg.home_bank(ev.line);
+            let idx = self.accesses_done.saturating_sub(1);
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.record(TraceEvent {
+                    kind: EventKind::DirectoryVictim,
+                    access_index: idx,
+                    cycle: now,
+                    line: ev.line.raw(),
+                    core: None,
+                    bank: Some(bank.index() as u16),
+                    set: None,
+                    way: None,
+                });
+            }
+        }
         let mut any_dirty = false;
         for s in ev.state.sharers.iter() {
             if self.cores[s.index()].invalidate(ev.line).is_some_and(|d| d) {

@@ -48,6 +48,7 @@ pub mod audit;
 mod hierarchy;
 pub mod llc;
 pub mod metrics;
+pub mod observe;
 pub mod prefetch;
 pub mod private;
 
@@ -55,3 +56,7 @@ pub use audit::{AuditCadence, Auditor, FaultInjection};
 pub use hierarchy::{Access, CacheHierarchy, HierarchyConfig};
 pub use llc::{LlcMode, ZivProperty};
 pub use metrics::Metrics;
+pub use observe::{
+    EventFilter, EventKind, EventTraceConfig, FlightRecorder, Heatmap, Observations, ObserveConfig,
+    TraceEvent,
+};

@@ -207,6 +207,12 @@ macro_rules! metrics_u64_fields {
     };
 }
 
+// Shared with `crate::observe` so the epoch slicer's column names and
+// delta extraction enumerate exactly the same fields as the ledger
+// serializer — the time-series cannot drift from the JSON schema.
+pub(crate) use core_metrics_u64_fields;
+pub(crate) use metrics_u64_fields;
+
 fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(JsonValue::as_u64)

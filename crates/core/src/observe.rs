@@ -1,0 +1,874 @@
+//! The flight recorder: epoch-sliced time-series counters, a typed
+//! structured event trace, and per-bank/per-set occupancy heatmaps.
+//!
+//! The paper's evaluation is temporal — inclusion-victim pressure, ZIV
+//! relocations, and directory back-invalidations all vary across program
+//! phases — but [`Metrics`](crate::Metrics) only reports end-of-run
+//! aggregates. This module adds the missing interval-resolved layer:
+//!
+//! * [`EpochSlicer`] — snapshots *delta* counters every N accesses into
+//!   an ordered series of [`EpochSample`]s. Deltas are signed: the
+//!   driver rewinds per-core counters to the last completed trace lap
+//!   when a run finishes, so the closing sample can carry negative
+//!   per-core deltas. By construction the column-wise sum of all
+//!   samples equals the final aggregate `Metrics` exactly (the
+//!   conservation property the tests pin).
+//! * [`EventRing`] — a fixed-capacity ring buffer of typed
+//!   [`TraceEvent`]s (fill, eviction, back-invalidation, relocation,
+//!   directory victim, audit violation). The ring keeps the *last* K
+//!   events, flight-recorder style, so a failed run retains the events
+//!   leading up to the violation.
+//! * [`Heatmap`] — per-(bank, set) access/eviction/relocation counts
+//!   for spotting hot sets.
+//!
+//! Everything here is opt-in via [`ObserveConfig`]; with the default
+//! (disabled) config the hierarchy carries a `None` recorder and the
+//! hot path pays a single branch per potential event.
+
+use crate::metrics::{core_metrics_u64_fields, metrics_u64_fields, CoreMetrics, Metrics};
+use ziv_common::json::JsonValue;
+use ziv_common::stats::CountGrid;
+use ziv_common::{AuditViolation, Cycle};
+
+macro_rules! name_array {
+    ($($f:ident),*) => { &[$(stringify!($f)),*] };
+}
+
+macro_rules! value_vec {
+    ($src:expr => $($f:ident),*) => { vec![$(($src).$f),*] };
+}
+
+/// Column names of the global scalar counters, in the exact order
+/// [`metrics_scalars`] (and every [`EpochSample::global`]) uses —
+/// generated from the same macro as the ledger JSON serializer.
+pub const METRICS_COLUMNS: &[&str] = metrics_u64_fields!(name_array!());
+
+/// Column names of the per-core scalar counters, in the exact order
+/// [`core_metrics_scalars`] (and every [`EpochSample::per_core`] row)
+/// uses.
+pub const CORE_METRICS_COLUMNS: &[&str] = core_metrics_u64_fields!(name_array!());
+
+/// Every scalar `u64` counter of [`Metrics`], ordered as
+/// [`METRICS_COLUMNS`].
+pub fn metrics_scalars(m: &Metrics) -> Vec<u64> {
+    metrics_u64_fields!(value_vec!(m =>))
+}
+
+/// Every scalar `u64` counter of [`CoreMetrics`], ordered as
+/// [`CORE_METRICS_COLUMNS`].
+pub fn core_metrics_scalars(c: &CoreMetrics) -> Vec<u64> {
+    core_metrics_u64_fields!(value_vec!(c =>))
+}
+
+fn column_index(columns: &[&str], name: &str) -> usize {
+    columns
+        .iter()
+        .position(|&c| c == name)
+        .unwrap_or_else(|| panic!("unknown column '{name}'"))
+}
+
+// ---------------------------------------------------------------------------
+// Epoch slicing
+// ---------------------------------------------------------------------------
+
+/// Counter deltas over one epoch (a half-open access-index interval
+/// `start_access..end_access`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSample {
+    /// 0-based epoch number.
+    pub index: u64,
+    /// First access index covered (inclusive).
+    pub start_access: u64,
+    /// Last access index covered (exclusive). A closing sample emitted
+    /// by [`EpochSlicer::finish`] may have `start_access ==
+    /// end_access`: it carries the end-of-run lap rewind and
+    /// finalization adjustments, not new accesses.
+    pub end_access: u64,
+    /// Signed deltas of the global scalar counters, ordered as
+    /// [`METRICS_COLUMNS`].
+    pub global: Vec<i64>,
+    /// Signed per-core deltas, ordered as [`CORE_METRICS_COLUMNS`].
+    /// Only the closing sample can go negative (the driver rewinds
+    /// per-core counters to the last completed trace lap).
+    pub per_core: Vec<Vec<i64>>,
+}
+
+impl EpochSample {
+    /// Instructions-per-cycle for `core` over this epoch; zero when the
+    /// epoch accumulated no cycles for the core.
+    pub fn core_ipc(&self, core: usize) -> f64 {
+        let instr_col = column_index(CORE_METRICS_COLUMNS, "instructions");
+        let cycle_col = column_index(CORE_METRICS_COLUMNS, "cycles");
+        let Some(row) = self.per_core.get(core) else {
+            return 0.0;
+        };
+        let cycles = row[cycle_col];
+        if cycles <= 0 {
+            0.0
+        } else {
+            row[instr_col] as f64 / cycles as f64
+        }
+    }
+
+    /// Delta of a named global counter; `None` for an unknown name.
+    pub fn global_delta(&self, name: &str) -> Option<i64> {
+        let i = METRICS_COLUMNS.iter().position(|&c| c == name)?;
+        self.global.get(i).copied()
+    }
+}
+
+/// Accumulates [`EpochSample`]s from successive metric snapshots.
+///
+/// The driver calls [`EpochSlicer::slice`] whenever
+/// [`EpochSlicer::due`] reports a boundary, and
+/// [`EpochSlicer::finish`] once after the run's end-of-trace rewind and
+/// finalization, which closes the series so the samples telescope to
+/// the final aggregate metrics.
+#[derive(Debug)]
+pub struct EpochSlicer {
+    epoch_len: u64,
+    next_boundary: u64,
+    prev_global: Vec<u64>,
+    prev_core: Vec<Vec<u64>>,
+    last_end: u64,
+    samples: Vec<EpochSample>,
+}
+
+impl EpochSlicer {
+    /// Creates a slicer emitting one sample per `epoch_len` accesses
+    /// (clamped to at least 1) for a `cores`-core run.
+    pub fn new(epoch_len: u64, cores: usize) -> Self {
+        let epoch_len = epoch_len.max(1);
+        EpochSlicer {
+            epoch_len,
+            next_boundary: epoch_len,
+            prev_global: vec![0; METRICS_COLUMNS.len()],
+            prev_core: vec![vec![0; CORE_METRICS_COLUMNS.len()]; cores],
+            last_end: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The configured epoch length in accesses.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// True when `issued` accesses have crossed the next boundary.
+    #[inline]
+    pub fn due(&self, issued: u64) -> bool {
+        issued >= self.next_boundary
+    }
+
+    /// Emits the sample covering `last boundary .. issued` and arms the
+    /// next boundary.
+    pub fn slice(&mut self, issued: u64, m: &Metrics) {
+        self.push_sample(issued, m);
+        self.next_boundary = issued.saturating_add(self.epoch_len);
+    }
+
+    /// Emits the closing sample after end-of-run adjustments (per-core
+    /// lap rewind, finalization), unless nothing changed since the last
+    /// boundary — e.g. the previous slice landed exactly at
+    /// end-of-trace *and* no adjustment moved any counter.
+    pub fn finish(&mut self, issued: u64, m: &Metrics) {
+        let changed = issued > self.last_end
+            || metrics_scalars(m) != self.prev_global
+            || m.per_core
+                .iter()
+                .zip(&self.prev_core)
+                .any(|(c, p)| core_metrics_scalars(c) != *p);
+        if changed {
+            self.push_sample(issued.max(self.last_end), m);
+        }
+    }
+
+    fn push_sample(&mut self, end: u64, m: &Metrics) {
+        let global_now = metrics_scalars(m);
+        let global = global_now
+            .iter()
+            .zip(&self.prev_global)
+            .map(|(&now, &prev)| now as i64 - prev as i64)
+            .collect();
+        let per_core = m
+            .per_core
+            .iter()
+            .zip(&self.prev_core)
+            .map(|(c, prev)| {
+                core_metrics_scalars(c)
+                    .iter()
+                    .zip(prev)
+                    .map(|(&now, &p)| now as i64 - p as i64)
+                    .collect()
+            })
+            .collect();
+        self.samples.push(EpochSample {
+            index: self.samples.len() as u64,
+            start_access: self.last_end,
+            end_access: end,
+            global,
+            per_core,
+        });
+        self.prev_global = global_now;
+        for (prev, c) in self.prev_core.iter_mut().zip(&m.per_core) {
+            *prev = core_metrics_scalars(c);
+        }
+        self.last_end = end;
+    }
+
+    /// The samples emitted so far.
+    pub fn samples(&self) -> &[EpochSample] {
+        &self.samples
+    }
+
+    /// Consumes the slicer, yielding the sample series.
+    pub fn into_samples(self) -> Vec<EpochSample> {
+        self.samples
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured events
+// ---------------------------------------------------------------------------
+
+/// The typed events the flight recorder understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A block filled into the LLC (demand or prefetch).
+    Fill = 0,
+    /// A block evicted from the LLC (capacity or relocation-set).
+    Eviction = 1,
+    /// A private copy invalidated because its LLC copy was evicted —
+    /// one event per victimized core (includes ECI early invalidations).
+    BackInvalidation = 2,
+    /// A ZIV relocation moved a block into a relocation set.
+    Relocation = 3,
+    /// A sparse-directory entry evicted from the finite structure
+    /// (MESI mode), back-invalidating its sharers.
+    DirectoryVictim = 4,
+    /// The invariant auditor rejected the run.
+    AuditViolation = 5,
+}
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; 6] = [
+        EventKind::Fill,
+        EventKind::Eviction,
+        EventKind::BackInvalidation,
+        EventKind::Relocation,
+        EventKind::DirectoryVictim,
+        EventKind::AuditViolation,
+    ];
+
+    /// Stable lowercase label, used by the JSONL schema and the
+    /// `--events` filter syntax.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Fill => "fill",
+            EventKind::Eviction => "eviction",
+            EventKind::BackInvalidation => "back_invalidation",
+            EventKind::Relocation => "relocation",
+            EventKind::DirectoryVictim => "directory_victim",
+            EventKind::AuditViolation => "audit_violation",
+        }
+    }
+
+    /// Parses a [`EventKind::label`] string (also accepts `-` for `_`).
+    pub fn parse(s: &str) -> Option<EventKind> {
+        let s = s.trim().replace('-', "_");
+        EventKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    #[inline]
+    fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+}
+
+/// A bitmask of [`EventKind`]s the recorder keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventFilter(u8);
+
+impl EventFilter {
+    /// Keeps every kind.
+    pub const fn all() -> Self {
+        EventFilter(0x3f)
+    }
+
+    /// Keeps nothing.
+    pub const fn none() -> Self {
+        EventFilter(0)
+    }
+
+    /// Returns a filter that also keeps `kind`.
+    #[must_use]
+    pub fn with(self, kind: EventKind) -> Self {
+        EventFilter(self.0 | kind.bit())
+    }
+
+    /// True when `kind` passes the filter.
+    #[inline]
+    pub fn contains(self, kind: EventKind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+
+    /// Parses `"all"` or a comma-separated list of kind labels
+    /// (e.g. `"fill,eviction,back_invalidation"`).
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown kind.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec.trim() == "all" {
+            return Ok(EventFilter::all());
+        }
+        let mut f = EventFilter::none();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let kind = EventKind::parse(part).ok_or_else(|| {
+                format!(
+                    "unknown event kind '{part}' (expected one of: {})",
+                    EventKind::ALL.map(EventKind::label).join(", ")
+                )
+            })?;
+            f = f.with(kind);
+        }
+        if f == EventFilter::none() {
+            return Err("empty event filter".into());
+        }
+        Ok(f)
+    }
+
+    /// The filter rendered back into [`EventFilter::parse`] syntax.
+    pub fn label(self) -> String {
+        if self == EventFilter::all() {
+            return "all".into();
+        }
+        EventKind::ALL
+            .into_iter()
+            .filter(|&k| self.contains(k))
+            .map(EventKind::label)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl Default for EventFilter {
+    fn default() -> Self {
+        EventFilter::all()
+    }
+}
+
+/// One recorded event. Location fields are `None` when they do not
+/// apply to the kind (e.g. a directory victim has no LLC way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// 0-based index of the access during which the event occurred.
+    pub access_index: u64,
+    /// Simulation clock at the event.
+    pub cycle: Cycle,
+    /// The cache line involved (raw line address).
+    pub line: u64,
+    /// The core affected (victim core for back-invalidations).
+    pub core: Option<u16>,
+    /// LLC / directory bank.
+    pub bank: Option<u16>,
+    /// LLC set within the bank.
+    pub set: Option<u32>,
+    /// LLC way within the set.
+    pub way: Option<u8>,
+}
+
+impl TraceEvent {
+    /// Serializes the event as a JSON object; `None` fields are
+    /// omitted.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("kind".to_string(), JsonValue::Str(self.kind.label().into())),
+            ("access".to_string(), JsonValue::u64(self.access_index)),
+            ("cycle".to_string(), JsonValue::u64(self.cycle)),
+            ("line".to_string(), JsonValue::u64(self.line)),
+        ];
+        if let Some(c) = self.core {
+            fields.push(("core".to_string(), JsonValue::u64(c as u64)));
+        }
+        if let Some(b) = self.bank {
+            fields.push(("bank".to_string(), JsonValue::u64(b as u64)));
+        }
+        if let Some(s) = self.set {
+            fields.push(("set".to_string(), JsonValue::u64(s as u64)));
+        }
+        if let Some(w) = self.way {
+            fields.push(("way".to_string(), JsonValue::u64(w as u64)));
+        }
+        JsonValue::Obj(fields)
+    }
+
+    /// Rebuilds an event from [`TraceEvent::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let kind_label = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field 'kind'")?;
+        let kind =
+            EventKind::parse(kind_label).ok_or_else(|| format!("unknown kind '{kind_label}'"))?;
+        let req = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing u64 field '{key}'"))
+        };
+        let opt = |key: &str| v.get(key).and_then(JsonValue::as_u64);
+        Ok(TraceEvent {
+            kind,
+            access_index: req("access")?,
+            cycle: req("cycle")?,
+            line: req("line")?,
+            core: opt("core").map(|c| c as u16),
+            bank: opt("bank").map(|b| b as u16),
+            set: opt("set").map(|s| s as u32),
+            way: opt("way").map(|w| w as u8),
+        })
+    }
+}
+
+/// Default ring capacity when tracing is enabled without an explicit
+/// `--last K`.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// A fixed-capacity ring buffer keeping the **last** `capacity` events.
+///
+/// The buffer is allocated once at construction; pushes never allocate,
+/// preserving the allocation-free hot path.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    head: usize,
+    recorded: u64,
+}
+
+impl EventRing {
+    /// Creates an empty ring with room for `capacity` events (clamped
+    /// to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.recorded += 1;
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn ordered(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heatmaps
+// ---------------------------------------------------------------------------
+
+/// Per-(bank, set) occupancy counters: LLC accesses, evictions, and
+/// relocations, each a `banks × sets` [`CountGrid`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heatmap {
+    /// LLC lookups homed at (bank, set).
+    pub accesses: CountGrid,
+    /// LLC evictions out of (bank, set).
+    pub evictions: CountGrid,
+    /// ZIV relocations into (bank, set).
+    pub relocations: CountGrid,
+}
+
+impl Heatmap {
+    /// Creates zeroed grids for a `banks`-bank LLC with `sets` sets per
+    /// bank.
+    pub fn new(banks: usize, sets: usize) -> Self {
+        Heatmap {
+            accesses: CountGrid::new(banks, sets),
+            evictions: CountGrid::new(banks, sets),
+            relocations: CountGrid::new(banks, sets),
+        }
+    }
+
+    /// Number of LLC banks (grid rows).
+    pub fn banks(&self) -> usize {
+        self.accesses.rows()
+    }
+
+    /// Number of sets per bank (grid columns).
+    pub fn sets(&self) -> usize {
+        self.accesses.cols()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and the recorder itself
+// ---------------------------------------------------------------------------
+
+/// Event-trace settings: how many trailing events to keep and which
+/// kinds to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventTraceConfig {
+    /// Ring capacity (`--last K`).
+    pub capacity: usize,
+    /// Which kinds to retain (`--events <filter>`).
+    pub filter: EventFilter,
+}
+
+impl Default for EventTraceConfig {
+    fn default() -> Self {
+        EventTraceConfig {
+            capacity: DEFAULT_EVENT_CAPACITY,
+            filter: EventFilter::all(),
+        }
+    }
+}
+
+/// What to observe during a run. The default observes nothing and the
+/// simulation hot path stays branch-only.
+///
+/// Observability settings never enter run-spec digests or the result
+/// ledger: enabling any of this must not perturb simulation outcomes,
+/// only record them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObserveConfig {
+    /// Emit an [`EpochSample`] every this many accesses.
+    pub epoch: Option<u64>,
+    /// Record typed events into a ring buffer.
+    pub events: Option<EventTraceConfig>,
+    /// Accumulate per-(bank, set) occupancy heatmaps.
+    pub heatmap: bool,
+}
+
+impl ObserveConfig {
+    /// The default: observe nothing.
+    pub const fn disabled() -> Self {
+        ObserveConfig {
+            epoch: None,
+            events: None,
+            heatmap: false,
+        }
+    }
+
+    /// True when the hierarchy needs an attached [`FlightRecorder`]
+    /// (events or heatmaps; epoch slicing lives in the driver).
+    pub fn wants_recorder(&self) -> bool {
+        self.events.is_some() || self.heatmap
+    }
+
+    /// True when any observation is requested.
+    pub fn is_enabled(&self) -> bool {
+        self.epoch.is_some() || self.wants_recorder()
+    }
+}
+
+/// The in-flight recorder attached to a
+/// [`CacheHierarchy`](crate::CacheHierarchy): an event ring and/or
+/// heatmap grids. Constructed only when enabled, so the disabled-mode
+/// hierarchy carries `None` and pays one branch per emission site.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    filter: EventFilter,
+    events: Option<EventRing>,
+    heatmap: Option<Heatmap>,
+}
+
+impl FlightRecorder {
+    /// Builds a recorder per `cfg` for a `banks × sets` LLC; `None`
+    /// when `cfg` requests neither events nor heatmaps.
+    pub fn new(cfg: &ObserveConfig, banks: usize, sets: usize) -> Option<Box<FlightRecorder>> {
+        if !cfg.wants_recorder() {
+            return None;
+        }
+        Some(Box::new(FlightRecorder {
+            filter: cfg.events.map_or(EventFilter::none(), |e| e.filter),
+            events: cfg.events.map(|e| EventRing::new(e.capacity)),
+            heatmap: cfg.heatmap.then(|| Heatmap::new(banks, sets)),
+        }))
+    }
+
+    /// Records `ev` if event tracing is on and the filter keeps its
+    /// kind.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.filter.contains(ev.kind) {
+            if let Some(ring) = &mut self.events {
+                ring.push(ev);
+            }
+        }
+    }
+
+    /// Records the auditor's verdict as a trace event.
+    pub fn record_violation(&mut self, v: &AuditViolation, cycle: Cycle) {
+        self.record(TraceEvent {
+            kind: EventKind::AuditViolation,
+            access_index: v.access_index,
+            cycle,
+            line: v.line.map_or(0, |l| l.raw()),
+            core: None,
+            bank: None,
+            set: None,
+            way: None,
+        });
+    }
+
+    /// The heatmap grids, when enabled.
+    #[inline]
+    pub fn heatmap_mut(&mut self) -> Option<&mut Heatmap> {
+        self.heatmap.as_mut()
+    }
+
+    /// Drains the recorder into its final observation payload:
+    /// `(events oldest-first, total events recorded, heatmap)`.
+    pub fn finish(self) -> (Vec<TraceEvent>, u64, Option<Heatmap>) {
+        let (events, recorded) = match &self.events {
+            Some(ring) => (ring.ordered(), ring.recorded()),
+            None => (Vec::new(), 0),
+        };
+        (events, recorded, self.heatmap)
+    }
+}
+
+/// Everything one traced run observed. Deliberately kept **out of**
+/// `RunResult`: observations never enter the result ledger, so traced
+/// and untraced campaigns stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observations {
+    /// The epoch time-series (empty when epoch slicing was off).
+    pub epochs: Vec<EpochSample>,
+    /// Retained trailing events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Total events recorded, including ones the ring overwrote.
+    pub events_recorded: u64,
+    /// Occupancy heatmaps, when enabled.
+    pub heatmap: Option<Heatmap>,
+    /// End-of-run per-bank occupancy of the sparse directory's finite
+    /// structure (spill entries excluded) — the directory-pressure
+    /// summary printed by `zivsim trace`.
+    pub dir_slice_occupancy: Vec<usize>,
+}
+
+impl Observations {
+    /// True when nothing at all was observed (the end-of-run directory
+    /// summary alone does not count — it is always captured).
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty() && self.events.is_empty() && self.heatmap.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, access: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            access_index: access,
+            cycle: access * 10,
+            line: 0x40 + access,
+            core: Some(1),
+            bank: Some(2),
+            set: Some(3),
+            way: Some(4),
+        }
+    }
+
+    #[test]
+    fn columns_match_metric_scalars() {
+        let m = Metrics::new(2);
+        assert_eq!(metrics_scalars(&m).len(), METRICS_COLUMNS.len());
+        assert_eq!(
+            core_metrics_scalars(&m.per_core[0]).len(),
+            CORE_METRICS_COLUMNS.len()
+        );
+        // A couple of spot checks that names align with values.
+        let mut m = Metrics::new(1);
+        m.relocations = 7;
+        let i = METRICS_COLUMNS
+            .iter()
+            .position(|&c| c == "relocations")
+            .unwrap();
+        assert_eq!(metrics_scalars(&m)[i], 7);
+    }
+
+    #[test]
+    fn slicer_samples_telescope_to_aggregate() {
+        let mut s = EpochSlicer::new(10, 1);
+        let mut m = Metrics::new(1);
+        m.llc_accesses = 8;
+        m.per_core[0].accesses = 10;
+        s.slice(10, &m);
+        m.llc_accesses = 20;
+        m.per_core[0].accesses = 20;
+        s.slice(20, &m);
+        // End-of-run rewind: per-core counter decreases.
+        m.per_core[0].accesses = 17;
+        m.per_core[0].cycles = 100;
+        m.per_core[0].instructions = 50;
+        s.finish(20, &m);
+        let samples = s.into_samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[2].start_access, samples[2].end_access);
+        let acc_col = column_index(CORE_METRICS_COLUMNS, "accesses");
+        assert_eq!(
+            samples[2].per_core[0][acc_col], -3,
+            "rewind delta is negative"
+        );
+        // Conservation: column sums equal the final aggregate.
+        for (i, &name) in METRICS_COLUMNS.iter().enumerate() {
+            let sum: i64 = samples.iter().map(|s| s.global[i]).sum();
+            assert_eq!(sum, metrics_scalars(&m)[i] as i64, "column {name}");
+        }
+        for (i, &name) in CORE_METRICS_COLUMNS.iter().enumerate() {
+            let sum: i64 = samples.iter().map(|s| s.per_core[0][i]).sum();
+            assert_eq!(
+                sum,
+                core_metrics_scalars(&m.per_core[0])[i] as i64,
+                "core column {name}"
+            );
+        }
+        assert!((samples[2].core_ipc(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slicer_finish_skips_noop_closing_sample() {
+        let mut s = EpochSlicer::new(5, 1);
+        let mut m = Metrics::new(1);
+        m.llc_accesses = 5;
+        s.slice(5, &m);
+        s.finish(5, &m);
+        assert_eq!(s.samples().len(), 1, "nothing changed after the boundary");
+    }
+
+    #[test]
+    fn slicer_clamps_zero_epoch() {
+        let s = EpochSlicer::new(0, 1);
+        assert_eq!(s.epoch_len(), 1);
+        assert!(s.due(1));
+    }
+
+    #[test]
+    fn ring_keeps_last_k_in_order() {
+        let mut r = EventRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(ev(EventKind::Fill, i));
+        }
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.len(), 3);
+        let kept: Vec<u64> = r.ordered().iter().map(|e| e.access_index).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn filter_parse_round_trips() {
+        assert_eq!(EventFilter::parse("all").unwrap(), EventFilter::all());
+        let f = EventFilter::parse("fill, back-invalidation").unwrap();
+        assert!(f.contains(EventKind::Fill));
+        assert!(f.contains(EventKind::BackInvalidation));
+        assert!(!f.contains(EventKind::Eviction));
+        assert_eq!(EventFilter::parse(&f.label()).unwrap(), f);
+        assert_eq!(EventFilter::all().label(), "all");
+        assert!(EventFilter::parse("bogus").is_err());
+        assert!(EventFilter::parse("").is_err());
+    }
+
+    #[test]
+    fn event_json_round_trips() {
+        for kind in EventKind::ALL {
+            let e = ev(kind, 42);
+            let back = TraceEvent::from_json(&e.to_json()).unwrap();
+            assert_eq!(back, e);
+        }
+        // None fields are omitted and read back as None.
+        let mut e = ev(EventKind::DirectoryVictim, 7);
+        e.core = None;
+        e.way = None;
+        let text = e.to_json().to_string();
+        assert!(!text.contains("\"way\""));
+        let back = TraceEvent::from_json(&ziv_common::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn recorder_respects_filter_and_heatmap_flag() {
+        let cfg = ObserveConfig {
+            epoch: None,
+            events: Some(EventTraceConfig {
+                capacity: 8,
+                filter: EventFilter::none().with(EventKind::Eviction),
+            }),
+            heatmap: false,
+        };
+        let mut rec = FlightRecorder::new(&cfg, 4, 16).unwrap();
+        rec.record(ev(EventKind::Fill, 0));
+        rec.record(ev(EventKind::Eviction, 1));
+        assert!(rec.heatmap_mut().is_none());
+        let (events, recorded, heatmap) = rec.finish();
+        assert_eq!(recorded, 1);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Eviction);
+        assert!(heatmap.is_none());
+        assert!(FlightRecorder::new(&ObserveConfig::disabled(), 4, 16).is_none());
+    }
+
+    #[test]
+    fn observe_config_enablement() {
+        assert!(!ObserveConfig::disabled().is_enabled());
+        assert!(!ObserveConfig::default().is_enabled());
+        let epoch_only = ObserveConfig {
+            epoch: Some(100),
+            ..ObserveConfig::disabled()
+        };
+        assert!(epoch_only.is_enabled() && !epoch_only.wants_recorder());
+        let heat = ObserveConfig {
+            heatmap: true,
+            ..ObserveConfig::disabled()
+        };
+        assert!(heat.wants_recorder());
+    }
+}

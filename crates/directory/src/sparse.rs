@@ -255,6 +255,12 @@ impl SparseDirectory {
     pub fn spill_occupancy(&self) -> usize {
         self.spill.len()
     }
+
+    /// Per-bank occupancy of the finite structure (spill excluded) —
+    /// the observability layer's end-of-run directory-pressure summary.
+    pub fn slice_occupancies(&self) -> Vec<usize> {
+        self.slices.iter().map(|s| s.occupancy()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +382,18 @@ mod tests {
     fn relocating_untracked_line_panics() {
         let mut d = SparseDirectory::new(&small_cfg(), DirectoryMode::Mesi);
         d.set_relocated(LineAddr::new(5), None);
+    }
+
+    #[test]
+    fn slice_occupancies_sum_to_finite_occupancy() {
+        let mut d = SparseDirectory::new(&small_cfg(), DirectoryMode::Mesi);
+        // Lines 0 and 1 land in different banks (low-order interleave).
+        d.record_fill(LineAddr::new(0), c(0));
+        d.record_fill(LineAddr::new(1), c(1));
+        let per_bank = d.slice_occupancies();
+        assert_eq!(per_bank.len(), small_cfg().llc.banks);
+        assert_eq!(per_bank.iter().sum::<usize>(), d.occupancy());
+        assert_eq!(per_bank.iter().filter(|&&o| o > 0).count(), 2);
     }
 
     #[test]

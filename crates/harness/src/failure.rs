@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 use ziv_common::json::{self, JsonValue};
 use ziv_common::{Fnv1a, SimError};
 use ziv_core::{AuditCadence, FaultInjection};
-use ziv_sim::{run_one_checked, CellBudget, Effort, RunOptions};
+use ziv_sim::{run_one_checked, CellBudget, Effort, RunOptions, TraceEvent};
 
 /// Version tag of the failure-record JSON schema.
 pub const FAILURE_SCHEMA_VERSION: u64 = 1;
@@ -51,6 +51,12 @@ pub struct FailureRecord {
     /// The deliberately injected fault, when the spec carried one:
     /// `(kind string, at_access)`.
     pub fault: Option<(String, u64)>,
+    /// The flight recorder's trailing events leading up to the failure,
+    /// oldest first. Taken from the failing run when event tracing was
+    /// on, otherwise captured by one deterministic re-run of the cell
+    /// with the tracer enabled. Empty in records written before the
+    /// tracer existed (`from_json` tolerates the missing key).
+    pub events: Vec<TraceEvent>,
 }
 
 impl FailureRecord {
@@ -129,6 +135,12 @@ impl FailureRecord {
                 ]),
             ));
         }
+        if !self.events.is_empty() {
+            fields.push((
+                "events".to_string(),
+                JsonValue::Arr(self.events.iter().map(TraceEvent::to_json).collect()),
+            ));
+        }
         JsonValue::Obj(fields)
     }
 
@@ -201,6 +213,15 @@ impl FailureRecord {
             error_message: s("error_message")?,
             violation: pair("violation", "access_index")?,
             fault: pair("fault", "at_access")?,
+            events: match v.get("events") {
+                None => Vec::new(),
+                Some(arr) => arr
+                    .as_array()
+                    .ok_or("malformed 'events'")?
+                    .iter()
+                    .map(TraceEvent::from_json)
+                    .collect::<Result<_, _>>()?,
+            },
         })
     }
 
@@ -302,6 +323,7 @@ pub fn replay(record: &FailureRecord) -> Result<ReplayReport, SimError> {
     let opts = RunOptions {
         audit: AuditCadence::EveryAccess,
         budget: Some(CellBudget::Cycles(record.budget_cycles)),
+        observe: ziv_sim::ObserveConfig::disabled(),
     };
     let outcome = run_one_checked(&spec, &workload, &opts);
 
@@ -370,6 +392,16 @@ mod tests {
             error_message: "audit violation [missing-sharer-bit] after access 7".into(),
             violation: Some(("missing-sharer-bit".into(), 7)),
             fault: Some(("corrupt-directory".into(), 7)),
+            events: vec![TraceEvent {
+                kind: ziv_sim::EventKind::BackInvalidation,
+                access_index: 6,
+                cycle: 123,
+                line: 0x40,
+                core: Some(1),
+                bank: Some(0),
+                set: Some(3),
+                way: Some(2),
+            }],
         }
     }
 
@@ -379,13 +411,17 @@ mod tests {
         let back = FailureRecord::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
 
-        // Optional fields stay optional.
+        // Optional fields stay optional: a record without them (as
+        // written before the flight recorder existed) still parses.
         let bare = FailureRecord {
             violation: None,
             fault: None,
+            events: vec![],
             ..sample_record()
         };
-        let back = FailureRecord::from_json(&bare.to_json()).unwrap();
+        let json = bare.to_json();
+        assert!(json.get("events").is_none(), "empty events key emitted");
+        let back = FailureRecord::from_json(&json).unwrap();
         assert_eq!(back, bare);
     }
 

@@ -12,8 +12,10 @@ use std::time::{Duration, Instant};
 use ziv_common::SimError;
 use ziv_core::AuditCadence;
 use ziv_sim::{
-    run_cells_checked, speedup_summary, write_grid_csv, write_summary_csv, CellBudget,
-    GridObserver, GridResult, RunOptions, RunResult,
+    run_cells_checked, run_one_traced, speedup_summary, write_grid_csv, write_heatmap_csv,
+    write_summary_csv, write_timeseries_csv, CellBudget, EventTraceConfig, GridObserver,
+    GridResult, Observations, ObserveConfig, ObservedCell, RunOptions, RunResult, RunSpec,
+    TraceEvent,
 };
 use ziv_workloads::Workload;
 
@@ -43,6 +45,11 @@ pub struct RunnerConfig {
     /// hand-built campaign not reproducible from params), only the
     /// ledger error entry is written.
     pub params: Option<CampaignParams>,
+    /// What the flight recorder captures while cells execute
+    /// (`--epoch` / `--events` / `--heatmap`). Disabled by default;
+    /// never digested, so it cannot perturb the ledger or the cached
+    /// cell results.
+    pub observe: ObserveConfig,
 }
 
 impl RunnerConfig {
@@ -58,6 +65,7 @@ impl RunnerConfig {
             strict: false,
             cell_budget: None,
             params: None,
+            observe: ObserveConfig::disabled(),
         }
     }
 }
@@ -97,6 +105,13 @@ pub struct CampaignOutcome {
     pub summary_csv: PathBuf,
     /// Path of the result ledger.
     pub ledger_path: PathBuf,
+    /// Path of the per-epoch time-series CSV, written when epoch
+    /// slicing was on. Covers only the cells executed *this* run —
+    /// cached cells are not re-simulated, so they contribute no epochs.
+    pub timeseries_csv: Option<PathBuf>,
+    /// Path of the occupancy-heatmap CSV, written when heatmaps were
+    /// on. Same executed-cells-only caveat as the time series.
+    pub heatmap_csv: Option<PathBuf>,
 }
 
 /// Forwards `run_cells_checked` completions into the ledger and the
@@ -106,15 +121,12 @@ struct CampaignObserver<'a> {
     campaign: &'a Campaign,
     cfg: &'a RunnerConfig,
     digests: &'a [Vec<CellDigest>],
-    /// Actual watchdog budget per workload index (for repro records).
-    budgets: &'a [u64],
     writer: &'a LedgerWriter,
     sink: &'a dyn ProgressSink,
     done: AtomicUsize,
     failed: AtomicUsize,
     total: usize,
     timings: Mutex<Vec<CellTiming>>,
-    record_paths: Mutex<Vec<(usize, usize, PathBuf)>>,
     io_error: Mutex<Option<SimError>>,
 }
 
@@ -172,36 +184,9 @@ impl GridObserver for CampaignObserver<'_> {
                 e,
             ));
         }
-        if let Some(params) = self.cfg.params {
-            let record = FailureRecord {
-                campaign: self.campaign.name.clone(),
-                params,
-                spec_index,
-                workload_index,
-                digest,
-                label: label.clone(),
-                workload: workload.clone(),
-                audit: self.cfg.audit.label(),
-                budget_cycles: self.budgets[workload_index],
-                error_kind: error.kind_tag().to_string(),
-                error_message: error.to_string(),
-                violation: error
-                    .violation()
-                    .map(|v| (v.kind.as_str().to_string(), v.access_index)),
-                fault: self.campaign.specs[spec_index]
-                    .fault
-                    .map(|f| (f.kind_str().to_string(), f.at_access())),
-            };
-            match record.save(&self.cfg.results_dir.join("failures")) {
-                Ok(path) => {
-                    self.record_paths
-                        .lock()
-                        .unwrap()
-                        .push((spec_index, workload_index, path))
-                }
-                Err(e) => self.latch(e),
-            }
-        }
+        // Repro records are written after the grid settles (the runner
+        // attaches flight-recorder events, which may need a re-run);
+        // the streaming ledger error entry above survives a crash.
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         self.sink
             .cell_failed(label, &workload, error, done, self.total);
@@ -215,7 +200,9 @@ impl GridObserver for CampaignObserver<'_> {
 /// Runs `campaign` end-to-end: loads (or resets) the ledger under
 /// `cfg.results_dir`, simulates only the cells the ledger does not
 /// already hold, appends each as it completes, and writes `grid.csv`
-/// plus `summary.csv` over the assembled grid.
+/// plus `summary.csv` over the assembled grid. When `cfg.observe`
+/// enables the flight recorder, `timeseries.csv` / `heatmap.csv` are
+/// written beside them covering the cells executed this run.
 ///
 /// The exported CSVs are byte-identical whether the campaign ran in a
 /// single pass or was interrupted and resumed any number of times, at
@@ -295,6 +282,7 @@ pub fn run_campaign(
     let started = Instant::now();
     let mut timings = Vec::new();
     let mut failures: Vec<CellFailure> = Vec::new();
+    let mut observed: Vec<(usize, usize, Box<Observations>)> = Vec::new();
     let mut executed_cells = 0;
     if !missing.is_empty() {
         let workloads: Vec<Workload> = campaign.recipes.iter().map(|r| r.build()).collect();
@@ -306,6 +294,7 @@ pub fn run_campaign(
         let opts = RunOptions {
             audit: cfg.audit,
             budget: Some(budget),
+            observe: cfg.observe,
         };
         let writer = LedgerWriter::append_to(&ledger_path)
             .map_err(|e| SimError::io("open ledger for append", &ledger_path, e))?;
@@ -313,14 +302,12 @@ pub fn run_campaign(
             campaign,
             cfg,
             digests: &digests,
-            budgets: &budgets,
             writer: &writer,
             sink,
             done: AtomicUsize::new(cached_cells),
             failed: AtomicUsize::new(0),
             total: campaign.total_cells(),
             timings: Mutex::new(Vec::with_capacity(missing.len())),
-            record_paths: Mutex::new(Vec::new()),
             io_error: Mutex::new(None),
         };
         let runs = run_cells_checked(
@@ -335,8 +322,8 @@ pub fn run_campaign(
             return Err(e);
         }
         timings = observer.timings.into_inner().unwrap();
-        let mut record_paths = observer.record_paths.into_inner().unwrap();
         for run in runs {
+            let mut observations = run.observations;
             match run.outcome {
                 Ok(result) => {
                     executed_cells += 1;
@@ -347,10 +334,39 @@ pub fn run_campaign(
                     });
                 }
                 Err(error) => {
-                    let record_path = record_paths
-                        .iter()
-                        .position(|(s, w, _)| *s == run.spec_index && *w == run.workload_index)
-                        .map(|i| record_paths.swap_remove(i).2);
+                    let record_path = match cfg.params {
+                        Some(params) => {
+                            let spec = &campaign.specs[run.spec_index];
+                            let events = failure_events(
+                                observations.as_deref(),
+                                spec,
+                                &workloads[run.workload_index],
+                                &opts,
+                            );
+                            let record = FailureRecord {
+                                campaign: campaign.name.clone(),
+                                params,
+                                spec_index: run.spec_index,
+                                workload_index: run.workload_index,
+                                digest: digests[run.spec_index][run.workload_index],
+                                label: spec.label.clone(),
+                                workload: campaign.recipes[run.workload_index].workload_name(),
+                                audit: cfg.audit.label(),
+                                budget_cycles: budgets[run.workload_index],
+                                error_kind: error.kind_tag().to_string(),
+                                error_message: error.to_string(),
+                                violation: error
+                                    .violation()
+                                    .map(|v| (v.kind.as_str().to_string(), v.access_index)),
+                                fault: spec
+                                    .fault
+                                    .map(|f| (f.kind_str().to_string(), f.at_access())),
+                                events,
+                            };
+                            Some(record.save(&cfg.results_dir.join("failures"))?)
+                        }
+                        None => None,
+                    };
                     failures.push(CellFailure {
                         spec_index: run.spec_index,
                         workload_index: run.workload_index,
@@ -360,6 +376,11 @@ pub fn run_campaign(
                         error,
                         record_path,
                     });
+                }
+            }
+            if let Some(obs) = observations.take() {
+                if !obs.is_empty() {
+                    observed.push((run.spec_index, run.workload_index, obs));
                 }
             }
         }
@@ -387,6 +408,53 @@ pub fn run_campaign(
     let rows = speedup_summary(&grid, campaign.specs.len(), campaign.baseline_spec);
     write_summary_csv(&summary_csv, &rows, "weighted_speedup")?;
 
+    // Flight-recorder exports live next to the grid CSVs. They are
+    // written whenever the corresponding capture was enabled — even
+    // header-only when every cell came from the ledger — so downstream
+    // tooling can rely on the file existing.
+    let mut timeseries_csv = None;
+    let mut heatmap_csv = None;
+    if cfg.observe.is_enabled() {
+        observed.sort_by_key(|(s, w, _)| (*s, *w));
+        let names: Vec<(String, String)> = observed
+            .iter()
+            .map(|(s, w, _)| {
+                (
+                    campaign.specs[*s].label.clone(),
+                    campaign.recipes[*w].workload_name(),
+                )
+            })
+            .collect();
+        let cells: Vec<ObservedCell<'_>> = observed
+            .iter()
+            .zip(&names)
+            .map(|((_, _, obs), (label, workload))| ObservedCell {
+                config: label,
+                workload,
+                observations: obs,
+            })
+            .collect();
+        if cfg.observe.epoch.is_some() {
+            let path = cfg.results_dir.join("timeseries.csv");
+            write_timeseries_csv(&path, &cells)?;
+            timeseries_csv = Some(path);
+        }
+        if cfg.observe.heatmap {
+            let path = cfg.results_dir.join("heatmap.csv");
+            write_heatmap_csv(&path, &cells)?;
+            heatmap_csv = Some(path);
+        }
+    }
+
+    if telemetry.is_overcommitted() {
+        sink.warning(&format!(
+            "per-cell timers sum to {:.2}s busy but the pool had only {:.2}s × {} workers \
+             of wall capacity; utilization clamped to 100% (timer skew?)",
+            telemetry.busy.as_secs_f64(),
+            telemetry.wall.as_secs_f64(),
+            telemetry.workers,
+        ));
+    }
     sink.campaign_finished(&telemetry);
     Ok(CampaignOutcome {
         grid,
@@ -395,5 +463,33 @@ pub fn run_campaign(
         grid_csv,
         summary_csv,
         ledger_path,
+        timeseries_csv,
+        heatmap_csv,
     })
+}
+
+/// Events to attach to a failure record: the failing run's own trailing
+/// ring when event tracing was on, otherwise one deterministic re-run
+/// of the cell with the tracer enabled (and everything else unchanged,
+/// so it fails identically). The common untraced-success path pays
+/// nothing for this — only failing cells are ever re-run.
+fn failure_events(
+    observations: Option<&Observations>,
+    spec: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+) -> Vec<TraceEvent> {
+    if let Some(obs) = observations {
+        if !obs.events.is_empty() {
+            return obs.events.clone();
+        }
+    }
+    let mut retrace = *opts;
+    retrace.observe = ObserveConfig {
+        epoch: None,
+        events: Some(EventTraceConfig::default()),
+        heatmap: false,
+    };
+    let (_, obs) = run_one_traced(spec, workload, &retrace);
+    obs.map(|o| o.events).unwrap_or_default()
 }

@@ -47,6 +47,10 @@ pub struct Telemetry {
 impl Telemetry {
     /// Fraction of available worker time spent simulating:
     /// `busy / (wall × workers)`. 0 when nothing was executed.
+    ///
+    /// Clamped to 1.0; [`Telemetry::is_overcommitted`] reports whether
+    /// the clamp engaged so the runner can surface the timer skew
+    /// instead of hiding it.
     pub fn utilization(&self) -> f64 {
         let capacity = self.wall.as_secs_f64() * self.workers as f64;
         if self.executed_cells == 0 || capacity <= 0.0 {
@@ -54,6 +58,15 @@ impl Telemetry {
         } else {
             (self.busy.as_secs_f64() / capacity).min(1.0)
         }
+    }
+
+    /// `true` when summed per-cell timers exceed the worker pool's
+    /// wall-clock capacity (`busy > wall × workers`) — physically
+    /// impossible, so the per-cell timers and the campaign wall clock
+    /// disagree (clock skew, suspend/resume, or a mis-sized pool).
+    pub fn is_overcommitted(&self) -> bool {
+        self.executed_cells > 0
+            && self.busy.as_secs_f64() > self.wall.as_secs_f64() * self.workers as f64
     }
 
     /// The most expensive executed cell, if any ran.
@@ -130,6 +143,13 @@ pub trait ProgressSink: Sync {
     fn campaign_finished(&self, telemetry: &Telemetry) {
         let _ = telemetry;
     }
+
+    /// Out-of-band diagnostic the campaign wants surfaced (e.g. timer
+    /// skew detected by [`Telemetry::is_overcommitted`]). Emitted after
+    /// the cells settle, never from worker threads mid-line.
+    fn warning(&self, message: &str) {
+        let _ = message;
+    }
 }
 
 /// The silent sink.
@@ -190,6 +210,10 @@ impl ProgressSink for StderrProgress {
             let _ = writeln!(err, "{line}");
         }
     }
+
+    fn warning(&self, message: &str) {
+        eprintln!("warning: {message}");
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +250,20 @@ mod tests {
         assert_eq!(telemetry(4, 100, 900, 4).utilization(), 1.0);
         // Nothing executed → 0, never NaN.
         assert_eq!(telemetry(0, 0, 0, 0).utilization(), 0.0);
+    }
+
+    #[test]
+    fn overcommit_is_detected_not_hidden() {
+        // Healthy run: within capacity.
+        assert!(!telemetry(4, 100, 300, 4).is_overcommitted());
+        // busy > wall × workers: the clamp engages AND the skew is
+        // reported, so callers can warn instead of silently showing
+        // a flattering 100%.
+        let skewed = telemetry(4, 100, 900, 4);
+        assert_eq!(skewed.utilization(), 1.0);
+        assert!(skewed.is_overcommitted());
+        // Nothing executed: never overcommitted (capacity is 0).
+        assert!(!telemetry(0, 0, 0, 0).is_overcommitted());
     }
 
     #[test]

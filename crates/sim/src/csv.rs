@@ -1,19 +1,26 @@
 //! CSV export of experiment grids, for external plotting pipelines
 //! (matplotlib / gnuplot / spreadsheets).
 //!
-//! Two layouts are provided:
+//! Four layouts are provided:
 //!
 //! - [`grid_to_csv`]: one row per `(config, workload)` cell with the
 //!   full metric set — the raw data behind every figure.
 //! - [`summary_to_csv`]: one row per config with the geomean/min/max
 //!   summary (the paper's bar+range format).
+//! - [`timeseries_to_csv`]: one row per `(config, workload, epoch)`
+//!   with the signed per-epoch counter deltas (the flight recorder's
+//!   time-series; DESIGN.md §"Observability").
+//! - [`heatmap_to_csv`]: bank × set occupancy grids (one row per
+//!   `(config, workload, counter, bank)`).
 
 use crate::driver::RunResult;
 use crate::report::NormalizedRows;
 use crate::spec::GridResult;
 use std::io::Write;
 use std::path::Path;
+use ziv_common::fsutil::create_parent_dirs;
 use ziv_common::SimError;
+use ziv_core::observe::{Observations, CORE_METRICS_COLUMNS, METRICS_COLUMNS};
 
 /// Escapes a CSV field (quotes fields containing commas or quotes).
 fn esc(field: &str) -> String {
@@ -129,6 +136,155 @@ pub fn summary_to_csv<W: Write>(
     Ok(())
 }
 
+/// One cell's observations labelled for CSV export.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservedCell<'a> {
+    /// Configuration label.
+    pub config: &'a str,
+    /// Workload name.
+    pub workload: &'a str,
+    /// The cell's flight-recorder payload.
+    pub observations: &'a Observations,
+}
+
+/// Writes the epoch time-series: one row per `(config, workload,
+/// epoch)` carrying the **signed** deltas of every scalar counter
+/// (global, then per-core with a derived `c{i}_ipc` column). Column
+/// order follows [`METRICS_COLUMNS`] / [`CORE_METRICS_COLUMNS`], so
+/// summing a column over a cell's rows reproduces the aggregate
+/// `Metrics` value exactly.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn timeseries_to_csv<W: Write>(cells: &[ObservedCell<'_>], mut out: W) -> std::io::Result<()> {
+    let cores = cells
+        .iter()
+        .flat_map(|c| c.observations.epochs.iter())
+        .map(|e| e.per_core.len())
+        .max()
+        .unwrap_or(0);
+    let mut header: Vec<String> = ["config", "workload", "epoch", "start_access", "end_access"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    header.extend(METRICS_COLUMNS.iter().map(|c| c.to_string()));
+    for c in 0..cores {
+        for col in CORE_METRICS_COLUMNS {
+            header.push(format!("c{c}_{col}"));
+        }
+        header.push(format!("c{c}_ipc"));
+    }
+    writeln!(out, "{}", header.join(","))?;
+    for cell in cells {
+        for e in &cell.observations.epochs {
+            let mut row = vec![
+                esc(cell.config),
+                esc(cell.workload),
+                e.index.to_string(),
+                e.start_access.to_string(),
+                e.end_access.to_string(),
+            ];
+            row.extend(e.global.iter().map(|v| v.to_string()));
+            for c in 0..cores {
+                match e.per_core.get(c) {
+                    Some(pc) => {
+                        row.extend(pc.iter().map(|v| v.to_string()));
+                        row.push(format!("{:.6}", e.core_ipc(c)));
+                    }
+                    None => {
+                        // Cells with fewer cores pad with zero deltas so
+                        // every row has the full column set.
+                        row.extend(std::iter::repeat_n(
+                            "0".to_string(),
+                            CORE_METRICS_COLUMNS.len() + 1,
+                        ));
+                    }
+                }
+            }
+            writeln!(out, "{}", row.join(","))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the occupancy heatmaps as CSV grids: for each cell and each
+/// counter (`accesses`, `evictions`, `relocations`), one row per bank
+/// with one column per set.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn heatmap_to_csv<W: Write>(cells: &[ObservedCell<'_>], mut out: W) -> std::io::Result<()> {
+    let sets = cells
+        .iter()
+        .filter_map(|c| c.observations.heatmap.as_ref())
+        .map(ziv_core::observe::Heatmap::sets)
+        .max()
+        .unwrap_or(0);
+    let mut header: Vec<String> = ["config", "workload", "counter", "bank"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    header.extend((0..sets).map(|s| format!("set_{s}")));
+    writeln!(out, "{}", header.join(","))?;
+    for cell in cells {
+        let Some(hm) = cell.observations.heatmap.as_ref() else {
+            continue;
+        };
+        let counters = [
+            ("accesses", &hm.accesses),
+            ("evictions", &hm.evictions),
+            ("relocations", &hm.relocations),
+        ];
+        for (name, grid) in counters {
+            for bank in 0..grid.rows() {
+                let mut row = vec![
+                    esc(cell.config),
+                    esc(cell.workload),
+                    name.to_string(),
+                    bank.to_string(),
+                ];
+                row.extend((0..sets).map(|s| grid.get(bank, s).to_string()));
+                writeln!(out, "{}", row.join(","))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes the epoch time-series CSV to `path`, creating missing parent
+/// directories first.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_timeseries_csv(path: &Path, cells: &[ObservedCell<'_>]) -> Result<(), SimError> {
+    create_parent_dirs(path)?;
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create timeseries CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    timeseries_to_csv(cells, &mut w).map_err(|e| SimError::io("write timeseries CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush timeseries CSV", path, e))
+}
+
+/// Writes the heatmap CSV to `path`, creating missing parent
+/// directories first.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_heatmap_csv(path: &Path, cells: &[ObservedCell<'_>]) -> Result<(), SimError> {
+    create_parent_dirs(path)?;
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create heatmap CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    heatmap_to_csv(cells, &mut w).map_err(|e| SimError::io("write heatmap CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush heatmap CSV", path, e))
+}
+
 /// Writes the grid CSV to `path`, with the file path attached to any
 /// failure (create or write) as a [`SimError::Io`].
 ///
@@ -136,6 +292,7 @@ pub fn summary_to_csv<W: Write>(
 ///
 /// Returns [`SimError::Io`] naming `path` and the failing operation.
 pub fn write_grid_csv(path: &Path, grid: &[GridResult]) -> Result<(), SimError> {
+    create_parent_dirs(path)?;
     let file = std::fs::File::create(path).map_err(|e| SimError::io("create grid CSV", path, e))?;
     let mut w = std::io::BufWriter::new(file);
     grid_to_csv(grid, &mut w).map_err(|e| SimError::io("write grid CSV", path, e))?;
@@ -223,5 +380,69 @@ mod tests {
         assert_eq!(esc("plain"), "plain");
         assert_eq!(esc("a,b"), "\"a,b\"");
         assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    fn synthetic_observations() -> Observations {
+        use ziv_core::observe::{EpochSample, Heatmap};
+        let mut heatmap = Heatmap::new(2, 4);
+        heatmap.accesses.add(0, 1, 5);
+        heatmap.evictions.add(1, 3, 2);
+        heatmap.relocations.add(1, 0, 1);
+        Observations {
+            epochs: vec![EpochSample {
+                index: 0,
+                start_access: 0,
+                end_access: 10,
+                global: vec![0; METRICS_COLUMNS.len()],
+                per_core: vec![vec![1; CORE_METRICS_COLUMNS.len()]],
+            }],
+            events: Vec::new(),
+            events_recorded: 0,
+            heatmap: Some(heatmap),
+            dir_slice_occupancy: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn timeseries_csv_has_full_column_set() {
+        let obs = synthetic_observations();
+        let cells = [ObservedCell {
+            config: "I-LRU",
+            workload: "w",
+            observations: &obs,
+        }];
+        let mut out = Vec::new();
+        timeseries_to_csv(&cells, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let expected = 5 + METRICS_COLUMNS.len() + CORE_METRICS_COLUMNS.len() + 1;
+        assert_eq!(lines[0].split(',').count(), expected);
+        assert_eq!(lines[1].split(',').count(), expected);
+        assert!(lines[0].ends_with("c0_ipc"));
+        assert!(lines[1].starts_with("I-LRU,w,0,0,10,"));
+    }
+
+    #[test]
+    fn heatmap_csv_grids_by_counter_and_bank() {
+        let obs = synthetic_observations();
+        let cells = [ObservedCell {
+            config: "Z",
+            workload: "w",
+            observations: &obs,
+        }];
+        let mut out = Vec::new();
+        heatmap_to_csv(&cells, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Header + 3 counters × 2 banks.
+        assert_eq!(lines.len(), 1 + 3 * 2);
+        assert_eq!(
+            lines[0],
+            "config,workload,counter,bank,set_0,set_1,set_2,set_3"
+        );
+        assert!(lines.contains(&"Z,w,accesses,0,0,5,0,0"));
+        assert!(lines.contains(&"Z,w,evictions,1,0,0,0,2"));
+        assert!(lines.contains(&"Z,w,relocations,1,1,0,0,0"));
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::spec::RunSpec;
 use ziv_common::SimError;
+use ziv_core::observe::{EpochSlicer, FlightRecorder, Observations, ObserveConfig};
 use ziv_core::{Access, AuditCadence, Auditor, CacheHierarchy, Metrics};
 use ziv_workloads::Workload;
 
@@ -42,8 +43,9 @@ pub fn derived_budget(workload: &Workload) -> u64 {
         .max(10_000_000)
 }
 
-/// Robustness options for a checked run: audit cadence and watchdog
-/// budget. The default (`audit off`, no budget) makes
+/// Robustness and observability options for a checked run: audit
+/// cadence, watchdog budget, and the flight-recorder configuration.
+/// The default (`audit off`, no budget, observe nothing) makes
 /// [`run_one_checked`] behave exactly like [`run_one`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
@@ -51,6 +53,10 @@ pub struct RunOptions {
     pub audit: AuditCadence,
     /// Watchdog budget; `None` disables the watchdog.
     pub budget: Option<CellBudget>,
+    /// What to observe (epoch slicing, event tracing, heatmaps).
+    /// Never digested and never serialized into result ledgers:
+    /// observing a run must not change its outcome.
+    pub observe: ObserveConfig,
 }
 
 impl Default for RunOptions {
@@ -58,6 +64,7 @@ impl Default for RunOptions {
         RunOptions {
             audit: AuditCadence::Off,
             budget: None,
+            observe: ObserveConfig::disabled(),
         }
     }
 }
@@ -183,6 +190,54 @@ pub fn run_one_checked(
     workload: &Workload,
     opts: &RunOptions,
 ) -> Result<RunResult, SimError> {
+    run_one_traced(spec, workload, opts).0
+}
+
+/// Publishes the driver's live per-core instruction/cycle clocks into
+/// the hierarchy's metrics so an epoch sample can report per-epoch IPC.
+/// Safe to do mid-run: nothing in the simulator reads these fields, and
+/// the end-of-run snapshot rewind overwrites them regardless.
+fn publish_core_clocks(h: &mut CacheHierarchy, instructions: &[u64], cycles: &[f64]) {
+    let per_core = &mut h.metrics_mut().per_core;
+    for c in 0..instructions.len() {
+        per_core[c].instructions = instructions[c];
+        per_core[c].cycles = cycles[c] as u64;
+    }
+}
+
+/// Drains the slicer and the hierarchy's recorder into the run's
+/// observation payload; `None` when observability was disabled.
+fn collect_observations(
+    h: &mut CacheHierarchy,
+    slicer: Option<EpochSlicer>,
+    observing: bool,
+) -> Option<Box<Observations>> {
+    if !observing {
+        return None;
+    }
+    let (events, events_recorded, heatmap) = match h.take_recorder() {
+        Some(rec) => rec.finish(),
+        None => (Vec::new(), 0, None),
+    };
+    Some(Box::new(Observations {
+        epochs: slicer.map_or_else(Vec::new, EpochSlicer::into_samples),
+        events,
+        events_recorded,
+        heatmap,
+        dir_slice_occupancy: h.directory().slice_occupancies(),
+    }))
+}
+
+/// [`run_one_checked`] plus the flight-recorder payload: the second
+/// element carries the epoch time-series, retained events, and heatmaps
+/// when `opts.observe` enables any of them — **even when the run
+/// fails**, so failure records can embed the events leading up to the
+/// violation. `None` when observability is disabled.
+pub fn run_one_traced(
+    spec: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
     let hier_cfg = spec.build_hierarchy_config(workload);
     let mut h = CacheHierarchy::new(&hier_cfg);
     let ncores = workload.cores();
@@ -220,9 +275,19 @@ pub fn run_one_checked(
     let issue_cap = workload.total_accesses().saturating_mul(32); // backstop
     let mut auditor = Auditor::new(opts.audit);
     let budget_cycles = opts.budget.map(|b| b.cycles_for(workload));
+    let observing = opts.observe.is_enabled();
+    if let Some(rec) = FlightRecorder::new(
+        &opts.observe,
+        spec.system.llc.banks,
+        spec.system.llc.bank_geometry.sets as usize,
+    ) {
+        h.attach_recorder(rec);
+    }
+    let mut slicer = opts.observe.epoch.map(|n| EpochSlicer::new(n, ncores));
+    let mut failure: Option<SimError> = None;
 
     // Smallest-cycle-first global interleaving.
-    while done < ncores && issued < issue_cap {
+    'sim: while done < ncores && issued < issue_cap {
         // Find the lagging unparked core.
         let mut core = usize::MAX;
         let mut best = f64::INFINITY;
@@ -267,17 +332,28 @@ pub fn run_one_checked(
         let access_index = issued;
         issued += 1;
         if auditor.due() {
-            Auditor::check(&h, access_index).map_err(SimError::Audit)?;
+            if let Err(v) = Auditor::check(&h, access_index) {
+                h.record_audit_violation(&v, now);
+                failure = Some(SimError::Audit(v));
+                break 'sim;
+            }
         }
         if let Some(budget) = budget_cycles {
             let c = cycles[core] as u64;
             if c > budget {
-                return Err(SimError::BudgetExceeded {
+                failure = Some(SimError::BudgetExceeded {
                     budget_cycles: budget,
                     core,
                     cycles: c,
                     access_index,
                 });
+                break 'sim;
+            }
+        }
+        if let Some(sl) = slicer.as_mut() {
+            if sl.due(issued) {
+                publish_core_clocks(&mut h, &instructions, &cycles);
+                sl.slice(issued, h.metrics());
             }
         }
         if finishing {
@@ -297,6 +373,17 @@ pub fn run_one_checked(
         }
     }
 
+    if let Some(err) = failure {
+        // Close the epoch series at the failure point so partial
+        // samples still telescope to the metrics-at-failure.
+        if let Some(sl) = slicer.as_mut() {
+            publish_core_clocks(&mut h, &instructions, &cycles);
+            sl.finish(issued, h.metrics());
+        }
+        let obs = collect_observations(&mut h, slicer, observing);
+        return (Err(err), obs);
+    }
+
     for c in 0..ncores {
         if snapshots[c].is_none() {
             // Issue cap reached before this core finished: snapshot its
@@ -312,8 +399,15 @@ pub fn run_one_checked(
     }
     h.finalize();
     debug_assert!(h.verify_invariants().is_ok(), "{:?}", h.verify_invariants());
+    // The closing sample is taken *after* the per-core lap rewind and
+    // finalize() above, so the epoch deltas sum exactly to the final
+    // aggregate metrics (its per-core deltas may be negative).
+    if let Some(sl) = slicer.as_mut() {
+        sl.finish(issued, h.metrics());
+    }
+    let observations = collect_observations(&mut h, slicer, observing);
 
-    Ok(RunResult {
+    let result = RunResult {
         label: spec.label.clone(),
         workload: workload.name.clone(),
         cores: (0..ncores)
@@ -324,7 +418,8 @@ pub fn run_one_checked(
             })
             .collect(),
         metrics: h.metrics().clone(),
-    })
+    };
+    (Ok(result), observations)
 }
 
 #[cfg(test)]

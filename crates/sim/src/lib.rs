@@ -32,13 +32,20 @@ mod effort;
 mod report;
 mod spec;
 
-pub use csv::{grid_to_csv, summary_to_csv, write_grid_csv, write_summary_csv, GRID_COLUMNS};
+pub use csv::{
+    grid_to_csv, heatmap_to_csv, summary_to_csv, timeseries_to_csv, write_grid_csv,
+    write_heatmap_csv, write_summary_csv, write_timeseries_csv, ObservedCell, GRID_COLUMNS,
+};
 pub use driver::{
-    derived_budget, run_one, run_one_checked, CellBudget, CoreRunStats, RunOptions, RunResult,
+    derived_budget, run_one, run_one_checked, run_one_traced, CellBudget, CoreRunStats, RunOptions,
+    RunResult,
 };
 pub use effort::Effort;
 pub use report::{normalized_metric, speedup_summary, NormalizedRows};
 pub use spec::{
     default_threads, run_cells, run_cells_checked, run_grid, CellRun, GridObserver, GridResult,
     NoopObserver, RunSpec,
+};
+pub use ziv_core::observe::{
+    EventFilter, EventKind, EventTraceConfig, Observations, ObserveConfig, TraceEvent,
 };

@@ -1,11 +1,12 @@
 //! Run specifications (Send-able configuration data) and the parallel
 //! experiment grid runner.
 
-use crate::driver::{run_one_checked, RunOptions, RunResult};
+use crate::driver::{run_one_traced, RunOptions, RunResult};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use ziv_common::config::SystemConfig;
 use ziv_common::SimError;
+use ziv_core::observe::Observations;
 use ziv_core::{FaultInjection, HierarchyConfig, LlcMode};
 use ziv_directory::DirectoryMode;
 use ziv_replacement::{PolicyKind, PrecomputedFuture};
@@ -272,6 +273,10 @@ pub struct CellRun {
     pub workload_index: usize,
     /// The run's results, or its failure.
     pub outcome: Result<RunResult, SimError>,
+    /// The cell's flight-recorder payload when `opts.observe` enabled
+    /// anything; present for failed cells too (the events leading up to
+    /// the violation).
+    pub observations: Option<Box<Observations>>,
 }
 
 /// Fault-isolated variant of [`run_cells`]: each cell runs under
@@ -318,7 +323,8 @@ pub fn run_cells_checked(
                 let (spec_index, workload_index) = cells[idx];
                 observer.cell_started(spec_index, workload_index);
                 let started = std::time::Instant::now();
-                let outcome = run_one_checked(&specs[spec_index], &workloads[workload_index], opts);
+                let (outcome, observations) =
+                    run_one_traced(&specs[spec_index], &workloads[workload_index], opts);
                 match &outcome {
                     Ok(result) => observer.cell_finished(
                         spec_index,
@@ -334,6 +340,7 @@ pub fn run_cells_checked(
                     spec_index,
                     workload_index,
                     outcome,
+                    observations,
                 });
             });
         }

@@ -34,18 +34,37 @@ echo "== audit-enabled smoke campaign"
 # End-to-end through the release binary: every cell of the smallest
 # campaign under the sampled invariant auditor, into a throwaway
 # results dir. Any audit violation fails the gate with a repro record.
+# Single-threaded so the ledger's append order is deterministic — the
+# traced re-run below diffs against these bytes.
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+TRACED_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR"' EXIT
 ZIV_FAST=1 ./target/release/zivsim campaign smoke \
-    --audit sampled --results-dir "$SMOKE_DIR"
+    --audit sampled --threads 1 --results-dir "$SMOKE_DIR"
+
+echo "== flight-recorder smoke campaign (observability must not touch results)"
+# The same campaign with every capture on: epoch-sliced time series,
+# full event tracing, and occupancy heatmaps. The result artifacts
+# (ledger + grid.csv) must be byte-identical to the untraced run —
+# observability that perturbs results is a gate failure.
+ZIV_FAST=1 ./target/release/zivsim campaign smoke \
+    --audit sampled --threads 1 --results-dir "$TRACED_DIR" \
+    --epoch 500 --events all --heatmap
+diff "$SMOKE_DIR/ledger.jsonl" "$TRACED_DIR/ledger.jsonl"
+diff "$SMOKE_DIR/grid.csv"     "$TRACED_DIR/grid.csv"
+test -s "$TRACED_DIR/timeseries.csv"
+test -s "$TRACED_DIR/heatmap.csv"
 
 echo "== hot-path throughput baseline (recorded, non-gating)"
 # End-to-end accesses/second over the smoke campaign through the plain
 # driver (no audit, no cache). The JSON report is a recorded baseline
 # for spotting hot-path regressions across commits; wall-clock numbers
-# depend on the machine, so nothing here gates.
+# depend on the machine, so nothing here gates. The traced twin
+# records the flight recorder's overhead next to it — also non-gating.
 ZIV_FAST=1 ./target/release/zivsim bench-throughput \
     --repeats 2 --out BENCH_hotpath.json
-echo "   (see BENCH_hotpath.json)"
+ZIV_FAST=1 ./target/release/zivsim bench-throughput \
+    --repeats 2 --traced --out "$TRACED_DIR/BENCH_hotpath_traced.json"
+echo "   (see BENCH_hotpath.json; tracing-on run was recorded and discarded)"
 
 echo "CI OK"

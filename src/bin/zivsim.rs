@@ -7,13 +7,30 @@
 //! zivsim export <file> [options]          # write the workload as a ziv-trace file
 //! zivsim campaign <name> [options]        # run a named figure campaign end-to-end
 //! zivsim replay <file>                    # re-run a failure repro record deterministically
+//! zivsim trace [<mode>] [options]         # one traced run; drain the event ring as JSONL
 //! zivsim bench-throughput [options]       # time the smoke campaign end-to-end (accesses/s)
 //!
 //! bench-throughput options:
 //!   --repeats <N>                         (timed repeats per cell, best-of; default 3)
-//!   --out <FILE>                          (JSON report path; default BENCH_hotpath.json)
+//!   --out <FILE>                          (JSON report path; default BENCH_hotpath.json;
+//!                                          parent directories are created as needed)
+//!   --traced                              (run with the flight recorder fully enabled,
+//!                                          for tracing-on vs tracing-off comparisons)
 //!   --cores/--seed also apply. The report is a recorded performance
 //!   baseline, not a gate: wall-clock numbers vary with the machine.
+//!
+//! observability options (trace + campaign):
+//!   --epoch <N>                           (snapshot counter deltas every N accesses;
+//!                                          campaigns export them as timeseries.csv)
+//!   --events <all | k1,k2,...>            (event kinds to retain: fill, eviction,
+//!                                          back-invalidation, relocation,
+//!                                          directory-victim, audit-violation)
+//!   --last <K>                            (event ring capacity; default 256)
+//!   --heatmap                             (accumulate per-(bank, set) occupancy grids;
+//!                                          campaigns export them as heatmap.csv)
+//!   trace always records events (default --events all) and writes them
+//!   as JSONL to stdout, or to --out <FILE>. Observability never changes
+//!   results: ledgers and grid CSVs stay byte-identical with it on.
 //!
 //! campaign options:
 //!   --resume                              (reuse the ledger: skip completed cells)
@@ -68,6 +85,11 @@ struct Options {
     inject_fault: Option<(usize, usize, ziv::core::FaultInjection)>,
     repeats: usize,
     out: Option<String>,
+    epoch: Option<u64>,
+    events: Option<String>,
+    last: Option<usize>,
+    heatmap: bool,
+    traced: bool,
 }
 
 impl Default for Options {
@@ -93,7 +115,41 @@ impl Default for Options {
             inject_fault: None,
             repeats: 3,
             out: None,
+            epoch: None,
+            events: None,
+            last: None,
+            heatmap: false,
+            traced: false,
         }
+    }
+}
+
+impl Options {
+    /// The flight-recorder configuration the flags describe. `trace`
+    /// always records events (defaulting to `all`); elsewhere the
+    /// recorder stays off unless `--events` / `--last` ask for it.
+    fn observe_config(&self) -> Result<ziv::sim::ObserveConfig, String> {
+        let events = if self.events.is_some() || self.last.is_some() || self.command == "trace" {
+            let filter = match &self.events {
+                Some(spec) => ziv::sim::EventFilter::parse(spec)?,
+                None => ziv::sim::EventFilter::all(),
+            };
+            let mut cfg = ziv::sim::EventTraceConfig {
+                filter,
+                ..Default::default()
+            };
+            if let Some(last) = self.last {
+                cfg.capacity = last;
+            }
+            Some(cfg)
+        } else {
+            None
+        };
+        Ok(ziv::sim::ObserveConfig {
+            epoch: self.epoch,
+            events,
+            heatmap: self.heatmap,
+        })
     }
 }
 
@@ -171,7 +227,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
-    let mut positional_allowed = matches!(opts.command.as_str(), "export" | "campaign" | "replay");
+    let mut positional_allowed = matches!(
+        opts.command.as_str(),
+        "export" | "campaign" | "replay" | "trace"
+    );
     while let Some(flag) = it.next() {
         if positional_allowed && !flag.starts_with("--") {
             // The export file path / campaign name (consumed from raw args).
@@ -217,6 +276,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.repeats = value()?.parse().map_err(|e| format!("--repeats: {e}"))?
             }
             "--out" => opts.out = Some(value()?),
+            "--epoch" => {
+                let n: u64 = value()?.parse().map_err(|e| format!("--epoch: {e}"))?;
+                if n == 0 {
+                    return Err("--epoch must be at least 1".into());
+                }
+                opts.epoch = Some(n);
+            }
+            "--events" => {
+                let spec = value()?;
+                ziv::sim::EventFilter::parse(&spec)?; // reject bad filters up front
+                opts.events = Some(spec);
+            }
+            "--last" => {
+                let k: usize = value()?.parse().map_err(|e| format!("--last: {e}"))?;
+                if k == 0 {
+                    return Err("--last must be at least 1".into());
+                }
+                opts.last = Some(k);
+            }
+            "--heatmap" => opts.heatmap = true,
+            "--traced" => opts.traced = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -405,6 +485,7 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
         strict: opts.strict,
         cell_budget: opts.cell_budget,
         params: Some(params),
+        observe: opts.observe_config()?,
         ..RunnerConfig::new(
             opts.results_dir
                 .clone()
@@ -418,6 +499,12 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
     println!("{}", rows.to_table("speedup"));
     println!("wrote {}", outcome.grid_csv.display());
     println!("wrote {}", outcome.summary_csv.display());
+    if let Some(path) = &outcome.timeseries_csv {
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &outcome.heatmap_csv {
+        println!("wrote {}", path.display());
+    }
     println!("ledger {}", outcome.ledger_path.display());
     if !outcome.failures.is_empty() {
         eprintln!("\n{} cell(s) FAILED:", outcome.failures.len());
@@ -445,16 +532,32 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_bench_throughput(opts: &Options) -> Result<(), String> {
-    use ziv::bench::{run_throughput_bench, throughput_per_mode, throughput_report_json};
+    use ziv::bench::{run_throughput_bench_with, throughput_per_mode, throughput_report_json};
     let mut params = ziv::harness::CampaignParams::from_env();
     if opts.seed_explicit {
         params.seed = opts.seed;
     }
     params.cores = opts.cores;
-    let samples = run_throughput_bench("smoke", &params, opts.repeats);
+    let observe = if opts.traced {
+        // The full-fat recorder: epoch slicing, an event ring, and
+        // heatmaps, so `--traced` bounds the recorder's worst case.
+        ziv::sim::ObserveConfig {
+            epoch: Some(1_000),
+            events: Some(ziv::sim::EventTraceConfig::default()),
+            heatmap: true,
+        }
+    } else {
+        ziv::sim::ObserveConfig::disabled()
+    };
+    let samples = run_throughput_bench_with("smoke", &params, opts.repeats, observe);
     println!(
-        "hot-path throughput (smoke campaign, best of {} repeat(s)):",
-        opts.repeats.max(1)
+        "hot-path throughput (smoke campaign, best of {} repeat(s){}):",
+        opts.repeats.max(1),
+        if opts.traced {
+            ", flight recorder ON"
+        } else {
+            ""
+        }
     );
     for s in throughput_per_mode(&samples) {
         println!(
@@ -483,9 +586,90 @@ fn cmd_bench_throughput(opts: &Options) -> Result<(), String> {
         .clone()
         .unwrap_or_else(|| "BENCH_hotpath.json".into());
     let json = throughput_report_json("smoke", opts.repeats.max(1), &samples);
+    ziv::common::fsutil::create_parent_dirs(&path).map_err(|e| e.to_string())?;
     std::fs::write(&path, json).map_err(|e| format!("cannot write '{path}': {e}"))?;
     println!("wrote {path}");
     Ok(())
+}
+
+/// One traced run of the configured spec × workload: drains the event
+/// ring as JSONL (stdout, or `--out <FILE>`) and prints a trace summary
+/// — counts per retained event kind, total recorded, the epoch count
+/// when `--epoch` sliced, and per-bank directory occupancy — to stderr
+/// so the JSONL stream stays clean.
+fn cmd_trace(args: &[String], opts: &Options) -> Result<(), String> {
+    use std::io::Write as _;
+    // Optional positional mode spec: `zivsim trace ziv-likelydead ...`.
+    let mut opts = opts.clone();
+    if let Some(mode) = args.get(1).filter(|a| !a.starts_with("--")) {
+        opts.mode = parse_mode(mode)?;
+    }
+    let wl = build_workload(&opts)?;
+    let sys = system_for(&opts);
+    let mut spec = RunSpec::new(
+        format!("{}-{}", opts.mode.label(), opts.policy.label()),
+        sys,
+    )
+    .with_mode(opts.mode)
+    .with_policy(opts.policy)
+    .with_seed(opts.seed);
+    if opts.prefetch {
+        spec = spec.with_prefetch(ziv::core::prefetch::PrefetchConfig::default());
+    }
+    let run_opts = ziv::sim::RunOptions {
+        audit: opts.audit,
+        budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
+        observe: opts.observe_config()?,
+    };
+    let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
+    let obs = observations.ok_or("trace produced no observations (recorder disabled?)")?;
+
+    let mut jsonl = String::new();
+    for ev in &obs.events {
+        jsonl.push_str(&ev.to_json().to_string());
+        jsonl.push('\n');
+    }
+    match &opts.out {
+        Some(path) => {
+            ziv::common::fsutil::create_parent_dirs(path).map_err(|e| e.to_string())?;
+            std::fs::write(path, &jsonl).map_err(|e| format!("cannot write '{path}': {e}"))?;
+            eprintln!("wrote {} event(s) to {path}", obs.events.len());
+        }
+        None => {
+            let mut out = std::io::stdout().lock();
+            out.write_all(jsonl.as_bytes())
+                .and_then(|()| out.flush())
+                .map_err(|e| format!("cannot write events to stdout: {e}"))?;
+        }
+    }
+
+    eprintln!(
+        "trace {} × {}: {} event(s) recorded, {} retained (ring capacity {})",
+        spec.label,
+        wl.name,
+        obs.events_recorded,
+        obs.events.len(),
+        opts.last
+            .unwrap_or(ziv::core::observe::DEFAULT_EVENT_CAPACITY),
+    );
+    for kind in ziv::sim::EventKind::ALL {
+        let n = obs.events.iter().filter(|e| e.kind == kind).count();
+        if n > 0 {
+            eprintln!("  {:<18} {n}", kind.label());
+        }
+    }
+    if !obs.epochs.is_empty() {
+        eprintln!("  epochs sampled    {}", obs.epochs.len());
+    }
+    let occupancy: Vec<String> = obs
+        .dir_slice_occupancy
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    eprintln!("  directory occupancy per bank: [{}]", occupancy.join(", "));
+    // A trace of a failing run still drains the ring (that is the whole
+    // point of a flight recorder), but the run's failure is the verdict.
+    outcome.map(|_| ()).map_err(|e| e.to_string())
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
@@ -499,6 +683,15 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         "replaying {} × {} from campaign '{}' (audit {}, budget {} cycles)",
         record.label, record.workload, record.campaign, record.audit, record.budget_cycles
     );
+    if !record.events.is_empty() {
+        println!(
+            "flight recorder: {} event(s) leading up to the failure:",
+            record.events.len()
+        );
+        for ev in &record.events {
+            println!("  {}", ev.to_json());
+        }
+    }
     let report = replay(&record).map_err(|e| e.to_string())?;
     println!("{}", report.note);
     if report.reproduced {
@@ -525,6 +718,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let run_opts = ziv::sim::RunOptions {
         audit: opts.audit,
         budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
+        observe: ziv::sim::ObserveConfig::disabled(),
     };
     let baseline = ziv::sim::run_one_checked(&baseline_spec, &wl, &run_opts)
         .map_err(|e| format!("baseline run: {e}"))?;
@@ -614,8 +808,8 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 
 fn usage() {
     println!(
-        "usage: zivsim <list|run|compare|export|campaign|replay|bench-throughput> [options]   \
-         (see --help text in the source header)"
+        "usage: zivsim <list|run|compare|export|campaign|replay|trace|bench-throughput> \
+         [options]   (see --help text in the source header)"
     );
 }
 
@@ -639,6 +833,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&args, &opts),
         "campaign" => cmd_campaign(&args, &opts),
         "replay" => cmd_replay(&args),
+        "trace" => cmd_trace(&args, &opts),
         "bench-throughput" => cmd_bench_throughput(&opts),
         _ => {
             usage();
@@ -740,7 +935,52 @@ mod tests {
         let o = parse_args(&args("bench-throughput")).unwrap();
         assert_eq!(o.repeats, 3, "default repeats");
         assert!(o.out.is_none());
+        assert!(!o.traced);
         assert!(parse_args(&args("bench-throughput --repeats nope")).is_err());
+
+        assert!(
+            parse_args(&args("bench-throughput --traced"))
+                .unwrap()
+                .traced
+        );
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let o = parse_args(&args(
+            "campaign smoke --epoch 500 --events back-invalidation,relocation \
+             --last 64 --heatmap",
+        ))
+        .unwrap();
+        assert_eq!(o.epoch, Some(500));
+        assert_eq!(o.events.as_deref(), Some("back-invalidation,relocation"));
+        assert_eq!(o.last, Some(64));
+        assert!(o.heatmap);
+        let cfg = o.observe_config().unwrap();
+        assert_eq!(cfg.epoch, Some(500));
+        assert!(cfg.heatmap);
+        let ev = cfg.events.unwrap();
+        assert_eq!(ev.capacity, 64);
+        assert!(ev.filter.contains(ziv::sim::EventKind::Relocation));
+        assert!(!ev.filter.contains(ziv::sim::EventKind::Fill));
+
+        // Malformed values are rejected at parse time.
+        assert!(parse_args(&args("campaign smoke --epoch 0")).is_err());
+        assert!(parse_args(&args("campaign smoke --last 0")).is_err());
+        assert!(parse_args(&args("campaign smoke --events bogus")).is_err());
+
+        // Flags alone never enable the recorder outside `trace`...
+        let o = parse_args(&args("campaign smoke")).unwrap();
+        assert!(!o.observe_config().unwrap().is_enabled());
+        // ...while `trace` records events by default, with an optional
+        // positional mode like `export`/`campaign` positionals.
+        let o = parse_args(&args("trace ziv-likelydead --workload homo:circset")).unwrap();
+        assert_eq!(o.command, "trace");
+        let cfg = o.observe_config().unwrap();
+        assert_eq!(
+            cfg.events.unwrap().capacity,
+            ziv::core::observe::DEFAULT_EVENT_CAPACITY
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ fn every_mode_is_deterministic_under_every_access_audit() {
     let opts = RunOptions {
         audit: AuditCadence::EveryAccess,
         budget: None,
+        ..RunOptions::default()
     };
     for (mode, policy) in all_modes() {
         let spec = RunSpec::new(mode.label(), sys.clone())

@@ -46,6 +46,7 @@ fn audited() -> RunOptions {
     RunOptions {
         audit: AuditCadence::EveryAccess,
         budget: None,
+        ..RunOptions::default()
     }
 }
 
@@ -116,6 +117,7 @@ fn stalled_core_trips_the_watchdog() {
     let opts = RunOptions {
         audit: AuditCadence::Off,
         budget: Some(CellBudget::Cycles(5_000_000)),
+        ..RunOptions::default()
     };
     let err = run_one_checked(&spec, &workload(), &opts)
         .expect_err("a stalled core must exceed any finite budget");
@@ -161,6 +163,7 @@ fn audit_off_matches_the_unchecked_runner() {
         &RunOptions {
             audit: AuditCadence::Off,
             budget: None,
+            ..RunOptions::default()
         },
     )
     .unwrap();
