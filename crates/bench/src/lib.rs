@@ -305,6 +305,207 @@ pub fn throughput_report_json(
     out
 }
 
+/// One `(label, workload)` row of a throughput-report comparison.
+#[derive(Debug, Clone)]
+pub struct BenchDelta {
+    /// Spec label (`"(total)"` for the grand-total row).
+    pub label: String,
+    /// Workload name (`"(all)"` for aggregate rows).
+    pub workload: String,
+    /// Baseline accesses/second.
+    pub old_rate: f64,
+    /// New accesses/second.
+    pub new_rate: f64,
+}
+
+impl BenchDelta {
+    /// Signed percent change in throughput; negative is a slowdown.
+    pub fn delta_pct(&self) -> f64 {
+        if self.old_rate > 0.0 {
+            (self.new_rate - self.old_rate) / self.old_rate * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The diff of two throughput-report JSON files
+/// (`zivsim bench-compare`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchComparison {
+    /// Per-cell deltas, in the new report's order.
+    pub cells: Vec<BenchDelta>,
+    /// Per-mode aggregate deltas.
+    pub per_mode: Vec<BenchDelta>,
+    /// The grand-total delta.
+    pub total: Option<BenchDelta>,
+    /// Rows present in only one report (renamed specs, changed
+    /// campaign) — listed, never silently dropped.
+    pub unmatched: Vec<String>,
+}
+
+impl BenchComparison {
+    /// The rows that regressed more than `threshold_pct`. Only the
+    /// per-mode aggregates and the total gate: single cells are noisy
+    /// (best-of-N wall clocks), aggregates are what CI should fail on.
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<&BenchDelta> {
+        self.per_mode
+            .iter()
+            .chain(self.total.as_ref())
+            .filter(|d| d.delta_pct() < -threshold_pct)
+            .collect()
+    }
+
+    /// Renders the comparison as a fixed-width table, flagging rows
+    /// beyond the threshold.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:<26} {:<18} {:>14} {:>14} {:>9}",
+            "scope", "label", "workload", "old acc/s", "new acc/s", "delta%"
+        );
+        let sections = [("cell", &self.cells), ("mode", &self.per_mode)];
+        let total_rows: Vec<BenchDelta> = self.total.clone().into_iter().collect();
+        for (scope, rows) in sections.into_iter().chain([("total", &total_rows)]) {
+            for d in rows {
+                let flag = if d.delta_pct() < -threshold_pct {
+                    "  << regression"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:<26} {:<18} {:>14.1} {:>14.1} {:>+9.2}{}",
+                    scope,
+                    d.label,
+                    d.workload,
+                    d.old_rate,
+                    d.new_rate,
+                    d.delta_pct(),
+                    flag
+                );
+            }
+        }
+        for u in &self.unmatched {
+            let _ = writeln!(out, "unmatched: {u}");
+        }
+        out
+    }
+}
+
+fn bench_row(
+    row: &ziv_common::json::JsonValue,
+    key: &str,
+) -> Result<(String, String, f64), String> {
+    let field = |name: &str| {
+        row.get(name)
+            .ok_or_else(|| format!("'{key}' row is missing '{name}'"))
+    };
+    let label = field("label")?
+        .as_str()
+        .ok_or_else(|| format!("'{key}' row has a non-string label"))?
+        .to_string();
+    let workload = field("workload")?
+        .as_str()
+        .ok_or_else(|| format!("'{key}' row has a non-string workload"))?
+        .to_string();
+    let rate = field("accesses_per_sec")?
+        .as_f64()
+        .ok_or_else(|| format!("'{key}' row has a non-numeric accesses_per_sec"))?;
+    Ok((label, workload, rate))
+}
+
+fn bench_rows(
+    doc: &ziv_common::json::JsonValue,
+    key: &str,
+) -> Result<Vec<(String, String, f64)>, String> {
+    use ziv_common::json::JsonValue;
+    doc.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing '{key}' array"))?
+        .iter()
+        .map(|row| bench_row(row, key))
+        .collect()
+}
+
+fn pair_rows(
+    scope: &str,
+    old: &[(String, String, f64)],
+    new: &[(String, String, f64)],
+    unmatched: &mut Vec<String>,
+) -> Vec<BenchDelta> {
+    let mut out = Vec::new();
+    for (label, workload, new_rate) in new {
+        match old.iter().find(|(l, w, _)| l == label && w == workload) {
+            Some((_, _, old_rate)) => out.push(BenchDelta {
+                label: label.clone(),
+                workload: workload.clone(),
+                old_rate: *old_rate,
+                new_rate: *new_rate,
+            }),
+            None => unmatched.push(format!(
+                "{scope} '{label}' × '{workload}' only in new report"
+            )),
+        }
+    }
+    for (label, workload, _) in old {
+        if !new.iter().any(|(l, w, _)| l == label && w == workload) {
+            unmatched.push(format!(
+                "{scope} '{label}' × '{workload}' only in old report"
+            ));
+        }
+    }
+    out
+}
+
+/// Compares two throughput-report JSON documents (the
+/// `BENCH_hotpath.json` format of [`throughput_report_json`]) cell by
+/// cell, mode by mode, and in total.
+///
+/// # Errors
+///
+/// Returns a description when either document fails to parse, the two
+/// reports are different bench kinds, or a required field is missing.
+pub fn compare_throughput_reports(old: &str, new: &str) -> Result<BenchComparison, String> {
+    use ziv_common::json::JsonValue;
+    let old_doc = ziv_common::json::parse(old).map_err(|e| format!("old report: {e}"))?;
+    let new_doc = ziv_common::json::parse(new).map_err(|e| format!("new report: {e}"))?;
+    let old_bench = old_doc.get("bench").and_then(JsonValue::as_str);
+    let new_bench = new_doc.get("bench").and_then(JsonValue::as_str);
+    if old_bench.is_none() || old_bench != new_bench {
+        return Err(format!(
+            "bench kind mismatch: old is {old_bench:?}, new is {new_bench:?}"
+        ));
+    }
+    let mut cmp = BenchComparison::default();
+    for (key, scope) in [("cells", "cell"), ("per_mode", "mode")] {
+        let old_rows = bench_rows(&old_doc, key).map_err(|e| format!("old report: {e}"))?;
+        let new_rows = bench_rows(&new_doc, key).map_err(|e| format!("new report: {e}"))?;
+        let paired = pair_rows(scope, &old_rows, &new_rows, &mut cmp.unmatched);
+        match key {
+            "cells" => cmp.cells = paired,
+            _ => cmp.per_mode = paired,
+        }
+    }
+    let old_total = old_doc
+        .get("total")
+        .ok_or_else(|| String::from("old report: missing 'total'"))
+        .and_then(|t| bench_row(t, "total").map_err(|e| format!("old report: {e}")))?;
+    let new_total = new_doc
+        .get("total")
+        .ok_or_else(|| String::from("new report: missing 'total'"))
+        .and_then(|t| bench_row(t, "total").map_err(|e| format!("new report: {e}")))?;
+    cmp.total = Some(BenchDelta {
+        label: new_total.0,
+        workload: new_total.1,
+        old_rate: old_total.2,
+        new_rate: new_total.2,
+    });
+    Ok(cmp)
+}
+
 /// Prints the standard figure banner.
 pub fn banner(figure: &str, title: &str, expectation: &str) {
     println!("==============================================================");
@@ -444,6 +645,54 @@ mod tests {
                 .len(),
             2
         );
+    }
+
+    #[test]
+    fn compare_reports_flags_aggregate_regressions_only() {
+        let old = throughput_report_json(
+            "smoke",
+            1,
+            &[sample("A", "w0", 1000, 1.0), sample("B", "w0", 1000, 1.0)],
+        );
+        // A's cell slows 50%; B speeds up. The per-mode and total rows
+        // gate, single cells only inform.
+        let new = throughput_report_json(
+            "smoke",
+            1,
+            &[sample("A", "w0", 1000, 2.0), sample("B", "w0", 1000, 0.5)],
+        );
+        let cmp = compare_throughput_reports(&old, &new).unwrap();
+        assert_eq!(cmp.cells.len(), 2);
+        assert_eq!(cmp.per_mode.len(), 2);
+        assert!(cmp.unmatched.is_empty());
+        let total = cmp.total.as_ref().unwrap();
+        assert_eq!(total.old_rate, 1000.0);
+        assert_eq!(total.new_rate, 800.0);
+        let regs = cmp.regressions(5.0);
+        assert_eq!(regs.len(), 2, "mode A and the total regressed: {regs:?}");
+        assert!(regs.iter().any(|d| d.label == "A"));
+        assert!(regs.iter().any(|d| d.label == "(total)"));
+        assert!(cmp.regressions(60.0).is_empty(), "threshold respected");
+        let table = cmp.render(5.0);
+        assert!(table.contains("<< regression"), "{table}");
+        assert!(table.lines().next().unwrap().contains("delta%"));
+    }
+
+    #[test]
+    fn compare_reports_rejects_mismatched_kinds_and_lists_unmatched() {
+        let old = throughput_report_json("smoke", 1, &[sample("A", "w0", 1000, 1.0)]);
+        let new = throughput_report_json("smoke", 1, &[sample("B", "w0", 1000, 1.0)]);
+        let cmp = compare_throughput_reports(&old, &new).unwrap();
+        assert!(cmp.cells.is_empty());
+        assert_eq!(cmp.unmatched.len(), 4, "{:?}", cmp.unmatched);
+        assert!(cmp.unmatched.iter().any(|u| u.contains("only in old")));
+        assert!(cmp.unmatched.iter().any(|u| u.contains("only in new")));
+
+        let other_kind = old.replace("hotpath-throughput", "something-else");
+        let err = compare_throughput_reports(&old, &other_kind).unwrap_err();
+        assert!(err.contains("bench kind mismatch"), "{err}");
+        let err = compare_throughput_reports("not json", &old).unwrap_err();
+        assert!(err.starts_with("old report:"), "{err}");
     }
 
     #[test]

@@ -198,6 +198,57 @@ impl Log2Histogram {
         }
         self.total += other.total;
     }
+
+    /// The value below which a fraction `q` (in `0.0..=1.0`) of the
+    /// recorded samples fall, linearly interpolated within the
+    /// containing power-of-two bucket. `None` when the histogram is
+    /// empty; `q` outside `[0, 1]` is clamped.
+    ///
+    /// Bucket `i` holds values in `[2^i, 2^(i+1))` (bucket 0 holds
+    /// `0..2`), so the estimate is exact at bucket boundaries and never
+    /// overshoots the bucket's upper edge: for any `k`,
+    /// `percentile(fraction_below_pow2(k)) <= 2^k`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ziv_common::stats::Log2Histogram;
+    /// let mut h = Log2Histogram::new();
+    /// for _ in 0..100 { h.record(4); } // all in bucket 2 ([4, 8))
+    /// let p50 = h.percentile(0.50).unwrap();
+    /// assert!((4.0..=8.0).contains(&p50));
+    /// assert!(Log2Histogram::new().percentile(0.5).is_none());
+    /// ```
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total as f64;
+        if target <= 0.0 {
+            // q == 0 (or a fraction so small it rounds to zero mass):
+            // the infimum of the value range.
+            return Some(0.0);
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let cum_before = cum;
+            cum += c;
+            if cum as f64 >= target {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = (1u128 << (i + 1)) as f64;
+                let within = ((target - cum_before as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + within * (hi - lo));
+            }
+        }
+        // Float rounding pushed `target` past the final cumulative
+        // count: report the upper edge of the highest non-empty bucket.
+        let top = self.max_bucket().unwrap_or(0);
+        Some((1u128 << (top + 1)) as f64)
+    }
 }
 
 /// A dense 2-D grid of `u64` counters, indexed `(row, col)` — the
@@ -439,6 +490,77 @@ mod tests {
         p.record(16);
         assert_eq!(p.fraction_below_pow2(4), 0.0);
         assert_eq!(p.fraction_below_pow2(5), 1.0);
+    }
+
+    #[test]
+    fn percentile_empty_histogram_is_none() {
+        assert!(Log2Histogram::new().percentile(0.5).is_none());
+        assert!(Log2Histogram::new().percentile(0.0).is_none());
+        assert!(Log2Histogram::new().percentile(1.0).is_none());
+    }
+
+    #[test]
+    fn percentile_single_bucket_interpolates_linearly() {
+        // All mass in bucket 3 ([8, 16)): percentiles sweep the bucket.
+        let mut h = Log2Histogram::new();
+        for _ in 0..100 {
+            h.record(10);
+        }
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        let p25 = h.percentile(0.25).unwrap();
+        let p50 = h.percentile(0.50).unwrap();
+        let p100 = h.percentile(1.0).unwrap();
+        assert!((p25 - 10.0).abs() < 1e-9, "p25 = {p25}");
+        assert!((p50 - 12.0).abs() < 1e-9, "p50 = {p50}");
+        assert_eq!(p100, 16.0, "p100 is the bucket's upper edge");
+        assert!(p25 <= p50 && p50 <= p100);
+    }
+
+    #[test]
+    fn percentile_p0_and_p100_edges() {
+        let mut h = Log2Histogram::new();
+        h.record(3); // bucket 1
+        h.record(100); // bucket 6
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        assert_eq!(h.percentile(1.0), Some(128.0), "upper edge of bucket 6");
+        // Out-of-range q clamps rather than extrapolating.
+        assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+        assert_eq!(h.percentile(2.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_saturating_top_bucket() {
+        // u64::MAX lands in bucket 63; its upper edge 2^64 does not fit
+        // in u64, so the interpolation must widen internally.
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        let p100 = h.percentile(1.0).unwrap();
+        assert_eq!(p100, (1u128 << 64) as f64);
+        let p50 = h.percentile(0.5).unwrap();
+        assert!(p50 >= (1u64 << 63) as f64 && p50 <= p100);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded_by_pow2_fractions() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 2, 3, 7, 8, 9, 100, 5000, 70_000] {
+            h.record(v);
+        }
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let p = h.percentile(i as f64 / 100.0).unwrap();
+            assert!(p >= prev, "percentile must be monotone in q");
+            prev = p;
+        }
+        // The bucket-boundary guarantee stated in the docs.
+        for k in 1..20usize {
+            let q = h.fraction_below_pow2(k);
+            let p = h.percentile(q).unwrap();
+            assert!(
+                p <= (1u64 << k) as f64 * (1.0 + 1e-9),
+                "percentile({q}) = {p} overshoots 2^{k}"
+            );
+        }
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //! engine, the mesh, and main memory — orchestrated access by access.
 
 use crate::audit::FaultInjection;
+use crate::latency::{AccessClass, LatencyBreakdown};
 use crate::llc::{EvictedBlock, FillOutcome, LlcMode, SharedLlc, ZivProperty};
 use crate::metrics::Metrics;
 use crate::observe::{EventKind, FlightRecorder, TraceEvent};
 use crate::prefetch::{PrefetchConfig, StridePrefetcher};
 use crate::private::{EvictionNotice, PrivLookup, PrivateHierarchy};
+use crate::profile::{ProfileSection, SelfProfiler};
 use std::rc::Rc;
+use std::time::Instant;
 use ziv_char::{CharConfig, CharEngine};
 use ziv_common::config::SystemConfig;
 use ziv_common::{Addr, CoreId, Cycle, LineAddr};
@@ -185,6 +188,10 @@ pub struct CacheHierarchy {
     /// untraced run: each emission site pays one branch and nothing
     /// else, keeping the hot path allocation-free.
     recorder: Option<Box<FlightRecorder>>,
+    /// Attached wall-clock self-profiler (`--profile`). `None` in every
+    /// unprofiled run: each span pays one branch and never reads the
+    /// clock, so timing cannot perturb simulation results.
+    profiler: Option<Box<SelfProfiler>>,
 }
 
 impl CacheHierarchy {
@@ -244,6 +251,7 @@ impl CacheHierarchy {
             accesses_done: 0,
             skip_next_back_invalidation: false,
             recorder: None,
+            profiler: None,
         };
         if let LlcMode::WayPartitioned = cfg.mode {
             let parts = sys.cores.min(sys.llc.bank_geometry.ways as usize);
@@ -283,6 +291,43 @@ impl CacheHierarchy {
     /// Detaches the flight recorder for draining, if one was attached.
     pub fn take_recorder(&mut self) -> Option<Box<FlightRecorder>> {
         self.recorder.take()
+    }
+
+    /// Attaches a wall-clock self-profiler; subsequent accesses time the
+    /// instrumented subsystems into it. Profiling never alters
+    /// simulation behavior or metrics.
+    pub fn attach_profiler(&mut self, profiler: Box<SelfProfiler>) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Detaches the self-profiler for reporting, if one was attached.
+    pub fn take_profiler(&mut self) -> Option<Box<SelfProfiler>> {
+        self.profiler.take()
+    }
+
+    /// Adds one externally-timed span (the driver uses this for the
+    /// whole-access and audit sections); a no-op without a profiler.
+    #[inline]
+    pub fn profile_add(&mut self, section: ProfileSection, elapsed: std::time::Duration) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.add(section, elapsed);
+        }
+    }
+
+    /// Starts a span: reads the clock only when a profiler is attached.
+    #[inline]
+    fn span_start(&self) -> Option<Instant> {
+        self.profiler.is_some().then(Instant::now)
+    }
+
+    /// Ends a span started by [`Self::span_start`].
+    #[inline]
+    fn span_end(&mut self, t0: Option<Instant>, section: ProfileSection) {
+        if let Some(t0) = t0 {
+            if let Some(p) = self.profiler.as_mut() {
+                p.add(section, t0.elapsed());
+            }
+        }
     }
 
     /// Records an audit violation into the attached recorder (no-op
@@ -356,6 +401,12 @@ impl CacheHierarchy {
 
     /// Performs one demand access at cycle `now` with global stream
     /// position `seq`; returns the access latency in cycles.
+    ///
+    /// Every returned latency is the sum of a per-component
+    /// [`LatencyBreakdown`], and that same sum is accumulated into
+    /// [`Metrics::access_latency_cycles`] — the conservation anchor the
+    /// latency observatory reconciles against. Injected fault stalls
+    /// bypass both.
     pub fn access(&mut self, a: &Access, now: Cycle, seq: u64) -> Cycle {
         let access_index = self.accesses_done;
         self.accesses_done += 1;
@@ -368,14 +419,18 @@ impl CacheHierarchy {
         let ci = a.core.index();
         self.metrics.per_core[ci].accesses += 1;
         let outcome = self.cores[ci].access(line, a.is_instr, a.is_write, &mut self.notice_buf);
-        match outcome {
+        let (breakdown, class) = match outcome {
             PrivLookup::L1Hit => {
                 self.drain_notices(a.core, now);
                 if a.is_write {
                     self.ensure_exclusive(line, a.core, now);
                 }
                 self.maybe_send_tlh_hint(a, line, now, seq);
-                self.cfg.l1_latency.max(1)
+                let b = LatencyBreakdown {
+                    l1: self.cfg.l1_latency.max(1),
+                    ..LatencyBreakdown::default()
+                };
+                (b, AccessClass::L1Hit)
             }
             PrivLookup::L2Hit => {
                 self.metrics.per_core[ci].l1_misses += 1;
@@ -386,17 +441,39 @@ impl CacheHierarchy {
                 }
                 self.maybe_send_tlh_hint(a, line, now, seq);
                 self.issue_prefetches(a, line, now, seq);
-                self.cfg.l2_latency
+                let b = LatencyBreakdown {
+                    l2: self.cfg.l2_latency,
+                    ..LatencyBreakdown::default()
+                };
+                (b, AccessClass::L2Hit)
             }
             PrivLookup::Miss => {
                 self.metrics.per_core[ci].l1_misses += 1;
                 self.metrics.per_core[ci].l2_misses += 1;
                 self.metrics.l2_energy_events += 1;
-                let lat = self.llc_access(a, line, now, seq);
+                // A prior back-invalidation of this very line from this
+                // core's private caches makes this miss an inclusion-
+                // victim re-fetch: its whole latency is the inclusion
+                // cost the paper's Fig 2 describes.
+                let refetch = self
+                    .recorder
+                    .as_mut()
+                    .and_then(|r| r.latency_mut())
+                    .is_some_and(|l| l.take_victim(a.core, line));
+                let (b, mut class) = self.llc_access(a, line, now, seq);
+                if refetch {
+                    class = AccessClass::InclusionVictimRefetch;
+                }
                 self.issue_prefetches(a, line, now, seq);
-                lat
+                (b, class)
             }
+        };
+        let lat = breakdown.total();
+        self.metrics.access_latency_cycles += lat;
+        if let Some(obs) = self.recorder.as_mut().and_then(|r| r.latency_mut()) {
+            obs.record(a.core, class, &breakdown);
         }
+        lat
     }
 
     /// TLH (Jaleel et al. MICRO 2010): every `hint_one_in`-th private-
@@ -475,15 +552,22 @@ impl CacheHierarchy {
             self.metrics.prefetch_drops += 1;
             return;
         } else {
+            let t0 = self.span_start();
             let fill = self.llc.fill(line, &ctx, &self.dir, core, now);
+            self.span_end(t0, ProfileSection::Replacement);
             self.metrics.llc_writes_energy_events += 1;
             self.emit_event(EventKind::Fill, now, line, Some(core), Some(fill.loc));
             self.apply_fill_outcome(line, fill, now);
+            let t0 = self.span_start();
             let _ = self.dram.access(line, now, false);
+            self.span_end(t0, ProfileSection::Dram);
             self.metrics.dram_accesses += 1;
             false
         };
-        if let Some(ev) = self.dir.record_fill(line, core) {
+        let t0 = self.span_start();
+        let dir_ev = self.dir.record_fill(line, core);
+        self.span_end(t0, ProfileSection::Directory);
+        if let Some(ev) = dir_ev {
             self.handle_dir_eviction(ev, now);
         }
         self.cores[core.index()].prefetch_fill(line, from_llc_hit, &mut self.notice_buf);
@@ -491,13 +575,24 @@ impl CacheHierarchy {
         self.metrics.prefetch_fills += 1;
     }
 
-    /// The LLC + directory stage of a private miss.
-    fn llc_access(&mut self, a: &Access, line: LineAddr, now: Cycle, seq: u64) -> Cycle {
+    /// The LLC + directory stage of a private miss; returns the
+    /// per-component latency breakdown and the access class it lands in.
+    fn llc_access(
+        &mut self,
+        a: &Access,
+        line: LineAddr,
+        now: Cycle,
+        seq: u64,
+    ) -> (LatencyBreakdown, AccessClass) {
         let ci = a.core.index();
         let home = self.cfg.home_bank(line);
-        let base = self.mesh.round_trip(a.core, home)
-            + self.cfg.llc.tag_latency
-            + self.cfg.llc.data_latency;
+        let mut b = LatencyBreakdown {
+            noc: self.mesh.round_trip(a.core, home),
+            llc_tag: self.cfg.llc.tag_latency,
+            llc_data: self.cfg.llc.data_latency,
+            ..LatencyBreakdown::default()
+        };
+        let base = b.total();
         let ctx = AccessCtx {
             line,
             pc: a.pc,
@@ -529,7 +624,8 @@ impl CacheHierarchy {
                 }
             }
             self.fill_private_and_dir(line, a, true, now);
-            return base + extra;
+            b.noc += extra;
+            return (b, AccessClass::LlcHit);
         }
 
         // Case 2: hit on a relocated block, found through the directory
@@ -538,15 +634,17 @@ impl CacheHierarchy {
             self.metrics.llc_hits += 1;
             self.metrics.relocated_hits += 1;
             self.metrics.llc_reads_energy_events += 1;
-            let penalty =
-                self.cfg.relocated_access_penalty() + 2 * self.mesh.detour(home, rloc.bank);
             let extra = self.coherence_data_fetch(line, a.core, home, Some(rloc));
             if a.is_write {
                 self.ensure_exclusive(line, a.core, now);
             }
             self.llc.on_relocated_hit(rloc, &ctx);
             self.fill_private_and_dir(line, a, true, now);
-            return base + penalty + extra;
+            // The relocated-access penalty is the directory indirection
+            // (Section III-C1); the detour hops ride the NoC.
+            b.directory += self.cfg.relocated_access_penalty();
+            b.noc += 2 * self.mesh.detour(home, rloc.bank) + extra;
+            return (b, AccessClass::LlcRelocatedHit);
         }
 
         // Case 3: directory hit but LLC miss — the "fourth case" that
@@ -574,7 +672,9 @@ impl CacheHierarchy {
                     e.dirty_owner = None;
                 }
             }
+            let t0 = self.span_start();
             let fill = self.llc.fill(line, &ctx, &self.dir, a.core, now);
+            self.span_end(t0, ProfileSection::Replacement);
             self.metrics.llc_writes_energy_events += 1;
             self.metrics.llc_demand_fills += 1;
             self.emit_event(EventKind::Fill, now, line, Some(a.core), Some(fill.loc));
@@ -586,21 +686,27 @@ impl CacheHierarchy {
                 self.ensure_exclusive(line, a.core, now);
             }
             self.fill_private_and_dir(line, a, false, now);
-            return base + extra;
+            b.noc += extra;
+            return (b, AccessClass::LlcMissSupplied);
         }
 
         // Case 4: miss everywhere — go to memory.
         self.metrics.llc_misses += 1;
         self.metrics.per_core[ci].llc_misses += 1;
+        let t0 = self.span_start();
         let fill = self.llc.fill(line, &ctx, &self.dir, a.core, now);
+        self.span_end(t0, ProfileSection::Replacement);
         self.metrics.llc_writes_energy_events += 1;
         self.metrics.llc_demand_fills += 1;
         self.emit_event(EventKind::Fill, now, line, Some(a.core), Some(fill.loc));
         self.apply_fill_outcome(line, fill, now);
+        let t0 = self.span_start();
         let mem = self.dram.access(line, now + base, false);
+        self.span_end(t0, ProfileSection::Dram);
         self.metrics.dram_accesses += 1;
         self.fill_private_and_dir(line, a, false, now);
-        base + (mem.ready_at - (now + base))
+        b.dram = mem.ready_at - (now + base);
+        (b, AccessClass::LlcMissDram)
     }
 
     /// If another core owns `line` dirty, fetch the data from it
@@ -750,6 +856,9 @@ impl CacheHierarchy {
             self.metrics.per_core[s.index()].inclusion_victims_suffered += 1;
             self.metrics.eci_early_invalidations += 1;
             self.emit_event(EventKind::BackInvalidation, now, line, Some(s), event_loc);
+            if let Some(obs) = self.recorder.as_mut().and_then(|r| r.latency_mut()) {
+                obs.note_back_invalidation(s, line);
+            }
         }
         self.dir.free_line(line);
         if let Some(loc) = self.llc.probe(line) {
@@ -827,6 +936,9 @@ impl CacheHierarchy {
                         Some(s),
                         Some(loc),
                     );
+                    if let Some(obs) = self.recorder.as_mut().and_then(|r| r.latency_mut()) {
+                        obs.note_back_invalidation(s, ev.line);
+                    }
                 }
                 self.metrics.inclusion_victim_events += 1;
                 self.dir.free_line(ev.line);
@@ -848,13 +960,18 @@ impl CacheHierarchy {
     fn writeback_to_memory(&mut self, line: LineAddr, now: Cycle) {
         self.metrics.llc_writebacks += 1;
         self.metrics.dram_accesses += 1;
+        let t0 = self.span_start();
         let _ = self.dram.access(line, now, true);
+        self.span_end(t0, ProfileSection::Dram);
     }
 
     /// Records the fill into the requesting core's private caches and
     /// the directory, then drains any resulting eviction notices.
     fn fill_private_and_dir(&mut self, line: LineAddr, a: &Access, from_llc_hit: bool, now: Cycle) {
-        if let Some(ev) = self.dir.record_fill(line, a.core) {
+        let t0 = self.span_start();
+        let dir_ev = self.dir.record_fill(line, a.core);
+        self.span_end(t0, ProfileSection::Directory);
+        if let Some(ev) = dir_ev {
             self.handle_dir_eviction(ev, now);
         }
         if a.is_write {
@@ -941,7 +1058,10 @@ impl CacheHierarchy {
             self.char_engine.core_receive_d(ci, d);
         }
 
-        match self.dir.remove_sharer(n.line, core) {
+        let t0 = self.span_start();
+        let removal = self.dir.remove_sharer(n.line, core);
+        self.span_end(t0, ProfileSection::Directory);
+        match removal {
             RemovalOutcome::LastCopy(state) => {
                 if let Some(loc) = state.relocated {
                     // The relocated block's life ends (Section III-C2);

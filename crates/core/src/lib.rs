@@ -46,17 +46,21 @@
 
 pub mod audit;
 mod hierarchy;
+pub mod latency;
 pub mod llc;
 pub mod metrics;
 pub mod observe;
 pub mod prefetch;
 pub mod private;
+pub mod profile;
 
 pub use audit::{AuditCadence, Auditor, FaultInjection};
 pub use hierarchy::{Access, CacheHierarchy, HierarchyConfig};
+pub use latency::{AccessClass, LatencyBreakdown, LatencyComponent, LatencyReport};
 pub use llc::{LlcMode, ZivProperty};
 pub use metrics::Metrics;
 pub use observe::{
     EventFilter, EventKind, EventTraceConfig, FlightRecorder, Heatmap, Observations, ObserveConfig,
     TraceEvent,
 };
+pub use profile::{ProfileReport, ProfileSection, SelfProfiler};

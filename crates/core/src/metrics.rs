@@ -104,6 +104,13 @@ pub struct Metrics {
     pub eci_early_invalidations: u64,
     /// RIC evictions that skipped back-invalidation (read-only blocks).
     pub ric_relaxations: u64,
+    /// Total latency (cycles) returned by every demand access, summed
+    /// across cores. The conservation anchor for the latency
+    /// observatory: the per-component attribution must sum to exactly
+    /// this value. Injected fault stalls are excluded (they are not
+    /// access latency). Never rewound at end-of-run, unlike the
+    /// per-core counters.
+    pub access_latency_cycles: u64,
     /// Per-bank relocation-interval histogram (log2 cycles) — Fig 18.
     pub relocation_intervals: Log2Histogram,
     /// LLC data-array reads (energy accounting).
@@ -202,8 +209,9 @@ macro_rules! metrics_u64_fields {
               llc_writebacks, relocated_writebacks, private_writebacks,
               dram_accesses, prefetches_issued, prefetch_fills,
               prefetch_drops, tlh_hints, eci_early_invalidations,
-              ric_relaxations, llc_reads_energy_events,
-              llc_writes_energy_events, l2_energy_events, dir_energy_events)
+              ric_relaxations, access_latency_cycles,
+              llc_reads_energy_events, llc_writes_energy_events,
+              l2_energy_events, dir_energy_events)
     };
 }
 

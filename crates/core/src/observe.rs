@@ -25,10 +25,12 @@
 //! (disabled) config the hierarchy carries a `None` recorder and the
 //! hot path pays a single branch per potential event.
 
+use crate::latency::{LatencyObservatory, LatencyReport};
 use crate::metrics::{core_metrics_u64_fields, metrics_u64_fields, CoreMetrics, Metrics};
+use crate::profile::ProfileReport;
 use ziv_common::json::JsonValue;
 use ziv_common::stats::CountGrid;
-use ziv_common::{AuditViolation, Cycle};
+use ziv_common::{AuditViolation, Cycle, SimError};
 
 macro_rules! name_array {
     ($($f:ident),*) => { &[$(stringify!($f)),*] };
@@ -319,8 +321,9 @@ impl EventFilter {
     ///
     /// # Errors
     ///
-    /// Names the first unknown kind.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// Returns [`SimError::Config`] naming the first unknown kind and
+    /// the accepted set, or rejecting an empty filter.
+    pub fn parse(spec: &str) -> Result<Self, SimError> {
         if spec.trim() == "all" {
             return Ok(EventFilter::all());
         }
@@ -331,15 +334,15 @@ impl EventFilter {
                 continue;
             }
             let kind = EventKind::parse(part).ok_or_else(|| {
-                format!(
+                SimError::Config(format!(
                     "unknown event kind '{part}' (expected one of: {})",
                     EventKind::ALL.map(EventKind::label).join(", ")
-                )
+                ))
             })?;
             f = f.with(kind);
         }
         if f == EventFilter::none() {
-            return Err("empty event filter".into());
+            return Err(SimError::Config("empty event filter".into()));
         }
         Ok(f)
     }
@@ -582,6 +585,13 @@ pub struct ObserveConfig {
     pub events: Option<EventTraceConfig>,
     /// Accumulate per-(bank, set) occupancy heatmaps.
     pub heatmap: bool,
+    /// Run the latency attribution observatory (`--latency`):
+    /// per-core × per-class cycle breakdowns, per-class latency
+    /// histograms, and inclusion-victim re-fetch tracking.
+    pub latency: bool,
+    /// Run the wall-clock self-profiler (`--profile`): per-subsystem
+    /// simulator time.
+    pub profile: bool,
 }
 
 impl ObserveConfig {
@@ -591,18 +601,21 @@ impl ObserveConfig {
             epoch: None,
             events: None,
             heatmap: false,
+            latency: false,
+            profile: false,
         }
     }
 
     /// True when the hierarchy needs an attached [`FlightRecorder`]
-    /// (events or heatmaps; epoch slicing lives in the driver).
+    /// (events, heatmaps, or latency attribution; epoch slicing and the
+    /// self-profiler live in the driver).
     pub fn wants_recorder(&self) -> bool {
-        self.events.is_some() || self.heatmap
+        self.events.is_some() || self.heatmap || self.latency
     }
 
     /// True when any observation is requested.
     pub fn is_enabled(&self) -> bool {
-        self.epoch.is_some() || self.wants_recorder()
+        self.epoch.is_some() || self.wants_recorder() || self.profile
     }
 }
 
@@ -615,12 +628,19 @@ pub struct FlightRecorder {
     filter: EventFilter,
     events: Option<EventRing>,
     heatmap: Option<Heatmap>,
+    latency: Option<LatencyObservatory>,
 }
 
 impl FlightRecorder {
-    /// Builds a recorder per `cfg` for a `banks × sets` LLC; `None`
-    /// when `cfg` requests neither events nor heatmaps.
-    pub fn new(cfg: &ObserveConfig, banks: usize, sets: usize) -> Option<Box<FlightRecorder>> {
+    /// Builds a recorder per `cfg` for a `cores`-core system with a
+    /// `banks × sets` LLC; `None` when `cfg` requests no recorder-side
+    /// capture (events, heatmaps, or latency attribution).
+    pub fn new(
+        cfg: &ObserveConfig,
+        cores: usize,
+        banks: usize,
+        sets: usize,
+    ) -> Option<Box<FlightRecorder>> {
         if !cfg.wants_recorder() {
             return None;
         }
@@ -628,6 +648,7 @@ impl FlightRecorder {
             filter: cfg.events.map_or(EventFilter::none(), |e| e.filter),
             events: cfg.events.map(|e| EventRing::new(e.capacity)),
             heatmap: cfg.heatmap.then(|| Heatmap::new(banks, sets)),
+            latency: cfg.latency.then(|| LatencyObservatory::new(cores)),
         }))
     }
 
@@ -662,14 +683,25 @@ impl FlightRecorder {
         self.heatmap.as_mut()
     }
 
+    /// The latency observatory, when enabled.
+    #[inline]
+    pub fn latency_mut(&mut self) -> Option<&mut LatencyObservatory> {
+        self.latency.as_mut()
+    }
+
     /// Drains the recorder into its final observation payload:
-    /// `(events oldest-first, total events recorded, heatmap)`.
-    pub fn finish(self) -> (Vec<TraceEvent>, u64, Option<Heatmap>) {
+    /// `(events oldest-first, total events recorded, heatmap, latency)`.
+    pub fn finish(self) -> (Vec<TraceEvent>, u64, Option<Heatmap>, Option<LatencyReport>) {
         let (events, recorded) = match &self.events {
             Some(ring) => (ring.ordered(), ring.recorded()),
             None => (Vec::new(), 0),
         };
-        (events, recorded, self.heatmap)
+        (
+            events,
+            recorded,
+            self.heatmap,
+            self.latency.map(LatencyObservatory::finish),
+        )
     }
 }
 
@@ -686,6 +718,11 @@ pub struct Observations {
     pub events_recorded: u64,
     /// Occupancy heatmaps, when enabled.
     pub heatmap: Option<Heatmap>,
+    /// The latency attribution report, when `--latency` was on.
+    pub latency: Option<LatencyReport>,
+    /// The self-profiler's per-subsystem wall time, when `--profile`
+    /// was on.
+    pub profile: Option<ProfileReport>,
     /// End-of-run per-bank occupancy of the sparse directory's finite
     /// structure (spill entries excluded) — the directory-pressure
     /// summary printed by `zivsim trace`.
@@ -696,7 +733,11 @@ impl Observations {
     /// True when nothing at all was observed (the end-of-run directory
     /// summary alone does not count — it is always captured).
     pub fn is_empty(&self) -> bool {
-        self.epochs.is_empty() && self.events.is_empty() && self.heatmap.is_none()
+        self.epochs.is_empty()
+            && self.events.is_empty()
+            && self.heatmap.is_none()
+            && self.latency.is_none()
+            && self.profile.is_none()
     }
 }
 
@@ -813,8 +854,19 @@ mod tests {
         assert!(!f.contains(EventKind::Eviction));
         assert_eq!(EventFilter::parse(&f.label()).unwrap(), f);
         assert_eq!(EventFilter::all().label(), "all");
-        assert!(EventFilter::parse("bogus").is_err());
-        assert!(EventFilter::parse("").is_err());
+    }
+
+    #[test]
+    fn filter_parse_rejects_unknown_tokens_as_config_errors() {
+        let err = EventFilter::parse("fill,bogus").unwrap_err();
+        assert_eq!(err.kind_tag(), "config");
+        let msg = err.to_string();
+        assert!(msg.contains("'bogus'"), "names the bad token: {msg}");
+        for kind in EventKind::ALL {
+            assert!(msg.contains(kind.label()), "lists accepted set: {msg}");
+        }
+        let empty = EventFilter::parse("").unwrap_err();
+        assert_eq!(empty.kind_tag(), "config");
     }
 
     #[test]
@@ -837,23 +889,24 @@ mod tests {
     #[test]
     fn recorder_respects_filter_and_heatmap_flag() {
         let cfg = ObserveConfig {
-            epoch: None,
             events: Some(EventTraceConfig {
                 capacity: 8,
                 filter: EventFilter::none().with(EventKind::Eviction),
             }),
-            heatmap: false,
+            ..ObserveConfig::disabled()
         };
-        let mut rec = FlightRecorder::new(&cfg, 4, 16).unwrap();
+        let mut rec = FlightRecorder::new(&cfg, 2, 4, 16).unwrap();
         rec.record(ev(EventKind::Fill, 0));
         rec.record(ev(EventKind::Eviction, 1));
         assert!(rec.heatmap_mut().is_none());
-        let (events, recorded, heatmap) = rec.finish();
+        assert!(rec.latency_mut().is_none());
+        let (events, recorded, heatmap, latency) = rec.finish();
         assert_eq!(recorded, 1);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::Eviction);
         assert!(heatmap.is_none());
-        assert!(FlightRecorder::new(&ObserveConfig::disabled(), 4, 16).is_none());
+        assert!(latency.is_none());
+        assert!(FlightRecorder::new(&ObserveConfig::disabled(), 2, 4, 16).is_none());
     }
 
     #[test]
@@ -870,5 +923,39 @@ mod tests {
             ..ObserveConfig::disabled()
         };
         assert!(heat.wants_recorder());
+        let lat = ObserveConfig {
+            latency: true,
+            ..ObserveConfig::disabled()
+        };
+        assert!(lat.wants_recorder() && lat.is_enabled());
+        let prof = ObserveConfig {
+            profile: true,
+            ..ObserveConfig::disabled()
+        };
+        assert!(prof.is_enabled() && !prof.wants_recorder());
+    }
+
+    #[test]
+    fn latency_observatory_rides_the_recorder() {
+        use crate::latency::{AccessClass, LatencyBreakdown};
+        use ziv_common::CoreId;
+        let cfg = ObserveConfig {
+            latency: true,
+            ..ObserveConfig::disabled()
+        };
+        let mut rec = FlightRecorder::new(&cfg, 2, 4, 16).unwrap();
+        let lat = rec.latency_mut().expect("latency observatory attached");
+        lat.record(
+            CoreId::new(0),
+            AccessClass::L1Hit,
+            &LatencyBreakdown {
+                l1: 3,
+                ..LatencyBreakdown::default()
+            },
+        );
+        let (_, _, _, report) = rec.finish();
+        let report = report.expect("latency report produced");
+        assert_eq!(report.total_cycles(), 3);
+        assert_eq!(report.class_total(AccessClass::L1Hit).count, 1);
     }
 }

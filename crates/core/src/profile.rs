@@ -1,0 +1,182 @@
+//! A lightweight wall-clock self-profiler for the simulator itself
+//! (`--profile`): scoped spans around the hierarchy, replacement,
+//! directory, DRAM, and auditor sections, reporting where *simulator*
+//! time (not simulated time) goes. Purely observational — timing reads
+//! never feed back into simulation state, so results are byte-identical
+//! with the profiler on or off; the report itself is wall-clock data
+//! and therefore nondeterministic, like the BENCH files.
+
+use std::time::Duration;
+use ziv_common::json::JsonValue;
+
+/// One instrumented section of the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileSection {
+    /// The whole `CacheHierarchy::access` call (includes the nested
+    /// sections below; this is the end-to-end model cost per access).
+    Hierarchy,
+    /// LLC victim selection + fill (`SharedLlc::fill`), including ZIV
+    /// relocation work.
+    Replacement,
+    /// Sparse-directory fills and sharer updates.
+    Directory,
+    /// The DRAM timing model.
+    Dram,
+    /// Invariant-audit walks (only nonzero when `--audit` is on).
+    Audit,
+}
+
+/// Number of sections.
+pub const NUM_SECTIONS: usize = 5;
+
+impl ProfileSection {
+    /// Every section, in report order.
+    pub const ALL: [ProfileSection; NUM_SECTIONS] = [
+        ProfileSection::Hierarchy,
+        ProfileSection::Replacement,
+        ProfileSection::Directory,
+        ProfileSection::Dram,
+        ProfileSection::Audit,
+    ];
+
+    /// Stable name used in `profile.json` and the CLI table.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProfileSection::Hierarchy => "hierarchy",
+            ProfileSection::Replacement => "replacement",
+            ProfileSection::Directory => "directory",
+            ProfileSection::Dram => "dram",
+            ProfileSection::Audit => "audit",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ProfileSection::Hierarchy => 0,
+            ProfileSection::Replacement => 1,
+            ProfileSection::Directory => 2,
+            ProfileSection::Dram => 3,
+            ProfileSection::Audit => 4,
+        }
+    }
+}
+
+/// Accumulates span durations per section.
+#[derive(Debug, Default)]
+pub struct SelfProfiler {
+    nanos: [u64; NUM_SECTIONS],
+    calls: [u64; NUM_SECTIONS],
+}
+
+impl SelfProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        SelfProfiler::default()
+    }
+
+    /// Adds one completed span to a section.
+    #[inline]
+    pub fn add(&mut self, section: ProfileSection, elapsed: Duration) {
+        let i = section.index();
+        self.nanos[i] += elapsed.as_nanos() as u64;
+        self.calls[i] += 1;
+    }
+
+    /// Seals the accumulated spans into a report.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            nanos: self.nanos,
+            calls: self.calls,
+        }
+    }
+}
+
+/// Per-section simulator wall time, carried in
+/// [`crate::observe::Observations`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Nanoseconds accumulated per section, indexed like
+    /// [`ProfileSection::ALL`].
+    pub nanos: [u64; NUM_SECTIONS],
+    /// Spans recorded per section.
+    pub calls: [u64; NUM_SECTIONS],
+}
+
+impl ProfileReport {
+    /// One section's accumulated time.
+    pub fn nanos(&self, s: ProfileSection) -> u64 {
+        self.nanos[s.index()]
+    }
+
+    /// One section's span count.
+    pub fn calls(&self, s: ProfileSection) -> u64 {
+        self.calls[s.index()]
+    }
+
+    /// Adds another report into this one (for campaign aggregation).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for i in 0..NUM_SECTIONS {
+            self.nanos[i] += other.nanos[i];
+            self.calls[i] += other.calls[i];
+        }
+    }
+
+    /// Serializes as `{"<section>": {"nanos": N, "calls": C}, ...}`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            ProfileSection::ALL
+                .iter()
+                .map(|&s| {
+                    (
+                        s.label().to_string(),
+                        JsonValue::Obj(vec![
+                            ("nanos".into(), JsonValue::u64(self.nanos(s))),
+                            ("calls".into(), JsonValue::u64(self.calls(s))),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_per_section() {
+        let mut p = SelfProfiler::new();
+        p.add(ProfileSection::Dram, Duration::from_nanos(100));
+        p.add(ProfileSection::Dram, Duration::from_nanos(50));
+        p.add(ProfileSection::Hierarchy, Duration::from_micros(1));
+        let r = p.report();
+        assert_eq!(r.nanos(ProfileSection::Dram), 150);
+        assert_eq!(r.calls(ProfileSection::Dram), 2);
+        assert_eq!(r.nanos(ProfileSection::Hierarchy), 1_000);
+        assert_eq!(r.calls(ProfileSection::Audit), 0);
+    }
+
+    #[test]
+    fn merge_adds_reports() {
+        let mut p = SelfProfiler::new();
+        p.add(ProfileSection::Directory, Duration::from_nanos(10));
+        let mut a = p.report();
+        let b = p.report();
+        a.merge(&b);
+        assert_eq!(a.nanos(ProfileSection::Directory), 20);
+        assert_eq!(a.calls(ProfileSection::Directory), 2);
+    }
+
+    #[test]
+    fn json_covers_every_section() {
+        let r = SelfProfiler::new().report();
+        let text = r.to_json().to_string();
+        let doc = ziv_common::json::parse(&text).expect("valid JSON");
+        for s in ProfileSection::ALL {
+            let sec = doc.get(s.label()).expect("section present");
+            assert_eq!(sec.get("nanos").and_then(JsonValue::as_u64), Some(0));
+            assert_eq!(sec.get("calls").and_then(JsonValue::as_u64), Some(0));
+        }
+    }
+}

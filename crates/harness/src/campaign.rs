@@ -19,9 +19,11 @@ use ziv_workloads::{apps, Recipe, ScaleParams};
 /// that must invalidate previously cached results.
 ///
 /// History: 1 → 2 when [`ziv_core::Metrics`] gained `llc_demand_fills`
-/// (the demand-fill conservation counter) — old ledger lines no longer
-/// parse, so their cells must re-address.
-pub const CELL_SCHEMA_VERSION: u64 = 2;
+/// (the demand-fill conservation counter); 2 → 3 when it gained
+/// `access_latency_cycles` (the latency-attribution conservation
+/// anchor) — in both cases old ledger lines no longer parse, so their
+/// cells must re-address.
+pub const CELL_SCHEMA_VERSION: u64 = 3;
 
 /// The content address of one campaign cell: a stable FNV-1a digest of
 /// `(CELL_SCHEMA_VERSION, RunSpec semantics, Recipe semantics)`.
@@ -362,7 +364,7 @@ mod tests {
     fn cell_digest_is_stable_across_processes() {
         let c = campaigns::by_name("smoke", &CampaignParams::tiny()).unwrap();
         let got = c.cell_digest(0, 0);
-        let golden = CellDigest(0x8585_162d_4e2f_f845);
+        let golden = CellDigest(0xceff_1624_820f_07ca);
         assert_eq!(got, golden, "digest changed: got {got}, pinned {golden}");
     }
 }

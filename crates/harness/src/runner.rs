@@ -9,13 +9,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use ziv_common::json::JsonValue;
 use ziv_common::SimError;
 use ziv_core::AuditCadence;
 use ziv_sim::{
     run_cells_checked, run_one_traced, speedup_summary, write_grid_csv, write_heatmap_csv,
-    write_summary_csv, write_timeseries_csv, CellBudget, EventTraceConfig, GridObserver,
-    GridResult, Observations, ObserveConfig, ObservedCell, RunOptions, RunResult, RunSpec,
-    TraceEvent,
+    write_latency_csv, write_summary_csv, write_timeseries_csv, CellBudget, EventTraceConfig,
+    GridObserver, GridResult, Observations, ObserveConfig, ObservedCell, ProfileReport, RunOptions,
+    RunResult, RunSpec, TraceEvent,
 };
 use ziv_workloads::Workload;
 
@@ -112,6 +113,13 @@ pub struct CampaignOutcome {
     /// Path of the occupancy-heatmap CSV, written when heatmaps were
     /// on. Same executed-cells-only caveat as the time series.
     pub heatmap_csv: Option<PathBuf>,
+    /// Path of the latency-attribution CSV, written when the latency
+    /// observatory was on (`--latency`). Same caveat.
+    pub latency_csv: Option<PathBuf>,
+    /// Path of the self-profiler report, written when profiling was on
+    /// (`--profile`). Wall-clock data: nondeterministic by nature, like
+    /// the BENCH files, and never part of the ledgered results.
+    pub profile_json: Option<PathBuf>,
 }
 
 /// Forwards `run_cells_checked` completions into the ledger and the
@@ -414,6 +422,8 @@ pub fn run_campaign(
     // tooling can rely on the file existing.
     let mut timeseries_csv = None;
     let mut heatmap_csv = None;
+    let mut latency_csv = None;
+    let mut profile_json = None;
     if cfg.observe.is_enabled() {
         observed.sort_by_key(|(s, w, _)| (*s, *w));
         let names: Vec<(String, String)> = observed
@@ -444,6 +454,16 @@ pub fn run_campaign(
             write_heatmap_csv(&path, &cells)?;
             heatmap_csv = Some(path);
         }
+        if cfg.observe.latency {
+            let path = cfg.results_dir.join("latency.csv");
+            write_latency_csv(&path, &cells)?;
+            latency_csv = Some(path);
+        }
+        if cfg.observe.profile {
+            let path = cfg.results_dir.join("profile.json");
+            write_profile_json(&path, &cells)?;
+            profile_json = Some(path);
+        }
     }
 
     if telemetry.is_overcommitted() {
@@ -465,7 +485,36 @@ pub fn run_campaign(
         ledger_path,
         timeseries_csv,
         heatmap_csv,
+        latency_csv,
+        profile_json,
     })
+}
+
+/// Writes the campaign's self-profiler report: one entry per executed
+/// cell plus a `total` aggregate, each a per-section `{nanos, calls}`
+/// map. Wall-clock data — the one intentionally nondeterministic
+/// artifact, kept out of the ledger and the CSVs it feeds.
+fn write_profile_json(path: &std::path::Path, cells: &[ObservedCell<'_>]) -> Result<(), SimError> {
+    let mut total = ProfileReport::default();
+    let mut cell_entries = Vec::new();
+    for cell in cells {
+        let Some(report) = cell.observations.profile.as_ref() else {
+            continue;
+        };
+        total.merge(report);
+        cell_entries.push(JsonValue::Obj(vec![
+            ("config".into(), JsonValue::str(cell.config)),
+            ("workload".into(), JsonValue::str(cell.workload)),
+            ("sections".into(), report.to_json()),
+        ]));
+    }
+    let doc = JsonValue::Obj(vec![
+        ("cells".into(), JsonValue::Arr(cell_entries)),
+        ("total".into(), total.to_json()),
+    ]);
+    ziv_common::fsutil::create_parent_dirs(path)?;
+    std::fs::write(path, format!("{doc}\n"))
+        .map_err(|e| SimError::io("write profile report", path, e))
 }
 
 /// Events to attach to a failure record: the failing run's own trailing
@@ -486,9 +535,8 @@ fn failure_events(
     }
     let mut retrace = *opts;
     retrace.observe = ObserveConfig {
-        epoch: None,
         events: Some(EventTraceConfig::default()),
-        heatmap: false,
+        ..ObserveConfig::disabled()
     };
     let (_, obs) = run_one_traced(spec, workload, &retrace);
     obs.map(|o| o.events).unwrap_or_default()

@@ -1,7 +1,7 @@
 //! CSV export of experiment grids, for external plotting pipelines
 //! (matplotlib / gnuplot / spreadsheets).
 //!
-//! Four layouts are provided:
+//! Five layouts are provided:
 //!
 //! - [`grid_to_csv`]: one row per `(config, workload)` cell with the
 //!   full metric set — the raw data behind every figure.
@@ -12,6 +12,9 @@
 //!   time-series; DESIGN.md §"Observability").
 //! - [`heatmap_to_csv`]: bank × set occupancy grids (one row per
 //!   `(config, workload, counter, bank)`).
+//! - [`latency_to_csv`]: the latency observatory's attribution matrix
+//!   (one row per `(config, workload, core, class)` plus a `core=all`
+//!   summary row per class carrying the percentile columns).
 
 use crate::driver::RunResult;
 use crate::report::NormalizedRows;
@@ -20,6 +23,7 @@ use std::io::Write;
 use std::path::Path;
 use ziv_common::fsutil::create_parent_dirs;
 use ziv_common::SimError;
+use ziv_core::latency::AccessClass;
 use ziv_core::observe::{Observations, CORE_METRICS_COLUMNS, METRICS_COLUMNS};
 
 /// Escapes a CSV field (quotes fields containing commas or quotes).
@@ -208,6 +212,103 @@ pub fn timeseries_to_csv<W: Write>(cells: &[ObservedCell<'_>], mut out: W) -> st
     Ok(())
 }
 
+/// The columns exported by [`latency_to_csv`]: identity, the cell's
+/// count/cycles, one column per [`ziv_core::latency::LatencyComponent`],
+/// and the latency percentiles (filled only on the `core=all` rows,
+/// where the per-class histogram lives).
+pub const LATENCY_COLUMNS: [&str; 17] = [
+    "config",
+    "workload",
+    "core",
+    "class",
+    "count",
+    "cycles",
+    "l1",
+    "l2",
+    "llc_tag",
+    "llc_data",
+    "directory",
+    "noc",
+    "dram",
+    "p50",
+    "p95",
+    "p99",
+    "p999",
+];
+
+/// Writes the latency attribution matrix: for every cell with an
+/// attached [`ziv_core::latency::LatencyReport`], one row per
+/// `(core, class)` pair with a
+/// nonzero count (component columns sum to `cycles` exactly), then one
+/// `core=all` row per class — always emitted, so conservation checks can
+/// sum a fixed row set — carrying the class histogram's interpolated
+/// p50/p95/p99/p999 (empty when the class saw no accesses).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn latency_to_csv<W: Write>(cells: &[ObservedCell<'_>], mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{}", LATENCY_COLUMNS.join(","))?;
+    for cell in cells {
+        let Some(report) = cell.observations.latency.as_ref() else {
+            continue;
+        };
+        for (core, classes) in report.per_core.iter().enumerate() {
+            for (cells_for_class, class) in classes.iter().zip(AccessClass::ALL) {
+                if cells_for_class.count == 0 {
+                    continue;
+                }
+                write_latency_row(
+                    &mut out,
+                    cell,
+                    &core.to_string(),
+                    class,
+                    cells_for_class,
+                    None,
+                )?;
+            }
+        }
+        for class in AccessClass::ALL {
+            let total = report.class_total(class);
+            write_latency_row(
+                &mut out,
+                cell,
+                "all",
+                class,
+                &total,
+                Some(report.histogram(class)),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn write_latency_row<W: Write>(
+    out: &mut W,
+    cell: &ObservedCell<'_>,
+    core: &str,
+    class: AccessClass,
+    cells: &ziv_core::latency::ClassCells,
+    hist: Option<&ziv_common::stats::Log2Histogram>,
+) -> std::io::Result<()> {
+    let mut row = vec![
+        esc(cell.config),
+        esc(cell.workload),
+        core.to_string(),
+        class.label().to_string(),
+        cells.count.to_string(),
+        cells.cycles.to_string(),
+    ];
+    row.extend(cells.components.iter().map(|v| v.to_string()));
+    for q in [0.50, 0.95, 0.99, 0.999] {
+        row.push(
+            hist.and_then(|h| h.percentile(q))
+                .map_or_else(String::new, |p| format!("{p:.3}")),
+        );
+    }
+    writeln!(out, "{}", row.join(","))
+}
+
 /// Writes the occupancy heatmaps as CSV grids: for each cell and each
 /// counter (`accesses`, `evictions`, `relocations`), one row per bank
 /// with one column per set.
@@ -283,6 +384,22 @@ pub fn write_heatmap_csv(path: &Path, cells: &[ObservedCell<'_>]) -> Result<(), 
     heatmap_to_csv(cells, &mut w).map_err(|e| SimError::io("write heatmap CSV", path, e))?;
     w.flush()
         .map_err(|e| SimError::io("flush heatmap CSV", path, e))
+}
+
+/// Writes the latency attribution CSV to `path`, creating missing
+/// parent directories first.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_latency_csv(path: &Path, cells: &[ObservedCell<'_>]) -> Result<(), SimError> {
+    create_parent_dirs(path)?;
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create latency CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    latency_to_csv(cells, &mut w).map_err(|e| SimError::io("write latency CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush latency CSV", path, e))
 }
 
 /// Writes the grid CSV to `path`, with the file path attached to any
@@ -399,8 +516,60 @@ mod tests {
             events: Vec::new(),
             events_recorded: 0,
             heatmap: Some(heatmap),
+            latency: None,
+            profile: None,
             dir_slice_occupancy: Vec::new(),
         }
+    }
+
+    #[test]
+    fn latency_csv_emits_per_core_and_all_rows() {
+        use ziv_common::CoreId;
+        use ziv_core::latency::{LatencyBreakdown, LatencyObservatory};
+        let mut lat = LatencyObservatory::new(2);
+        lat.record(
+            CoreId::new(0),
+            AccessClass::L1Hit,
+            &LatencyBreakdown {
+                l1: 3,
+                ..LatencyBreakdown::default()
+            },
+        );
+        lat.record(
+            CoreId::new(1),
+            AccessClass::LlcMissDram,
+            &LatencyBreakdown {
+                noc: 8,
+                dram: 120,
+                ..LatencyBreakdown::default()
+            },
+        );
+        let mut obs = synthetic_observations();
+        obs.latency = Some(lat.finish());
+        let cells = [ObservedCell {
+            config: "I-LRU",
+            workload: "w",
+            observations: &obs,
+        }];
+        let mut out = Vec::new();
+        latency_to_csv(&cells, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], LATENCY_COLUMNS.join(","));
+        // 2 nonzero per-core rows + one `all` row per class.
+        assert_eq!(lines.len(), 1 + 2 + AccessClass::ALL.len());
+        assert!(lines.contains(&"I-LRU,w,0,l1_hit,1,3,3,0,0,0,0,0,0,,,,"));
+        let dram_all = lines
+            .iter()
+            .find(|l| l.starts_with("I-LRU,w,all,llc_miss_dram,"))
+            .expect("all-row present");
+        assert!(dram_all.contains(",1,128,0,0,0,0,0,8,120,"));
+        // Percentiles are filled on `all` rows with traffic...
+        assert!(!dram_all.ends_with(",,,,"));
+        // ...and empty on classes that saw none.
+        assert!(lines.iter().any(
+            |l| l.starts_with("I-LRU,w,all,inclusion_victim_refetch,0,0,") && l.ends_with(",,,,")
+        ));
     }
 
     #[test]

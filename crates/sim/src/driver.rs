@@ -9,6 +9,7 @@
 use crate::spec::RunSpec;
 use ziv_common::SimError;
 use ziv_core::observe::{EpochSlicer, FlightRecorder, Observations, ObserveConfig};
+use ziv_core::profile::{ProfileSection, SelfProfiler};
 use ziv_core::{Access, AuditCadence, Auditor, CacheHierarchy, Metrics};
 use ziv_workloads::Workload;
 
@@ -215,15 +216,18 @@ fn collect_observations(
     if !observing {
         return None;
     }
-    let (events, events_recorded, heatmap) = match h.take_recorder() {
+    let (events, events_recorded, heatmap, latency) = match h.take_recorder() {
         Some(rec) => rec.finish(),
-        None => (Vec::new(), 0, None),
+        None => (Vec::new(), 0, None, None),
     };
+    let profile = h.take_profiler().map(|p| p.report());
     Some(Box::new(Observations {
         epochs: slicer.map_or_else(Vec::new, EpochSlicer::into_samples),
         events,
         events_recorded,
         heatmap,
+        latency,
+        profile,
         dir_slice_occupancy: h.directory().slice_occupancies(),
     }))
 }
@@ -278,10 +282,15 @@ pub fn run_one_traced(
     let observing = opts.observe.is_enabled();
     if let Some(rec) = FlightRecorder::new(
         &opts.observe,
+        ncores,
         spec.system.llc.banks,
         spec.system.llc.bank_geometry.sets as usize,
     ) {
         h.attach_recorder(rec);
+    }
+    let profiling = opts.observe.profile;
+    if profiling {
+        h.attach_profiler(Box::new(SelfProfiler::new()));
     }
     let mut slicer = opts.observe.epoch.map(|n| EpochSlicer::new(n, ncores));
     let mut failure: Option<SimError> = None;
@@ -324,7 +333,11 @@ pub fn run_one_traced(
             is_instr: false,
         };
         let now = cycles[core] as u64;
+        let t0 = profiling.then(std::time::Instant::now);
         let lat = h.access(&a, now, seq);
+        if let Some(t0) = t0 {
+            h.profile_add(ProfileSection::Hierarchy, t0.elapsed());
+        }
         let exposed = lat as f64 * (1.0 - trace.overlap);
         cycles[core] += (1 + rec.gap as u64) as f64 * base_cpi + exposed;
         instructions[core] += 1 + rec.gap as u64;
@@ -332,7 +345,12 @@ pub fn run_one_traced(
         let access_index = issued;
         issued += 1;
         if auditor.due() {
-            if let Err(v) = Auditor::check(&h, access_index) {
+            let t0 = profiling.then(std::time::Instant::now);
+            let verdict = Auditor::check(&h, access_index);
+            if let Some(t0) = t0 {
+                h.profile_add(ProfileSection::Audit, t0.elapsed());
+            }
+            if let Err(v) = verdict {
                 h.record_audit_violation(&v, now);
                 failure = Some(SimError::Audit(v));
                 break 'sim;

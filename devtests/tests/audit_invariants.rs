@@ -35,14 +35,15 @@ struct Step {
 }
 
 fn step_strategy(cores: usize) -> impl Strategy<Value = Step> {
-    (0..cores, 0u64..400, any::<bool>())
-        .prop_map(|(core, line, write)| Step { core, line, write })
+    (0..cores, 0u64..400, any::<bool>()).prop_map(|(core, line, write)| Step { core, line, write })
 }
 
 /// Runs `steps` through a fresh hierarchy, auditing the full invariant
 /// set (structure + metric conservation) after every access.
 fn run_audited(mode: LlcMode, policy: PolicyKind, steps: &[Step]) -> Result<(), TestCaseError> {
-    let cfg = HierarchyConfig::new(tiny(3)).with_mode(mode).with_policy(policy);
+    let cfg = HierarchyConfig::new(tiny(3))
+        .with_mode(mode)
+        .with_policy(policy);
     let mut h = CacheHierarchy::new(&cfg);
     let mut now = 0u64;
     for (i, s) in steps.iter().enumerate() {

@@ -1,0 +1,66 @@
+//! Property-based tests of [`Log2Histogram::percentile`]: under
+//! arbitrary recorded populations, the bucket-interpolated percentile
+//! must agree with the histogram's own CDF — asking for the exact
+//! fraction of samples below a power-of-two threshold can never land
+//! above that threshold — and must stay monotone and within the
+//! recorded value range.
+
+use proptest::prelude::*;
+use ziv_common::stats::Log2Histogram;
+
+fn histogram_of(values: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// The CDF round-trip: `fraction_below_pow2(k)` is the exact share
+    /// of samples strictly below `2^k`, so the interpolated percentile
+    /// at that quantile is bounded by `2^k` (up to float slack).
+    #[test]
+    fn percentile_of_cdf_fraction_respects_the_threshold(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        k in 1usize..20,
+    ) {
+        let h = histogram_of(&values);
+        let q = h.fraction_below_pow2(k);
+        let p = h.percentile(q).expect("non-empty histogram");
+        let threshold = (1u128 << k) as f64;
+        prop_assert!(
+            p <= threshold * (1.0 + 1e-9),
+            "percentile({q}) = {p} exceeds 2^{k} = {threshold}"
+        );
+    }
+
+    /// Percentiles never move down as the quantile moves up.
+    #[test]
+    fn percentile_is_monotone_in_the_quantile(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let h = histogram_of(&values);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let plo = h.percentile(lo).expect("non-empty");
+        let phi = h.percentile(hi).expect("non-empty");
+        prop_assert!(plo <= phi, "percentile({lo}) = {plo} > percentile({hi}) = {phi}");
+    }
+
+    /// Every percentile stays inside the recorded buckets' value range:
+    /// at most one bucket above the largest sample, never below zero.
+    #[test]
+    fn percentile_is_bounded_by_the_bucket_holding_the_max(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = histogram_of(&values);
+        let p = h.percentile(q).expect("non-empty");
+        let top = h.max_bucket().expect("non-empty");
+        let ceiling = (1u128 << (top + 1)) as f64;
+        prop_assert!(p >= 0.0);
+        prop_assert!(p <= ceiling, "percentile({q}) = {p} above bucket ceiling {ceiling}");
+    }
+}

@@ -10,7 +10,13 @@ use ziv_replacement::{
 };
 
 fn ctx(line: u64, seq: u64) -> AccessCtx {
-    AccessCtx::demand(LineAddr::new(line), 0x400 + line % 7, CoreId::new(0), 0, seq)
+    AccessCtx::demand(
+        LineAddr::new(line),
+        0x400 + line % 7,
+        CoreId::new(0),
+        0,
+        seq,
+    )
 }
 
 /// Simulates a single fully-associative set of `ways` under a policy,

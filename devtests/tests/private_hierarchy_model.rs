@@ -42,7 +42,10 @@ impl Model {
     fn apply_notices(&mut self, notices: &[EvictionNotice], test_dirty: bool) {
         for n in notices {
             let was = self.present.remove(&n.line.raw());
-            assert!(was.is_some(), "notice for a line the model did not hold: {n:?}");
+            assert!(
+                was.is_some(),
+                "notice for a line the model did not hold: {n:?}"
+            );
             if test_dirty {
                 assert_eq!(
                     was.unwrap(),

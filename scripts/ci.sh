@@ -30,6 +30,13 @@ echo "== hot-path determinism differential (release, debug assertions on)"
 # the fused-probe/scratch-buffer debug_assert!s compiled in.
 RUSTFLAGS="-C debug-assertions" cargo test -q --release --test hotpath_determinism
 
+echo "== latency-attribution conservation (release, debug assertions on)"
+# The observatory's books must balance exactly: per-component cycles
+# sum to the aggregate access_latency_cycles for every LLC mode under
+# the every-access auditor, and ZIV modes report exactly zero
+# inclusion-victim refetch cycles.
+RUSTFLAGS="-C debug-assertions" cargo test -q --release --test latency_attribution
+
 echo "== audit-enabled smoke campaign"
 # End-to-end through the release binary: every cell of the smallest
 # campaign under the sampled invariant auditor, into a throwaway
@@ -55,16 +62,45 @@ diff "$SMOKE_DIR/grid.csv"     "$TRACED_DIR/grid.csv"
 test -s "$TRACED_DIR/timeseries.csv"
 test -s "$TRACED_DIR/heatmap.csv"
 
+echo "== profiled smoke campaign (latency observatory must not touch results)"
+# The same campaign again with the latency observatory and the
+# wall-clock self-profiler on. Timing is nondeterministic; results must
+# not be: ledger + grid.csv stay byte-identical to the plain run, while
+# latency.csv and profile.json appear alongside them.
+PROFILED_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR"' EXIT
+ZIV_FAST=1 ./target/release/zivsim campaign smoke \
+    --audit sampled --threads 1 --results-dir "$PROFILED_DIR" \
+    --latency --profile
+diff "$SMOKE_DIR/ledger.jsonl" "$PROFILED_DIR/ledger.jsonl"
+diff "$SMOKE_DIR/grid.csv"     "$PROFILED_DIR/grid.csv"
+test -s "$PROFILED_DIR/latency.csv"
+test -s "$PROFILED_DIR/profile.json"
+
 echo "== hot-path throughput baseline (recorded, non-gating)"
 # End-to-end accesses/second over the smoke campaign through the plain
 # driver (no audit, no cache). The JSON report is a recorded baseline
 # for spotting hot-path regressions across commits; wall-clock numbers
 # depend on the machine, so nothing here gates. The traced twin
 # records the flight recorder's overhead next to it — also non-gating.
+cp BENCH_hotpath.json "$TRACED_DIR/BENCH_hotpath_prev.json" 2>/dev/null || true
 ZIV_FAST=1 ./target/release/zivsim bench-throughput \
     --repeats 2 --out BENCH_hotpath.json
 ZIV_FAST=1 ./target/release/zivsim bench-throughput \
     --repeats 2 --traced --out "$TRACED_DIR/BENCH_hotpath_traced.json"
-echo "   (see BENCH_hotpath.json; tracing-on run was recorded and discarded)"
+# The observatory twin bounds the latency attribution + self-profiler
+# overhead next to the plain baseline — recorded, non-gating.
+ZIV_FAST=1 ./target/release/zivsim bench-throughput \
+    --repeats 2 --latency --profile --out BENCH_latency.json
+echo "   (see BENCH_hotpath.json / BENCH_latency.json; tracing-on run recorded and discarded)"
+
+echo "== bench-compare vs the committed baseline (advisory, non-gating)"
+# Wall-clock rates are machine-dependent, so the comparison is printed
+# for the log but never fails CI; use `zivsim bench-compare` manually
+# (same machine, quiet load) when a regression needs a verdict.
+if [ -s "$TRACED_DIR/BENCH_hotpath_prev.json" ]; then
+    ./target/release/zivsim bench-compare \
+        "$TRACED_DIR/BENCH_hotpath_prev.json" BENCH_hotpath.json || true
+fi
 
 echo "CI OK"

@@ -8,7 +8,13 @@
 //! zivsim campaign <name> [options]        # run a named figure campaign end-to-end
 //! zivsim replay <file>                    # re-run a failure repro record deterministically
 //! zivsim trace [<mode>] [options]         # one traced run; drain the event ring as JSONL
+//! zivsim profile [<mode>] [options]       # one run with the latency observatory + self-
+//!                                         # profiler on; print the attribution tables
 //! zivsim bench-throughput [options]       # time the smoke campaign end-to-end (accesses/s)
+//! zivsim bench-compare <old.json> <new.json> [--threshold <pct>]
+//!                                         # diff two bench reports; nonzero exit on
+//!                                         # aggregate regressions beyond the threshold
+//!                                         # (default 5%)
 //!
 //! bench-throughput options:
 //!   --repeats <N>                         (timed repeats per cell, best-of; default 3)
@@ -16,10 +22,12 @@
 //!                                          parent directories are created as needed)
 //!   --traced                              (run with the flight recorder fully enabled,
 //!                                          for tracing-on vs tracing-off comparisons)
-//!   --cores/--seed also apply. The report is a recorded performance
-//!   baseline, not a gate: wall-clock numbers vary with the machine.
+//!   --latency / --profile also apply (the BENCH_latency.json twin bounds
+//!   the observatory's overhead). --cores/--seed also apply. The report
+//!   is a recorded performance baseline, not a gate: wall-clock numbers
+//!   vary with the machine.
 //!
-//! observability options (trace + campaign):
+//! observability options (trace + profile + campaign):
 //!   --epoch <N>                           (snapshot counter deltas every N accesses;
 //!                                          campaigns export them as timeseries.csv)
 //!   --events <all | k1,k2,...>            (event kinds to retain: fill, eviction,
@@ -28,6 +36,11 @@
 //!   --last <K>                            (event ring capacity; default 256)
 //!   --heatmap                             (accumulate per-(bank, set) occupancy grids;
 //!                                          campaigns export them as heatmap.csv)
+//!   --latency                             (latency attribution observatory: per-core ×
+//!                                          per-class component cycles + percentile
+//!                                          histograms; campaigns export latency.csv)
+//!   --profile                             (wall-clock self-profiler: per-subsystem
+//!                                          simulator time; campaigns export profile.json)
 //!   trace always records events (default --events all) and writes them
 //!   as JSONL to stdout, or to --out <FILE>. Observability never changes
 //!   results: ledgers and grid CSVs stay byte-identical with it on.
@@ -89,6 +102,9 @@ struct Options {
     events: Option<String>,
     last: Option<usize>,
     heatmap: bool,
+    latency: bool,
+    profile: bool,
+    threshold: Option<f64>,
     traced: bool,
 }
 
@@ -119,6 +135,9 @@ impl Default for Options {
             events: None,
             last: None,
             heatmap: false,
+            latency: false,
+            profile: false,
+            threshold: None,
             traced: false,
         }
     }
@@ -126,12 +145,13 @@ impl Default for Options {
 
 impl Options {
     /// The flight-recorder configuration the flags describe. `trace`
-    /// always records events (defaulting to `all`); elsewhere the
-    /// recorder stays off unless `--events` / `--last` ask for it.
+    /// always records events (defaulting to `all`); `profile` always
+    /// runs the latency observatory and the self-profiler; elsewhere
+    /// the recorder stays off unless the flags ask for it.
     fn observe_config(&self) -> Result<ziv::sim::ObserveConfig, String> {
         let events = if self.events.is_some() || self.last.is_some() || self.command == "trace" {
             let filter = match &self.events {
-                Some(spec) => ziv::sim::EventFilter::parse(spec)?,
+                Some(spec) => ziv::sim::EventFilter::parse(spec).map_err(|e| e.to_string())?,
                 None => ziv::sim::EventFilter::all(),
             };
             let mut cfg = ziv::sim::EventTraceConfig {
@@ -145,10 +165,13 @@ impl Options {
         } else {
             None
         };
+        let profiling = self.command == "profile";
         Ok(ziv::sim::ObserveConfig {
             epoch: self.epoch,
             events,
             heatmap: self.heatmap,
+            latency: self.latency || profiling,
+            profile: self.profile || profiling,
         })
     }
 }
@@ -227,14 +250,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
-    let mut positional_allowed = matches!(
-        opts.command.as_str(),
-        "export" | "campaign" | "replay" | "trace"
-    );
+    let mut positionals_allowed: usize = match opts.command.as_str() {
+        "export" | "campaign" | "replay" | "trace" | "profile" => 1,
+        "bench-compare" => 2,
+        _ => 0,
+    };
     while let Some(flag) = it.next() {
-        if positional_allowed && !flag.starts_with("--") {
-            // The export file path / campaign name (consumed from raw args).
-            positional_allowed = false;
+        if positionals_allowed > 0 && !flag.starts_with("--") {
+            // The export file path / campaign name / bench report paths
+            // (consumed from raw args by the command handlers).
+            positionals_allowed -= 1;
             continue;
         }
         let mut value = || {
@@ -285,7 +310,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--events" => {
                 let spec = value()?;
-                ziv::sim::EventFilter::parse(&spec)?; // reject bad filters up front
+                // Reject bad filters up front, naming the offending token.
+                ziv::sim::EventFilter::parse(&spec).map_err(|e| e.to_string())?;
                 opts.events = Some(spec);
             }
             "--last" => {
@@ -296,6 +322,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.last = Some(k);
             }
             "--heatmap" => opts.heatmap = true,
+            "--latency" => opts.latency = true,
+            "--profile" => opts.profile = true,
+            "--threshold" => {
+                let pct: f64 = value()?.parse().map_err(|e| format!("--threshold: {e}"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--threshold must be a non-negative percentage".into());
+                }
+                opts.threshold = Some(pct);
+            }
             "--traced" => opts.traced = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -505,6 +540,12 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
     if let Some(path) = &outcome.heatmap_csv {
         println!("wrote {}", path.display());
     }
+    if let Some(path) = &outcome.latency_csv {
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &outcome.profile_json {
+        println!("wrote {}", path.display());
+    }
     println!("ledger {}", outcome.ledger_path.display());
     if !outcome.failures.is_empty() {
         eprintln!("\n{} cell(s) FAILED:", outcome.failures.len());
@@ -538,23 +579,33 @@ fn cmd_bench_throughput(opts: &Options) -> Result<(), String> {
         params.seed = opts.seed;
     }
     params.cores = opts.cores;
-    let observe = if opts.traced {
+    let mut observe = if opts.traced {
         // The full-fat recorder: epoch slicing, an event ring, and
         // heatmaps, so `--traced` bounds the recorder's worst case.
         ziv::sim::ObserveConfig {
             epoch: Some(1_000),
             events: Some(ziv::sim::EventTraceConfig::default()),
             heatmap: true,
+            ..ziv::sim::ObserveConfig::disabled()
         }
     } else {
         ziv::sim::ObserveConfig::disabled()
     };
+    // `--latency` / `--profile` bound the observatory's own overhead
+    // (recorded as BENCH_latency.json by CI, next to BENCH_hotpath.json).
+    observe.latency = opts.latency;
+    observe.profile = opts.profile;
     let samples = run_throughput_bench_with("smoke", &params, opts.repeats, observe);
     println!(
-        "hot-path throughput (smoke campaign, best of {} repeat(s){}):",
+        "hot-path throughput (smoke campaign, best of {} repeat(s){}{}):",
         opts.repeats.max(1),
         if opts.traced {
             ", flight recorder ON"
+        } else {
+            ""
+        },
+        if opts.latency || opts.profile {
+            ", latency observatory ON"
         } else {
             ""
         }
@@ -670,6 +721,159 @@ fn cmd_trace(args: &[String], opts: &Options) -> Result<(), String> {
     // A trace of a failing run still drains the ring (that is the whole
     // point of a flight recorder), but the run's failure is the verdict.
     outcome.map(|_| ()).map_err(|e| e.to_string())
+}
+
+/// One run with the latency observatory and the wall-clock self-profiler
+/// forced on: prints the per-class attribution table (count, cycles,
+/// share, tail percentiles), per-component cycle totals, the
+/// inclusion-victim refetch cost, and per-subsystem simulator wall time.
+/// `--out <FILE>` additionally writes the profiler report as JSON.
+fn cmd_profile(args: &[String], opts: &Options) -> Result<(), String> {
+    use ziv::sim::{AccessClass, LatencyComponent, ProfileSection};
+    // Optional positional mode spec: `zivsim profile ziv-likelydead ...`.
+    let mut opts = opts.clone();
+    if let Some(mode) = args.get(1).filter(|a| !a.starts_with("--")) {
+        opts.mode = parse_mode(mode)?;
+    }
+    let wl = build_workload(&opts)?;
+    let sys = system_for(&opts);
+    let mut spec = RunSpec::new(
+        format!("{}-{}", opts.mode.label(), opts.policy.label()),
+        sys,
+    )
+    .with_mode(opts.mode)
+    .with_policy(opts.policy)
+    .with_seed(opts.seed);
+    if opts.prefetch {
+        spec = spec.with_prefetch(ziv::core::prefetch::PrefetchConfig::default());
+    }
+    let run_opts = ziv::sim::RunOptions {
+        audit: opts.audit,
+        budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
+        observe: opts.observe_config()?,
+    };
+    let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
+    let result = outcome.map_err(|e| e.to_string())?;
+    let obs = observations.ok_or("profile produced no observations (observatory disabled?)")?;
+    let report = obs
+        .latency
+        .ok_or("profile produced no latency report (observatory disabled?)")?;
+
+    let total = report.total_cycles();
+    println!("latency attribution: {} × {}", spec.label, wl.name);
+    println!(
+        "{:<26} {:>10} {:>14} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "class", "count", "cycles", "share", "p50", "p95", "p99", "p999"
+    );
+    for class in AccessClass::ALL {
+        let cells = report.class_total(class);
+        if cells.count == 0 {
+            continue;
+        }
+        let hist = report.histogram(class);
+        let pctl = |q: f64| {
+            hist.percentile(q)
+                .map_or_else(|| "-".into(), |p| format!("{p:.1}"))
+        };
+        println!(
+            "{:<26} {:>10} {:>14} {:>6.1}% {:>9} {:>9} {:>9} {:>9}",
+            class.label(),
+            cells.count,
+            cells.cycles,
+            if total > 0 {
+                100.0 * cells.cycles as f64 / total as f64
+            } else {
+                0.0
+            },
+            pctl(0.50),
+            pctl(0.95),
+            pctl(0.99),
+            pctl(0.999),
+        );
+    }
+    println!("component cycles:");
+    for comp in LatencyComponent::ALL {
+        let cycles = report.component_total(comp);
+        println!(
+            "  {:<12} {:>14}  ({:.1}%)",
+            comp.label(),
+            cycles,
+            if total > 0 {
+                100.0 * cycles as f64 / total as f64
+            } else {
+                0.0
+            }
+        );
+    }
+    let refetch = report.class_total(AccessClass::InclusionVictimRefetch);
+    println!(
+        "inclusion-victim refetch cost: {} access(es), {} cycle(s) \
+         ({} back-invalidated line(s) noted)",
+        refetch.count, refetch.cycles, report.victims_noted
+    );
+    println!(
+        "attributed {} cycle(s); aggregate access_latency_cycles {}",
+        total, result.metrics.access_latency_cycles
+    );
+
+    let profile = obs
+        .profile
+        .ok_or("profile produced no self-profiler report")?;
+    println!("simulator wall time by subsystem (hierarchy is inclusive of the rest):");
+    for section in ProfileSection::ALL {
+        println!(
+            "  {:<12} {:>10.3} ms  ({} call(s))",
+            section.label(),
+            profile.nanos(section) as f64 / 1e6,
+            profile.calls(section)
+        );
+    }
+    if let Some(path) = &opts.out {
+        use ziv::common::json::JsonValue;
+        let doc = JsonValue::Obj(vec![
+            ("config".into(), JsonValue::str(&spec.label)),
+            ("workload".into(), JsonValue::str(&wl.name)),
+            ("sections".into(), profile.to_json()),
+        ]);
+        ziv::common::fsutil::create_parent_dirs(path).map_err(|e| e.to_string())?;
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Diffs two `bench-throughput` JSON reports and exits nonzero when any
+/// aggregate row (a per-mode rate or the grand total) regressed by more
+/// than the threshold. Per-cell rows are printed for context but never
+/// gate: single cells are best-of-N wall clocks and too noisy to fail on.
+fn cmd_bench_compare(args: &[String], opts: &Options) -> Result<(), String> {
+    let grab = |ix: usize| {
+        args.get(ix)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("bench-compare needs two report paths: <old.json> <new.json>")
+    };
+    let old_path = grab(1)?;
+    let new_path = grab(2)?;
+    let threshold = opts.threshold.unwrap_or(5.0);
+    let old =
+        std::fs::read_to_string(old_path).map_err(|e| format!("cannot read '{old_path}': {e}"))?;
+    let new =
+        std::fs::read_to_string(new_path).map_err(|e| format!("cannot read '{new_path}': {e}"))?;
+    let cmp = ziv::bench::compare_throughput_reports(&old, &new)?;
+    print!("{}", cmp.render(threshold));
+    let regressions = cmp.regressions(threshold);
+    if regressions.is_empty() {
+        println!("no aggregate regression beyond {threshold:.1}%");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} aggregate rate(s) regressed beyond {threshold:.1}% \
+             (wall-clock benches are machine-dependent; re-run on a quiet \
+             machine before trusting a marginal result)",
+            regressions.len()
+        ))
+    }
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
@@ -808,7 +1012,8 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 
 fn usage() {
     println!(
-        "usage: zivsim <list|run|compare|export|campaign|replay|trace|bench-throughput> \
+        "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|\
+         bench-throughput|bench-compare> \
          [options]   (see --help text in the source header)"
     );
 }
@@ -834,7 +1039,9 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(&args, &opts),
         "replay" => cmd_replay(&args),
         "trace" => cmd_trace(&args, &opts),
+        "profile" => cmd_profile(&args, &opts),
         "bench-throughput" => cmd_bench_throughput(&opts),
+        "bench-compare" => cmd_bench_compare(&args, &opts),
         _ => {
             usage();
             Ok(())
@@ -981,6 +1188,45 @@ mod tests {
             cfg.events.unwrap().capacity,
             ziv::core::observe::DEFAULT_EVENT_CAPACITY
         );
+    }
+
+    #[test]
+    fn parses_latency_and_profile_flags() {
+        let o = parse_args(&args("campaign smoke --latency --profile")).unwrap();
+        assert!(o.latency);
+        assert!(o.profile);
+        let cfg = o.observe_config().unwrap();
+        assert!(cfg.latency);
+        assert!(cfg.profile);
+        assert!(cfg.is_enabled());
+
+        // Off by default everywhere...
+        let o = parse_args(&args("campaign smoke")).unwrap();
+        assert!(!o.latency && !o.profile);
+        let cfg = o.observe_config().unwrap();
+        assert!(!cfg.latency && !cfg.profile);
+        // ...except the `profile` command, which forces both on.
+        let o = parse_args(&args("profile ziv-likelydead --accesses 100")).unwrap();
+        assert_eq!(o.command, "profile");
+        let cfg = o.observe_config().unwrap();
+        assert!(cfg.latency);
+        assert!(cfg.profile);
+        // Forcing the observatory must not drag the event ring along.
+        assert!(cfg.events.is_none());
+    }
+
+    #[test]
+    fn parses_bench_compare_positionals_and_threshold() {
+        let o = parse_args(&args("bench-compare old.json new.json --threshold 2.5")).unwrap();
+        assert_eq!(o.command, "bench-compare");
+        assert_eq!(o.threshold, Some(2.5));
+        // Threshold defaults to None (the handler uses 5%).
+        let o = parse_args(&args("bench-compare old.json new.json")).unwrap();
+        assert!(o.threshold.is_none());
+        assert!(parse_args(&args("bench-compare a b --threshold nope")).is_err());
+        assert!(parse_args(&args("bench-compare a b --threshold -3")).is_err());
+        // Only two positionals are tolerated.
+        assert!(parse_args(&args("bench-compare a b c")).is_err());
     }
 
     #[test]

@@ -76,8 +76,7 @@ fn epoch_boundary_exactly_at_end_of_trace() {
     let wl = workload_of(1, 1000);
     let opts = traced_opts(ObserveConfig {
         epoch: Some(250),
-        events: None,
-        heatmap: false,
+        ..ObserveConfig::disabled()
     });
     let (result, obs) = run_one_traced(&ziv_spec("Z"), &wl, &opts);
     let result = result.unwrap();
@@ -110,8 +109,7 @@ fn epoch_longer_than_the_trace_yields_one_closing_sample() {
     let wl = workload_of(2, 500);
     let opts = traced_opts(ObserveConfig {
         epoch: Some(10_000_000),
-        events: None,
-        heatmap: false,
+        ..ObserveConfig::disabled()
     });
     let (result, obs) = run_one_traced(&ziv_spec("Z"), &wl, &opts);
     let result = result.unwrap();
@@ -137,8 +135,7 @@ fn epoch_deltas_survive_multicore_lap_rewind() {
     let wl = workload_of(4, 600);
     let opts = traced_opts(ObserveConfig {
         epoch: Some(128),
-        events: None,
-        heatmap: false,
+        ..ObserveConfig::disabled()
     });
     let (result, obs) = run_one_traced(&ziv_spec("Z"), &wl, &opts);
     let result = result.unwrap();
@@ -156,6 +153,7 @@ fn recorder_does_not_perturb_results_and_heatmaps_match_metrics() {
         epoch: Some(200),
         events: Some(EventTraceConfig::default()),
         heatmap: true,
+        ..ObserveConfig::disabled()
     });
     let (traced, obs) = run_one_traced(&spec, &wl, &opts);
     let traced = traced.unwrap();
@@ -221,6 +219,7 @@ fn campaign_artifacts_are_byte_identical_with_observability_on() {
             epoch: Some(200),
             events: Some(EventTraceConfig::default()),
             heatmap: true,
+            ..ObserveConfig::disabled()
         },
         ..RunnerConfig::new(base.join("traced"))
     };
