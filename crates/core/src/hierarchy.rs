@@ -473,6 +473,9 @@ impl CacheHierarchy {
         if let Some(obs) = self.recorder.as_mut().and_then(|r| r.latency_mut()) {
             obs.record(a.core, class, &breakdown);
         }
+        if let Some(obs) = self.recorder.as_mut().and_then(|r| r.leakage_mut()) {
+            obs.record_access(a.core, line, class);
+        }
         lat
     }
 
@@ -786,6 +789,9 @@ impl CacheHierarchy {
         self.metrics.qbs_queries += fill.qbs_queries;
         if fill.sharp_alarm {
             self.metrics.sharp_alarms += 1;
+            if let Some(obs) = self.recorder.as_mut().and_then(|r| r.leakage_mut()) {
+                obs.note_sharp_alarm();
+            }
         }
         if fill.in_set_alternate {
             self.metrics.in_set_alternate_victims += 1;
@@ -857,6 +863,9 @@ impl CacheHierarchy {
             self.metrics.eci_early_invalidations += 1;
             self.emit_event(EventKind::BackInvalidation, now, line, Some(s), event_loc);
             if let Some(obs) = self.recorder.as_mut().and_then(|r| r.latency_mut()) {
+                obs.note_back_invalidation(s, line);
+            }
+            if let Some(obs) = self.recorder.as_mut().and_then(|r| r.leakage_mut()) {
                 obs.note_back_invalidation(s, line);
             }
         }
@@ -937,6 +946,9 @@ impl CacheHierarchy {
                         Some(loc),
                     );
                     if let Some(obs) = self.recorder.as_mut().and_then(|r| r.latency_mut()) {
+                        obs.note_back_invalidation(s, ev.line);
+                    }
+                    if let Some(obs) = self.recorder.as_mut().and_then(|r| r.leakage_mut()) {
                         obs.note_back_invalidation(s, ev.line);
                     }
                 }

@@ -47,6 +47,7 @@
 pub mod audit;
 mod hierarchy;
 pub mod latency;
+pub mod leakage;
 pub mod llc;
 pub mod metrics;
 pub mod observe;
@@ -57,6 +58,7 @@ pub mod profile;
 pub use audit::{AuditCadence, Auditor, FaultInjection};
 pub use hierarchy::{Access, CacheHierarchy, HierarchyConfig};
 pub use latency::{AccessClass, LatencyBreakdown, LatencyComponent, LatencyReport};
+pub use leakage::{CoreLeakage, LeakageObservatory, LeakageReport};
 pub use llc::{LlcMode, ZivProperty};
 pub use metrics::Metrics;
 pub use observe::{

@@ -26,6 +26,7 @@
 //! hot path pays a single branch per potential event.
 
 use crate::latency::{LatencyObservatory, LatencyReport};
+use crate::leakage::{LeakageObservatory, LeakageReport};
 use crate::metrics::{core_metrics_u64_fields, metrics_u64_fields, CoreMetrics, Metrics};
 use crate::profile::ProfileReport;
 use ziv_common::json::JsonValue;
@@ -592,6 +593,11 @@ pub struct ObserveConfig {
     /// Run the wall-clock self-profiler (`--profile`): per-subsystem
     /// simulator time.
     pub profile: bool,
+    /// Run the leakage observatory (`--leakage`): attacker-observable
+    /// back-invalidation and probe-distinguishability accounting.
+    /// Only attack workloads (which carry role plans) produce a
+    /// report; the flag is inert for every other workload.
+    pub leakage: bool,
 }
 
 impl ObserveConfig {
@@ -603,14 +609,15 @@ impl ObserveConfig {
             heatmap: false,
             latency: false,
             profile: false,
+            leakage: false,
         }
     }
 
     /// True when the hierarchy needs an attached [`FlightRecorder`]
-    /// (events, heatmaps, or latency attribution; epoch slicing and the
-    /// self-profiler live in the driver).
+    /// (events, heatmaps, latency attribution, or leakage accounting;
+    /// epoch slicing and the self-profiler live in the driver).
     pub fn wants_recorder(&self) -> bool {
-        self.events.is_some() || self.heatmap || self.latency
+        self.events.is_some() || self.heatmap || self.latency || self.leakage
     }
 
     /// True when any observation is requested.
@@ -629,6 +636,7 @@ pub struct FlightRecorder {
     events: Option<EventRing>,
     heatmap: Option<Heatmap>,
     latency: Option<LatencyObservatory>,
+    leakage: Option<LeakageObservatory>,
 }
 
 impl FlightRecorder {
@@ -649,7 +657,17 @@ impl FlightRecorder {
             events: cfg.events.map(|e| EventRing::new(e.capacity)),
             heatmap: cfg.heatmap.then(|| Heatmap::new(banks, sets)),
             latency: cfg.latency.then(|| LatencyObservatory::new(cores)),
+            // Leakage accounting needs the workload's attack roles, which
+            // the recorder cannot know; the driver attaches it when the
+            // flag is on *and* the workload carries an attack plan.
+            leakage: None,
         }))
+    }
+
+    /// Attaches the leakage observatory (driver-side; see
+    /// [`FlightRecorder::new`]).
+    pub fn attach_leakage(&mut self, obs: LeakageObservatory) {
+        self.leakage = Some(obs);
     }
 
     /// Records `ev` if event tracing is on and the filter keeps its
@@ -689,9 +707,25 @@ impl FlightRecorder {
         self.latency.as_mut()
     }
 
+    /// The leakage observatory, when attached.
+    #[inline]
+    pub fn leakage_mut(&mut self) -> Option<&mut LeakageObservatory> {
+        self.leakage.as_mut()
+    }
+
     /// Drains the recorder into its final observation payload:
-    /// `(events oldest-first, total events recorded, heatmap, latency)`.
-    pub fn finish(self) -> (Vec<TraceEvent>, u64, Option<Heatmap>, Option<LatencyReport>) {
+    /// `(events oldest-first, total events recorded, heatmap, latency,
+    /// leakage)`.
+    #[allow(clippy::type_complexity)]
+    pub fn finish(
+        self,
+    ) -> (
+        Vec<TraceEvent>,
+        u64,
+        Option<Heatmap>,
+        Option<LatencyReport>,
+        Option<LeakageReport>,
+    ) {
         let (events, recorded) = match &self.events {
             Some(ring) => (ring.ordered(), ring.recorded()),
             None => (Vec::new(), 0),
@@ -701,6 +735,7 @@ impl FlightRecorder {
             recorded,
             self.heatmap,
             self.latency.map(LatencyObservatory::finish),
+            self.leakage.map(LeakageObservatory::finish),
         )
     }
 }
@@ -723,6 +758,9 @@ pub struct Observations {
     /// The self-profiler's per-subsystem wall time, when `--profile`
     /// was on.
     pub profile: Option<ProfileReport>,
+    /// The leakage report, when `--leakage` was on and the workload
+    /// carried an attack plan.
+    pub leakage: Option<LeakageReport>,
     /// End-of-run per-bank occupancy of the sparse directory's finite
     /// structure (spill entries excluded) — the directory-pressure
     /// summary printed by `zivsim trace`.
@@ -738,6 +776,7 @@ impl Observations {
             && self.heatmap.is_none()
             && self.latency.is_none()
             && self.profile.is_none()
+            && self.leakage.is_none()
     }
 }
 
@@ -900,12 +939,13 @@ mod tests {
         rec.record(ev(EventKind::Eviction, 1));
         assert!(rec.heatmap_mut().is_none());
         assert!(rec.latency_mut().is_none());
-        let (events, recorded, heatmap, latency) = rec.finish();
+        let (events, recorded, heatmap, latency, leakage) = rec.finish();
         assert_eq!(recorded, 1);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::Eviction);
         assert!(heatmap.is_none());
         assert!(latency.is_none());
+        assert!(leakage.is_none());
         assert!(FlightRecorder::new(&ObserveConfig::disabled(), 2, 4, 16).is_none());
     }
 
@@ -933,6 +973,33 @@ mod tests {
             ..ObserveConfig::disabled()
         };
         assert!(prof.is_enabled() && !prof.wants_recorder());
+        let leak = ObserveConfig {
+            leakage: true,
+            ..ObserveConfig::disabled()
+        };
+        assert!(leak.wants_recorder() && leak.is_enabled());
+    }
+
+    #[test]
+    fn leakage_observatory_rides_the_recorder() {
+        use crate::leakage::LeakageObservatory;
+        use ziv_common::CoreId;
+        let cfg = ObserveConfig {
+            leakage: true,
+            ..ObserveConfig::disabled()
+        };
+        let mut rec = FlightRecorder::new(&cfg, 2, 4, 16).unwrap();
+        // The recorder exists but carries no observatory until the
+        // driver attaches one (it needs the workload's attack roles).
+        assert!(rec.leakage_mut().is_none());
+        rec.attach_leakage(LeakageObservatory::new(2, 4, 16, &[0], &[1], &[3]));
+        rec.leakage_mut()
+            .unwrap()
+            .note_back_invalidation(CoreId::new(1), ziv_common::Addr::new(3 << 6).line());
+        let (_, _, _, _, leakage) = rec.finish();
+        let report = leakage.expect("leakage report produced");
+        assert_eq!(report.observable_victim_evictions(), 1);
+        assert_eq!(report.total_back_invalidations(), 1);
     }
 
     #[test]
@@ -953,7 +1020,7 @@ mod tests {
                 ..LatencyBreakdown::default()
             },
         );
-        let (_, _, _, report) = rec.finish();
+        let (_, _, _, report, _) = rec.finish();
         let report = report.expect("latency report produced");
         assert_eq!(report.total_cycles(), 3);
         assert_eq!(report.class_total(AccessClass::L1Hit).count, 1);

@@ -12,7 +12,7 @@ use ziv_common::Fnv1a;
 use ziv_core::{LlcMode, ZivProperty};
 use ziv_replacement::PolicyKind;
 use ziv_sim::{Effort, RunSpec};
-use ziv_workloads::{apps, Recipe, ScaleParams};
+use ziv_workloads::{apps, AttackRecipe, Recipe, ScaleParams};
 
 /// Version tag mixed into every cell digest. Bump when the digested
 /// field set or the simulator's observable behavior changes in a way
@@ -157,6 +157,10 @@ pub mod campaigns {
                 "fig11-hawkeye-perf",
                 "multiprogrammed performance, Hawkeye baseline: I/NI/QBS/SHARP/ZIV×2 across L2 sizes",
             ),
+            (
+                "attack-eval",
+                "side-channel leakage: prime+probe and hammer attackers vs I/QBS/SHARP/ZIV defenses",
+            ),
         ]
     }
 
@@ -168,6 +172,7 @@ pub mod campaigns {
             "fig02-inclusion-victims" => Some(fig02(params)),
             "fig08-lru-perf" => Some(fig08(params)),
             "fig11-hawkeye-perf" => Some(fig11(params)),
+            "attack-eval" => Some(attack_eval(params)),
             _ => None,
         }
     }
@@ -273,6 +278,54 @@ pub mod campaigns {
         }
     }
 
+    /// The security-evaluation grid: each attack scenario (prime+probe
+    /// eviction-set attacker, targeted back-invalidation hammer) runs
+    /// against the inclusive baseline and the QBS / SHARP / ZIV
+    /// defenses. The runner's leakage observatory turns every cell into
+    /// one `leakage.csv` row; the zero-inclusion-victim modes must show
+    /// exactly zero attacker-observable victim evictions.
+    fn attack_eval(params: &CampaignParams) -> Campaign {
+        use ZivProperty::*;
+        let scale = ScaleParams::from_system(&SystemConfig::scaled_with_l2(L2Size::K256));
+        // Probe enough sets for a clear signal without the prime/probe
+        // passes dwarfing the victim's own accesses.
+        let target_sets = 8;
+        let recipes = vec![
+            Recipe::attack(
+                AttackRecipe::prime_probe(target_sets),
+                params.cores,
+                params.effort.accesses_per_core,
+                params.seed,
+                scale,
+            ),
+            Recipe::attack(
+                AttackRecipe::hammer(target_sets),
+                params.cores,
+                params.effort.accesses_per_core,
+                params.seed,
+                scale,
+            ),
+        ];
+        let modes = [
+            LlcMode::Inclusive,
+            LlcMode::Qbs,
+            LlcMode::Sharp,
+            LlcMode::Ziv(NotInPrC),
+            LlcMode::Ziv(LikelyDead),
+        ];
+        let specs = modes
+            .into_iter()
+            .map(|mode| figure_spec(mode, PolicyKind::Lru, L2Size::K256))
+            .collect();
+        Campaign {
+            name: "attack-eval".into(),
+            description: names()[4].1.into(),
+            specs,
+            recipes,
+            baseline_spec: 0,
+        }
+    }
+
     fn fig11(params: &CampaignParams) -> Campaign {
         use ZivProperty::*;
         let modes = [
@@ -330,6 +383,28 @@ mod tests {
                                            // Same recipes in fig02 and fig08: shared cells share the cache.
         assert_eq!(fig02.recipes, fig08.recipes);
         assert_eq!(fig02.cell_digest(0, 0), fig08.cell_digest(0, 0));
+    }
+
+    #[test]
+    fn attack_eval_grid_shape_and_plans() {
+        let params = CampaignParams::tiny();
+        let c = campaigns::by_name("attack-eval", &params).unwrap();
+        assert_eq!(c.specs.len(), 5); // I / QBS / SHARP / ZIV×2
+        assert_eq!(c.recipes.len(), 2); // prime+probe, hammer
+        assert_eq!(c.specs[0].label, "I-LRU 256KB");
+        assert_eq!(c.recipes[0].workload_name(), "attack-primeprobe");
+        assert_eq!(c.recipes[1].workload_name(), "attack-hammer");
+        // Every attack workload carries its role plan for the
+        // leakage observatory.
+        for r in &c.recipes {
+            let wl = r.build();
+            let plan = wl.attack.as_ref().expect("attack plan");
+            assert!(!plan.attacker_cores.is_empty());
+            assert!(!plan.victim_cores.is_empty());
+            assert!(!plan.probe_lines.is_empty());
+        }
+        // Distinct scenarios address distinct cells.
+        assert_ne!(c.cell_digest(0, 0), c.cell_digest(0, 1));
     }
 
     #[test]

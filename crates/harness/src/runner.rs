@@ -14,9 +14,9 @@ use ziv_common::SimError;
 use ziv_core::AuditCadence;
 use ziv_sim::{
     run_cells_checked, run_one_traced, speedup_summary, write_grid_csv, write_heatmap_csv,
-    write_latency_csv, write_summary_csv, write_timeseries_csv, CellBudget, EventTraceConfig,
-    GridObserver, GridResult, Observations, ObserveConfig, ObservedCell, ProfileReport, RunOptions,
-    RunResult, RunSpec, TraceEvent,
+    write_latency_csv, write_leakage_csv, write_summary_csv, write_timeseries_csv, CellBudget,
+    EventTraceConfig, GridObserver, GridResult, Observations, ObserveConfig, ObservedCell,
+    ProfileReport, RunOptions, RunResult, RunSpec, TraceEvent,
 };
 use ziv_workloads::Workload;
 
@@ -116,6 +116,11 @@ pub struct CampaignOutcome {
     /// Path of the latency-attribution CSV, written when the latency
     /// observatory was on (`--latency`). Same caveat.
     pub latency_csv: Option<PathBuf>,
+    /// Path of the leakage summary CSV, written when the leakage
+    /// observatory was on (`--leakage` / the `attack-eval` campaign).
+    /// Same executed-cells-only caveat; cells whose workloads carry no
+    /// attack plan contribute no rows.
+    pub leakage_csv: Option<PathBuf>,
     /// Path of the self-profiler report, written when profiling was on
     /// (`--profile`). Wall-clock data: nondeterministic by nature, like
     /// the BENCH files, and never part of the ledgered results.
@@ -423,6 +428,7 @@ pub fn run_campaign(
     let mut timeseries_csv = None;
     let mut heatmap_csv = None;
     let mut latency_csv = None;
+    let mut leakage_csv = None;
     let mut profile_json = None;
     if cfg.observe.is_enabled() {
         observed.sort_by_key(|(s, w, _)| (*s, *w));
@@ -459,6 +465,11 @@ pub fn run_campaign(
             write_latency_csv(&path, &cells)?;
             latency_csv = Some(path);
         }
+        if cfg.observe.leakage {
+            let path = cfg.results_dir.join("leakage.csv");
+            write_leakage_csv(&path, &cells)?;
+            leakage_csv = Some(path);
+        }
         if cfg.observe.profile {
             let path = cfg.results_dir.join("profile.json");
             write_profile_json(&path, &cells)?;
@@ -486,6 +497,7 @@ pub fn run_campaign(
         timeseries_csv,
         heatmap_csv,
         latency_csv,
+        leakage_csv,
         profile_json,
     })
 }

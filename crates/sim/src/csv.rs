@@ -1,7 +1,7 @@
 //! CSV export of experiment grids, for external plotting pipelines
 //! (matplotlib / gnuplot / spreadsheets).
 //!
-//! Five layouts are provided:
+//! Six layouts are provided:
 //!
 //! - [`grid_to_csv`]: one row per `(config, workload)` cell with the
 //!   full metric set — the raw data behind every figure.
@@ -15,6 +15,9 @@
 //! - [`latency_to_csv`]: the latency observatory's attribution matrix
 //!   (one row per `(config, workload, core, class)` plus a `core=all`
 //!   summary row per class carrying the percentile columns).
+//! - [`leakage_to_csv`]: the leakage observatory's per-cell summary
+//!   (attacker-observable signal vs noise, probe distinguishability,
+//!   SHARP alarm rates; DESIGN.md §"Security evaluation").
 
 use crate::driver::RunResult;
 use crate::report::NormalizedRows;
@@ -309,6 +312,66 @@ fn write_latency_row<W: Write>(
     writeln!(out, "{}", row.join(","))
 }
 
+/// The columns exported by [`leakage_to_csv`].
+pub const LEAKAGE_COLUMNS: [&str; 13] = [
+    "config",
+    "workload",
+    "cycles",
+    "probed_sets",
+    "signal_evictions",
+    "noise_evictions",
+    "signal_per_mcycle",
+    "probe_hits",
+    "probe_evictions_seen",
+    "probe_eviction_rate",
+    "sharp_alarms",
+    "sharp_alarms_per_mcycle",
+    "total_back_invalidations",
+];
+
+/// Writes the leakage summary: one row per cell with an attached
+/// [`ziv_core::LeakageReport`] — the attacker-observable **signal**
+/// (victim lines back-invalidated out of attacker-probed sets, raw and
+/// per million cycles of co-run), the indistinguishable **noise**, the
+/// attacker's probe-latency distinguishability split, and SHARP's alarm
+/// rate. This is the `leakage.csv` the `attack-eval` campaign exports;
+/// a defense with the zero-inclusion-victim property shows
+/// `signal_evictions = 0` exactly.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn leakage_to_csv<W: Write>(cells: &[ObservedCell<'_>], mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{}", LEAKAGE_COLUMNS.join(","))?;
+    for cell in cells {
+        let Some(r) = cell.observations.leakage.as_ref() else {
+            continue;
+        };
+        let alarms_per_mcycle = if r.cycles == 0 {
+            0.0
+        } else {
+            r.sharp_alarms as f64 * 1e6 / r.cycles as f64
+        };
+        let row = vec![
+            esc(cell.config),
+            esc(cell.workload),
+            r.cycles.to_string(),
+            r.probed_sets.to_string(),
+            r.observable_victim_evictions().to_string(),
+            r.noise_evictions().to_string(),
+            format!("{:.6}", r.observable_per_mcycle()),
+            r.probe_hits().to_string(),
+            r.probe_evictions_seen().to_string(),
+            format!("{:.6}", r.probe_eviction_rate()),
+            r.sharp_alarms.to_string(),
+            format!("{alarms_per_mcycle:.6}"),
+            r.total_back_invalidations().to_string(),
+        ];
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
 /// Writes the occupancy heatmaps as CSV grids: for each cell and each
 /// counter (`accesses`, `evictions`, `relocations`), one row per bank
 /// with one column per set.
@@ -400,6 +463,22 @@ pub fn write_latency_csv(path: &Path, cells: &[ObservedCell<'_>]) -> Result<(), 
     latency_to_csv(cells, &mut w).map_err(|e| SimError::io("write latency CSV", path, e))?;
     w.flush()
         .map_err(|e| SimError::io("flush latency CSV", path, e))
+}
+
+/// Writes the leakage summary CSV to `path`, creating missing parent
+/// directories first.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_leakage_csv(path: &Path, cells: &[ObservedCell<'_>]) -> Result<(), SimError> {
+    create_parent_dirs(path)?;
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create leakage CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    leakage_to_csv(cells, &mut w).map_err(|e| SimError::io("write leakage CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush leakage CSV", path, e))
 }
 
 /// Writes the grid CSV to `path`, with the file path attached to any
@@ -517,9 +596,45 @@ mod tests {
             events_recorded: 0,
             heatmap: Some(heatmap),
             latency: None,
+            leakage: None,
             profile: None,
             dir_slice_occupancy: Vec::new(),
         }
+    }
+
+    #[test]
+    fn leakage_csv_emits_one_row_per_reporting_cell() {
+        use ziv_common::CoreId;
+        use ziv_core::LeakageObservatory;
+        let mut leak = LeakageObservatory::new(2, 2, 4, &[0], &[1], &[1]);
+        // Line 1 homes at (bank 1, set 0) — the probed set.
+        leak.note_back_invalidation(CoreId::new(1), ziv_common::Addr::new(1 << 6).line());
+        leak.note_sharp_alarm();
+        let mut report = leak.finish();
+        report.cycles = 1_000_000;
+        let mut with_leak = synthetic_observations();
+        with_leak.leakage = Some(report);
+        let without = synthetic_observations();
+        let cells = [
+            ObservedCell {
+                config: "I-LRU",
+                workload: "attack-pp",
+                observations: &with_leak,
+            },
+            ObservedCell {
+                config: "ZIV",
+                workload: "attack-pp",
+                observations: &without,
+            },
+        ];
+        let mut out = Vec::new();
+        leakage_to_csv(&cells, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], LEAKAGE_COLUMNS.join(","));
+        assert_eq!(lines.len(), 2, "cells without a report are skipped");
+        assert!(lines[1].starts_with("I-LRU,attack-pp,1000000,1,1,0,1.000000,"));
+        assert!(lines[1].contains(",1,1.000000,1"), "sharp alarm columns");
     }
 
     #[test]

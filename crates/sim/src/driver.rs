@@ -208,18 +208,26 @@ fn publish_core_clocks(h: &mut CacheHierarchy, instructions: &[u64], cycles: &[f
 
 /// Drains the slicer and the hierarchy's recorder into the run's
 /// observation payload; `None` when observability was disabled.
+/// `window_cycles` is the co-run window length (the slowest core's
+/// clock) stamped into the leakage report so its per-Mcycle rate is
+/// well-defined.
 fn collect_observations(
     h: &mut CacheHierarchy,
     slicer: Option<EpochSlicer>,
     observing: bool,
+    window_cycles: u64,
 ) -> Option<Box<Observations>> {
     if !observing {
         return None;
     }
-    let (events, events_recorded, heatmap, latency) = match h.take_recorder() {
+    let (events, events_recorded, heatmap, latency, leakage) = match h.take_recorder() {
         Some(rec) => rec.finish(),
-        None => (Vec::new(), 0, None, None),
+        None => (Vec::new(), 0, None, None, None),
     };
+    let leakage = leakage.map(|mut l| {
+        l.cycles = window_cycles;
+        l
+    });
     let profile = h.take_profiler().map(|p| p.report());
     Some(Box::new(Observations {
         epochs: slicer.map_or_else(Vec::new, EpochSlicer::into_samples),
@@ -227,6 +235,7 @@ fn collect_observations(
         events_recorded,
         heatmap,
         latency,
+        leakage,
         profile,
         dir_slice_occupancy: h.directory().slice_occupancies(),
     }))
@@ -280,12 +289,26 @@ pub fn run_one_traced(
     let mut auditor = Auditor::new(opts.audit);
     let budget_cycles = opts.budget.map(|b| b.cycles_for(workload));
     let observing = opts.observe.is_enabled();
-    if let Some(rec) = FlightRecorder::new(
+    if let Some(mut rec) = FlightRecorder::new(
         &opts.observe,
         ncores,
         spec.system.llc.banks,
         spec.system.llc.bank_geometry.sets as usize,
     ) {
+        // The leakage observatory needs the workload's attack roles, so
+        // the driver (not the recorder constructor) attaches it.
+        if opts.observe.leakage {
+            if let Some(plan) = workload.attack.as_ref() {
+                rec.attach_leakage(ziv_core::LeakageObservatory::new(
+                    ncores,
+                    spec.system.llc.banks,
+                    spec.system.llc.bank_geometry.sets as usize,
+                    &plan.attacker_cores,
+                    &plan.victim_cores,
+                    &plan.probe_lines,
+                ));
+            }
+        }
         h.attach_recorder(rec);
     }
     let profiling = opts.observe.profile;
@@ -398,7 +421,8 @@ pub fn run_one_traced(
             publish_core_clocks(&mut h, &instructions, &cycles);
             sl.finish(issued, h.metrics());
         }
-        let obs = collect_observations(&mut h, slicer, observing);
+        let window = cycles.iter().copied().fold(0f64, f64::max) as u64;
+        let obs = collect_observations(&mut h, slicer, observing, window);
         return (Err(err), obs);
     }
 
@@ -423,7 +447,8 @@ pub fn run_one_traced(
     if let Some(sl) = slicer.as_mut() {
         sl.finish(issued, h.metrics());
     }
-    let observations = collect_observations(&mut h, slicer, observing);
+    let window = cycles.iter().copied().fold(0f64, f64::max) as u64;
+    let observations = collect_observations(&mut h, slicer, observing, window);
 
     let result = RunResult {
         label: spec.label.clone(),
@@ -529,6 +554,7 @@ mod tests {
         let wl = Workload {
             name: "hot-vs-stream".into(),
             traces,
+            attack: None,
         };
         let ziv = RunSpec::new("ZIV", sys.clone()).with_mode(LlcMode::Ziv(ZivProperty::NotInPrC));
         let incl = RunSpec::new("I", sys);

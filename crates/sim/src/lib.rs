@@ -33,9 +33,9 @@ mod report;
 mod spec;
 
 pub use csv::{
-    grid_to_csv, heatmap_to_csv, latency_to_csv, summary_to_csv, timeseries_to_csv, write_grid_csv,
-    write_heatmap_csv, write_latency_csv, write_summary_csv, write_timeseries_csv, ObservedCell,
-    GRID_COLUMNS, LATENCY_COLUMNS,
+    grid_to_csv, heatmap_to_csv, latency_to_csv, leakage_to_csv, summary_to_csv, timeseries_to_csv,
+    write_grid_csv, write_heatmap_csv, write_latency_csv, write_leakage_csv, write_summary_csv,
+    write_timeseries_csv, ObservedCell, GRID_COLUMNS, LATENCY_COLUMNS, LEAKAGE_COLUMNS,
 };
 pub use driver::{
     derived_budget, run_one, run_one_checked, run_one_traced, CellBudget, CoreRunStats, RunOptions,
@@ -51,5 +51,6 @@ pub use ziv_core::observe::{
     EventFilter, EventKind, EventTraceConfig, Observations, ObserveConfig, TraceEvent,
 };
 pub use ziv_core::{
-    AccessClass, LatencyBreakdown, LatencyComponent, LatencyReport, ProfileReport, ProfileSection,
+    AccessClass, CoreLeakage, LatencyBreakdown, LatencyComponent, LatencyReport, LeakageReport,
+    ProfileReport, ProfileSection,
 };

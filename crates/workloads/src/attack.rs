@@ -1,0 +1,605 @@
+//! Side-channel attack workload generators: the security-evaluation
+//! counterpart of the performance mixes.
+//!
+//! The paper's mechanism is also a security primitive: an inclusive
+//! LLC eviction reaches *into* other cores' private caches, so a core
+//! that can force evictions in chosen LLC sets learns when a co-runner
+//! re-touches lines mapping there (prime+probe), and can repeatedly
+//! flush a victim's hot lines (SHARP's cross-core eviction attack).
+//! ZIV's zero-inclusion-victim guarantee closes exactly this channel.
+//!
+//! This module builds deterministic attacker/victim co-schedules:
+//!
+//! - **core 0 — attacker**: constructs eviction sets for a seed-chosen
+//!   window of LLC sets (lines congruent modulo the number of LLC
+//!   sets, [`apps::LLC_WAYS`]-way associativity assumed) and either
+//!   runs prime/probe rounds ([`AttackScenario::PrimeProbe`]) or
+//!   hammers the sets continuously ([`AttackScenario::Hammer`]);
+//! - **core 1 — victim**: a private-cache-resident working set whose
+//!   per-set activity is gated by secret bits derived from the seed —
+//!   the information the attacker tries to recover;
+//! - **cores 2+ — background noise**: deterministic streaming traffic
+//!   confined to congruence classes away from the probed window, so it
+//!   loads the machine without polluting the measured channel.
+//!
+//! ## Why the attacker flushes its own copies
+//!
+//! A sparse directory tracks only *privately cached* lines, and its
+//! slices here index with the same bits as the LLC but with half the
+//! associativity. If the attacker simply kept its eviction set
+//! private-cache resident, its own directory entries would overflow
+//! the probed set's directory slice and tear the victim's entry (and
+//! with it the victim's private copy) out through the *directory*
+//! eviction path — a different channel that fires before the inclusive
+//! LLC eviction ever catches the victim, and one ZIV does not need to
+//! close. So after touching each eviction-set line the attacker
+//! immediately touches [`FLUSH_DEPTH`] *flusher* lines that share its
+//! private L1/L2 sets but map to different LLC sets: the eviction-set
+//! line leaves the attacker's private caches (freeing its directory
+//! entry) while still occupying its LLC way. The probed LLC set fills
+//! with attacker lines nobody caches privately, the victim's directory
+//! entry survives, and the one line the inclusive eviction tears out
+//! of a core is the victim's — the channel the paper closes.
+//!
+//! Every workload carries an [`AttackPlan`] describing the roles and
+//! the probed sets; the leakage observatory (`ziv-core`) uses it to
+//! attribute back-invalidations to attacker-observable signal vs
+//! noise. Generation is fully determined by `(recipe, cores,
+//! accesses_per_core, seed, scale)` — the same contract as every other
+//! recipe kind, so attack cells cache and resume like any other.
+
+use crate::{apps, AttackPlan, CoreTrace, ScaleParams, TraceRecord, Workload};
+use ziv_common::{Addr, SimRng};
+
+/// Disjoint per-core line regions (mirrors `mixes::CORE_REGION_LINES`;
+/// a power of two, so region bases preserve set congruence).
+const CORE_REGION_LINES: u64 = 1 << 30;
+
+/// Lines per eviction set: associativity plus margin, so one prime
+/// pass displaces every other line in the target set even under
+/// insertion-policy noise.
+pub const EVICTION_SET_LINES: u64 = apps::LLC_WAYS + 2;
+
+/// Private-cache associativity (L1 and L2 are both 8-way at every
+/// scale; see `SystemConfig`). The flush stride below derives the L2
+/// set count from it.
+const PRIVATE_WAYS: u64 = 8;
+
+/// Flusher accesses issued after each eviction-set touch: enough
+/// same-private-set traffic to walk the touched line through the
+/// attacker's 8-way L1 *and* 8-way L2 within a step or two, so its
+/// directory entry is freed almost immediately (see the module doc).
+pub const FLUSH_DEPTH: u64 = 12;
+
+/// Consecutive victim accesses per secret-bit step (enough reuse to
+/// keep the hot line private-cache resident between attacker rounds).
+const VICTIM_BURST: usize = 4;
+
+/// Victim think time between accesses. The victim's working set is
+/// private-cache resident, so without think time it would lap its
+/// trace far faster than the (always-missing) attacker and the driver
+/// would park it early, emptying the co-run window; this keeps the two
+/// cores co-resident for the whole measurement.
+const VICTIM_GAP: u8 = 30;
+
+/// The attack pattern the attacker core runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackScenario {
+    /// Classic prime+probe: fill the target sets with the attacker's
+    /// eviction sets, idle, then re-probe and infer victim activity
+    /// from probe misses (which the latency observatory distinguishes).
+    PrimeProbe,
+    /// Targeted back-invalidation eviction attack (SHARP's adversary):
+    /// continuously hammer the victim's hot sets so every victim line
+    /// reaching the LLC is evicted — and, under inclusion, torn out of
+    /// the victim's private caches.
+    Hammer,
+}
+
+impl AttackScenario {
+    /// Every scenario, in discriminant order.
+    pub const ALL: [AttackScenario; 2] = [AttackScenario::PrimeProbe, AttackScenario::Hammer];
+
+    /// The CLI / recipe / workload name fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackScenario::PrimeProbe => "primeprobe",
+            AttackScenario::Hammer => "hammer",
+        }
+    }
+
+    /// Looks a scenario up by its CLI name.
+    pub fn by_name(name: &str) -> Option<AttackScenario> {
+        AttackScenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Stable digest discriminant.
+    pub fn discriminant(self) -> u64 {
+        match self {
+            AttackScenario::PrimeProbe => 0,
+            AttackScenario::Hammer => 1,
+        }
+    }
+}
+
+/// The hashable description of an attack workload: scenario plus how
+/// many LLC sets the attacker targets. Embedded in
+/// [`RecipeKind::Attack`](crate::RecipeKind::Attack), so attack cells
+/// are content-addressed like every other campaign cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackRecipe {
+    /// The attack pattern.
+    pub scenario: AttackScenario,
+    /// Number of LLC sets the attacker builds eviction sets for
+    /// (clamped at generation time: below the flusher stride and to
+    /// half the machine's sets).
+    pub target_sets: u32,
+}
+
+impl AttackRecipe {
+    /// A prime+probe recipe over `target_sets` LLC sets.
+    pub fn prime_probe(target_sets: u32) -> Self {
+        AttackRecipe {
+            scenario: AttackScenario::PrimeProbe,
+            target_sets,
+        }
+    }
+
+    /// A hammer recipe over `target_sets` LLC sets.
+    pub fn hammer(target_sets: u32) -> Self {
+        AttackRecipe {
+            scenario: AttackScenario::Hammer,
+            target_sets,
+        }
+    }
+}
+
+/// Builds the attack co-schedule: attacker on core 0, victim on core
+/// 1, background noise on cores 2+. Deterministic in every argument.
+///
+/// # Panics
+///
+/// Panics if `cores < 2` (an attack needs an attacker and a victim) or
+/// if `scale.llc_lines` is not a multiple of [`apps::LLC_WAYS`].
+pub fn generate(
+    recipe: AttackRecipe,
+    cores: usize,
+    accesses_per_core: usize,
+    seed: u64,
+    scale: ScaleParams,
+) -> Workload {
+    assert!(cores >= 2, "an attack workload needs at least 2 cores");
+    assert_eq!(
+        scale.llc_lines % apps::LLC_WAYS,
+        0,
+        "LLC lines must be a multiple of the associativity"
+    );
+    let total_sets = scale.llc_lines / apps::LLC_WAYS;
+    // Flusher stride: the attacker's L2 set count. Adding it to a line
+    // preserves the L1 and L2 set index but moves the LLC set, which
+    // is exactly what a flusher needs (module doc).
+    let flush_stride = (scale.l2_lines / PRIVATE_WAYS).max(1);
+    assert!(
+        FLUSH_DEPTH * flush_stride < total_sets,
+        "flushers must stay off the probed congruence classes"
+    );
+    // Target window: clamp below the flusher stride (so no flusher
+    // class can wrap back into the window) and to half the machine's
+    // sets (so the victim's cover lines stay off the probed sets).
+    let max_window = (flush_stride - 1).min(total_sets / 2).max(1);
+    let count = u64::from(recipe.target_sets).clamp(1, max_window);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xA77A_C4ED_5EC0_11D5);
+    let start = rng.below(total_sets);
+    let targets: Vec<u64> = (0..count).map(|i| (start + i) % total_sets).collect();
+    // The victim's secret: one bit per target set, derived from the
+    // seed. This is what the attacker's probes try to recover.
+    let secret: Vec<bool> = targets.iter().map(|_| rng.chance(0.5)).collect();
+
+    let attacker = match recipe.scenario {
+        AttackScenario::PrimeProbe => prime_probe_trace(
+            &targets,
+            total_sets,
+            flush_stride,
+            accesses_per_core,
+            &mut rng.fork(1),
+        ),
+        AttackScenario::Hammer => hammer_trace(
+            &targets,
+            total_sets,
+            flush_stride,
+            accesses_per_core,
+            &mut rng.fork(2),
+        ),
+    };
+    let victim = victim_trace(
+        &targets,
+        &secret,
+        total_sets,
+        accesses_per_core,
+        &mut rng.fork(3),
+    );
+
+    let mut traces = vec![attacker, victim];
+    for c in 2..cores {
+        traces.push(noise_trace(
+            &targets,
+            total_sets,
+            accesses_per_core,
+            c as u64 * CORE_REGION_LINES,
+            &mut rng.fork(4 + c as u64),
+        ));
+    }
+
+    Workload {
+        name: format!("attack-{}", recipe.scenario.name()),
+        traces,
+        attack: Some(AttackPlan {
+            attacker_cores: vec![0],
+            victim_cores: vec![1],
+            probe_lines: targets,
+        }),
+    }
+}
+
+fn push(records: &mut Vec<TraceRecord>, line: u64, pc: u64, is_write: bool, gap: u8) {
+    records.push(TraceRecord {
+        addr: Addr::new(line << 6),
+        pc,
+        is_write,
+        gap,
+    });
+}
+
+/// Pushes one eviction-set access followed by its flusher run: the
+/// [`FLUSH_DEPTH`] lines sharing the target's private L1/L2 sets but
+/// mapping `flush_stride` LLC sets apart, which walk the just-touched
+/// line out of the attacker's private caches (module doc).
+#[allow(clippy::too_many_arguments)]
+fn push_flushed(
+    records: &mut Vec<TraceRecord>,
+    t: u64,
+    line: u64,
+    flush_stride: u64,
+    pc: u64,
+    is_write: bool,
+    gap: u8,
+    len: usize,
+) -> bool {
+    if records.len() >= len {
+        return false;
+    }
+    push(records, line, pc, is_write, gap);
+    for j in 1..=FLUSH_DEPTH {
+        if records.len() >= len {
+            return false;
+        }
+        push(records, t + j * flush_stride, 0x41_0F00, false, 0);
+    }
+    true
+}
+
+/// Prime+probe rounds from the attacker's region (core 0, base 0):
+/// prime every target set with the full eviction set, idle briefly,
+/// then probe one line per way. Every eviction-set touch is followed
+/// by a flusher run so the attacker's LLC occupancy carries no
+/// directory entries.
+fn prime_probe_trace(
+    targets: &[u64],
+    total_sets: u64,
+    flush_stride: u64,
+    len: usize,
+    rng: &mut SimRng,
+) -> CoreTrace {
+    let mut records = Vec::with_capacity(len);
+    'outer: loop {
+        // Prime pass: install the eviction sets.
+        for &t in targets {
+            for k in 0..EVICTION_SET_LINES {
+                let line = t + k * total_sets;
+                if !push_flushed(
+                    &mut records,
+                    t,
+                    line,
+                    flush_stride,
+                    0x41_0000,
+                    false,
+                    0,
+                    len,
+                ) {
+                    break 'outer;
+                }
+            }
+        }
+        // Idle window the victim runs in: modeled as a long gap on one
+        // flusher-class line (off the probed sets, so the idle access
+        // itself adds no prime traffic).
+        if records.len() >= len {
+            break;
+        }
+        let idle = targets[rng.below_usize(targets.len())];
+        push(&mut records, idle + flush_stride, 0x41_0100, false, 200);
+        // Probe pass: re-read one line per way; a probe served from
+        // DRAM signals victim (or noise) activity in the set.
+        for &t in targets {
+            for k in 0..apps::LLC_WAYS {
+                let line = t + k * total_sets;
+                if !push_flushed(
+                    &mut records,
+                    t,
+                    line,
+                    flush_stride,
+                    0x41_0200,
+                    false,
+                    1,
+                    len,
+                ) {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    CoreTrace {
+        records,
+        overlap: 0.1, // probes are dependent, latency-measuring loads
+        app_name: "pp-attacker",
+    }
+}
+
+/// Continuous eviction hammer from the attacker's region: stream over
+/// every eviction-set line with no think time, maximizing the rate of
+/// target-set evictions (and, under inclusion, of back-invalidations
+/// tearing the victim's hot lines out of its private caches). Flushed
+/// like the prime+probe attacker, for the same directory reason.
+fn hammer_trace(
+    targets: &[u64],
+    total_sets: u64,
+    flush_stride: u64,
+    len: usize,
+    rng: &mut SimRng,
+) -> CoreTrace {
+    let mut records = Vec::with_capacity(len);
+    'outer: while records.len() < len {
+        for &t in targets {
+            for k in 0..EVICTION_SET_LINES {
+                // Occasional writes keep the hammered lines dirty, so
+                // their own evictions also cost writebacks.
+                let is_write = rng.chance(0.1);
+                let line = t + k * total_sets;
+                if !push_flushed(
+                    &mut records,
+                    t,
+                    line,
+                    flush_stride,
+                    0x41_0300,
+                    is_write,
+                    0,
+                    len,
+                ) {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    CoreTrace {
+        records,
+        overlap: 0.6, // an eviction hammer streams with high MLP
+        app_name: "hammer-attacker",
+    }
+}
+
+/// The victim (core 1, its own region): bursts over per-target-set hot
+/// lines, gated by the secret bit of the set being visited. Cover
+/// bursts over sets outside the probed window keep the access volume
+/// independent of the secret — only *where* the victim touches leaks.
+fn victim_trace(
+    targets: &[u64],
+    secret: &[bool],
+    total_sets: u64,
+    len: usize,
+    rng: &mut SimRng,
+) -> CoreTrace {
+    let base = CORE_REGION_LINES;
+    let mut records = Vec::with_capacity(len);
+    let mut i = 0usize;
+    while records.len() < len {
+        let t = targets[i % targets.len()];
+        let hot = secret[i % targets.len()];
+        // Hot line in the probed set (signal) or a cover line one
+        // window along (outside every probed set: disjoint by clamp).
+        let line = if hot {
+            base + t
+        } else {
+            base + ((t + targets.len() as u64) % total_sets) + total_sets
+        };
+        for _ in 0..VICTIM_BURST {
+            if records.len() >= len {
+                break;
+            }
+            let is_write = rng.chance(0.2);
+            push(&mut records, line, 0x56_0000, is_write, VICTIM_GAP);
+        }
+        i += 1;
+    }
+    CoreTrace {
+        records,
+        overlap: 0.1, // the secret-dependent loads are dependent
+        app_name: "victim",
+    }
+}
+
+/// Background noise (cores 2+, their own regions): a write-mixed
+/// stream over a band of congruence classes placed well away from the
+/// probed window *and* its directory sets. The footprint (two rows of
+/// half-the-remaining classes) exceeds a core's private capacity, so
+/// the stream misses continuously — real memory pressure — without
+/// allocating directory entries in the probed sets, which would
+/// re-open the directory-eviction channel the attacker just closed
+/// for itself (module doc).
+fn noise_trace(
+    targets: &[u64],
+    total_sets: u64,
+    len: usize,
+    base: u64,
+    rng: &mut SimRng,
+) -> CoreTrace {
+    const NOISE_ROWS: u64 = 2;
+    let count = targets.len() as u64;
+    let free = total_sets - count;
+    let span = (free / 2).max(1);
+    let margin = free / 4;
+    let first = (targets[0] + count + margin) % total_sets;
+    let mut records = Vec::with_capacity(len);
+    for i in 0..len as u64 {
+        let class = (first + (i % span)) % total_sets;
+        let row = (i / span) % NOISE_ROWS;
+        let is_write = rng.chance(0.1);
+        push(
+            &mut records,
+            base + row * total_sets + class,
+            0x4E_0000,
+            is_write,
+            1,
+        );
+    }
+    CoreTrace {
+        records,
+        overlap: 0.5, // streaming noise overlaps its misses
+        app_name: "noise-stream",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> ScaleParams {
+        ScaleParams {
+            llc_lines: 16 * 1024,
+            l2_lines: 512,
+        }
+    }
+
+    #[test]
+    fn generates_all_scenarios_deterministically() {
+        for scenario in AttackScenario::ALL {
+            let r = AttackRecipe {
+                scenario,
+                target_sets: 8,
+            };
+            let a = generate(r, 4, 2_000, 9, scale());
+            let b = generate(r, 4, 2_000, 9, scale());
+            assert_eq!(a.name, format!("attack-{}", scenario.name()));
+            assert_eq!(a.cores(), 4);
+            for (x, y) in a.traces.iter().zip(&b.traces) {
+                assert_eq!(x.records, y.records, "{}", scenario.name());
+            }
+            assert_eq!(a.attack.as_ref().unwrap(), b.attack.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn plan_names_roles_and_targets() {
+        let wl = generate(AttackRecipe::prime_probe(8), 3, 1_000, 5, scale());
+        let plan = wl.attack.as_ref().expect("attack plan attached");
+        assert_eq!(plan.attacker_cores, vec![0]);
+        assert_eq!(plan.victim_cores, vec![1]);
+        assert_eq!(plan.probe_lines.len(), 8);
+        let total_sets = scale().llc_lines / apps::LLC_WAYS;
+        for &l in &plan.probe_lines {
+            assert!(l < total_sets);
+        }
+    }
+
+    #[test]
+    fn attacker_lines_are_congruent_or_flushers() {
+        let sc = scale();
+        let total_sets = sc.llc_lines / apps::LLC_WAYS;
+        let flush_stride = sc.l2_lines / 8;
+        for recipe in [AttackRecipe::hammer(4), AttackRecipe::prime_probe(4)] {
+            let wl = generate(recipe, 2, 3_000, 11, sc);
+            let plan = wl.attack.as_ref().unwrap();
+            for r in &wl.traces[0].records {
+                let residue = r.addr.line().raw() % total_sets;
+                let probed = plan.probe_lines.contains(&residue);
+                // A flusher (or idle) line sits a multiple of the
+                // flush stride past some target: same private L1/L2
+                // sets, different LLC set.
+                let flusher = plan.probe_lines.iter().any(|&t| {
+                    let d = (residue + total_sets - t) % total_sets;
+                    d > 0 && d.is_multiple_of(flush_stride) && d / flush_stride <= FLUSH_DEPTH
+                });
+                assert!(
+                    probed || flusher,
+                    "attacker line in neither the window nor a flusher class"
+                );
+                assert!(
+                    !(probed && flusher),
+                    "flusher class wrapped into the probed window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_cores_avoid_the_probed_classes() {
+        let wl = generate(AttackRecipe::prime_probe(8), 4, 2_000, 17, scale());
+        let plan = wl.attack.as_ref().unwrap();
+        let total_sets = scale().llc_lines / apps::LLC_WAYS;
+        for trace in &wl.traces[2..] {
+            assert_eq!(trace.app_name, "noise-stream");
+            for r in &trace.records {
+                let residue = r.addr.line().raw() % total_sets;
+                assert!(
+                    !plan.probe_lines.contains(&residue),
+                    "noise line landed in a probed set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn victim_hot_lines_hit_probed_sets_and_cover_lines_do_not() {
+        let wl = generate(AttackRecipe::prime_probe(8), 2, 4_000, 13, scale());
+        let plan = wl.attack.as_ref().unwrap();
+        let total_sets = scale().llc_lines / apps::LLC_WAYS;
+        let mut in_window = 0usize;
+        let mut outside = 0usize;
+        for r in &wl.traces[1].records {
+            let line = r.addr.line().raw();
+            assert!(line >= CORE_REGION_LINES, "victim stays in its region");
+            if plan.probe_lines.contains(&(line % total_sets)) {
+                in_window += 1;
+            } else {
+                outside += 1;
+            }
+        }
+        assert!(in_window > 0, "some secret bits are 1");
+        assert!(outside > 0, "some secret bits are 0");
+    }
+
+    #[test]
+    fn seeds_move_the_target_window() {
+        let a = generate(AttackRecipe::prime_probe(8), 2, 100, 1, scale());
+        let b = generate(AttackRecipe::prime_probe(8), 2, 100, 2, scale());
+        assert_ne!(a.attack.unwrap().probe_lines, b.attack.unwrap().probe_lines);
+    }
+
+    #[test]
+    fn target_count_is_clamped() {
+        let flush_stride = scale().l2_lines / 8;
+        let wl = generate(AttackRecipe::hammer(1_000_000), 2, 100, 1, scale());
+        assert_eq!(
+            wl.attack.unwrap().probe_lines.len() as u64,
+            flush_stride - 1,
+            "window clamps below the flusher stride"
+        );
+    }
+
+    #[test]
+    fn scenario_name_round_trip() {
+        for s in AttackScenario::ALL {
+            assert_eq!(AttackScenario::by_name(s.name()), Some(s));
+        }
+        assert_eq!(AttackScenario::by_name("nope"), None);
+    }
+}

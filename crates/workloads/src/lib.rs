@@ -37,11 +37,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod apps;
+pub mod attack;
 pub mod mixes;
 pub mod multithreaded;
 pub mod recipe;
 pub mod trace_io;
 
+pub use attack::{AttackRecipe, AttackScenario};
 pub use recipe::{MtApp, Recipe, RecipeKind};
 
 use ziv_common::Addr;
@@ -81,6 +83,23 @@ impl CoreTrace {
     }
 }
 
+/// The adversarial roles of an attack workload (see [`attack`]): which
+/// cores attack, which are victims, and one representative line per
+/// probed LLC set. Carried alongside the traces so the leakage
+/// observatory can attribute back-invalidations; `None` for every
+/// non-attack workload, and never digested — roles are derived from
+/// the recipe, not extra semantic state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackPlan {
+    /// Cores running the attacker pattern.
+    pub attacker_cores: Vec<usize>,
+    /// Cores running the secret-dependent victim pattern.
+    pub victim_cores: Vec<usize>,
+    /// One representative raw line address per probed LLC set (lines
+    /// congruent to these modulo the set count map to probed sets).
+    pub probe_lines: Vec<u64>,
+}
+
 /// A complete workload: one trace per core plus a name.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -88,6 +107,8 @@ pub struct Workload {
     pub name: String,
     /// Per-core traces.
     pub traces: Vec<CoreTrace>,
+    /// Adversarial roles, for attack workloads only.
+    pub attack: Option<AttackPlan>,
 }
 
 impl Workload {

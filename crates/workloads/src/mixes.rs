@@ -36,6 +36,7 @@ pub fn homogeneous(
     Workload {
         name: format!("homo-{}", app.name),
         traces,
+        attack: None,
     }
 }
 
@@ -88,6 +89,7 @@ pub fn heterogeneous(
     Workload {
         name: format!("hetero-{mix_index:02}"),
         traces,
+        attack: None,
     }
 }
 

@@ -50,6 +50,7 @@ pub fn canneal(cores: usize, accesses_per_core: usize, seed: u64, scale: ScalePa
     Workload {
         name: "canneal".into(),
         traces,
+        attack: None,
     }
 }
 
@@ -88,6 +89,7 @@ pub fn facesim(cores: usize, accesses_per_core: usize, seed: u64, scale: ScalePa
     Workload {
         name: "facesim".into(),
         traces,
+        attack: None,
     }
 }
 
@@ -129,6 +131,7 @@ pub fn vips(cores: usize, accesses_per_core: usize, seed: u64, scale: ScaleParam
     Workload {
         name: "vips".into(),
         traces,
+        attack: None,
     }
 }
 
@@ -187,6 +190,7 @@ pub fn applu(cores: usize, accesses_per_core: usize, seed: u64, scale: ScalePara
     Workload {
         name: "316.applu".into(),
         traces,
+        attack: None,
     }
 }
 
@@ -241,6 +245,7 @@ pub fn tpce(cores: usize, accesses_per_core: usize, seed: u64, scale: ScaleParam
     Workload {
         name: "TPC-E".into(),
         traces,
+        attack: None,
     }
 }
 

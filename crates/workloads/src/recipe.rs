@@ -11,7 +11,8 @@
 //! therefore exact, and two recipes with equal digests always build
 //! byte-identical traces.
 
-use crate::{apps, mixes, multithreaded, ScaleParams, Workload};
+use crate::attack::AttackRecipe;
+use crate::{apps, attack, mixes, multithreaded, ScaleParams, Workload};
 use ziv_common::Fnv1a;
 
 /// The multithreaded applications (PARSEC / SPEC OMP / TPC-E stand-ins).
@@ -73,6 +74,11 @@ pub enum RecipeKind {
     Multithreaded {
         /// The application.
         app: MtApp,
+    },
+    /// An adversarial attacker/victim co-schedule ([`attack`]).
+    Attack {
+        /// Scenario and target-set count.
+        attack: AttackRecipe,
     },
 }
 
@@ -145,6 +151,23 @@ impl Recipe {
         }
     }
 
+    /// An attack co-schedule recipe.
+    pub fn attack(
+        attack: AttackRecipe,
+        cores: usize,
+        accesses_per_core: usize,
+        seed: u64,
+        scale: ScaleParams,
+    ) -> Self {
+        Recipe {
+            kind: RecipeKind::Attack { attack },
+            cores,
+            accesses_per_core,
+            seed,
+            scale,
+        }
+    }
+
     /// The standard suite of recipes mirroring [`mixes::default_suite`]:
     /// every homogeneous mix plus `hetero` heterogeneous mixes.
     pub fn default_suite(
@@ -188,6 +211,7 @@ impl Recipe {
                 MtApp::Applu => multithreaded::applu(cores, n, seed, scale),
                 MtApp::Tpce => multithreaded::tpce(cores, n, seed, scale),
             },
+            RecipeKind::Attack { attack } => attack::generate(attack, cores, n, seed, scale),
         }
     }
 
@@ -201,6 +225,7 @@ impl Recipe {
                 MtApp::Tpce => "TPC-E".to_string(),
                 other => other.name().to_string(),
             },
+            RecipeKind::Attack { attack } => format!("attack-{}", attack.scenario.name()),
         }
     }
 
@@ -220,6 +245,11 @@ impl Recipe {
             RecipeKind::Multithreaded { app } => {
                 h.write_u64(2);
                 h.write_str(app.name());
+            }
+            RecipeKind::Attack { attack } => {
+                h.write_u64(3);
+                h.write_u64(attack.scenario.discriminant());
+                h.write_u64(u64::from(attack.target_sets));
             }
         }
         h.write_usize(self.cores);
@@ -303,6 +333,31 @@ mod tests {
             Recipe::heterogeneous(0, 4, 100, 1, scale()),
         ] {
             assert_ne!(d0, digest(&changed), "{changed:?}");
+        }
+    }
+
+    #[test]
+    fn attack_recipe_builds_and_digests_distinctly() {
+        use crate::attack::AttackRecipe;
+        let digest = |r: &Recipe| {
+            let mut h = Fnv1a::new();
+            r.digest_into(&mut h);
+            h.finish()
+        };
+        let pp = Recipe::attack(AttackRecipe::prime_probe(8), 4, 200, 7, scale());
+        let wl = pp.build();
+        assert_eq!(wl.name, pp.workload_name());
+        assert_eq!(wl.name, "attack-primeprobe");
+        assert!(wl.attack.is_some(), "attack plan rides the workload");
+        let hammer = Recipe::attack(AttackRecipe::hammer(8), 4, 200, 7, scale());
+        assert_ne!(digest(&pp), digest(&hammer), "scenario is digested");
+        let wider = Recipe::attack(AttackRecipe::prime_probe(16), 4, 200, 7, scale());
+        assert_ne!(digest(&pp), digest(&wider), "target count is digested");
+        // Same inputs → identical traces (determinism through the recipe).
+        let a = pp.build();
+        let b = pp.build();
+        for (x, y) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(x.records, y.records);
         }
     }
 

@@ -197,7 +197,11 @@ pub fn read_trace<R: Read>(input: R) -> Result<Workload, ParseTraceError> {
             }
         })
         .collect();
-    Ok(Workload { name, traces })
+    Ok(Workload {
+        name,
+        traces,
+        attack: None,
+    })
 }
 
 /// Reads a workload from a trace file at `path`, attaching the file

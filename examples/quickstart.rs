@@ -16,6 +16,7 @@ fn main() {
     let wl = Workload {
         name: "hot-vs-stream".into(),
         traces,
+        attack: None,
     };
 
     let t0 = std::time::Instant::now();

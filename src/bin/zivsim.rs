@@ -10,6 +10,10 @@
 //! zivsim trace [<mode>] [options]         # one traced run; drain the event ring as JSONL
 //! zivsim profile [<mode>] [options]       # one run with the latency observatory + self-
 //!                                         # profiler on; print the attribution tables
+//! zivsim attack [<scenario>] [options]    # one attack co-schedule (primeprobe | hammer)
+//!                                         # under --mode with the leakage observatory on;
+//!                                         # print the attacker-observable signal summary
+//!                                         # (--sets <N> targeted LLC sets, default 8)
 //! zivsim bench-throughput [options]       # time the smoke campaign end-to-end (accesses/s)
 //! zivsim bench-compare <old.json> <new.json> [--threshold <pct>]
 //!                                         # diff two bench reports; nonzero exit on
@@ -41,6 +45,10 @@
 //!                                          histograms; campaigns export latency.csv)
 //!   --profile                             (wall-clock self-profiler: per-subsystem
 //!                                          simulator time; campaigns export profile.json)
+//!   --leakage                             (leakage observatory: attacker-observable
+//!                                          signal counters on attack workloads; campaigns
+//!                                          export leakage.csv — forced on for the
+//!                                          attack-eval campaign and `zivsim attack`)
 //!   trace always records events (default --events all) and writes them
 //!   as JSONL to stdout, or to --out <FILE>. Observability never changes
 //!   results: ledgers and grid CSVs stay byte-identical with it on.
@@ -104,6 +112,8 @@ struct Options {
     heatmap: bool,
     latency: bool,
     profile: bool,
+    leakage: bool,
+    sets: u32,
     threshold: Option<f64>,
     traced: bool,
 }
@@ -137,6 +147,8 @@ impl Default for Options {
             heatmap: false,
             latency: false,
             profile: false,
+            leakage: false,
+            sets: 8,
             threshold: None,
             traced: false,
         }
@@ -166,12 +178,14 @@ impl Options {
             None
         };
         let profiling = self.command == "profile";
+        let attacking = self.command == "attack";
         Ok(ziv::sim::ObserveConfig {
             epoch: self.epoch,
             events,
             heatmap: self.heatmap,
             latency: self.latency || profiling,
             profile: self.profile || profiling,
+            leakage: self.leakage || attacking,
         })
     }
 }
@@ -251,7 +265,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
     let mut positionals_allowed: usize = match opts.command.as_str() {
-        "export" | "campaign" | "replay" | "trace" | "profile" => 1,
+        "export" | "campaign" | "replay" | "trace" | "profile" | "attack" => 1,
         "bench-compare" => 2,
         _ => 0,
     };
@@ -324,6 +338,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--heatmap" => opts.heatmap = true,
             "--latency" => opts.latency = true,
             "--profile" => opts.profile = true,
+            "--leakage" => opts.leakage = true,
+            "--sets" => {
+                let n: u32 = value()?.parse().map_err(|e| format!("--sets: {e}"))?;
+                if n == 0 {
+                    return Err("--sets must be at least 1".into());
+                }
+                opts.sets = n;
+            }
             "--threshold" => {
                 let pct: f64 = value()?.parse().map_err(|e| format!("--threshold: {e}"))?;
                 if !pct.is_finite() || pct < 0.0 {
@@ -513,6 +535,13 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
             .ok_or_else(|| format!("--inject-fault: spec index {spec_index} out of range"))?;
         campaign.specs[spec_index] = spec.clone().with_fault(fault);
     }
+    let mut observe = opts.observe_config()?;
+    if name == "attack-eval" {
+        // The security campaign is pointless blind: always measure
+        // leakage. (Still never digested — cells stay byte-compatible
+        // with an observatory-off run.)
+        observe.leakage = true;
+    }
     let cfg = RunnerConfig {
         threads: opts.threads.unwrap_or(params.effort.threads),
         resume: opts.resume,
@@ -520,7 +549,7 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
         strict: opts.strict,
         cell_budget: opts.cell_budget,
         params: Some(params),
-        observe: opts.observe_config()?,
+        observe,
         ..RunnerConfig::new(
             opts.results_dir
                 .clone()
@@ -541,6 +570,9 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
         println!("wrote {}", path.display());
     }
     if let Some(path) = &outcome.latency_csv {
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &outcome.leakage_csv {
         println!("wrote {}", path.display());
     }
     if let Some(path) = &outcome.profile_json {
@@ -843,6 +875,78 @@ fn cmd_profile(args: &[String], opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// One attack co-schedule under the configured mode with the leakage
+/// observatory forced on: builds the scenario's attacker/victim/noise
+/// workload (`--sets` targeted LLC sets, `--cores`/`--accesses`/`--seed`
+/// as usual), runs it, and prints the attacker-observable signal
+/// summary — the per-defense numbers `zivsim campaign attack-eval`
+/// sweeps into leakage.csv.
+fn cmd_attack(args: &[String], opts: &Options) -> Result<(), String> {
+    use ziv::workloads::attack::{self, AttackRecipe, AttackScenario};
+    let scenario = match args.get(1).filter(|a| !a.starts_with("--")) {
+        Some(name) => AttackScenario::by_name(name).ok_or_else(|| {
+            let list: Vec<&str> = AttackScenario::ALL.iter().map(|s| s.name()).collect();
+            format!(
+                "unknown attack scenario '{name}' (one of: {})",
+                list.join(", ")
+            )
+        })?,
+        None => AttackScenario::PrimeProbe,
+    };
+    let recipe = AttackRecipe {
+        scenario,
+        target_sets: opts.sets,
+    };
+    let sys = system_for(opts);
+    let scale = ScaleParams::from_system(&sys);
+    let wl = attack::generate(recipe, opts.cores, opts.accesses, opts.seed, scale);
+    let spec = RunSpec::new(
+        format!("{}-{}", opts.mode.label(), opts.policy.label()),
+        sys,
+    )
+    .with_mode(opts.mode)
+    .with_policy(opts.policy)
+    .with_seed(opts.seed);
+    let run_opts = ziv::sim::RunOptions {
+        audit: opts.audit,
+        budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
+        observe: opts.observe_config()?,
+    };
+    let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
+    let result = outcome.map_err(|e| e.to_string())?;
+    let report = observations
+        .and_then(|o| o.leakage)
+        .ok_or("attack run produced no leakage report (observatory disabled?)")?;
+
+    let plan = wl.attack.as_ref().expect("attack workload carries a plan");
+    println!(
+        "attack {} × {}: attacker core(s) {:?}, victim core(s) {:?}, {} probed set(s)",
+        spec.label, wl.name, plan.attacker_cores, plan.victim_cores, report.probed_sets
+    );
+    println!(
+        "attacker-observable victim evictions: {} ({:.3} per Mcycle over {} cycles)",
+        report.observable_victim_evictions(),
+        report.observable_per_mcycle(),
+        report.cycles
+    );
+    println!(
+        "noise evictions in probed sets: {}   total back-invalidations: {} \
+         (= metrics inclusion victims {})",
+        report.noise_evictions(),
+        report.total_back_invalidations(),
+        result.metrics.inclusion_victims
+    );
+    println!(
+        "attacker probes of probed sets: {} fast (line on chip), {} slow \
+         (evicted; {:.1}% distinguishable)",
+        report.probe_hits(),
+        report.probe_evictions_seen(),
+        100.0 * report.probe_eviction_rate()
+    );
+    println!("SHARP alarms: {}", report.sharp_alarms);
+    Ok(())
+}
+
 /// Diffs two `bench-throughput` JSON reports and exits nonzero when any
 /// aggregate row (a per-mode rate or the grand total) regressed by more
 /// than the threshold. Per-cell rows are printed for context but never
@@ -887,7 +991,15 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         "replaying {} × {} from campaign '{}' (audit {}, budget {} cycles)",
         record.label, record.workload, record.campaign, record.audit, record.budget_cycles
     );
-    if !record.events.is_empty() {
+    if record.events.is_empty() {
+        // Records written before the tracer existed have no embedded
+        // window; say so instead of silently printing nothing.
+        eprintln!(
+            "warning: record has no embedded flight-recorder events \
+             (written before event embedding, or the ring was empty); \
+             replaying without the pre-failure window"
+        );
+    } else {
         println!(
             "flight recorder: {} event(s) leading up to the failure:",
             record.events.len()
@@ -1012,7 +1124,7 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 
 fn usage() {
     println!(
-        "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|\
+        "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|attack|\
          bench-throughput|bench-compare> \
          [options]   (see --help text in the source header)"
     );
@@ -1040,6 +1152,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&args),
         "trace" => cmd_trace(&args, &opts),
         "profile" => cmd_profile(&args, &opts),
+        "attack" => cmd_attack(&args, &opts),
         "bench-throughput" => cmd_bench_throughput(&opts),
         "bench-compare" => cmd_bench_compare(&args, &opts),
         _ => {
@@ -1126,6 +1239,32 @@ mod tests {
         // `replay` takes a positional file path like `export` does.
         let o = parse_args(&args("replay results/smoke/failures/abc.json")).unwrap();
         assert_eq!(o.command, "replay");
+    }
+
+    #[test]
+    fn parses_attack_flags() {
+        // `attack` takes a positional scenario like `trace` takes a mode.
+        let o = parse_args(&args(
+            "attack hammer --mode qbs --sets 4 --cores 4 --accesses 2000",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "attack");
+        assert_eq!(o.mode, LlcMode::Qbs);
+        assert_eq!(o.sets, 4);
+        assert_eq!(o.cores, 4);
+        // The attack command forces the leakage observatory on.
+        assert!(o.observe_config().unwrap().leakage);
+        assert!(!o.leakage, "the flag itself stays off");
+
+        let o = parse_args(&args("attack")).unwrap();
+        assert_eq!(o.sets, 8, "default targeted sets");
+
+        // `--leakage` arms the observatory for campaigns too.
+        let o = parse_args(&args("campaign attack-eval --leakage")).unwrap();
+        assert!(o.leakage);
+        assert!(o.observe_config().unwrap().leakage);
+        assert!(parse_args(&args("attack --sets 0")).is_err());
+        assert!(parse_args(&args("attack --sets nope")).is_err());
     }
 
     #[test]

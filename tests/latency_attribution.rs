@@ -145,6 +145,7 @@ fn ziv_reports_zero_inclusion_victim_refetch_cost() {
     let wl = Workload {
         name: "hot-vs-stream".into(),
         traces,
+        attack: None,
     };
     let opts = latency_opts(AuditCadence::Off);
 

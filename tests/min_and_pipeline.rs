@@ -40,6 +40,7 @@ fn circular_workload(n: u64, laps: usize) -> Workload {
             overlap: 0.3,
             app_name: "circ",
         }],
+        attack: None,
     }
 }
 
@@ -90,6 +91,7 @@ fn min_inclusive_victimizes_recently_used_blocks() {
             overlap: 0.3,
             app_name: "circ",
         }],
+        attack: None,
     };
     let lru = ziv::sim::run_one(&RunSpec::new("I-LRU", tiny(1)), &wl);
     let min = ziv::sim::run_one(

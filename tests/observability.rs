@@ -219,6 +219,7 @@ fn campaign_artifacts_are_byte_identical_with_observability_on() {
             epoch: Some(200),
             events: Some(EventTraceConfig::default()),
             heatmap: true,
+            leakage: true,
             ..ObserveConfig::disabled()
         },
         ..RunnerConfig::new(base.join("traced"))
@@ -244,6 +245,12 @@ fn campaign_artifacts_are_byte_identical_with_observability_on() {
     );
 
     // ... while the observability exports appear only on the traced run.
+    // The smoke campaign has no attack workloads, so the leakage flag
+    // yields a header-only CSV — the flag alone must not perturb
+    // anything (the attack-path twin lives in attack_leakage.rs).
+    let leak_path = traced.leakage_csv.as_deref().expect("leakage.csv");
+    let leak = String::from_utf8(read(leak_path)).unwrap();
+    assert_eq!(leak.lines().count(), 1, "non-attack cells emit no rows");
     let ts_path = traced.timeseries_csv.as_deref().expect("timeseries.csv");
     let hm_path = traced.heatmap_csv.as_deref().expect("heatmap.csv");
     let ts = String::from_utf8(read(ts_path)).unwrap();

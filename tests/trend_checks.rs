@@ -148,6 +148,7 @@ fn hawkeye_beats_lru_on_circular_patterns() {
             overlap: 0.3,
             app_name: "c",
         }],
+        attack: None,
     };
     let lru = ziv::sim::run_one(
         &RunSpec::new("NI-LRU", sys.clone()).with_mode(LlcMode::NonInclusive),
