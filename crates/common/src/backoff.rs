@@ -1,0 +1,164 @@
+//! Deterministic retry backoff for the campaign supervisor.
+//!
+//! A [`BackoffSchedule`] maps a 1-based attempt number to a delay that is
+//! *monotone* (later attempts never wait less), *bounded* (never above
+//! `max_ms`), and *deterministic per seed* (the jitter is a pure function
+//! of `(seed, attempt)`, so a replayed campaign waits the same schedule).
+//! [`RetryPolicy`] pairs a schedule with an attempt cap and the
+//! transience test from [`SimError::is_transient`].
+
+use crate::error::SimError;
+
+/// Exponential backoff with bounded deterministic jitter.
+///
+/// The core delay for attempt `n` (1-based) is `base_ms · 2^(n-1)`,
+/// saturating; a jitter strictly below `base_ms / 2 + 1` is added, and
+/// the sum is clamped to `max_ms`. Because the core at least doubles
+/// while the jitter stays below one `base_ms`, the sequence is monotone
+/// non-decreasing even across jitter draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub max_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl BackoffSchedule {
+    /// A schedule suited to transient filesystem hiccups: 50ms base,
+    /// 2s cap.
+    pub fn standard(seed: u64) -> Self {
+        BackoffSchedule {
+            base_ms: 50,
+            max_ms: 2_000,
+            seed,
+        }
+    }
+
+    /// The delay, in milliseconds, to sleep before retry `attempt`
+    /// (1-based: `attempt = 1` is the delay after the first failure).
+    /// `attempt = 0` is treated as 1.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let attempt = attempt.max(1);
+        let core = self
+            .base_ms
+            .checked_shl(attempt - 1)
+            .unwrap_or(u64::MAX)
+            .min(self.max_ms);
+        let span = self.base_ms / 2 + 1;
+        let jitter = jitter_hash(self.seed, attempt) % span;
+        core.saturating_add(jitter).min(self.max_ms)
+    }
+}
+
+/// SplitMix64 finalizer over `(seed, attempt)` — a cheap, well-mixed,
+/// dependency-free hash for jitter draws.
+fn jitter_hash(seed: u64, attempt: u32) -> u64 {
+    let mut z = seed
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// When (and how often) the supervisor re-runs a failed cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per cell, including the first. `1` means
+    /// no retries.
+    pub max_attempts: u32,
+    /// Delay schedule between attempts.
+    pub backoff: BackoffSchedule,
+}
+
+impl RetryPolicy {
+    /// No retries: every cell gets exactly one attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: BackoffSchedule::standard(0),
+        }
+    }
+
+    /// Up to `retries` re-runs after the first attempt, with the
+    /// standard schedule jittered by `seed`.
+    pub fn with_retries(retries: u32, seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            backoff: BackoffSchedule::standard(seed),
+        }
+    }
+
+    /// Whether a failure on `attempt` (1-based) should be retried:
+    /// the error must be transient and attempts must remain.
+    pub fn should_retry(&self, error: &SimError, attempt: u32) -> bool {
+        error.is_transient() && attempt < self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_and_bounded() {
+        for seed in [0u64, 1, 0x2026, u64::MAX] {
+            let s = BackoffSchedule {
+                base_ms: 50,
+                max_ms: 2_000,
+                seed,
+            };
+            let mut prev = 0;
+            for attempt in 1..=40 {
+                let d = s.delay_ms(attempt);
+                assert!(d <= s.max_ms, "attempt {attempt} delay {d} over cap");
+                assert!(d >= prev, "attempt {attempt}: {d} < previous {prev}");
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let a = BackoffSchedule::standard(7);
+        let b = BackoffSchedule::standard(7);
+        let c = BackoffSchedule::standard(8);
+        let seq = |s: &BackoffSchedule| (1..=10).map(|n| s.delay_ms(n)).collect::<Vec<_>>();
+        assert_eq!(seq(&a), seq(&b));
+        assert_ne!(seq(&a), seq(&c), "different seeds should jitter apart");
+    }
+
+    #[test]
+    fn zero_base_never_waits() {
+        let s = BackoffSchedule {
+            base_ms: 0,
+            max_ms: 100,
+            seed: 3,
+        };
+        assert_eq!(s.delay_ms(1), 0);
+        assert_eq!(s.delay_ms(30), 0);
+    }
+
+    #[test]
+    fn huge_attempt_saturates_at_cap() {
+        let s = BackoffSchedule::standard(0);
+        assert_eq!(s.delay_ms(63), s.max_ms);
+        assert_eq!(s.delay_ms(u32::MAX), s.max_ms);
+    }
+
+    #[test]
+    fn policy_retries_only_transient_errors_within_budget() {
+        let p = RetryPolicy::with_retries(2, 0x2026);
+        assert_eq!(p.max_attempts, 3);
+        let io = SimError::io("write", "/tmp/x", std::io::Error::other("disk full"));
+        assert!(p.should_retry(&io, 1));
+        assert!(p.should_retry(&io, 2));
+        assert!(!p.should_retry(&io, 3), "attempt cap must hold");
+        let cfg = SimError::Config("bad".into());
+        assert!(!p.should_retry(&cfg, 1), "deterministic errors never retry");
+        assert!(!RetryPolicy::none().should_retry(&io, 1));
+    }
+}

@@ -161,6 +161,20 @@ pub enum SimError {
         /// 0-based global index of the access that crossed the budget.
         access_index: u64,
     },
+    /// A cell was cancelled by the supervisor — its wall-clock or
+    /// access-count budget expired while the cell was still running.
+    Timeout {
+        /// Why the supervisor fired (e.g. "wall-clock budget 5000ms
+        /// exceeded" or "access deadline 1000 reached").
+        reason: String,
+        /// 0-based global index of the last access the cell had issued
+        /// when the cancellation was observed.
+        access_index: u64,
+    },
+    /// The cell's worker panicked; the panic was contained by the
+    /// supervisor and converted into this error instead of taking the
+    /// whole campaign down.
+    Internal(String),
 }
 
 impl SimError {
@@ -198,6 +212,8 @@ impl SimError {
             SimError::Config(_) => "config",
             SimError::Audit(_) => "audit",
             SimError::BudgetExceeded { .. } => "budget-exceeded",
+            SimError::Timeout { .. } => "timeout",
+            SimError::Internal(_) => "internal",
         }
     }
 
@@ -207,8 +223,20 @@ impl SimError {
         match self {
             SimError::Audit(v) => Some(v.access_index),
             SimError::BudgetExceeded { access_index, .. } => Some(*access_index),
+            SimError::Timeout { access_index, .. } => Some(*access_index),
             _ => None,
         }
+    }
+
+    /// Whether retrying the same cell could plausibly succeed.
+    ///
+    /// Only I/O errors qualify: a full disk, a transient NFS hiccup, or
+    /// an EINTR-class failure can clear between attempts. Everything
+    /// else — audit violations, budget trips, timeouts, panics, bad
+    /// configs — is deterministic, so the supervisor's retry policy
+    /// must not burn attempts on it.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Io { .. })
     }
 }
 
@@ -247,6 +275,14 @@ impl fmt::Display for SimError {
                  (budget {budget_cycles}) after access {access_index} — \
                  livelocked or pathologically slow model"
             ),
+            SimError::Timeout {
+                reason,
+                access_index,
+            } => write!(
+                f,
+                "cell cancelled by supervisor after access {access_index}: {reason}"
+            ),
+            SimError::Internal(msg) => write!(f, "internal error (contained panic): {msg}"),
         }
     }
 }
@@ -331,5 +367,42 @@ mod tests {
         };
         assert_eq!(b.access_index(), Some(3));
         assert_eq!(SimError::Config("x".into()).access_index(), None);
+        let t = SimError::Timeout {
+            reason: "wall-clock budget 10ms exceeded".into(),
+            access_index: 17,
+        };
+        assert_eq!(t.access_index(), Some(17));
+        assert_eq!(t.kind_tag(), "timeout");
+        assert!(t.to_string().contains("access 17"), "{t}");
+        let i = SimError::Internal("index out of bounds".into());
+        assert_eq!(i.kind_tag(), "internal");
+        assert_eq!(i.access_index(), None);
+    }
+
+    #[test]
+    fn only_io_errors_are_transient() {
+        let io = SimError::io(
+            "append ledger",
+            "/tmp/ledger.jsonl",
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR"),
+        );
+        assert!(io.is_transient());
+        for err in [
+            SimError::Config("x".into()),
+            SimError::parse(None, 0, "bad"),
+            SimError::Timeout {
+                reason: "deadline".into(),
+                access_index: 0,
+            },
+            SimError::Internal("boom".into()),
+            SimError::BudgetExceeded {
+                budget_cycles: 1,
+                core: 0,
+                cycles: 2,
+                access_index: 0,
+            },
+        ] {
+            assert!(!err.is_transient(), "{err}");
+        }
     }
 }

@@ -31,6 +31,44 @@ pub fn create_parent_dirs(path: impl AsRef<Path>) -> Result<(), SimError> {
     Ok(())
 }
 
+/// Writes `contents` to `path` atomically: the bytes go to a sibling
+/// temporary file, are fsynced, and the temp file is renamed over the
+/// target. Readers either see the old file or the complete new one —
+/// never a torn prefix — so a kill -9 mid-write cannot corrupt the
+/// target. The containing directory is fsynced best-effort afterwards
+/// so the rename itself is durable.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] when any step (create, write, sync, rename)
+/// fails; a failed rename leaves the old target untouched.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> Result<(), SimError> {
+    use std::io::Write;
+    let path = path.as_ref();
+    create_parent_dirs(path)?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)
+            .map_err(|e| SimError::io("create temporary file", &tmp, e))?;
+        f.write_all(contents)
+            .map_err(|e| SimError::io("write temporary file", &tmp, e))?;
+        f.sync_all()
+            .map_err(|e| SimError::io("sync temporary file", &tmp, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| SimError::io("rename into place", path, e))?;
+    // Durability of the rename needs a directory fsync; failure here is
+    // not fatal (the data is already safely in place on all sane
+    // filesystems), so it is best-effort.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +91,21 @@ mod tests {
     #[test]
     fn bare_filename_is_noop() {
         create_parent_dirs("just_a_name.json").unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("ziv_fsutil_aw_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let target = dir.join("ledger.jsonl");
+        atomic_write(&target, b"first\n").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first\n");
+        atomic_write(&target, b"second\n").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second\n");
+        assert!(
+            !target.with_extension("tmp").exists(),
+            "temp file must not survive a successful write"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

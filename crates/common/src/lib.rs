@@ -24,6 +24,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod backoff;
 pub mod config;
 pub mod digest;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr};
+pub use backoff::{BackoffSchedule, RetryPolicy};
 pub use config::{CacheGeometry, L2Size, LlcConfig, SystemConfig};
 pub use digest::Fnv1a;
 pub use error::{AuditViolation, SimError, ViolationKind};

@@ -381,6 +381,24 @@ pub enum FaultInjection {
         /// 0-based access index from which accesses stall.
         at_access: u64,
     },
+    /// At access `at_access`, the hierarchy wedges: the access never
+    /// completes and the simulation makes no further progress (the
+    /// `stall-core` loop variant). Unlike [`FaultInjection::StallCore`]
+    /// — which burns simulated cycles and trips the in-loop cycle
+    /// budget — a hang burns *wall-clock* time and can only be stopped
+    /// by the supervisor's cancellation token.
+    HangCore {
+        /// 0-based access index at which the hang begins.
+        at_access: u64,
+    },
+    /// At access `at_access`, the model panics (a simulated internal
+    /// compiler-error-class bug). The supervisor's `catch_unwind`
+    /// containment converts it into one ledgered
+    /// `SimError::Internal` failure.
+    PanicCore {
+        /// 0-based access index at which the panic fires.
+        at_access: u64,
+    },
 }
 
 impl FaultInjection {
@@ -390,6 +408,8 @@ impl FaultInjection {
             FaultInjection::CorruptDirectory { .. } => "corrupt-directory",
             FaultInjection::SkipBackInvalidation { .. } => "skip-back-invalidation",
             FaultInjection::StallCore { .. } => "stall-core",
+            FaultInjection::HangCore { .. } => "hang-core",
+            FaultInjection::PanicCore { .. } => "panic-core",
         }
     }
 
@@ -398,7 +418,9 @@ impl FaultInjection {
         match self {
             FaultInjection::CorruptDirectory { at_access }
             | FaultInjection::SkipBackInvalidation { at_access }
-            | FaultInjection::StallCore { at_access } => *at_access,
+            | FaultInjection::StallCore { at_access }
+            | FaultInjection::HangCore { at_access }
+            | FaultInjection::PanicCore { at_access } => *at_access,
         }
     }
 
@@ -408,6 +430,8 @@ impl FaultInjection {
             "corrupt-directory" => FaultInjection::CorruptDirectory { at_access },
             "skip-back-invalidation" => FaultInjection::SkipBackInvalidation { at_access },
             "stall-core" => FaultInjection::StallCore { at_access },
+            "hang-core" => FaultInjection::HangCore { at_access },
+            "panic-core" => FaultInjection::PanicCore { at_access },
             _ => return None,
         })
     }
@@ -447,6 +471,8 @@ mod tests {
             FaultInjection::CorruptDirectory { at_access: 5 },
             FaultInjection::SkipBackInvalidation { at_access: 6 },
             FaultInjection::StallCore { at_access: 7 },
+            FaultInjection::HangCore { at_access: 8 },
+            FaultInjection::PanicCore { at_access: 9 },
         ];
         for f in faults {
             assert_eq!(

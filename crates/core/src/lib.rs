@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod cancel;
 mod hierarchy;
 pub mod latency;
 pub mod leakage;
@@ -56,6 +57,7 @@ pub mod private;
 pub mod profile;
 
 pub use audit::{AuditCadence, Auditor, FaultInjection};
+pub use cancel::CancelToken;
 pub use hierarchy::{Access, CacheHierarchy, HierarchyConfig};
 pub use latency::{AccessClass, LatencyBreakdown, LatencyComponent, LatencyReport};
 pub use leakage::{CoreLeakage, LeakageObservatory, LeakageReport};

@@ -9,7 +9,7 @@
 
 use ziv_common::config::{L2Size, SystemConfig};
 use ziv_common::Fnv1a;
-use ziv_core::{LlcMode, ZivProperty};
+use ziv_core::{FaultInjection, LlcMode, ZivProperty};
 use ziv_replacement::PolicyKind;
 use ziv_sim::{Effort, RunSpec};
 use ziv_workloads::{apps, AttackRecipe, Recipe, ScaleParams};
@@ -161,6 +161,10 @@ pub mod campaigns {
                 "attack-eval",
                 "side-channel leakage: prime+probe and hammer attackers vs I/QBS/SHARP/ZIV defenses",
             ),
+            (
+                "soak",
+                "chaos-soak grid: mixed LLC modes × 3 workloads, the substrate `zivsim soak` injects faults into",
+            ),
         ]
     }
 
@@ -173,6 +177,7 @@ pub mod campaigns {
             "fig08-lru-perf" => Some(fig08(params)),
             "fig11-hawkeye-perf" => Some(fig11(params)),
             "attack-eval" => Some(attack_eval(params)),
+            "soak" => Some(soak(params)),
             _ => None,
         }
     }
@@ -324,6 +329,121 @@ pub mod campaigns {
             recipes,
             baseline_spec: 0,
         }
+    }
+
+    /// The chaos-soak substrate: a small grid that deliberately spans
+    /// every class of spec the fault injectors care about — two
+    /// inclusive specs (back-invalidation faults need real
+    /// back-invalidations, which I-Hawkeye under `circset` produces), a
+    /// non-inclusive spec, the TLA/SHARP defenses, and a ZIV spec.
+    /// Spec 0 is the baseline and is never faulted by the scheduler
+    /// ([`soak_chaos`]), so the summary normalization stays comparable
+    /// between the fault-free and chaos passes.
+    ///
+    /// Workloads are sized up from the smoke campaign (≥ 4 cores,
+    /// ≥ 2500 accesses/core) so that the inclusive specs actually
+    /// back-invalidate at every effort level.
+    fn soak(params: &CampaignParams) -> Campaign {
+        let scale = ScaleParams::from_system(&SystemConfig::scaled_with_l2(L2Size::K256));
+        let cores = params.cores.max(4);
+        let accesses = (params.effort.accesses_per_core / 8).max(2_500);
+        let recipes = ["circset", "hotl2", "chase"]
+            .into_iter()
+            .map(|app| {
+                Recipe::homogeneous(
+                    apps::app_by_name(app).expect("known app"),
+                    cores,
+                    accesses,
+                    params.seed,
+                    scale,
+                )
+            })
+            .collect();
+        let specs = vec![
+            figure_spec(LlcMode::Inclusive, PolicyKind::Lru, L2Size::K256),
+            figure_spec(LlcMode::Inclusive, PolicyKind::Hawkeye, L2Size::K256),
+            figure_spec(LlcMode::Inclusive, PolicyKind::Lru, L2Size::M1),
+            figure_spec(LlcMode::NonInclusive, PolicyKind::Lru, L2Size::K256),
+            figure_spec(LlcMode::Qbs, PolicyKind::Lru, L2Size::K256),
+            figure_spec(LlcMode::Sharp, PolicyKind::Lru, L2Size::K256),
+            figure_spec(
+                LlcMode::Ziv(ZivProperty::LikelyDead),
+                PolicyKind::Lru,
+                L2Size::K256,
+            ),
+        ];
+        Campaign {
+            name: "soak".into(),
+            description: names()[5].1.into(),
+            specs,
+            recipes,
+            baseline_spec: 0,
+        }
+    }
+
+    /// One fault the chaos scheduler armed on a soak spec.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SoakFault {
+        /// Index of the faulted spec in the soak campaign.
+        pub spec_index: usize,
+        /// The armed injection.
+        pub fault: FaultInjection,
+    }
+
+    /// Builds the chaos variant of the [`soak`] grid: the same campaign
+    /// with one deliberate fault armed on each of five specs, plus the
+    /// plan of what went where. Deterministic per `params.seed` — the
+    /// scheduler draws every trigger access and the fault→spec
+    /// assignment from a splitmix64 stream, so two processes with the
+    /// same seed soak the exact same chaos grid.
+    ///
+    /// Scheduling constraints the shuffle respects:
+    ///
+    /// - spec 0 (the baseline) and the last spec stay healthy, so the
+    ///   run always has fault-free rows to compare byte-for-byte
+    ///   against the fault-free pass;
+    /// - `skip-back-invalidation` is pinned to spec 1 (I-Hawkeye,
+    ///   inclusive): it only fires on a real back-invalidation;
+    /// - the other four injectors (`corrupt-directory`, `stall-core`,
+    ///   `hang-core`, `panic-core`) are shuffled across specs 2–5.
+    pub fn soak_chaos(params: &CampaignParams) -> (Campaign, Vec<SoakFault>) {
+        let mut campaign = soak(params);
+        let mut state = params.seed ^ 0xfa17_1417_c4a0_55ed;
+        let mut draw = move || {
+            // splitmix64: the same generator the backoff jitter uses.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        // Trigger accesses land in [50, 250): early enough to fire at
+        // every effort level, late enough that the run is warmed up.
+        let mut at = || 50 + draw() % 200;
+        let mut faults = vec![SoakFault {
+            spec_index: 1,
+            fault: FaultInjection::SkipBackInvalidation { at_access: at() },
+        }];
+        let mut movable = [
+            FaultInjection::CorruptDirectory { at_access: at() },
+            FaultInjection::StallCore { at_access: at() },
+            FaultInjection::HangCore { at_access: at() },
+            FaultInjection::PanicCore { at_access: at() },
+        ];
+        // Seeded Fisher-Yates over the movable injectors.
+        for i in (1..movable.len()).rev() {
+            movable.swap(i, (draw() % (i as u64 + 1)) as usize);
+        }
+        for (offset, fault) in movable.into_iter().enumerate() {
+            faults.push(SoakFault {
+                spec_index: 2 + offset,
+                fault,
+            });
+        }
+        for f in &faults {
+            campaign.specs[f.spec_index] = campaign.specs[f.spec_index].clone().with_fault(f.fault);
+        }
+        (campaign, faults)
     }
 
     fn fig11(params: &CampaignParams) -> Campaign {

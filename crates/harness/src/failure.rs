@@ -10,11 +10,18 @@
 //! the record is a *repro*, not merely a log line.
 
 use crate::campaign::{campaigns, CampaignParams, CellDigest, CELL_SCHEMA_VERSION};
+use crate::supervise::run_one_guarded;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 use ziv_common::json::{self, JsonValue};
 use ziv_common::{Fnv1a, SimError};
 use ziv_core::{AuditCadence, FaultInjection};
-use ziv_sim::{run_one_checked, CellBudget, Effort, RunOptions, TraceEvent};
+use ziv_sim::{CellBudget, Effort, RunOptions, TraceEvent};
+
+/// Wall-clock guard on a replay run. Replaying a `hang-core` record
+/// re-injects the hang; without this budget the replay itself would
+/// wedge instead of reproducing the recorded `timeout` failure.
+const REPLAY_WALL_BUDGET: Duration = Duration::from_secs(30);
 
 /// Version tag of the failure-record JSON schema.
 pub const FAILURE_SCHEMA_VERSION: u64 = 1;
@@ -271,7 +278,10 @@ pub struct ReplayReport {
 /// Deterministically re-runs the cell described by `record` at
 /// `every-access` audit cadence (pinning any violation to the exact
 /// access that introduced it) under the recorded cycle budget, and
-/// compares the outcome with what the record claims.
+/// compares the outcome with what the record claims. The replay runs
+/// supervised — panic containment plus a wall-clock watchdog — so
+/// hang-core and panic-core records reproduce their failures instead
+/// of taking the replaying process down with them.
 ///
 /// # Errors
 ///
@@ -325,7 +335,10 @@ pub fn replay(record: &FailureRecord) -> Result<ReplayReport, SimError> {
         budget: Some(CellBudget::Cycles(record.budget_cycles)),
         observe: ziv_sim::ObserveConfig::disabled(),
     };
-    let outcome = run_one_checked(&spec, &workload, &opts);
+    // Guarded execution: a hang-core record parks the model again (the
+    // watchdog cancels it, reproducing the timeout) and a panic-core
+    // record panics again (contained, reproducing the internal error).
+    let (outcome, _) = run_one_guarded(&spec, &workload, &opts, Some(REPLAY_WALL_BUDGET));
 
     let report = match outcome {
         Ok(_) => ReplayReport {

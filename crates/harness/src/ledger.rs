@@ -12,7 +12,14 @@
 //! The file is append-only: a run killed mid-write leaves at most one
 //! truncated final line, which [`Ledger::load`] skips (and counts), so
 //! an interrupted campaign always resumes from its last *completed*
-//! cell. Appends flush per line for exactly that reason.
+//! cell. Appends flush **and fsync** per line for exactly that reason:
+//! once an append returns, the entry survives a kill -9 and a power
+//! cut. [`Ledger::recover`] goes one step further than `load`: it
+//! detects a torn tail (or any damaged line), drops exactly the
+//! damaged bytes, and rewrites the file atomically (temp file, fsync,
+//! then rename via [`ziv_common::fsutil::atomic_write`]) so later
+//! appends cannot glue onto a dangling fragment and every later load
+//! is clean.
 
 use crate::campaign::CellDigest;
 use std::collections::HashMap;
@@ -48,7 +55,7 @@ fn intern_app_name(name: &str) -> &'static str {
     s
 }
 
-fn result_to_json(digest: CellDigest, r: &RunResult) -> JsonValue {
+fn result_to_json(digest: CellDigest, r: &RunResult, attempts: u32) -> JsonValue {
     let cores = r
         .cores
         .iter()
@@ -60,13 +67,19 @@ fn result_to_json(digest: CellDigest, r: &RunResult) -> JsonValue {
             ])
         })
         .collect();
-    JsonValue::Obj(vec![
+    let mut fields = vec![
         ("digest".to_string(), JsonValue::str(digest.hex())),
         ("label".to_string(), JsonValue::str(&r.label)),
         ("workload".to_string(), JsonValue::str(&r.workload)),
-        ("cores".to_string(), JsonValue::Arr(cores)),
-        ("metrics".to_string(), r.metrics.to_json()),
-    ])
+    ];
+    // First-attempt successes omit the field so clean-run ledgers stay
+    // byte-identical with and without a retry policy armed.
+    if attempts > 1 {
+        fields.push(("attempts".to_string(), JsonValue::u64(u64::from(attempts))));
+    }
+    fields.push(("cores".to_string(), JsonValue::Arr(cores)));
+    fields.push(("metrics".to_string(), r.metrics.to_json()));
+    JsonValue::Obj(fields)
 }
 
 fn result_from_json(v: &JsonValue) -> Result<(CellDigest, RunResult), String> {
@@ -138,15 +151,28 @@ pub struct FailedCell {
     pub message: String,
     /// Access index of detection, when the failure is tied to one.
     pub access_index: Option<u64>,
+    /// How many attempts the supervisor made before giving up (1 when
+    /// no retry policy was armed — the field is omitted from the JSON
+    /// in that case).
+    pub attempts: u32,
 }
 
-fn error_to_json(digest: CellDigest, label: &str, workload: &str, error: &SimError) -> JsonValue {
+fn error_to_json(
+    digest: CellDigest,
+    label: &str,
+    workload: &str,
+    error: &SimError,
+    attempts: u32,
+) -> JsonValue {
     let mut err_fields = vec![
         ("kind".to_string(), JsonValue::str(error.kind_tag())),
         ("message".to_string(), JsonValue::str(error.to_string())),
     ];
     if let Some(idx) = error.access_index() {
         err_fields.push(("access_index".to_string(), JsonValue::u64(idx)));
+    }
+    if attempts > 1 {
+        err_fields.push(("attempts".to_string(), JsonValue::u64(u64::from(attempts))));
     }
     JsonValue::Obj(vec![
         ("digest".to_string(), JsonValue::str(digest.hex())),
@@ -187,6 +213,10 @@ fn error_from_json(v: &JsonValue) -> Result<(CellDigest, FailedCell), String> {
                 .unwrap_or_default()
                 .to_string(),
             access_index: err.get("access_index").and_then(JsonValue::as_u64),
+            attempts: err
+                .get("attempts")
+                .and_then(JsonValue::as_u64)
+                .map_or(1, |a| a.min(u64::from(u32::MAX)) as u32),
         },
     ))
 }
@@ -227,41 +257,115 @@ impl Ledger {
             if reader.read_until(b'\n', &mut buf)? == 0 {
                 break;
             }
-            // A crashed writer can leave arbitrary bytes, not just a
-            // truncated JSON prefix — tolerate invalid UTF-8 too.
-            let line = match std::str::from_utf8(&buf) {
-                Ok(s) => s.trim(),
-                Err(_) => {
-                    ledger.skipped += 1;
-                    continue;
-                }
-            };
-            if line.is_empty() {
-                continue;
-            }
-            let Ok(v) = json::parse(line) else {
+            if !ledger.ingest_raw_line(&buf) {
                 ledger.skipped += 1;
-                continue;
-            };
-            if v.get("error").is_some() {
-                match error_from_json(&v) {
-                    Ok((digest, failed)) => {
-                        ledger.entries.remove(&digest);
-                        ledger.failures.insert(digest, failed);
-                    }
-                    Err(_) => ledger.skipped += 1,
-                }
-            } else {
-                match result_from_json(&v) {
-                    Ok((digest, result)) => {
-                        ledger.failures.remove(&digest);
-                        ledger.entries.insert(digest, result);
-                    }
-                    Err(_) => ledger.skipped += 1,
-                }
             }
         }
         Ok(ledger)
+    }
+
+    /// Parses one raw ledger line into the in-memory maps. Returns
+    /// `false` when the line is damaged (invalid UTF-8, unparseable
+    /// JSON, or a well-formed object missing required fields); blank
+    /// lines are valid no-ops.
+    fn ingest_raw_line(&mut self, raw: &[u8]) -> bool {
+        // A crashed writer can leave arbitrary bytes, not just a
+        // truncated JSON prefix — tolerate invalid UTF-8 too.
+        let Ok(line) = std::str::from_utf8(raw) else {
+            return false;
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        let Ok(v) = json::parse(line) else {
+            return false;
+        };
+        if v.get("error").is_some() {
+            match error_from_json(&v) {
+                Ok((digest, failed)) => {
+                    self.entries.remove(&digest);
+                    self.failures.insert(digest, failed);
+                    true
+                }
+                Err(_) => false,
+            }
+        } else {
+            match result_from_json(&v) {
+                Ok((digest, result)) => {
+                    self.failures.remove(&digest);
+                    self.entries.insert(digest, result);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+    }
+
+    /// Loads a ledger file like [`Ledger::load`], then — when any line
+    /// was damaged or the file ends mid-record — rewrites it atomically
+    /// with only the intact lines, byte-for-byte verbatim. After a
+    /// recovery the file loads clean: the dropped cells simply have no
+    /// entry, so a `--resume` pass re-runs exactly them.
+    ///
+    /// A clean file is left untouched (no rewrite, no mtime churn), so
+    /// resumed campaigns stay byte-identical to uninterrupted ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] when the file cannot be read or the
+    /// repaired file cannot be written. A failed rewrite never damages
+    /// the original (the write is temp + rename).
+    pub fn recover(path: &Path) -> Result<(Ledger, LedgerRecovery), SimError> {
+        let raw = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Ledger::default(), LedgerRecovery::default()))
+            }
+            Err(e) => return Err(SimError::io("read ledger", path, e)),
+        };
+        let mut ledger = Ledger::default();
+        let mut report = LedgerRecovery::default();
+        let mut intact: Vec<&[u8]> = Vec::new();
+        let mut rest: &[u8] = &raw;
+        while !rest.is_empty() {
+            let (line, tail, terminated) = match rest.iter().position(|&b| b == b'\n') {
+                Some(nl) => (&rest[..=nl], &rest[nl + 1..], true),
+                None => (rest, &[][..], false),
+            };
+            rest = tail;
+            let ok = ledger.ingest_raw_line(line);
+            if ok && !terminated {
+                // A parseable line without its newline is still a torn
+                // tail: the writer died between the payload and the
+                // terminator. Keep the data, repair the framing.
+                report.torn_tail = true;
+            }
+            if ok {
+                intact.push(line);
+            } else {
+                ledger.skipped += 1;
+                report.dropped_lines += 1;
+                if terminated {
+                    report.dropped_bytes += line.len() as u64;
+                } else {
+                    report.torn_tail = true;
+                    report.dropped_bytes += line.len() as u64;
+                }
+            }
+        }
+        if report.dropped_lines > 0 || report.torn_tail {
+            let mut repaired = Vec::with_capacity(raw.len());
+            for line in &intact {
+                repaired.extend_from_slice(line);
+                if repaired.last() != Some(&b'\n') {
+                    repaired.push(b'\n');
+                }
+            }
+            ziv_common::fsutil::atomic_write(path, &repaired)?;
+            report.repaired = true;
+        }
+        Ok((ledger, report))
     }
 
     /// The cached result for a cell digest, if present.
@@ -301,9 +405,31 @@ impl Ledger {
     }
 }
 
+/// What [`Ledger::recover`] found and did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerRecovery {
+    /// Damaged lines dropped (torn tails, garbage, half-records).
+    pub dropped_lines: usize,
+    /// Total bytes of damage dropped.
+    pub dropped_bytes: u64,
+    /// Whether the file ended mid-record (the kill -9 footprint).
+    pub torn_tail: bool,
+    /// Whether the file was rewritten. `false` means it was already
+    /// clean and was left untouched.
+    pub repaired: bool,
+}
+
+impl LedgerRecovery {
+    /// Whether anything was wrong with the file.
+    pub fn was_damaged(&self) -> bool {
+        self.dropped_lines > 0 || self.torn_tail
+    }
+}
+
 /// Append handle for a ledger file, safe to share across worker
-/// threads (each append is one locked write + flush, so lines never
-/// interleave and a kill loses at most the in-flight line).
+/// threads (each append is one locked write + flush + fsync, so lines
+/// never interleave, a kill loses at most the in-flight line, and
+/// every completed append survives a power cut).
 #[derive(Debug)]
 pub struct LedgerWriter {
     file: Mutex<File>,
@@ -340,7 +466,7 @@ impl LedgerWriter {
         })
     }
 
-    /// Appends one completed cell and flushes.
+    /// Appends one completed cell, flushes, and fsyncs.
     ///
     /// # Errors
     ///
@@ -350,16 +476,35 @@ impl LedgerWriter {
     ///
     /// Panics if another thread poisoned the writer lock.
     pub fn append(&self, digest: CellDigest, result: &RunResult) -> std::io::Result<()> {
-        let line = result_to_json(digest, result).to_string();
-        let mut f = self.file.lock().unwrap();
-        writeln!(f, "{line}")?;
-        f.flush()
+        self.append_attempted(digest, result, 1)
     }
 
-    /// Appends one failed cell as an error entry and flushes. The entry
-    /// never satisfies [`Ledger::get`], so a later `--resume` retries
-    /// exactly this cell; a subsequent successful append for the same
-    /// digest supersedes it.
+    /// [`LedgerWriter::append`] recording the supervisor's attempt
+    /// count. First-attempt successes (`attempts == 1`) serialize
+    /// byte-identically to [`LedgerWriter::append`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread poisoned the writer lock.
+    pub fn append_attempted(
+        &self,
+        digest: CellDigest,
+        result: &RunResult,
+        attempts: u32,
+    ) -> std::io::Result<()> {
+        let line = result_to_json(digest, result, attempts).to_string();
+        self.write_line(&line)
+    }
+
+    /// Appends one failed cell as an error entry (with the supervisor's
+    /// attempt count), flushes, and fsyncs. The entry never satisfies
+    /// [`Ledger::get`], so a later `--resume` retries exactly this
+    /// cell; a subsequent successful append for the same digest
+    /// supersedes it.
     ///
     /// # Errors
     ///
@@ -374,11 +519,20 @@ impl LedgerWriter {
         label: &str,
         workload: &str,
         error: &SimError,
+        attempts: u32,
     ) -> std::io::Result<()> {
-        let line = error_to_json(digest, label, workload, error).to_string();
+        let line = error_to_json(digest, label, workload, error, attempts).to_string();
+        self.write_line(&line)
+    }
+
+    /// One locked write + flush + fsync: after this returns, the line
+    /// is durably on disk — the write-ahead guarantee `--resume`
+    /// depends on after a kill -9.
+    fn write_line(&self, line: &str) -> std::io::Result<()> {
         let mut f = self.file.lock().unwrap();
         writeln!(f, "{line}")?;
-        f.flush()
+        f.flush()?;
+        f.sync_data()
     }
 }
 
@@ -521,7 +675,7 @@ mod tests {
             line: None,
             detail: "no LLC copy".into(),
         });
-        w.append_error(CellDigest(9), "Z-LRU", "homo-circset", &e)
+        w.append_error(CellDigest(9), "Z-LRU", "homo-circset", &e, 1)
             .unwrap();
         let ledger = Ledger::load(&path).unwrap();
         assert_eq!(ledger.len(), 0, "a failure is not a cached result");
@@ -542,10 +696,10 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let w = LedgerWriter::append_to(&path).unwrap();
         let e = SimError::Config("boom".into());
-        w.append_error(CellDigest(5), "L", "w", &e).unwrap();
+        w.append_error(CellDigest(5), "L", "w", &e, 1).unwrap();
         w.append(CellDigest(5), &r).unwrap(); // retried and succeeded
         w.append(CellDigest(6), &r).unwrap();
-        w.append_error(CellDigest(6), "L", "w", &e).unwrap(); // regressed
+        w.append_error(CellDigest(6), "L", "w", &e, 1).unwrap(); // regressed
         let ledger = Ledger::load(&path).unwrap();
         assert_eq!(ledger.get(CellDigest(5)), Some(&r));
         assert!(ledger.failure(CellDigest(5)).is_none());

@@ -23,7 +23,9 @@
 //!   `DESIGN.md` for what is and is not digested). Hand-rolled JSON
 //!   (`ziv_common::json`) keeps the build dependency-free.
 //! - [`run_campaign`]: the runner — partitions cells into cached and
-//!   missing, executes the missing ones via [`ziv_sim::run_cells`],
+//!   missing, executes the missing ones on the supervised worker pool
+//!   ([`run_cells_supervised`]: watchdog-cancelled hangs, contained
+//!   panics, deterministic retry of transient failures),
 //!   appends each finished cell to the ledger as it completes, and
 //!   exports `grid.csv` / `summary.csv` assembled from cached + fresh
 //!   results. The final CSVs are byte-identical whether the campaign
@@ -66,10 +68,17 @@ mod campaign;
 mod failure;
 mod ledger;
 mod runner;
+mod soak;
+mod supervise;
 mod telemetry;
 
 pub use campaign::{campaigns, Campaign, CampaignParams, CellDigest, CELL_SCHEMA_VERSION};
 pub use failure::{replay, FailureRecord, ReplayReport, FAILURE_SCHEMA_VERSION};
-pub use ledger::{FailedCell, Ledger, LedgerWriter};
+pub use ledger::{FailedCell, Ledger, LedgerRecovery, LedgerWriter};
 pub use runner::{run_campaign, CampaignOutcome, CellFailure, RunnerConfig};
+pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use supervise::{
+    execute_with_retry, run_cells_supervised, run_one_guarded, NoopSuperviseObserver,
+    SuperviseConfig, SuperviseObserver, SupervisedRun,
+};
 pub use telemetry::{CellTiming, NullSink, ProgressSink, StderrProgress, Telemetry};

@@ -4,19 +4,20 @@
 use crate::campaign::{Campaign, CampaignParams, CellDigest};
 use crate::failure::FailureRecord;
 use crate::ledger::{Ledger, LedgerWriter};
+use crate::supervise::{run_cells_supervised, SuperviseConfig, SuperviseObserver};
 use crate::telemetry::{CellTiming, ProgressSink, Telemetry};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use ziv_common::json::JsonValue;
-use ziv_common::SimError;
+use ziv_common::{RetryPolicy, SimError};
 use ziv_core::AuditCadence;
 use ziv_sim::{
-    run_cells_checked, run_one_traced, speedup_summary, write_grid_csv, write_heatmap_csv,
-    write_latency_csv, write_leakage_csv, write_summary_csv, write_timeseries_csv, CellBudget,
-    EventTraceConfig, GridObserver, GridResult, Observations, ObserveConfig, ObservedCell,
-    ProfileReport, RunOptions, RunResult, RunSpec, TraceEvent,
+    run_one_traced, speedup_summary, write_grid_csv, write_heatmap_csv, write_latency_csv,
+    write_leakage_csv, write_summary_csv, write_timeseries_csv, CellBudget, EventTraceConfig,
+    GridResult, Observations, ObserveConfig, ObservedCell, ProfileReport, RunOptions, RunResult,
+    RunSpec, TraceEvent,
 };
 use ziv_workloads::Workload;
 
@@ -51,6 +52,22 @@ pub struct RunnerConfig {
     /// never digested, so it cannot perturb the ledger or the cached
     /// cell results.
     pub observe: ObserveConfig,
+    /// Wall-clock budget per cell attempt (`--cell-timeout`). When set,
+    /// a watchdog thread cancels any cell that exceeds it; the cell is
+    /// ledgered as a `timeout` failure. `None` disables the wall clock.
+    /// When neither this nor `stall_window` is set, cells run without a
+    /// cancellation token — the zero-cost path.
+    pub cell_timeout: Option<Duration>,
+    /// No-forward-progress budget per cell attempt (`--stall-window`):
+    /// a cell whose access counter stops advancing for this long is
+    /// cancelled and ledgered as a `timeout` failure. Catches wedged
+    /// cells in milliseconds where the wall clock must stay generous
+    /// for legitimately slow cells.
+    pub stall_window: Option<Duration>,
+    /// Extra attempts for transiently failing cells (`--retries`).
+    /// Only errors with [`SimError::is_transient`] are retried, under a
+    /// deterministic backoff schedule seeded from the campaign seed.
+    pub retries: u32,
 }
 
 impl RunnerConfig {
@@ -67,6 +84,9 @@ impl RunnerConfig {
             cell_budget: None,
             params: None,
             observe: ObserveConfig::disabled(),
+            cell_timeout: None,
+            stall_window: None,
+            retries: 0,
         }
     }
 }
@@ -86,6 +106,8 @@ pub struct CellFailure {
     pub workload: String,
     /// The typed error that felled the cell.
     pub error: SimError,
+    /// Attempts made before giving up (1 = no retries were taken).
+    pub attempts: u32,
     /// Path of the replayable repro record, when one was written.
     pub record_path: Option<PathBuf>,
 }
@@ -106,6 +128,10 @@ pub struct CampaignOutcome {
     pub summary_csv: PathBuf,
     /// Path of the result ledger.
     pub ledger_path: PathBuf,
+    /// What loading the ledger found and repaired (all-zero for a
+    /// clean or absent ledger). A resume after a mid-append kill shows
+    /// up here as `torn_tail`.
+    pub recovery: crate::ledger::LedgerRecovery,
     /// Path of the per-epoch time-series CSV, written when epoch
     /// slicing was on. Covers only the cells executed *this* run —
     /// cached cells are not re-simulated, so they contribute no epochs.
@@ -127,7 +153,7 @@ pub struct CampaignOutcome {
     pub profile_json: Option<PathBuf>,
 }
 
-/// Forwards `run_cells_checked` completions into the ledger and the
+/// Forwards supervised-pool completions into the ledger and the
 /// progress sink. Ledger I/O errors are latched (observers cannot
 /// propagate) and re-raised after the grid finishes.
 struct CampaignObserver<'a> {
@@ -149,17 +175,18 @@ impl CampaignObserver<'_> {
     }
 }
 
-impl GridObserver for CampaignObserver<'_> {
+impl SuperviseObserver for CampaignObserver<'_> {
     fn cell_finished(
         &self,
         spec_index: usize,
         workload_index: usize,
         result: &RunResult,
+        attempts: u32,
         wall: Duration,
     ) {
-        if let Err(e) = self
-            .writer
-            .append(self.digests[spec_index][workload_index], result)
+        if let Err(e) =
+            self.writer
+                .append_attempted(self.digests[spec_index][workload_index], result, attempts)
         {
             self.latch(SimError::io(
                 "append ledger entry",
@@ -184,13 +211,17 @@ impl GridObserver for CampaignObserver<'_> {
         spec_index: usize,
         workload_index: usize,
         error: &SimError,
+        attempts: u32,
         _wall: Duration,
     ) {
         self.failed.fetch_add(1, Ordering::Relaxed);
         let digest = self.digests[spec_index][workload_index];
         let label = &self.campaign.specs[spec_index].label;
         let workload = self.campaign.recipes[workload_index].workload_name();
-        if let Err(e) = self.writer.append_error(digest, label, &workload, error) {
+        if let Err(e) = self
+            .writer
+            .append_error(digest, label, &workload, error, attempts)
+        {
             self.latch(SimError::io(
                 "append ledger error entry",
                 self.cfg.results_dir.join("ledger.jsonl"),
@@ -248,14 +279,20 @@ pub fn run_campaign(
         std::fs::remove_file(&ledger_path)
             .map_err(|e| SimError::io("reset ledger", &ledger_path, e))?;
     }
-    let ledger =
-        Ledger::load(&ledger_path).map_err(|e| SimError::io("load ledger", &ledger_path, e))?;
-    if ledger.skipped_lines() > 0 {
-        eprintln!(
-            "warning: skipped {} unparseable ledger line(s) in {} (interrupted write?)",
-            ledger.skipped_lines(),
-            ledger_path.display()
-        );
+    let (ledger, recovery) = Ledger::recover(&ledger_path)?;
+    if recovery.was_damaged() {
+        sink.warning(&format!(
+            "recovered damaged ledger {}{}: dropped {} unparseable line(s) ({} bytes); \
+             cells without an intact entry will re-run",
+            ledger_path.display(),
+            if recovery.torn_tail {
+                " (torn tail: interrupted mid-append)"
+            } else {
+                ""
+            },
+            recovery.dropped_lines,
+            recovery.dropped_bytes,
+        ));
     }
 
     // Partition the grid against the ledger. Cached results take the
@@ -323,12 +360,19 @@ pub fn run_campaign(
             timings: Mutex::new(Vec::with_capacity(missing.len())),
             io_error: Mutex::new(None),
         };
-        let runs = run_cells_checked(
+        let sup = SuperviseConfig {
+            cell_timeout: cfg.cell_timeout,
+            stall_window: cfg.stall_window,
+            retry: RetryPolicy::with_retries(cfg.retries, cfg.params.map_or(0x2026, |p| p.seed)),
+            poll: Duration::from_millis(5),
+        };
+        let runs = run_cells_supervised(
             &campaign.specs,
             &workloads,
             &missing,
             cfg.threads,
             &opts,
+            &sup,
             &observer,
         );
         if let Some(e) = observer.io_error.into_inner().unwrap() {
@@ -355,6 +399,7 @@ pub fn run_campaign(
                                 spec,
                                 &workloads[run.workload_index],
                                 &opts,
+                                &error,
                             );
                             let record = FailureRecord {
                                 campaign: campaign.name.clone(),
@@ -387,6 +432,7 @@ pub fn run_campaign(
                         label: campaign.specs[run.spec_index].label.clone(),
                         workload: campaign.recipes[run.workload_index].workload_name(),
                         error,
+                        attempts: run.attempts,
                         record_path,
                     });
                 }
@@ -494,6 +540,7 @@ pub fn run_campaign(
         grid_csv,
         summary_csv,
         ledger_path,
+        recovery,
         timeseries_csv,
         heatmap_csv,
         latency_csv,
@@ -533,17 +580,24 @@ fn write_profile_json(path: &std::path::Path, cells: &[ObservedCell<'_>]) -> Res
 /// ring when event tracing was on, otherwise one deterministic re-run
 /// of the cell with the tracer enabled (and everything else unchanged,
 /// so it fails identically). The common untraced-success path pays
-/// nothing for this — only failing cells are ever re-run.
+/// nothing for this — only failing cells are ever re-run, and only for
+/// failure kinds that terminate on their own (audit violations, cycle
+/// budgets). A timed-out or panicking cell is never re-run here: the
+/// unsupervised re-trace would hang the runner or kill the worker.
 fn failure_events(
     observations: Option<&Observations>,
     spec: &RunSpec,
     workload: &Workload,
     opts: &RunOptions,
+    error: &SimError,
 ) -> Vec<TraceEvent> {
     if let Some(obs) = observations {
         if !obs.events.is_empty() {
             return obs.events.clone();
         }
+    }
+    if !matches!(error, SimError::Audit(_) | SimError::BudgetExceeded { .. }) {
+        return Vec::new();
     }
     let mut retrace = *opts;
     retrace.observe = ObserveConfig {

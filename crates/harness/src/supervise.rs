@@ -1,0 +1,511 @@
+//! The supervised worker pool: watchdog-cancelled cells, per-worker
+//! panic containment, and bounded deterministic retry.
+//!
+//! [`run_cells_supervised`] is the campaign runner's execution engine.
+//! It extends the fault isolation of `ziv_sim::run_cells_checked` with
+//! the three failure modes that layer cannot contain:
+//!
+//! - **Hangs.** Each attempt runs under a [`CancelToken`] registered in
+//!   a per-worker watch slot; a single watchdog thread scans the slots
+//!   and cancels any cell past its wall-clock budget
+//!   ([`SuperviseConfig::cell_timeout`]). The driver's access loop
+//!   polls the token cooperatively, so a cancelled cell stops at the
+//!   next access — even one wedged by an injected `hang-core` fault —
+//!   and is ledgered as [`SimError::Timeout`].
+//! - **Panics.** Every attempt runs inside `catch_unwind`: a panic deep
+//!   in the model becomes one [`SimError::Internal`] failure for that
+//!   cell instead of a dead worker and a wedged campaign.
+//! - **Transient I/O.** A failed attempt whose error
+//!   [`SimError::is_transient`] qualifies is retried under the
+//!   deterministic [`RetryPolicy`] backoff schedule; the attempt count
+//!   is reported to the observer so the ledger records it.
+//!
+//! With no timeout and no retries ([`SuperviseConfig::unsupervised`])
+//! the pool is behaviorally identical to `run_cells_checked` — same
+//! claiming order, same results, same observer cadence — which is what
+//! keeps clean-campaign ledgers byte-identical to the pre-supervision
+//! harness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use ziv_common::{RetryPolicy, SimError};
+use ziv_core::CancelToken;
+use ziv_sim::{run_one_supervised, Observations, RunOptions, RunResult, RunSpec};
+use ziv_workloads::Workload;
+
+/// Supervision knobs for a campaign run.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperviseConfig {
+    /// Wall-clock budget per cell attempt (`--cell-timeout`). Bounds
+    /// how long any cell — however slow — may run.
+    pub cell_timeout: Option<Duration>,
+    /// No-forward-progress budget per cell attempt (`--stall-window`):
+    /// a cell whose access counter stops advancing for this long is
+    /// cancelled. Catches a wedged cell in milliseconds where the
+    /// wall-clock budget must stay generous enough for legitimately
+    /// slow cells.
+    pub stall_window: Option<Duration>,
+    /// Retry policy for transient failures (`--retries`).
+    pub retry: RetryPolicy,
+    /// Watchdog scan interval. Only the cancellation *latency* depends
+    /// on it; results never do.
+    pub poll: Duration,
+}
+
+impl SuperviseConfig {
+    /// No watchdog, no retries: byte-identical to the pre-supervision
+    /// pool. With neither budget set, cells run without a cancellation
+    /// token — the zero-cost unarmed path.
+    pub fn unsupervised() -> Self {
+        SuperviseConfig {
+            cell_timeout: None,
+            stall_window: None,
+            retry: RetryPolicy::none(),
+            poll: Duration::from_millis(5),
+        }
+    }
+
+    /// Whether any supervision feature is armed.
+    pub fn is_active(&self) -> bool {
+        self.watched() || self.retry.max_attempts > 1
+    }
+
+    /// Whether cells need a cancellation token and a watchdog thread.
+    fn watched(&self) -> bool {
+        self.cell_timeout.is_some() || self.stall_window.is_some()
+    }
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        Self::unsupervised()
+    }
+}
+
+/// Observer of supervised cell execution — the attempt-aware sibling of
+/// `ziv_sim::GridObserver`, called from worker threads.
+pub trait SuperviseObserver: Sync {
+    /// A worker picked up cell `(spec_index, workload_index)`.
+    fn cell_started(&self, spec_index: usize, workload_index: usize) {
+        let _ = (spec_index, workload_index);
+    }
+
+    /// A cell completed after `attempts` attempts (1 = first try).
+    fn cell_finished(
+        &self,
+        spec_index: usize,
+        workload_index: usize,
+        result: &RunResult,
+        attempts: u32,
+        wall: Duration,
+    ) {
+        let _ = (spec_index, workload_index, result, attempts, wall);
+    }
+
+    /// A cell failed after `attempts` attempts (retries exhausted or
+    /// the error was not transient).
+    fn cell_failed(
+        &self,
+        spec_index: usize,
+        workload_index: usize,
+        error: &SimError,
+        attempts: u32,
+        wall: Duration,
+    ) {
+        let _ = (spec_index, workload_index, error, attempts, wall);
+    }
+
+    /// Polled before claiming the next cell; `true` stops the grid
+    /// early (`--strict`). Cells in flight still settle.
+    fn should_abort(&self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing [`SuperviseObserver`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSuperviseObserver;
+
+impl SuperviseObserver for NoopSuperviseObserver {}
+
+/// One cell's outcome under the supervised pool.
+#[derive(Debug)]
+pub struct SupervisedRun {
+    /// Index of the spec in the grid's spec list.
+    pub spec_index: usize,
+    /// Index of the workload in the grid's workload list.
+    pub workload_index: usize,
+    /// The run's results, or the error of its final attempt.
+    pub outcome: Result<RunResult, SimError>,
+    /// Flight-recorder payload of the final attempt, when observing.
+    pub observations: Option<Box<Observations>>,
+    /// Attempts made (1 = no retries were needed).
+    pub attempts: u32,
+}
+
+/// A cell attempt currently under watch: its token, its wall-clock
+/// deadline, and its progress history for stall detection.
+struct Watch {
+    token: CancelToken,
+    deadline: Option<Instant>,
+    timeout: Option<Duration>,
+    last_progress: u64,
+    last_advance: Instant,
+}
+
+impl Watch {
+    fn new(token: CancelToken, timeout: Option<Duration>) -> Watch {
+        let now = Instant::now();
+        Watch {
+            token,
+            deadline: timeout.map(|t| now + t),
+            timeout,
+            last_progress: 0,
+            last_advance: now,
+        }
+    }
+
+    /// One watchdog scan over this attempt; cancels on a blown budget.
+    fn check(&mut self, now: Instant, stall_window: Option<Duration>) {
+        if self.token.is_cancelled() {
+            return;
+        }
+        if let (Some(deadline), Some(timeout)) = (self.deadline, self.timeout) {
+            if now >= deadline {
+                self.token.cancel(format!(
+                    "wall-clock budget {}ms exceeded ({} accesses issued)",
+                    timeout.as_millis(),
+                    self.token.progress()
+                ));
+                return;
+            }
+        }
+        if let Some(window) = stall_window {
+            let progress = self.token.progress();
+            if progress != self.last_progress {
+                self.last_progress = progress;
+                self.last_advance = now;
+            } else if now.duration_since(self.last_advance) >= window {
+                self.token.cancel(format!(
+                    "no forward progress for {}ms (stalled near access {progress})",
+                    window.as_millis()
+                ));
+            }
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload into the human-readable fragment of
+/// a [`SimError::Internal`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `attempt_fn` under `policy`, sleeping `sleep_ms` between
+/// attempts. Returns the final outcome and the number of attempts made.
+/// `attempt_fn` receives the 1-based attempt number.
+fn execute_with_retry_with<T>(
+    policy: &RetryPolicy,
+    mut sleep_ms: impl FnMut(u64),
+    mut attempt_fn: impl FnMut(u32) -> Result<T, SimError>,
+) -> (Result<T, SimError>, u32) {
+    let mut attempt = 1u32;
+    loop {
+        match attempt_fn(attempt) {
+            Ok(v) => return (Ok(v), attempt),
+            Err(e) if policy.should_retry(&e, attempt) => {
+                sleep_ms(policy.backoff.delay_ms(attempt));
+                attempt += 1;
+            }
+            Err(e) => return (Err(e), attempt),
+        }
+    }
+}
+
+/// Runs `attempt_fn` under `policy` with real backoff sleeps. See
+/// [`RetryPolicy`]: only transient errors are retried, and the delay
+/// schedule is deterministic per seed.
+pub fn execute_with_retry<T>(
+    policy: &RetryPolicy,
+    attempt_fn: impl FnMut(u32) -> Result<T, SimError>,
+) -> (Result<T, SimError>, u32) {
+    execute_with_retry_with(
+        policy,
+        |ms| std::thread::sleep(Duration::from_millis(ms)),
+        attempt_fn,
+    )
+}
+
+/// One guarded attempt: panic containment always; a watchdog token
+/// registered in the given slot when `watch` is provided (the inner
+/// `Option<Duration>` is the attempt's wall-clock budget).
+fn run_attempt(
+    spec: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+    watch: Option<(&Mutex<Option<Watch>>, Option<Duration>)>,
+) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
+    let token = watch.map(|(slot, timeout)| {
+        let token = CancelToken::new();
+        *slot.lock().unwrap() = Some(Watch::new(token.clone(), timeout));
+        token
+    });
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_one_supervised(spec, workload, opts, token.as_ref())
+    }));
+    if let Some((slot, _)) = watch {
+        *slot.lock().unwrap() = None;
+    }
+    match outcome {
+        Ok((result, observations)) => (result, observations),
+        Err(payload) => (
+            Err(SimError::Internal(panic_message(payload.as_ref()))),
+            None,
+        ),
+    }
+}
+
+/// Runs one cell to completion under full supervision but outside any
+/// pool: panic containment plus an optional wall-clock watchdog on a
+/// dedicated thread. Used by `zivsim replay` so that replaying a
+/// hang-core repro record reproduces its `Timeout` instead of wedging
+/// the CLI.
+pub fn run_one_guarded(
+    spec: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+    timeout: Option<Duration>,
+) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
+    let Some(timeout) = timeout else {
+        return run_attempt(spec, workload, opts, None);
+    };
+    let token = CancelToken::new();
+    let done = std::sync::Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let token = token.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + timeout;
+            while !done.load(Ordering::Acquire) {
+                if Instant::now() >= deadline {
+                    token.cancel(format!(
+                        "wall-clock budget {}ms exceeded",
+                        timeout.as_millis()
+                    ));
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_one_supervised(spec, workload, opts, Some(&token))
+    }));
+    done.store(true, Ordering::Release);
+    let _ = watchdog.join();
+    match outcome {
+        Ok((result, observations)) => (result, observations),
+        Err(payload) => (
+            Err(SimError::Internal(panic_message(payload.as_ref()))),
+            None,
+        ),
+    }
+}
+
+/// The supervised worker pool. Runs the listed
+/// `(spec_index, workload_index)` cells across `threads` workers, each
+/// attempt guarded by panic containment, the optional watchdog, and the
+/// retry policy (see the module docs). Results are sorted by
+/// `(spec_index, workload_index)`; cells skipped by
+/// [`SuperviseObserver::should_abort`] are absent.
+///
+/// # Panics
+///
+/// Panics if a cell index is out of range for `specs` / `workloads`.
+pub fn run_cells_supervised(
+    specs: &[RunSpec],
+    workloads: &[Workload],
+    cells: &[(usize, usize)],
+    threads: usize,
+    opts: &RunOptions,
+    sup: &SuperviseConfig,
+    observer: &dyn SuperviseObserver,
+) -> Vec<SupervisedRun> {
+    for &(s, w) in cells {
+        assert!(s < specs.len(), "spec index {s} out of range");
+        assert!(w < workloads.len(), "workload index {w} out of range");
+    }
+    let total = cells.len();
+    let next = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let results: Mutex<Vec<SupervisedRun>> = Mutex::new(Vec::with_capacity(total));
+    let workers = threads.max(1).min(total.max(1));
+    let active = AtomicUsize::new(workers);
+    let slots: Vec<Mutex<Option<Watch>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        // One watchdog for the whole pool: scan the per-worker watch
+        // slots and cancel anything past its wall-clock deadline or
+        // stalled beyond the progress window. It exits when the last
+        // worker retires, which `thread::scope` then joins.
+        if sup.watched() {
+            scope.spawn(|| {
+                while active.load(Ordering::Acquire) > 0 {
+                    for slot in &slots {
+                        if let Some(watch) = slot.lock().unwrap().as_mut() {
+                            watch.check(Instant::now(), sup.stall_window);
+                        }
+                    }
+                    std::thread::sleep(sup.poll);
+                }
+            });
+        }
+        for slot in &slots {
+            scope.spawn(|| {
+                loop {
+                    if aborted.load(Ordering::Relaxed) || observer.should_abort() {
+                        aborted.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let (spec_index, workload_index) = cells[idx];
+                    observer.cell_started(spec_index, workload_index);
+                    let started = Instant::now();
+                    let mut observations = None;
+                    let (outcome, attempts) = execute_with_retry(&sup.retry, |_attempt| {
+                        let (outcome, obs) = run_attempt(
+                            &specs[spec_index],
+                            &workloads[workload_index],
+                            opts,
+                            sup.watched().then_some((slot, sup.cell_timeout)),
+                        );
+                        observations = obs;
+                        outcome
+                    });
+                    match &outcome {
+                        Ok(result) => observer.cell_finished(
+                            spec_index,
+                            workload_index,
+                            result,
+                            attempts,
+                            started.elapsed(),
+                        ),
+                        Err(error) => observer.cell_failed(
+                            spec_index,
+                            workload_index,
+                            error,
+                            attempts,
+                            started.elapsed(),
+                        ),
+                    }
+                    results.lock().unwrap().push(SupervisedRun {
+                        spec_index,
+                        workload_index,
+                        outcome,
+                        observations,
+                        attempts,
+                    });
+                }
+                active.fetch_sub(1, Ordering::Release);
+            });
+        }
+    });
+
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|g| (g.spec_index, g.workload_index));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ziv_common::BackoffSchedule;
+
+    fn transient() -> SimError {
+        SimError::io("flaky append", "/tmp/x", std::io::Error::other("EIO"))
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let policy = RetryPolicy::with_retries(3, 0x2026);
+        let mut slept = Vec::new();
+        let mut calls = 0;
+        let (out, attempts) = execute_with_retry_with(
+            &policy,
+            |ms| slept.push(ms),
+            |attempt| {
+                calls += 1;
+                assert_eq!(attempt, calls);
+                if calls < 3 {
+                    Err(transient())
+                } else {
+                    Ok(42)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(attempts, 3);
+        let sched = policy.backoff;
+        assert_eq!(slept, vec![sched.delay_ms(1), sched.delay_ms(2)]);
+    }
+
+    #[test]
+    fn retry_gives_up_at_the_attempt_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: BackoffSchedule {
+                base_ms: 1,
+                max_ms: 1,
+                seed: 0,
+            },
+        };
+        let mut calls = 0u32;
+        let (out, attempts) = execute_with_retry_with(
+            &policy,
+            |_| {},
+            |_| {
+                calls += 1;
+                Err::<(), _>(transient())
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(attempts, 3);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn deterministic_errors_never_retry() {
+        let policy = RetryPolicy::with_retries(5, 0);
+        let mut calls = 0u32;
+        let (out, attempts) = execute_with_retry_with(
+            &policy,
+            |_| panic!("must not sleep"),
+            |_| {
+                calls += 1;
+                Err::<(), _>(SimError::Config("bad".into()))
+            },
+        );
+        assert_eq!(out.unwrap_err().kind_tag(), "config");
+        assert_eq!(attempts, 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        let p = catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "boom 7");
+        let p = catch_unwind(|| std::panic::panic_any(13u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+}

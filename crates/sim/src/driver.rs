@@ -10,7 +10,7 @@ use crate::spec::RunSpec;
 use ziv_common::SimError;
 use ziv_core::observe::{EpochSlicer, FlightRecorder, Observations, ObserveConfig};
 use ziv_core::profile::{ProfileSection, SelfProfiler};
-use ziv_core::{Access, AuditCadence, Auditor, CacheHierarchy, Metrics};
+use ziv_core::{Access, AuditCadence, Auditor, CacheHierarchy, CancelToken, Metrics};
 use ziv_workloads::Workload;
 
 /// Per-cell cycle budget for the watchdog.
@@ -251,6 +251,29 @@ pub fn run_one_traced(
     workload: &Workload,
     opts: &RunOptions,
 ) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
+    run_one_supervised(spec, workload, opts, None)
+}
+
+/// [`run_one_traced`] under an optional cooperative [`CancelToken`].
+///
+/// When `cancel` is `Some`, the access loop polls the token once per
+/// access (one relaxed atomic load) and publishes coarse progress; a
+/// fired token stops the run with [`SimError::Timeout`] carrying the
+/// cancellation reason and the access position. When `cancel` is `None`
+/// the poll site is a single never-taken branch, so unsupervised runs
+/// stay byte-identical — the property the differential determinism
+/// tests pin.
+///
+/// A hierarchy wedged by [`ziv_core::FaultInjection::HangCore`] parks
+/// here, burning wall-clock time (not simulated cycles) until the token
+/// fires; without a token the hang is converted into an immediate
+/// [`SimError::Timeout`] rather than wedging the caller forever.
+pub fn run_one_supervised(
+    spec: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+    cancel: Option<&CancelToken>,
+) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
     let hier_cfg = spec.build_hierarchy_config(workload);
     let mut h = CacheHierarchy::new(&hier_cfg);
     let ncores = workload.cores();
@@ -320,6 +343,21 @@ pub fn run_one_traced(
 
     // Smallest-cycle-first global interleaving.
     'sim: while done < ncores && issued < issue_cap {
+        if let Some(tok) = cancel {
+            if let Some(reason) = tok.fired(issued) {
+                failure = Some(SimError::Timeout {
+                    reason,
+                    access_index: issued,
+                });
+                break 'sim;
+            }
+            // Fine-grained enough (256 accesses) that a supervisor's
+            // stall detector can tell a slow cell from a wedged one
+            // even in unoptimized builds.
+            if issued & 0xFF == 0 {
+                tok.note_progress(issued);
+            }
+        }
         // Find the lagging unparked core.
         let mut core = usize::MAX;
         let mut best = f64::INFINITY;
@@ -367,6 +405,28 @@ pub fn run_one_traced(
 
         let access_index = issued;
         issued += 1;
+        if h.is_hung() {
+            // An injected hang wedged the model mid-access: no further
+            // progress is possible. Park on wall-clock time (the real
+            // hang signature) until the supervisor cancels us; without
+            // a supervisor, fail immediately instead of wedging the
+            // caller forever.
+            let reason = match cancel {
+                Some(tok) => loop {
+                    if let Some(reason) = tok.fired(issued) {
+                        break reason;
+                    }
+                    tok.note_progress(issued);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                },
+                None => "model hung (hang-core fault) with no supervisor attached".into(),
+            };
+            failure = Some(SimError::Timeout {
+                reason,
+                access_index,
+            });
+            break 'sim;
+        }
         if auditor.due() {
             let t0 = profiling.then(std::time::Instant::now);
             let verdict = Auditor::check(&h, access_index);

@@ -38,8 +38,8 @@ pub use csv::{
     write_timeseries_csv, ObservedCell, GRID_COLUMNS, LATENCY_COLUMNS, LEAKAGE_COLUMNS,
 };
 pub use driver::{
-    derived_budget, run_one, run_one_checked, run_one_traced, CellBudget, CoreRunStats, RunOptions,
-    RunResult,
+    derived_budget, run_one, run_one_checked, run_one_supervised, run_one_traced, CellBudget,
+    CoreRunStats, RunOptions, RunResult,
 };
 pub use effort::Effort;
 pub use report::{normalized_metric, speedup_summary, NormalizedRows};
@@ -51,6 +51,6 @@ pub use ziv_core::observe::{
     EventFilter, EventKind, EventTraceConfig, Observations, ObserveConfig, TraceEvent,
 };
 pub use ziv_core::{
-    AccessClass, CoreLeakage, LatencyBreakdown, LatencyComponent, LatencyReport, LeakageReport,
-    ProfileReport, ProfileSection,
+    AccessClass, CancelToken, CoreLeakage, LatencyBreakdown, LatencyComponent, LatencyReport,
+    LeakageReport, ProfileReport, ProfileSection,
 };

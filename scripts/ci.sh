@@ -115,6 +115,29 @@ echo "== attack-leakage invariant tests (release, debug assertions on)"
 # are byte-identical across thread counts.
 RUSTFLAGS="-C debug-assertions" cargo test -q --release --test attack_leakage
 
+echo "== chaos-soak drill (supervision gate: every injected fault isolated)"
+# The supervised-execution acceptance drill through the release binary:
+# a fault-free pass of the soak grid, a chaos pass with five seeded
+# injected faults (corrupt-directory, skip-back-invalidation, stall,
+# hang, panic), the isolation audit (expected error kinds, repro
+# records, surviving cells byte-identical to the fault-free pass), and
+# the torn-ledger crash-recovery resume. Exit code 3 is the pass
+# verdict per the documented contract — failures present, all isolated.
+# 0 would mean the injectors never fired; 4 means a supervision
+# guarantee broke. Two threads: the drill's stall detector needs the
+# workers not to starve each other on small CI machines.
+SOAK_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR" "$SOAK_DIR"' EXIT
+set +e
+ZIV_FAST=1 ./target/release/zivsim soak \
+    --threads 2 --results-dir "$SOAK_DIR/results" > "$SOAK_DIR/soak.out" 2>&1
+SOAK_EXIT=$?
+set -e
+cat "$SOAK_DIR/soak.out"
+test "$SOAK_EXIT" -eq 3
+grep -q "every guarantee held" "$SOAK_DIR/soak.out"
+grep -q "torn tail detected = true" "$SOAK_DIR/soak.out"
+
 echo "== hot-path throughput baseline (recorded, non-gating)"
 # End-to-end accesses/second over the smoke campaign through the plain
 # driver (no audit, no cache). Fresh runs land in a scratch dir; the

@@ -19,6 +19,21 @@
 //!                                         # diff two bench reports; nonzero exit on
 //!                                         # aggregate regressions beyond the threshold
 //!                                         # (default 5%)
+//! zivsim soak [options]                   # deterministic chaos-soak drill: run the soak
+//!                                         # grid fault-free, re-run it with five seeded
+//!                                         # injected faults under full supervision, audit
+//!                                         # that every fault was isolated and every healthy
+//!                                         # cell stayed byte-identical, then tear the
+//!                                         # ledger mid-record and prove --resume recovery
+//!
+//! exit codes:
+//!   0  clean run, nothing failed
+//!   1  command-specific failure (bench regression, replay non-repro, ...)
+//!   2  configuration / usage error (bad flag, unknown name, malformed value)
+//!   3  cell failures, all fault-isolated (campaign cells failed but the
+//!      campaign completed; for `soak`, the expected chaos outcome)
+//!   4  internal error: panic, ledger corruption, infrastructure I/O
+//!      failure, or a violated supervision guarantee in `soak`
 //!
 //! bench-throughput options:
 //!   --repeats <N>                         (timed repeats per cell, best-of; default 3)
@@ -60,12 +75,25 @@
 //!   --strict                              (stop claiming new cells after the first failure)
 //!   --inject-fault <S:W:KIND:AT>          (testing aid: arm a deliberate fault in spec S,
 //!                                          KIND = corrupt-directory|skip-back-invalidation|
-//!                                          stall-core, at access AT; W is informational)
+//!                                          stall-core|hang-core|panic-core, at access AT;
+//!                                          W is informational)
 //!
 //! robustness options (run + campaign):
 //!   --audit <off|sampled|sampled:N|every-access>    (default off; invariant audit cadence)
 //!   --cell-budget <CYCLES>                (per-core watchdog budget; default derived
 //!                                          from the workload size)
+//!
+//! supervision options (campaign + soak):
+//!   --retries <N>                         (re-attempt transiently failing cells up to N
+//!                                          times with deterministic seeded backoff;
+//!                                          default 0)
+//!   --cell-timeout <MS>                   (wall-clock budget per cell attempt; the
+//!                                          watchdog cancels and ledgers overruns as
+//!                                          timeouts; default off for campaigns, 60000
+//!                                          for soak)
+//!   --stall-window <MS>                   (cancel a cell once it makes no forward
+//!                                          progress for MS milliseconds; default off for
+//!                                          campaigns, 750 for soak)
 //!
 //! options:
 //!   --mode <inclusive|noninclusive|qbs|sharp|charonbase|
@@ -104,6 +132,9 @@ struct Options {
     strict: bool,
     cell_budget: Option<u64>,
     inject_fault: Option<(usize, usize, ziv::core::FaultInjection)>,
+    retries: u32,
+    cell_timeout_ms: Option<u64>,
+    stall_window_ms: Option<u64>,
     repeats: usize,
     out: Option<String>,
     epoch: Option<u64>,
@@ -139,6 +170,9 @@ impl Default for Options {
             strict: false,
             cell_budget: None,
             inject_fault: None,
+            retries: 0,
+            cell_timeout_ms: None,
+            stall_window_ms: None,
             repeats: 3,
             out: None,
             epoch: None,
@@ -190,6 +224,48 @@ impl Options {
     }
 }
 
+/// A command failure routed to the documented exit-code contract (see
+/// the header): 1 command-specific, 2 usage, 3 isolated cell failures,
+/// 4 internal.
+#[derive(Debug)]
+enum CliError {
+    /// Exit 1 — a command-specific verdict (bench regression, replay
+    /// that did not reproduce, a failing single run).
+    Other(String),
+    /// Exit 2 — a configuration or usage error: bad flag, unknown
+    /// campaign/mode/workload name, malformed value.
+    Usage(String),
+    /// Exit 3 — campaign cells failed but every failure was isolated,
+    /// ledgered, and left a repro record; the campaign itself finished.
+    Cells(String),
+    /// Exit 4 — an internal failure: panic, ledger corruption, results
+    /// I/O, or a violated supervision guarantee in `soak`.
+    Internal(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Other(_) => 1u8,
+            CliError::Usage(_) => 2,
+            CliError::Cells(_) => 3,
+            CliError::Internal(_) => 4,
+        })
+    }
+
+    fn report(&self) {
+        match self {
+            CliError::Other(m) => eprintln!("error: {m}"),
+            CliError::Usage(m) => {
+                eprintln!("error: {m}");
+                usage();
+            }
+            CliError::Cells(m) => eprintln!("{m}"),
+            CliError::Internal(m) => eprintln!("internal error: {m}"),
+        }
+    }
+}
+
 /// Parses `--inject-fault S:W:KIND:AT` (spec index, workload index,
 /// fault kind, trigger access).
 fn parse_inject_fault(s: &str) -> Result<(usize, usize, ziv::core::FaultInjection), String> {
@@ -206,8 +282,8 @@ fn parse_inject_fault(s: &str) -> Result<(usize, usize, ziv::core::FaultInjectio
     let at: u64 = at.parse().map_err(|e| format!("fault access index: {e}"))?;
     let fault = ziv::core::FaultInjection::from_parts(kind, at).ok_or_else(|| {
         format!(
-            "unknown fault kind '{kind}' \
-             (corrupt-directory, skip-back-invalidation, or stall-core)"
+            "unknown fault kind '{kind}' (corrupt-directory, \
+             skip-back-invalidation, stall-core, hang-core, or panic-core)"
         )
     })?;
     Ok((spec, workload, fault))
@@ -311,6 +387,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--inject-fault" => opts.inject_fault = Some(parse_inject_fault(&value()?)?),
+            "--retries" => {
+                opts.retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--cell-timeout" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--cell-timeout: {e}"))?;
+                if ms == 0 {
+                    return Err("--cell-timeout must be at least 1 millisecond".into());
+                }
+                opts.cell_timeout_ms = Some(ms);
+            }
+            "--stall-window" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--stall-window: {e}"))?;
+                if ms == 0 {
+                    return Err("--stall-window must be at least 1 millisecond".into());
+                }
+                opts.stall_window_ms = Some(ms);
+            }
             "--repeats" => {
                 opts.repeats = value()?.parse().map_err(|e| format!("--repeats: {e}"))?
             }
@@ -509,14 +606,17 @@ fn cmd_list() {
     }
 }
 
-fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
+fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), CliError> {
     use ziv::harness::{campaigns, run_campaign, CampaignParams, RunnerConfig, StderrProgress};
     let name = args
         .get(1)
         .filter(|a| !a.starts_with("--"))
         .ok_or_else(|| {
             let list: Vec<&str> = campaigns::names().iter().map(|(n, _)| *n).collect();
-            format!("campaign needs a name (one of: {})", list.join(", "))
+            CliError::Usage(format!(
+                "campaign needs a name (one of: {})",
+                list.join(", ")
+            ))
         })?;
     let mut params = CampaignParams::from_env();
     if opts.seed_explicit {
@@ -525,17 +625,21 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
     params.cores = opts.cores;
     let campaign = campaigns::by_name(name, &params).ok_or_else(|| {
         let list: Vec<&str> = campaigns::names().iter().map(|(n, _)| *n).collect();
-        format!("unknown campaign '{name}' (one of: {})", list.join(", "))
+        CliError::Usage(format!(
+            "unknown campaign '{name}' (one of: {})",
+            list.join(", ")
+        ))
     })?;
     let mut campaign = campaign;
     if let Some((spec_index, _workload_index, fault)) = opts.inject_fault {
-        let spec = campaign
-            .specs
-            .get(spec_index)
-            .ok_or_else(|| format!("--inject-fault: spec index {spec_index} out of range"))?;
+        let spec = campaign.specs.get(spec_index).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--inject-fault: spec index {spec_index} out of range"
+            ))
+        })?;
         campaign.specs[spec_index] = spec.clone().with_fault(fault);
     }
-    let mut observe = opts.observe_config()?;
+    let mut observe = opts.observe_config().map_err(CliError::Usage)?;
     if name == "attack-eval" {
         // The security campaign is pointless blind: always measure
         // leakage. (Still never digested — cells stay byte-compatible
@@ -548,6 +652,9 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
         audit: opts.audit,
         strict: opts.strict,
         cell_budget: opts.cell_budget,
+        cell_timeout: opts.cell_timeout_ms.map(std::time::Duration::from_millis),
+        stall_window: opts.stall_window_ms.map(std::time::Duration::from_millis),
+        retries: opts.retries,
         params: Some(params),
         observe,
         ..RunnerConfig::new(
@@ -557,7 +664,10 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
         )
     };
     let results_dir = cfg.results_dir.clone();
-    let outcome = run_campaign(&campaign, &cfg, &StderrProgress).map_err(|e| e.to_string())?;
+    // Errors out of the runner itself are infrastructure (results dir,
+    // ledger, CSV I/O) — cell failures never surface here.
+    let outcome = run_campaign(&campaign, &cfg, &StderrProgress)
+        .map_err(|e| CliError::Internal(e.to_string()))?;
     let rows =
         ziv::sim::speedup_summary(&outcome.grid, campaign.specs.len(), campaign.baseline_spec);
     println!("{}", rows.to_table("speedup"));
@@ -582,8 +692,13 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
     if !outcome.failures.is_empty() {
         eprintln!("\n{} cell(s) FAILED:", outcome.failures.len());
         for f in &outcome.failures {
+            let attempts = if f.attempts > 1 {
+                format!(" after {} attempts", f.attempts)
+            } else {
+                String::new()
+            };
             eprintln!(
-                "  {} × {} [{}]: {}",
+                "  {} × {} [{}]: {}{attempts}",
                 f.label,
                 f.workload,
                 f.digest.hex(),
@@ -593,13 +708,78 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), String> {
                 eprintln!("    repro: zivsim replay {}", path.display());
             }
         }
-        return Err(format!(
-            "{} of {} cells failed (ledger keeps them marked for --resume; \
-             repro records under {}/failures/)",
+        return Err(CliError::Cells(format!(
+            "{} of {} cells failed, all isolated (ledger keeps them marked for \
+             --resume; repro records under {}/failures/)",
             outcome.failures.len(),
             campaign.total_cells(),
             results_dir.display()
-        ));
+        )));
+    }
+    Ok(())
+}
+
+/// The chaos-soak drill: [`ziv::harness::run_soak`] end-to-end, with
+/// the fault plan and verdict printed. Exit code 3 is the *expected*
+/// outcome — every injected fault isolated; 4 means a supervision
+/// guarantee broke.
+fn cmd_soak(opts: &Options) -> Result<(), CliError> {
+    use ziv::harness::{run_soak, CampaignParams, SoakConfig, StderrProgress};
+    let mut params = CampaignParams::from_env();
+    if opts.seed_explicit {
+        params.seed = opts.seed;
+    }
+    params.cores = opts.cores;
+    let mut cfg = SoakConfig::new(
+        opts.results_dir
+            .clone()
+            .unwrap_or_else(|| "results/soak".into()),
+    );
+    cfg.params = params;
+    if let Some(threads) = opts.threads {
+        cfg.threads = threads;
+    }
+    if let Some(ms) = opts.cell_timeout_ms {
+        cfg.cell_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = opts.stall_window_ms {
+        cfg.stall_window = std::time::Duration::from_millis(ms);
+    }
+    cfg.retries = opts.retries;
+    let report = run_soak(&cfg, &StderrProgress).map_err(|e| CliError::Internal(e.to_string()))?;
+    println!(
+        "chaos plan (seed {:#x}): {} injected fault(s)",
+        cfg.params.seed,
+        report.fault_plan.len()
+    );
+    for (label, kind, at) in &report.fault_plan {
+        println!("  {label:<28} {kind:<24} at access {at}");
+    }
+    println!(
+        "passes: {} cells each; chaos failures isolated: {}; surviving rows \
+         byte-identical to fault-free: {}",
+        report.total_cells, report.chaos_failures, report.identical_rows
+    );
+    println!(
+        "crash drill: torn tail detected = {}, {} cell(s) re-ran on resume",
+        report.torn_tail_detected, report.resumed_cells
+    );
+    if !report.passed() {
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        return Err(CliError::Internal(format!(
+            "{} supervision guarantee(s) violated",
+            report.violations.len()
+        )));
+    }
+    if report.chaos_failures > 0 {
+        return Err(CliError::Cells(format!(
+            "soak verdict: every guarantee held — {} injected fault(s) \
+             ledgered as isolated failures, {} healthy cell(s) byte-identical, \
+             crash recovery proven",
+            report.chaos_failures, report.identical_rows
+        )));
     }
     Ok(())
 }
@@ -1125,46 +1305,71 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 fn usage() {
     println!(
         "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|attack|\
-         bench-throughput|bench-compare> \
-         [options]   (see --help text in the source header)"
+         bench-throughput|bench-compare|soak> \
+         [options]   (see --help text in the source header; exit codes: \
+         0 clean, 1 command failure, 2 usage, 3 isolated cell failures, 4 internal)"
     );
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match opts.command.as_str() {
+fn dispatch(args: &[String], opts: &Options) -> Result<(), CliError> {
+    match opts.command.as_str() {
         "list" => {
             cmd_list();
             Ok(())
         }
-        "run" => cmd_run(&opts),
-        "compare" => cmd_compare(&opts),
-        "export" => cmd_export(&args, &opts),
-        "campaign" => cmd_campaign(&args, &opts),
-        "replay" => cmd_replay(&args),
-        "trace" => cmd_trace(&args, &opts),
-        "profile" => cmd_profile(&args, &opts),
-        "attack" => cmd_attack(&args, &opts),
-        "bench-throughput" => cmd_bench_throughput(&opts),
-        "bench-compare" => cmd_bench_compare(&args, &opts),
-        _ => {
+        "run" => cmd_run(opts).map_err(CliError::Other),
+        "compare" => cmd_compare(opts).map_err(CliError::Other),
+        "export" => cmd_export(args, opts).map_err(CliError::Other),
+        "campaign" => cmd_campaign(args, opts),
+        "soak" => cmd_soak(opts),
+        "replay" => cmd_replay(args).map_err(CliError::Other),
+        "trace" => cmd_trace(args, opts).map_err(CliError::Other),
+        "profile" => cmd_profile(args, opts).map_err(CliError::Other),
+        "attack" => cmd_attack(args, opts).map_err(CliError::Other),
+        "bench-throughput" => cmd_bench_throughput(opts).map_err(CliError::Other),
+        "bench-compare" => cmd_bench_compare(args, opts).map_err(CliError::Other),
+        "help" | "--help" | "-h" => {
             usage();
             Ok(())
         }
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+fn real_main(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            let e = CliError::Usage(e);
+            e.report();
+            return e.exit_code();
+        }
     };
-    match result {
+    match dispatch(args, &opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            e.report();
+            e.exit_code()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Contain escaped panics so a bug in the simulator itself still
+    // exits under the documented contract (4 = internal), never as an
+    // unclassified abort. Worker panics are already caught per-cell by
+    // the supervised pool; this is the last-resort backstop.
+    match std::panic::catch_unwind(|| real_main(&args)) {
+        Ok(code) => code,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            eprintln!("internal error: panic: {msg}");
+            ExitCode::from(4)
         }
     }
 }
@@ -1239,6 +1444,66 @@ mod tests {
         // `replay` takes a positional file path like `export` does.
         let o = parse_args(&args("replay results/smoke/failures/abc.json")).unwrap();
         assert_eq!(o.command, "replay");
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let o = parse_args(&args(
+            "campaign smoke --retries 2 --cell-timeout 5000 --stall-window 400",
+        ))
+        .unwrap();
+        assert_eq!(o.retries, 2);
+        assert_eq!(o.cell_timeout_ms, Some(5000));
+        assert_eq!(o.stall_window_ms, Some(400));
+
+        // Off by default: an unsupervised campaign stays unsupervised.
+        let o = parse_args(&args("campaign smoke")).unwrap();
+        assert_eq!(o.retries, 0);
+        assert!(o.cell_timeout_ms.is_none() && o.stall_window_ms.is_none());
+
+        // `soak` takes the same flags (plus the usual campaign knobs).
+        let o = parse_args(&args(
+            "soak --results-dir out --threads 2 --seed 9 --cell-timeout 60000",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "soak");
+        assert_eq!(o.results_dir.as_deref(), Some("out"));
+        assert!(o.seed_explicit);
+
+        assert!(parse_args(&args("campaign smoke --cell-timeout 0")).is_err());
+        assert!(parse_args(&args("campaign smoke --stall-window 0")).is_err());
+        assert!(parse_args(&args("campaign smoke --retries nope")).is_err());
+    }
+
+    #[test]
+    fn parses_hang_and_panic_fault_kinds() {
+        let o = parse_args(&args("campaign soak --inject-fault 2:0:hang-core:150")).unwrap();
+        let (s, _, fault) = o.inject_fault.unwrap();
+        assert_eq!(s, 2);
+        assert_eq!(
+            fault,
+            ziv::core::FaultInjection::HangCore { at_access: 150 }
+        );
+        let o = parse_args(&args("campaign soak --inject-fault 3:0:panic-core:99")).unwrap();
+        let (_, _, fault) = o.inject_fault.unwrap();
+        assert_eq!(
+            fault,
+            ziv::core::FaultInjection::PanicCore { at_access: 99 }
+        );
+    }
+
+    #[test]
+    fn cli_errors_carry_the_documented_exit_codes() {
+        use std::process::ExitCode;
+        let codes = [
+            (CliError::Other("x".into()), ExitCode::from(1)),
+            (CliError::Usage("x".into()), ExitCode::from(2)),
+            (CliError::Cells("x".into()), ExitCode::from(3)),
+            (CliError::Internal("x".into()), ExitCode::from(4)),
+        ];
+        for (err, want) in codes {
+            assert_eq!(format!("{:?}", err.exit_code()), format!("{want:?}"));
+        }
     }
 
     #[test]
