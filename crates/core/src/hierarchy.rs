@@ -197,6 +197,19 @@ pub struct CacheHierarchy {
     /// unprofiled run: each span pays one branch and never reads the
     /// clock, so timing cannot perturb simulation results.
     profiler: Option<Box<SelfProfiler>>,
+    /// Set between [`CacheHierarchy::begin_warmup`] and
+    /// [`CacheHierarchy::end_warmup`]: the metrics snapshot to restore
+    /// plus the observability hooks parked for the duration, making
+    /// functional warmup provably metric-silent.
+    warmup: Option<Box<WarmupSnapshot>>,
+}
+
+/// State parked by [`CacheHierarchy::begin_warmup`].
+#[derive(Debug)]
+struct WarmupSnapshot {
+    metrics: Metrics,
+    recorder: Option<Box<FlightRecorder>>,
+    profiler: Option<Box<SelfProfiler>>,
 }
 
 impl CacheHierarchy {
@@ -258,6 +271,7 @@ impl CacheHierarchy {
             hung: false,
             recorder: None,
             profiler: None,
+            warmup: None,
         };
         if let LlcMode::WayPartitioned = cfg.mode {
             let parts = sys.cores.min(sys.llc.bank_geometry.ways as usize);
@@ -309,6 +323,47 @@ impl CacheHierarchy {
     /// Detaches the self-profiler for reporting, if one was attached.
     pub fn take_profiler(&mut self) -> Option<Box<SelfProfiler>> {
         self.profiler.take()
+    }
+
+    /// Enters **functional warmup**: subsequent [`CacheHierarchy::access`]
+    /// calls update every piece of microarchitectural state (caches,
+    /// directory, replacement, CHAR, DRAM row state) exactly as usual,
+    /// but the timing [`Metrics`] are restored verbatim when
+    /// [`CacheHierarchy::end_warmup`] closes the scope, and the flight
+    /// recorder / self-profiler are parked so observability sees
+    /// nothing. This is the sampling engine's fast-forward primitive:
+    /// state gets warmed, statistics stay silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a warmup scope is already open.
+    pub fn begin_warmup(&mut self) {
+        assert!(self.warmup.is_none(), "warmup scope is already open");
+        self.warmup = Some(Box::new(WarmupSnapshot {
+            metrics: self.metrics.clone(),
+            recorder: self.recorder.take(),
+            profiler: self.profiler.take(),
+        }));
+    }
+
+    /// Leaves functional warmup: restores the [`Metrics`] snapshot taken
+    /// by [`CacheHierarchy::begin_warmup`] and re-attaches any parked
+    /// observability hooks. Microarchitectural state keeps everything
+    /// the warm accesses taught it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no warmup scope is open.
+    pub fn end_warmup(&mut self) {
+        let snap = self.warmup.take().expect("no warmup scope is open");
+        self.metrics = snap.metrics;
+        self.recorder = snap.recorder;
+        self.profiler = snap.profiler;
+    }
+
+    /// Whether a functional-warmup scope is currently open.
+    pub fn is_warming(&self) -> bool {
+        self.warmup.is_some()
     }
 
     /// Adds one externally-timed span (the driver uses this for the

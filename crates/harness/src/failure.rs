@@ -334,6 +334,7 @@ pub fn replay(record: &FailureRecord) -> Result<ReplayReport, SimError> {
         audit: AuditCadence::EveryAccess,
         budget: Some(CellBudget::Cycles(record.budget_cycles)),
         observe: ziv_sim::ObserveConfig::disabled(),
+        sampling: None,
     };
     // Guarded execution: a hang-core record parks the model again (the
     // watchdog cancels it, reproducing the timeout) and a panic-core

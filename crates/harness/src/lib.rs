@@ -75,10 +75,13 @@ mod telemetry;
 pub use campaign::{campaigns, Campaign, CampaignParams, CellDigest, CELL_SCHEMA_VERSION};
 pub use failure::{replay, FailureRecord, ReplayReport, FAILURE_SCHEMA_VERSION};
 pub use ledger::{FailedCell, Ledger, LedgerRecovery, LedgerWriter};
-pub use runner::{run_campaign, CampaignOutcome, CellFailure, RunnerConfig};
+pub use runner::{
+    run_campaign, run_campaign_sampled, CampaignOutcome, CellFailure, RunnerConfig,
+    SampledCampaignOutcome, SampledCellResult, SampledValidation,
+};
 pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use supervise::{
-    execute_with_retry, run_cells_supervised, run_one_guarded, NoopSuperviseObserver,
-    SuperviseConfig, SuperviseObserver, SupervisedRun,
+    default_stall_window, execute_with_retry, oversubscription_factor, run_cells_supervised,
+    run_one_guarded, NoopSuperviseObserver, SuperviseConfig, SuperviseObserver, SupervisedRun,
 };
 pub use telemetry::{CellTiming, NullSink, ProgressSink, StderrProgress, Telemetry};

@@ -14,10 +14,11 @@ use ziv_common::json::JsonValue;
 use ziv_common::{RetryPolicy, SimError};
 use ziv_core::AuditCadence;
 use ziv_sim::{
-    run_one_traced, speedup_summary, write_grid_csv, write_heatmap_csv, write_latency_csv,
-    write_leakage_csv, write_summary_csv, write_timeseries_csv, CellBudget, EventTraceConfig,
-    GridResult, Observations, ObserveConfig, ObservedCell, ProfileReport, RunOptions, RunResult,
-    RunSpec, TraceEvent,
+    run_one_sampled, run_one_traced, speedup_summary, write_grid_csv, write_heatmap_csv,
+    write_latency_csv, write_leakage_csv, write_sampling_csv, write_summary_csv,
+    write_timeseries_csv, write_validation_csv, CellBudget, EventTraceConfig, GridResult,
+    Observations, ObserveConfig, ObservedCell, ProfileReport, RunOptions, RunResult, RunSpec,
+    SampledCell, SampledRun, SamplingPlan, TraceEvent, ValidationRow,
 };
 use ziv_workloads::Workload;
 
@@ -345,6 +346,10 @@ pub fn run_campaign(
             audit: cfg.audit,
             budget: Some(budget),
             observe: cfg.observe,
+            // The ledgered pass is always full-fidelity; sampled
+            // estimates live in `run_campaign_sampled` and never enter
+            // the result cache.
+            sampling: None,
         };
         let writer = LedgerWriter::append_to(&ledger_path)
             .map_err(|e| SimError::io("open ledger for append", &ledger_path, e))?;
@@ -546,6 +551,211 @@ pub fn run_campaign(
         latency_csv,
         leakage_csv,
         profile_json,
+    })
+}
+
+/// One cell of a sampled campaign pass.
+#[derive(Debug)]
+pub struct SampledCellResult {
+    /// Index of the cell's spec in the campaign.
+    pub spec_index: usize,
+    /// Index of the cell's recipe in the campaign.
+    pub workload_index: usize,
+    /// Spec label.
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// The sampled run: per-interval estimates, aggregate CI, coverage.
+    pub sampled: SampledRun,
+    /// Wall clock of the sampled run.
+    pub wall: Duration,
+}
+
+/// The sampled-vs-full comparison of a validated sampled campaign.
+#[derive(Debug)]
+pub struct SampledValidation {
+    /// The full (ledgered) campaign the sampled pass was checked
+    /// against.
+    pub full: CampaignOutcome,
+    /// One comparison row per cell present in both passes.
+    pub rows: Vec<ValidationRow>,
+    /// Path of the exported `validation.csv`.
+    pub validation_csv: PathBuf,
+    /// Cells whose full-run IPC fell inside the sampled estimate's
+    /// confidence interval.
+    pub cells_within_ci: usize,
+    /// Aggregate wall-clock speedup: Σ full ms / Σ sampled ms over the
+    /// cells timed in both passes (0 when none were).
+    pub speedup: f64,
+}
+
+/// What a sampled campaign pass produced.
+#[derive(Debug)]
+pub struct SampledCampaignOutcome {
+    /// Successfully sampled cells, sorted by `(spec, workload)`.
+    pub cells: Vec<SampledCellResult>,
+    /// Cells whose sampled run failed.
+    pub failures: Vec<CellFailure>,
+    /// Path of the exported per-interval `sampling.csv`.
+    pub sampling_csv: PathBuf,
+    /// The sampled-vs-full comparison, when validation was requested.
+    pub validation: Option<SampledValidation>,
+}
+
+/// Aggregate IPC of a full run: total instructions over the final
+/// cycle window (the latest per-core clock) — the same window the
+/// sampled per-interval estimator differences, so the two are
+/// comparable.
+fn aggregate_ipc(r: &RunResult) -> f64 {
+    let window = r.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+    if window == 0 {
+        0.0
+    } else {
+        r.total_instructions() as f64 / window as f64
+    }
+}
+
+/// Runs `campaign` through the statistical sampling engine: every cell
+/// executes under `plan`'s interval-sampling schedule (timed windows +
+/// functional-warmup fast-forward) and the per-interval estimates land
+/// in `<results-dir>/sampling.csv`.
+///
+/// Sampled estimates are **never** written to the result ledger — the
+/// content-addressed cache stores only full-fidelity results — so a
+/// sampled pass cannot poison later full campaigns. The sampled cells
+/// run sequentially and unsupervised (each simulates only a fraction
+/// of its trace; the wall-clock win comes from the fast-forward, not
+/// the pool).
+///
+/// With `validate` set, the full campaign runs first via
+/// [`run_campaign`] — ledgered, supervised, and exporting its standard
+/// artifacts exactly as an unsampled invocation would — and the
+/// outcome gains a [`SampledValidation`] comparing sampled IPC
+/// estimates (and their confidence intervals) against the full-run
+/// values, exported as `<results-dir>/validation.csv`. Full-run wall
+/// clocks come from the campaign's own per-cell timers, so cells
+/// served from a pre-existing ledger carry no timing and are excluded
+/// from the speedup aggregate.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] for results-directory or CSV I/O failures,
+/// and propagates [`run_campaign`] errors in validation mode. Sampled
+/// cell failures are reported in the outcome, not raised.
+pub fn run_campaign_sampled(
+    campaign: &Campaign,
+    cfg: &RunnerConfig,
+    plan: SamplingPlan,
+    validate: bool,
+    sink: &dyn ProgressSink,
+) -> Result<SampledCampaignOutcome, SimError> {
+    std::fs::create_dir_all(&cfg.results_dir)
+        .map_err(|e| SimError::io("create results dir", &cfg.results_dir, e))?;
+    let full = if validate {
+        Some(run_campaign(campaign, cfg, sink)?)
+    } else {
+        None
+    };
+
+    let workloads: Vec<Workload> = campaign.recipes.iter().map(|r| r.build()).collect();
+    let budget = match cfg.cell_budget {
+        Some(cycles) => CellBudget::Cycles(cycles),
+        None => CellBudget::Derived,
+    };
+    let opts = RunOptions {
+        audit: cfg.audit,
+        budget: Some(budget),
+        observe: ObserveConfig::disabled(),
+        sampling: Some(plan),
+    };
+    let mut cells = Vec::with_capacity(campaign.total_cells());
+    let mut failures = Vec::new();
+    for (s, w) in campaign.cells() {
+        let started = Instant::now();
+        match run_one_sampled(&campaign.specs[s], &workloads[w], &opts) {
+            Ok(sampled) => cells.push(SampledCellResult {
+                spec_index: s,
+                workload_index: w,
+                label: campaign.specs[s].label.clone(),
+                workload: campaign.recipes[w].workload_name(),
+                sampled,
+                wall: started.elapsed(),
+            }),
+            Err(error) => failures.push(CellFailure {
+                spec_index: s,
+                workload_index: w,
+                digest: campaign.cell_digest(s, w),
+                label: campaign.specs[s].label.clone(),
+                workload: campaign.recipes[w].workload_name(),
+                error,
+                attempts: 1,
+                record_path: None,
+            }),
+        }
+    }
+
+    let sampling_csv = cfg.results_dir.join("sampling.csv");
+    let export: Vec<SampledCell<'_>> = cells
+        .iter()
+        .map(|c| SampledCell {
+            config: &c.label,
+            workload: &c.workload,
+            sampled: &c.sampled,
+        })
+        .collect();
+    write_sampling_csv(&sampling_csv, &export)?;
+
+    let validation = match full {
+        None => None,
+        Some(full) => {
+            let mut timing = std::collections::BTreeMap::new();
+            for t in &full.telemetry.cells {
+                timing.insert((t.spec_index, t.workload_index), t.wall);
+            }
+            let mut rows = Vec::new();
+            for cell in &cells {
+                let Some(grid) = full.grid.iter().find(|g| {
+                    (g.spec_index, g.workload_index) == (cell.spec_index, cell.workload_index)
+                }) else {
+                    continue; // the full run failed this cell
+                };
+                rows.push(ValidationRow {
+                    config: cell.label.clone(),
+                    workload: cell.workload.clone(),
+                    full_ipc: aggregate_ipc(&grid.result),
+                    sampled_ipc: cell.sampled.ipc_estimate().unwrap_or(0.0),
+                    ipc_ci: cell.sampled.ipc_ci(),
+                    full_ms: timing
+                        .get(&(cell.spec_index, cell.workload_index))
+                        .map_or(0.0, |d| d.as_secs_f64() * 1e3),
+                    sampled_ms: cell.wall.as_secs_f64() * 1e3,
+                });
+            }
+            let validation_csv = cfg.results_dir.join("validation.csv");
+            write_validation_csv(&validation_csv, &rows)?;
+            let (full_ms, sampled_ms) = rows
+                .iter()
+                .filter(|r| r.full_ms > 0.0 && r.sampled_ms > 0.0)
+                .fold((0.0, 0.0), |(f, s), r| (f + r.full_ms, s + r.sampled_ms));
+            Some(SampledValidation {
+                cells_within_ci: rows.iter().filter(|r| r.within_ci()).count(),
+                speedup: if sampled_ms > 0.0 {
+                    full_ms / sampled_ms
+                } else {
+                    0.0
+                },
+                rows,
+                validation_csv,
+                full,
+            })
+        }
+    };
+
+    Ok(SampledCampaignOutcome {
+        cells,
+        failures,
+        sampling_csv,
+        validation,
     })
 }
 

@@ -49,22 +49,31 @@ pub struct SoakConfig {
     /// No-forward-progress budget: how quickly a wedged cell (the
     /// hang-core fault) is cancelled. Healthy cells report progress
     /// every 256 accesses, so even unoptimized debug builds stay well
-    /// inside a few hundred milliseconds.
+    /// inside a few hundred milliseconds — *when each worker owns a
+    /// core*. The default scales the base window by the pool's
+    /// oversubscription factor so time-sliced workers are not starved
+    /// into false stalls; an explicit value here (or `--stall-window`)
+    /// is authoritative and used verbatim.
     pub stall_window: Duration,
     /// Extra attempts for transiently failing cells.
     pub retries: u32,
 }
 
 impl SoakConfig {
-    /// Defaults: 2 threads, env-sized params, 60 s wall clock, 750 ms
-    /// stall window, no retries.
+    /// Defaults: 2 threads, env-sized params, 60 s wall clock, a 750 ms
+    /// base stall window scaled by the host's oversubscription factor
+    /// (see [`crate::default_stall_window`]), no retries.
     pub fn new(results_dir: impl Into<PathBuf>) -> Self {
+        let threads = 2;
         SoakConfig {
             results_dir: results_dir.into(),
-            threads: 2,
+            threads,
             params: CampaignParams::from_env(),
             cell_timeout: Duration::from_secs(60),
-            stall_window: Duration::from_millis(750),
+            stall_window: crate::supervise::default_stall_window(
+                Duration::from_millis(750),
+                threads,
+            ),
             retries: 0,
         }
     }

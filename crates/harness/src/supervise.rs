@@ -84,6 +84,33 @@ impl Default for SuperviseConfig {
     }
 }
 
+/// How many workers contend for each hardware thread:
+/// `ceil(workers / available_parallelism)`, minimum 1.
+///
+/// On an oversubscribed host the OS time-slices the workers, so a cell
+/// can sit unscheduled — making *no* forward progress — for several
+/// scheduling quanta while being perfectly healthy. Any stall budget
+/// chosen for the uncontended case must stretch by this factor.
+pub fn oversubscription_factor(workers: usize) -> u32 {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = workers.max(1);
+    workers.div_ceil(cores).max(1) as u32
+}
+
+/// Derives a default stall window from an uncontended `base` budget by
+/// scaling it with [`oversubscription_factor`]: `workers` pool threads
+/// sharing one core get `workers ×` the base window before the
+/// watchdog may call a progressing-but-starved cell stalled.
+///
+/// This is for *derived defaults* only — an explicit `--stall-window`
+/// is authoritative and must not pass through here (an operator who
+/// asked for 400 ms gets 400 ms).
+pub fn default_stall_window(base: Duration, workers: usize) -> Duration {
+    base * oversubscription_factor(workers)
+}
+
 /// Observer of supervised cell execution — the attempt-aware sibling of
 /// `ziv_sim::GridObserver`, called from worker threads.
 pub trait SuperviseObserver: Sync {
@@ -499,6 +526,32 @@ mod tests {
         assert_eq!(out.unwrap_err().kind_tag(), "config");
         assert_eq!(attempts, 1);
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn oversubscription_scales_the_default_stall_window() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // A pool no larger than the machine is not oversubscribed: the
+        // base window passes through unchanged.
+        assert_eq!(oversubscription_factor(1), 1);
+        assert_eq!(oversubscription_factor(cores), 1);
+        assert_eq!(
+            default_stall_window(Duration::from_millis(750), cores),
+            Duration::from_millis(750)
+        );
+        // Workers beyond the core count stretch the window by the
+        // time-slicing factor, rounding up so a partial extra worker
+        // still buys a full extra quantum.
+        assert_eq!(oversubscription_factor(cores * 4), 4);
+        assert_eq!(oversubscription_factor(cores * 4 + 1), 5);
+        assert_eq!(
+            default_stall_window(Duration::from_millis(200), cores * 4),
+            Duration::from_millis(800)
+        );
+        // Degenerate pool sizes never collapse the window to zero.
+        assert_eq!(oversubscription_factor(0), 1);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! - [`leakage_to_csv`]: the leakage observatory's per-cell summary
 //!   (attacker-observable signal vs noise, probe distinguishability,
 //!   SHARP alarm rates; DESIGN.md §"Security evaluation").
+//! - [`sampling_to_csv`] / [`validation_to_csv`]: the statistical
+//!   sampling engine's per-interval estimates with confidence
+//!   intervals, and the sampled-vs-full validation report behind the
+//!   CI speedup/accuracy gate (DESIGN.md §"Statistical sampling").
 
 use crate::driver::RunResult;
 use crate::report::NormalizedRows;
@@ -494,6 +498,229 @@ pub fn write_grid_csv(path: &Path, grid: &[GridResult]) -> Result<(), SimError> 
     grid_to_csv(grid, &mut w).map_err(|e| SimError::io("write grid CSV", path, e))?;
     w.flush()
         .map_err(|e| SimError::io("flush grid CSV", path, e))
+}
+
+/// One sampled cell ready for [`sampling_to_csv`]: the `(config,
+/// workload)` naming plus the sampled run whose intervals it exports.
+#[derive(Debug)]
+pub struct SampledCell<'a> {
+    /// Spec label.
+    pub config: &'a str,
+    /// Workload name.
+    pub workload: &'a str,
+    /// The cell's sampled run.
+    pub sampled: &'a crate::sampling::SampledRun,
+}
+
+/// The columns exported by [`sampling_to_csv`]: per-interval estimates
+/// plus the cell-level aggregate (mean, confidence interval, coverage)
+/// repeated on every row so each line is self-describing.
+pub const SAMPLING_COLUMNS: [&str; 16] = [
+    "config",
+    "workload",
+    "interval",
+    "start_access",
+    "accesses",
+    "instructions",
+    "cycles",
+    "ipc",
+    "llc_miss_rate",
+    "inclusion_victims",
+    "ipc_mean",
+    "ipc_ci_low",
+    "ipc_ci_high",
+    "confidence",
+    "simulated_fraction",
+    "stop_reason",
+];
+
+/// Writes the statistical-sampling export: one row per measured
+/// interval of each sampled cell, carrying the interval's own
+/// estimators (IPC, LLC miss rate, inclusion victims) and the cell's
+/// Student-t aggregate. Cells that closed no full interval (trace
+/// shorter than one sampling period) emit no rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn sampling_to_csv<W: Write>(cells: &[SampledCell<'_>], mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{}", SAMPLING_COLUMNS.join(","))?;
+    for cell in cells {
+        let run = cell.sampled;
+        let (mean, lo, hi) = match run.ipc_ci() {
+            Some(ci) => (
+                format!("{:.6}", ci.mean),
+                format!("{:.6}", ci.low()),
+                format!("{:.6}", ci.high()),
+            ),
+            None => {
+                let mean = run
+                    .ipc_estimate()
+                    .map_or_else(String::new, |m| format!("{m:.6}"));
+                (mean, String::new(), String::new())
+            }
+        };
+        for iv in &run.intervals {
+            let row = vec![
+                esc(cell.config),
+                esc(cell.workload),
+                iv.index.to_string(),
+                iv.start_access.to_string(),
+                iv.accesses.to_string(),
+                iv.instructions.to_string(),
+                iv.cycles.to_string(),
+                format!("{:.6}", iv.ipc),
+                format!("{:.6}", iv.llc_miss_rate),
+                iv.inclusion_victims.to_string(),
+                mean.clone(),
+                lo.clone(),
+                hi.clone(),
+                run.profile.plan.confidence.to_string(),
+                format!("{:.6}", run.profile.simulated_fraction()),
+                run.profile.stop.tag().to_string(),
+            ];
+            writeln!(out, "{}", row.join(","))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the per-interval sampling CSV to `path`, creating missing
+/// parent directories first.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_sampling_csv(path: &Path, cells: &[SampledCell<'_>]) -> Result<(), SimError> {
+    create_parent_dirs(path)?;
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create sampling CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    sampling_to_csv(cells, &mut w).map_err(|e| SimError::io("write sampling CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush sampling CSV", path, e))
+}
+
+/// One row of the sampled-vs-full validation report.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Spec label.
+    pub config: String,
+    /// Workload name.
+    pub workload: String,
+    /// Aggregate IPC of the full (unsampled) run:
+    /// `total instructions / final cycle window`.
+    pub full_ipc: f64,
+    /// The sampled estimator's mean per-interval IPC.
+    pub sampled_ipc: f64,
+    /// The sampled estimator's confidence interval, when ≥ 2 intervals
+    /// closed.
+    pub ipc_ci: Option<ziv_common::stats::ConfidenceInterval>,
+    /// Full-run wall clock, milliseconds. 0 when the full result came
+    /// from the ledger cache and was never timed this run.
+    pub full_ms: f64,
+    /// Sampled-run wall clock, milliseconds.
+    pub sampled_ms: f64,
+}
+
+impl ValidationRow {
+    /// Absolute IPC estimation error.
+    pub fn abs_error(&self) -> f64 {
+        (self.sampled_ipc - self.full_ipc).abs()
+    }
+
+    /// Relative IPC estimation error (0 when the full IPC is 0).
+    pub fn rel_error(&self) -> f64 {
+        if self.full_ipc == 0.0 {
+            0.0
+        } else {
+            self.abs_error() / self.full_ipc
+        }
+    }
+
+    /// Whether the full-run IPC lies inside the sampled estimate's
+    /// confidence interval. `false` when no interval was reported.
+    pub fn within_ci(&self) -> bool {
+        self.ipc_ci
+            .as_ref()
+            .is_some_and(|ci| ci.low() <= self.full_ipc && self.full_ipc <= ci.high())
+    }
+
+    /// Wall-clock speedup of the sampled run over the full run (0 when
+    /// either side was not timed).
+    pub fn speedup(&self) -> f64 {
+        if self.full_ms <= 0.0 || self.sampled_ms <= 0.0 {
+            0.0
+        } else {
+            self.full_ms / self.sampled_ms
+        }
+    }
+}
+
+/// The columns exported by [`validation_to_csv`].
+pub const VALIDATION_COLUMNS: [&str; 12] = [
+    "config",
+    "workload",
+    "full_ipc",
+    "sampled_ipc",
+    "abs_error",
+    "rel_error",
+    "ci_low",
+    "ci_high",
+    "within_ci",
+    "full_ms",
+    "sampled_ms",
+    "speedup",
+];
+
+/// Writes the sampled-vs-full validation report: one row per cell
+/// comparing the sampled IPC estimate (and its confidence interval)
+/// against the full run's aggregate IPC, plus wall-clock timings for
+/// the speedup gate.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn validation_to_csv<W: Write>(rows: &[ValidationRow], mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{}", VALIDATION_COLUMNS.join(","))?;
+    for r in rows {
+        let (lo, hi) = match &r.ipc_ci {
+            Some(ci) => (format!("{:.6}", ci.low()), format!("{:.6}", ci.high())),
+            None => (String::new(), String::new()),
+        };
+        let row = vec![
+            esc(&r.config),
+            esc(&r.workload),
+            format!("{:.6}", r.full_ipc),
+            format!("{:.6}", r.sampled_ipc),
+            format!("{:.6}", r.abs_error()),
+            format!("{:.6}", r.rel_error()),
+            lo,
+            hi,
+            if r.within_ci() { "1" } else { "0" }.to_string(),
+            format!("{:.3}", r.full_ms),
+            format!("{:.3}", r.sampled_ms),
+            format!("{:.3}", r.speedup()),
+        ];
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes the validation CSV to `path`, creating missing parent
+/// directories first.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_validation_csv(path: &Path, rows: &[ValidationRow]) -> Result<(), SimError> {
+    create_parent_dirs(path)?;
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create validation CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    validation_to_csv(rows, &mut w).map_err(|e| SimError::io("write validation CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush validation CSV", path, e))
 }
 
 /// Writes the summary CSV to `path`, with the file path attached to any

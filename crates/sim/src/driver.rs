@@ -58,6 +58,14 @@ pub struct RunOptions {
     /// Never digested and never serialized into result ledgers:
     /// observing a run must not change its outcome.
     pub observe: ObserveConfig,
+    /// Statistical sampling plan, consumed by
+    /// [`run_one_sampled`](crate::run_one_sampled)'s interval-sampling
+    /// loop. The full-run entry points (`run_one*`) ignore it — callers
+    /// route sampled runs explicitly — so `None` (the default) keeps
+    /// every existing path byte-identical to pre-sampling builds.
+    /// Sampled results are estimates and are never written to the
+    /// content-addressed result ledger.
+    pub sampling: Option<crate::sampling::SamplingPlan>,
 }
 
 impl Default for RunOptions {
@@ -66,6 +74,7 @@ impl Default for RunOptions {
             audit: AuditCadence::Off,
             budget: None,
             observe: ObserveConfig::disabled(),
+            sampling: None,
         }
     }
 }
@@ -198,7 +207,7 @@ pub fn run_one_checked(
 /// the hierarchy's metrics so an epoch sample can report per-epoch IPC.
 /// Safe to do mid-run: nothing in the simulator reads these fields, and
 /// the end-of-run snapshot rewind overwrites them regardless.
-fn publish_core_clocks(h: &mut CacheHierarchy, instructions: &[u64], cycles: &[f64]) {
+pub(crate) fn publish_core_clocks(h: &mut CacheHierarchy, instructions: &[u64], cycles: &[f64]) {
     let per_core = &mut h.metrics_mut().per_core;
     for c in 0..instructions.len() {
         per_core[c].instructions = instructions[c];
@@ -211,7 +220,7 @@ fn publish_core_clocks(h: &mut CacheHierarchy, instructions: &[u64], cycles: &[f
 /// `window_cycles` is the co-run window length (the slowest core's
 /// clock) stamped into the leakage report so its per-Mcycle rate is
 /// well-defined.
-fn collect_observations(
+pub(crate) fn collect_observations(
     h: &mut CacheHierarchy,
     slicer: Option<EpochSlicer>,
     observing: bool,

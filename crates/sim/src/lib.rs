@@ -30,12 +30,15 @@ mod csv;
 mod driver;
 mod effort;
 mod report;
+mod sampling;
 mod spec;
 
 pub use csv::{
-    grid_to_csv, heatmap_to_csv, latency_to_csv, leakage_to_csv, summary_to_csv, timeseries_to_csv,
-    write_grid_csv, write_heatmap_csv, write_latency_csv, write_leakage_csv, write_summary_csv,
-    write_timeseries_csv, ObservedCell, GRID_COLUMNS, LATENCY_COLUMNS, LEAKAGE_COLUMNS,
+    grid_to_csv, heatmap_to_csv, latency_to_csv, leakage_to_csv, sampling_to_csv, summary_to_csv,
+    timeseries_to_csv, validation_to_csv, write_grid_csv, write_heatmap_csv, write_latency_csv,
+    write_leakage_csv, write_sampling_csv, write_summary_csv, write_timeseries_csv,
+    write_validation_csv, ObservedCell, SampledCell, ValidationRow, GRID_COLUMNS, LATENCY_COLUMNS,
+    LEAKAGE_COLUMNS, SAMPLING_COLUMNS, VALIDATION_COLUMNS,
 };
 pub use driver::{
     derived_budget, run_one, run_one_checked, run_one_supervised, run_one_traced, CellBudget,
@@ -43,10 +46,15 @@ pub use driver::{
 };
 pub use effort::Effort;
 pub use report::{normalized_metric, speedup_summary, NormalizedRows};
+pub use sampling::{
+    run_one_sampled, run_one_sampled_supervised, run_paired_sampled, IntervalEstimate,
+    PairedSampleReport, SampledRun, SamplingPlan, SamplingProfile, StopReason,
+};
 pub use spec::{
     default_threads, run_cells, run_cells_checked, run_grid, CellRun, GridObserver, GridResult,
     NoopObserver, RunSpec,
 };
+pub use ziv_common::stats::{Confidence, ConfidenceInterval, RunningMoments};
 pub use ziv_core::observe::{
     EventFilter, EventKind, EventTraceConfig, Observations, ObserveConfig, TraceEvent,
 };

@@ -8,6 +8,14 @@ use ziv_common::{Addr, SimRng};
 /// patterns (all of the paper's configurations use a 16-way LLC).
 pub const LLC_WAYS: u64 = 16;
 
+/// Accesses spent in the private-hot phase of each
+/// [`AppClass::PhasedScan`] cycle.
+pub const PHASED_HOT_ACCESSES: u32 = 2000;
+
+/// Accesses spent in the streaming-scan phase of each
+/// [`AppClass::PhasedScan`] cycle.
+pub const PHASED_STREAM_ACCESSES: u32 = 1000;
+
 /// The access-pattern class of an application.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AppClass {
@@ -218,6 +226,39 @@ pub fn app_by_name(name: &str) -> Option<AppSpec> {
     APPS.iter().copied().find(|a| a.name == name)
 }
 
+impl AppClass {
+    /// The class's deterministic phase period in accesses under
+    /// `scale`, for classes whose behavior alternates in fixed-length
+    /// segments: [`AppClass::PhasedScan`] repeats a hot+stream cycle
+    /// every [`PHASED_HOT_ACCESSES`]` + `[`PHASED_STREAM_ACCESSES`]
+    /// accesses, and [`AppClass::Tiled`] moves to a new tile every
+    /// `tile lines × passes_per_tile` accesses. Classes whose locality
+    /// drifts smoothly or randomly return `None` — there is no segment
+    /// boundary for a sampler to alias against.
+    pub fn phase_period(&self, scale: ScaleParams) -> Option<u64> {
+        match *self {
+            AppClass::PhasedScan { .. } => {
+                Some((PHASED_HOT_ACCESSES + PHASED_STREAM_ACCESSES) as u64)
+            }
+            AppClass::Tiled {
+                tile_x_l2,
+                passes_per_tile,
+                ..
+            } if passes_per_tile > 0 => {
+                Some(tile_lines(tile_x_l2, scale.l2_lines.max(16)) * passes_per_tile as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl AppSpec {
+    /// [`AppClass::phase_period`] of this application's class.
+    pub fn phase_period(&self, scale: ScaleParams) -> Option<u64> {
+        self.class.phase_period(scale)
+    }
+}
+
 /// Internal per-class generator state.
 #[derive(Debug)]
 enum GenState {
@@ -263,6 +304,13 @@ enum GenState {
         count: u32,
         pos: u64,
     },
+}
+
+/// Tile footprint of an [`AppClass::Tiled`] kernel in lines — shared
+/// with [`AppClass::phase_period`] so the advertised segment length
+/// always matches the generator's state.
+fn tile_lines(tile_x_l2: f64, l2: u64) -> u64 {
+    ((l2 as f64 * tile_x_l2) as u64).max(16)
 }
 
 fn build_state(class: AppClass, scale: ScaleParams, rng: &mut SimRng) -> GenState {
@@ -331,7 +379,7 @@ fn build_state(class: AppClass, scale: ScaleParams, rng: &mut SimRng) -> GenStat
             tiles,
             passes_per_tile,
         } => GenState::Tiled {
-            tile: ((l2 as f64 * tile_x_l2) as u64).max(16),
+            tile: tile_lines(tile_x_l2, l2),
             tiles: tiles as u64,
             passes: passes_per_tile,
             pos: 0,
@@ -431,13 +479,13 @@ fn next_line(state: &mut GenState, rng: &mut SimRng) -> (u64, u64) {
             *count += 1;
 
             if *in_hot {
-                if *count >= 2000 {
+                if *count >= PHASED_HOT_ACCESSES {
                     *in_hot = false;
                     *count = 0;
                 }
                 (rng.below(*hot), 9)
             } else {
-                if *count >= 1000 {
+                if *count >= PHASED_STREAM_ACCESSES {
                     *in_hot = true;
                     *count = 0;
                 }
@@ -508,6 +556,44 @@ mod tests {
             let t = generate(app, 2_000, 0, 1, scale());
             assert_eq!(t.records.len(), 2_000, "{}", app.name);
             assert_eq!(t.app_name, app.name);
+        }
+    }
+
+    #[test]
+    fn phase_period_matches_the_generator_toggle_points() {
+        let spec = app_by_name("scanphase").unwrap();
+        let period = spec.phase_period(scale()).unwrap();
+        assert_eq!(
+            period,
+            (PHASED_HOT_ACCESSES + PHASED_STREAM_ACCESSES) as u64
+        );
+        // The hot and stream phases emit distinct synthesized PCs
+        // (pc_idx 9 vs 10), so the trace itself reveals which phase
+        // each access came from — pin the advertised period to the
+        // generator's actual alternation over two-plus cycles.
+        let t = generate(spec, 2 * period as usize + 500, 0, 1, scale());
+        let base_pc = 0x10_0000 + 0x1000 * hash_name(spec.name);
+        for (i, r) in t.records.iter().enumerate() {
+            let in_hot = (i as u64 % period) < PHASED_HOT_ACCESSES as u64;
+            let expect = base_pc + if in_hot { 9 * 4 } else { 10 * 4 };
+            assert_eq!(r.pc, expect, "access {i} in the wrong phase");
+        }
+    }
+
+    #[test]
+    fn phase_periods_cover_exactly_the_segmented_classes() {
+        // Tiled: one tile visit = tile lines × passes per tile, derived
+        // through the same helper the generator state uses.
+        let tiles = app_by_name("tiles").unwrap();
+        let expect = ((scale().l2_lines as f64 * 0.6) as u64).max(16) * 8;
+        assert_eq!(tiles.phase_period(scale()), Some(expect));
+        // Classes without fixed-length segments decline.
+        for name in ["stream", "hotl2", "chase", "zipfdb", "stencil", "circset"] {
+            assert_eq!(
+                app_by_name(name).unwrap().phase_period(scale()),
+                None,
+                "{name}"
+            );
         }
     }
 

@@ -121,6 +121,24 @@ impl Workload {
     pub fn total_accesses(&self) -> u64 {
         self.traces.iter().map(|t| t.records.len() as u64).sum()
     }
+
+    /// The workload's dominant phase period in **global** stream
+    /// accesses, when any constituent app has deterministic segment
+    /// structure ([`apps::AppClass::phase_period`]): the longest
+    /// per-core period scaled by the core count (the driver's
+    /// lagging-core interleave issues roughly one access per core per
+    /// global step). `None` for phase-free workloads, and for traces
+    /// not generated from the named app suite. Samplers use this to
+    /// keep their period off an exact multiple of the program phase —
+    /// an aligned period would pin every timed interval to the same
+    /// phase offset and bias the interval estimators.
+    pub fn phase_period(&self, scale: ScaleParams) -> Option<u64> {
+        self.traces
+            .iter()
+            .filter_map(|t| apps::app_by_name(t.app_name).and_then(|a| a.phase_period(scale)))
+            .max()
+            .map(|p| p * self.cores() as u64)
+    }
 }
 
 /// Capacity parameters workload footprints scale against, so the same
@@ -168,6 +186,18 @@ mod tests {
             app_name: "test",
         };
         assert_eq!(t.instructions(), 5);
+    }
+
+    #[test]
+    fn workload_phase_period_scales_per_core_periods_to_the_global_stream() {
+        let scale = ScaleParams {
+            llc_lines: 16 * 1024,
+            l2_lines: 512,
+        };
+        let phased = mixes::homogeneous(apps::app_by_name("scanphase").unwrap(), 4, 100, 1, scale);
+        assert_eq!(phased.phase_period(scale), Some(4 * 3_000));
+        let flat = mixes::homogeneous(apps::app_by_name("hotl2").unwrap(), 4, 100, 1, scale);
+        assert_eq!(flat.phase_period(scale), None);
     }
 
     #[test]

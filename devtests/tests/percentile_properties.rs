@@ -49,6 +49,24 @@ proptest! {
         prop_assert!(plo <= phi, "percentile({lo}) = {plo} > percentile({hi}) = {phi}");
     }
 
+    /// `percentile(0.0)` is the infimum of the recorded value range —
+    /// the lower edge of the lowest non-empty bucket, never a bare 0 —
+    /// and lower-bounds every other quantile.
+    #[test]
+    fn percentile_zero_is_the_lower_edge_of_the_lowest_bucket(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = histogram_of(&values);
+        let p0 = h.percentile(0.0).expect("non-empty");
+        let lowest = (0..64)
+            .find(|&k| h.count_in_bucket(k) > 0)
+            .expect("non-empty histogram has a non-empty bucket");
+        let edge = if lowest == 0 { 0.0 } else { (1u64 << lowest) as f64 };
+        prop_assert_eq!(p0, edge, "percentile(0.0) = {} but bucket {} opens at {}", p0, lowest, edge);
+        prop_assert!(p0 <= h.percentile(q).expect("non-empty"));
+    }
+
     /// Every percentile stays inside the recorded buckets' value range:
     /// at most one bucket above the largest sample, never below zero.
     #[test]

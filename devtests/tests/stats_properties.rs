@@ -1,0 +1,139 @@
+//! Property-based tests of the confidence-interval machinery behind
+//! the statistical sampling engine: Welford/Chan moments must agree
+//! with the naive two-pass formulas, Student-t critical values must be
+//! monotone in both arguments, and every reported interval must be
+//! internally consistent (bracketing its mean, ordered across
+//! confidence levels, `excludes_zero` agreeing with its bounds).
+
+use proptest::prelude::*;
+use ziv_common::stats::{student_t_two_sided, Confidence, RunningMoments};
+
+proptest! {
+    /// Welford's streaming update matches the naive two-pass mean and
+    /// unbiased variance.
+    #[test]
+    fn running_moments_match_the_two_pass_formulas(
+        values in prop::collection::vec(-1e6f64..1e6, 2..100),
+    ) {
+        let mut m = RunningMoments::new();
+        for &v in &values {
+            m.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert_eq!(m.count(), values.len() as u64);
+        let got_mean = m.mean().expect("non-empty");
+        prop_assert!(
+            (got_mean - mean).abs() <= 1e-6 * (1.0 + mean.abs()),
+            "mean {got_mean} vs naive {mean}"
+        );
+        let got_var = m.sample_variance().expect("n >= 2");
+        prop_assert!(
+            (got_var - var).abs() <= 1e-5 * (1.0 + var.abs()),
+            "variance {got_var} vs naive {var}"
+        );
+    }
+
+    /// Chan's parallel merge is equivalent to pushing the concatenated
+    /// sample — the law that makes per-interval moments combinable.
+    #[test]
+    fn merging_moments_equals_pushing_the_concatenation(
+        a in prop::collection::vec(-1e6f64..1e6, 0..50),
+        b in prop::collection::vec(-1e6f64..1e6, 0..50),
+    ) {
+        let mut left = RunningMoments::new();
+        for &v in &a {
+            left.push(v);
+        }
+        let mut right = RunningMoments::new();
+        for &v in &b {
+            right.push(v);
+        }
+        left.merge(&right);
+        let mut whole = RunningMoments::new();
+        for &v in a.iter().chain(&b) {
+            whole.push(v);
+        }
+        prop_assert_eq!(left.count(), whole.count());
+        if let (Some(x), Some(y)) = (left.mean(), whole.mean()) {
+            prop_assert!((x - y).abs() <= 1e-6 * (1.0 + y.abs()), "mean {x} vs {y}");
+        }
+        if let (Some(x), Some(y)) = (left.sample_variance(), whole.sample_variance()) {
+            prop_assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "variance {x} vs {y}");
+        }
+    }
+
+    /// Intervals bracket their mean, nest by confidence level, and
+    /// `excludes_zero` is exactly "both bounds on one side of zero".
+    #[test]
+    fn confidence_intervals_are_nested_and_consistent(
+        values in prop::collection::vec(-1e3f64..1e3, 2..60),
+    ) {
+        let mut m = RunningMoments::new();
+        for &v in &values {
+            m.push(v);
+        }
+        let c90 = m.confidence_interval(Confidence::P90).expect("n >= 2");
+        let c95 = m.confidence_interval(Confidence::P95).expect("n >= 2");
+        let c99 = m.confidence_interval(Confidence::P99).expect("n >= 2");
+        prop_assert!(c90.half_width <= c95.half_width);
+        prop_assert!(c95.half_width <= c99.half_width);
+        for ci in [c90, c95, c99] {
+            prop_assert!(ci.half_width >= 0.0);
+            prop_assert!(ci.low() <= ci.mean && ci.mean <= ci.high());
+            prop_assert!(ci.contains(ci.mean));
+            prop_assert_eq!(
+                ci.excludes_zero(),
+                ci.low() > 0.0 || ci.high() < 0.0,
+                "excludes_zero disagrees with bounds [{}, {}]",
+                ci.low(),
+                ci.high()
+            );
+        }
+    }
+
+    /// Non-finite samples are dropped without perturbing the moments —
+    /// the streaming counterpart of `mean`'s NaN/Inf rejection.
+    #[test]
+    fn non_finite_samples_never_perturb_the_moments(
+        values in prop::collection::vec(-1e6f64..1e6, 1..50),
+        poison_at in 0usize..50,
+    ) {
+        let mut clean = RunningMoments::new();
+        let mut poisoned = RunningMoments::new();
+        for (i, &v) in values.iter().enumerate() {
+            clean.push(v);
+            poisoned.push(v);
+            if i == poison_at % values.len() {
+                poisoned.push(f64::NAN);
+                poisoned.push(f64::INFINITY);
+                poisoned.push(f64::NEG_INFINITY);
+            }
+        }
+        prop_assert_eq!(clean, poisoned);
+    }
+}
+
+/// The critical-value table: non-increasing in degrees of freedom (the
+/// band selection for untabulated df is conservative, never narrower),
+/// strictly ordered across confidence levels, and approaching the
+/// normal quantiles asymptotically.
+#[test]
+fn student_t_critical_values_are_monotone() {
+    for conf in [Confidence::P90, Confidence::P95, Confidence::P99] {
+        let mut prev = f64::INFINITY;
+        for df in 1..=2000 {
+            let t = student_t_two_sided(conf, df);
+            assert!(t <= prev, "{conf:?} df={df}: {t} > {prev}");
+            prev = t;
+        }
+    }
+    for df in [1, 5, 30, 100, 5000] {
+        let t90 = student_t_two_sided(Confidence::P90, df);
+        let t95 = student_t_two_sided(Confidence::P95, df);
+        let t99 = student_t_two_sided(Confidence::P99, df);
+        assert!(t90 < t95 && t95 < t99, "df={df}");
+    }
+    assert_eq!(student_t_two_sided(Confidence::P95, 10_000), 1.960);
+}

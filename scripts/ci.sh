@@ -108,6 +108,53 @@ diff "$TRACED_DIR/grid.csv"     "$ATK_DIR/grid.csv"
 diff "$TRACED_DIR/summary.csv"  "$ATK_DIR/summary.csv"
 test "$(wc -l < "$ATK_DIR/leakage.csv")" -eq 1
 
+echo "== sampled smoke campaign (sampling gate: accuracy, speedup, byte-identity)"
+# The statistical-sampling acceptance invariant through the release
+# binary, at full effort so the traces are several LLC warm horizons
+# long (the regime where the auto plan actually skips). The validated
+# pass runs every cell twice — full-fidelity and sampled — and the gate
+# holds the paper-reproduction bar: every sampled IPC estimate lands
+# inside its own reported 95% confidence interval of the full-run
+# value, and the sampled pass is at least 3x faster in aggregate.
+# Estimates are deterministic; only the wall-clock ratio varies.
+SAMP_DIR="$(mktemp -d)"
+SAMP_PLAIN="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN"' EXIT
+ZIV_FULL=1 ./target/release/zivsim campaign smoke \
+    --sampling auto --validate --threads 1 --results-dir "$SAMP_DIR"
+awk -F, '
+    NR == 1 {
+        for (i = 1; i <= NF; i++) {
+            if ($i == "within_ci")  wc = i
+            if ($i == "rel_error")  re = i
+            if ($i == "full_ms")    fm = i
+            if ($i == "sampled_ms") sm = i
+        }
+        next
+    }
+    {
+        cells++
+        full += $fm; sampled += $sm
+        if ($wc + 0 != 1) { print "FAIL full-run IPC outside the sampled CI: " $0; bad = 1 }
+        if ($re + 0 >= 0.10) { print "FAIL sampled estimate off by >=10%: " $0; bad = 1 }
+    }
+    END {
+        if (!wc || !re || !fm || !sm) { print "FAIL validation.csv missing gate columns"; exit 1 }
+        if (cells < 4) { print "FAIL validation.csv has only " cells " cells"; exit 1 }
+        printf "sampling gate: %d cells, aggregate speedup %.2fx\n", cells, full / sampled
+        if (full < 3 * sampled) { print "FAIL sampled pass fewer than 3x faster"; exit 1 }
+        if (bad) exit 1
+    }' "$SAMP_DIR/validation.csv"
+test -s "$SAMP_DIR/sampling.csv"
+# Sampling must be a pure rider: the full-fidelity artifacts the
+# validated pass produced are byte-identical to a plain campaign's —
+# no sampled estimate ever reaches the ledger or the CSVs.
+ZIV_FULL=1 ./target/release/zivsim campaign smoke \
+    --threads 1 --results-dir "$SAMP_PLAIN"
+diff "$SAMP_PLAIN/ledger.jsonl" "$SAMP_DIR/ledger.jsonl"
+diff "$SAMP_PLAIN/grid.csv"     "$SAMP_DIR/grid.csv"
+diff "$SAMP_PLAIN/summary.csv"  "$SAMP_DIR/summary.csv"
+
 echo "== attack-leakage invariant tests (release, debug assertions on)"
 # Explicit run of the ZIV-zero-leakage gate: the observatory's books
 # conserve against Metrics::inclusion_victims, the inclusive baseline

@@ -14,6 +14,10 @@
 //!                                         # under --mode with the leakage observatory on;
 //!                                         # print the attacker-observable signal summary
 //!                                         # (--sets <N> targeted LLC sets, default 8)
+//! zivsim sample [<mode>] [options]        # paired interval-sampled run: the mode (default
+//!                                         # ziv-likelydead) and an inclusive baseline
+//!                                         # sample the same trace; report per-interval IPC
+//!                                         # and whether the IPC delta's CI excludes zero
 //! zivsim bench-throughput [options]       # time the smoke campaign end-to-end (accesses/s)
 //! zivsim bench-compare <old.json> <new.json> [--threshold <pct>]
 //!                                         # diff two bench reports; nonzero exit on
@@ -83,6 +87,20 @@
 //!   --cell-budget <CYCLES>                (per-core watchdog budget; default derived
 //!                                          from the workload size)
 //!
+//! sampling options (campaign + sample):
+//!   --sampling <spec>                     (interval-sampling plan: `auto`, `off`, or
+//!                                          `interval=N,gap=N[,warmup=PCT][,confidence=
+//!                                          90|95|99][,max=N]`; each period simulates
+//!                                          `interval` timed accesses, fast-forwards the
+//!                                          gap functionally, and re-warms timing state
+//!                                          over the gap's last PCT%. Campaign estimates
+//!                                          export as sampling.csv and never touch the
+//!                                          result ledger)
+//!   --validate                            (campaign only, requires --sampling: run the
+//!                                          full campaign too and export validation.csv —
+//!                                          per-cell IPC error, CI coverage, and the
+//!                                          wall-clock speedup of the sampled pass)
+//!
 //! supervision options (campaign + soak):
 //!   --retries <N>                         (re-attempt transiently failing cells up to N
 //!                                          times with deterministic seeded backoff;
@@ -116,6 +134,7 @@ use ziv::prelude::*;
 struct Options {
     command: String,
     mode: LlcMode,
+    mode_explicit: bool,
     policy: PolicyKind,
     l2: L2Size,
     workload: String,
@@ -147,6 +166,8 @@ struct Options {
     sets: u32,
     threshold: Option<f64>,
     traced: bool,
+    sampling: Option<ziv::sim::SamplingPlan>,
+    validate: bool,
 }
 
 impl Default for Options {
@@ -154,6 +175,7 @@ impl Default for Options {
         Options {
             command: "help".into(),
             mode: LlcMode::Inclusive,
+            mode_explicit: false,
             policy: PolicyKind::Lru,
             l2: L2Size::K256,
             workload: "hetero:0".into(),
@@ -185,6 +207,8 @@ impl Default for Options {
             sets: 8,
             threshold: None,
             traced: false,
+            sampling: None,
+            validate: false,
         }
     }
 }
@@ -341,7 +365,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
     let mut positionals_allowed: usize = match opts.command.as_str() {
-        "export" | "campaign" | "replay" | "trace" | "profile" | "attack" => 1,
+        "export" | "campaign" | "replay" | "trace" | "profile" | "attack" | "sample" => 1,
         "bench-compare" => 2,
         _ => 0,
     };
@@ -358,7 +382,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
-            "--mode" => opts.mode = parse_mode(&value()?)?,
+            "--mode" => {
+                opts.mode = parse_mode(&value()?)?;
+                opts.mode_explicit = true;
+            }
             "--policy" => opts.policy = parse_policy(&value()?)?,
             "--l2" => opts.l2 = parse_l2(&value()?)?,
             "--workload" => opts.workload = value()?,
@@ -451,6 +478,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.threshold = Some(pct);
             }
             "--traced" => opts.traced = true,
+            "--sampling" => {
+                opts.sampling =
+                    ziv::sim::SamplingPlan::parse(&value()?).map_err(|e| e.to_string())?
+            }
+            "--validate" => opts.validate = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -664,6 +696,14 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), CliError> {
         )
     };
     let results_dir = cfg.results_dir.clone();
+    if opts.validate && opts.sampling.is_none() {
+        return Err(CliError::Usage(
+            "--validate compares a sampled pass against the full run; it needs --sampling".into(),
+        ));
+    }
+    if let Some(plan) = opts.sampling {
+        return cmd_campaign_sampled(&campaign, &cfg, plan, opts.validate, &results_dir);
+    }
     // Errors out of the runner itself are infrastructure (results dir,
     // ledger, CSV I/O) — cell failures never surface here.
     let outcome = run_campaign(&campaign, &cfg, &StderrProgress)
@@ -715,6 +755,159 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), CliError> {
             campaign.total_cells(),
             results_dir.display()
         )));
+    }
+    Ok(())
+}
+
+/// The sampled flavor of `zivsim campaign`: every cell runs under the
+/// interval-sampling plan, per-interval estimates land in
+/// `sampling.csv`, and nothing touches the result ledger. With
+/// `--validate` the full campaign runs first (ledgered, exporting its
+/// standard artifacts) and `validation.csv` compares the two passes.
+fn cmd_campaign_sampled(
+    campaign: &ziv::harness::Campaign,
+    cfg: &ziv::harness::RunnerConfig,
+    plan: ziv::sim::SamplingPlan,
+    validate: bool,
+    results_dir: &std::path::Path,
+) -> Result<(), CliError> {
+    use ziv::harness::{run_campaign_sampled, StderrProgress};
+    let outcome = run_campaign_sampled(campaign, cfg, plan, validate, &StderrProgress)
+        .map_err(|e| CliError::Internal(e.to_string()))?;
+    println!(
+        "sampled campaign '{}': {} cell(s) under plan '{plan}' (estimates only — not ledgered)",
+        campaign.name,
+        outcome.cells.len(),
+    );
+    for cell in &outcome.cells {
+        let p = &cell.sampled.profile;
+        let estimate = match cell.sampled.ipc_ci() {
+            Some(ci) => format!("ipc {ci}"),
+            None => match cell.sampled.ipc_estimate() {
+                Some(m) => format!("ipc {m:.4} (no CI: a single interval closed)"),
+                None => "no full interval closed (trace shorter than one period)".into(),
+            },
+        };
+        println!(
+            "  {:<28} × {:<16} {estimate}  [{} interval(s), {:.1}% simulated, stop: {}]",
+            cell.label,
+            cell.workload,
+            p.intervals,
+            100.0 * p.simulated_fraction(),
+            p.stop.tag(),
+        );
+    }
+    println!("wrote {}", outcome.sampling_csv.display());
+    if let Some(v) = &outcome.validation {
+        println!(
+            "validation: {}/{} cell(s) landed the full-run IPC inside their sampled {} CI; \
+             wall-clock speedup {:.2}x (Σ full / Σ sampled over cells timed in both passes)",
+            v.cells_within_ci,
+            v.rows.len(),
+            plan.confidence,
+            v.speedup,
+        );
+        println!("wrote {}", v.validation_csv.display());
+    }
+    if !outcome.failures.is_empty() {
+        eprintln!("\n{} sampled cell(s) FAILED:", outcome.failures.len());
+        for f in &outcome.failures {
+            eprintln!(
+                "  {} × {} [{}]: {}",
+                f.label,
+                f.workload,
+                f.digest.hex(),
+                f.error
+            );
+        }
+        return Err(CliError::Cells(format!(
+            "{} of {} sampled cells failed (results under {})",
+            outcome.failures.len(),
+            campaign.total_cells(),
+            results_dir.display()
+        )));
+    }
+    Ok(())
+}
+
+/// A paired interval-sampled run: the target mode and an inclusive
+/// baseline sample the same trace, same-index intervals pair up, and
+/// the run reports whether the ZIV-vs-inclusive IPC delta resolved —
+/// its confidence interval excludes zero — before the interval budget
+/// ran out.
+fn cmd_sample(args: &[String], opts: &Options) -> Result<(), String> {
+    // Optional positional mode spec: `zivsim sample ziv-likelydead ...`;
+    // the default target is the paper's headline ZIV configuration.
+    let mut opts = opts.clone();
+    match args.get(1).filter(|a| !a.starts_with("--")) {
+        Some(mode) => opts.mode = parse_mode(mode)?,
+        None if !opts.mode_explicit => opts.mode = LlcMode::Ziv(ZivProperty::LikelyDead),
+        None => {}
+    }
+    let wl = build_workload(&opts)?;
+    let sys = system_for(&opts);
+    let baseline = RunSpec::new(format!("I-{}", opts.policy.label()), sys.clone())
+        .with_policy(opts.policy)
+        .with_seed(opts.seed);
+    let target = RunSpec::new(
+        format!("{}-{}", opts.mode.label(), opts.policy.label()),
+        sys,
+    )
+    .with_mode(opts.mode)
+    .with_policy(opts.policy)
+    .with_seed(opts.seed);
+    let plan = opts.sampling.unwrap_or_else(ziv::sim::SamplingPlan::auto);
+    let run_opts = ziv::sim::RunOptions {
+        audit: opts.audit,
+        budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
+        observe: ziv::sim::ObserveConfig::disabled(),
+        sampling: Some(plan),
+    };
+    let report = ziv::sim::run_paired_sampled(&baseline, &target, &wl, &run_opts)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "sample {} vs {} on {} (plan '{plan}'):",
+        target.label, baseline.label, wl.name
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10}",
+        "interval", "start", "base_ipc", "ipc", "delta"
+    );
+    for iv in &report.target.intervals {
+        let base = report.baseline.intervals.get(iv.index as usize);
+        let (base_ipc, delta) = match base {
+            Some(b) => (format!("{:.4}", b.ipc), format!("{:+.4}", iv.ipc - b.ipc)),
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "{:<10} {:>12} {:>10} {:>10.4} {:>10}",
+            iv.index, iv.start_access, base_ipc, iv.ipc, delta
+        );
+    }
+    for (label, run) in [("baseline", &report.baseline), ("target", &report.target)] {
+        let p = &run.profile;
+        let ipc = match run.ipc_ci() {
+            Some(ci) => format!("ipc {ci}"),
+            None => "too few intervals for a CI".into(),
+        };
+        println!(
+            "{label:<9} {ipc}  [{} interval(s), {:.1}% simulated, stop: {}]",
+            p.intervals,
+            100.0 * p.simulated_fraction(),
+            p.stop.tag(),
+        );
+    }
+    match &report.delta_ci {
+        Some(ci) if report.resolved => println!(
+            "verdict: IPC delta {ci} excludes zero — resolved at {} confidence",
+            plan.confidence
+        ),
+        Some(ci) => println!(
+            "verdict: IPC delta {ci} still includes zero at the interval budget \
+             (raise --sampling max=N or interval length to resolve)"
+        ),
+        None => println!("verdict: too few paired intervals to form a delta CI"),
     }
     Ok(())
 }
@@ -883,6 +1076,7 @@ fn cmd_trace(args: &[String], opts: &Options) -> Result<(), String> {
         audit: opts.audit,
         budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
         observe: opts.observe_config()?,
+        sampling: None,
     };
     let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
     let obs = observations.ok_or("trace produced no observations (recorder disabled?)")?;
@@ -963,6 +1157,7 @@ fn cmd_profile(args: &[String], opts: &Options) -> Result<(), String> {
         audit: opts.audit,
         budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
         observe: opts.observe_config()?,
+        sampling: None,
     };
     let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
     let result = outcome.map_err(|e| e.to_string())?;
@@ -1091,6 +1286,7 @@ fn cmd_attack(args: &[String], opts: &Options) -> Result<(), String> {
         audit: opts.audit,
         budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
         observe: opts.observe_config()?,
+        sampling: None,
     };
     let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
     let result = outcome.map_err(|e| e.to_string())?;
@@ -1215,6 +1411,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         audit: opts.audit,
         budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
         observe: ziv::sim::ObserveConfig::disabled(),
+        sampling: None,
     };
     let baseline = ziv::sim::run_one_checked(&baseline_spec, &wl, &run_opts)
         .map_err(|e| format!("baseline run: {e}"))?;
@@ -1304,7 +1501,7 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 
 fn usage() {
     println!(
-        "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|attack|\
+        "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|attack|sample|\
          bench-throughput|bench-compare|soak> \
          [options]   (see --help text in the source header; exit codes: \
          0 clean, 1 command failure, 2 usage, 3 isolated cell failures, 4 internal)"
@@ -1326,6 +1523,7 @@ fn dispatch(args: &[String], opts: &Options) -> Result<(), CliError> {
         "trace" => cmd_trace(args, opts).map_err(CliError::Other),
         "profile" => cmd_profile(args, opts).map_err(CliError::Other),
         "attack" => cmd_attack(args, opts).map_err(CliError::Other),
+        "sample" => cmd_sample(args, opts).map_err(CliError::Other),
         "bench-throughput" => cmd_bench_throughput(opts).map_err(CliError::Other),
         "bench-compare" => cmd_bench_compare(args, opts).map_err(CliError::Other),
         "help" | "--help" | "-h" => {
@@ -1631,6 +1829,49 @@ mod tests {
         assert!(parse_args(&args("bench-compare a b --threshold -3")).is_err());
         // Only two positionals are tolerated.
         assert!(parse_args(&args("bench-compare a b c")).is_err());
+    }
+
+    #[test]
+    fn parses_sampling_flags() {
+        let o = parse_args(&args(
+            "campaign smoke --sampling interval=64,gap=448,warmup=25,confidence=99,max=12 \
+             --validate",
+        ))
+        .unwrap();
+        let plan = o.sampling.unwrap();
+        assert_eq!(plan.interval, 64);
+        assert_eq!(plan.gap, 448);
+        assert_eq!(plan.warmup_per_mille, 250);
+        assert_eq!(plan.confidence, ziv::sim::Confidence::P99);
+        assert_eq!(plan.max_intervals, 12);
+        assert!(o.validate);
+
+        // `auto` resolves per-workload at run time; `off` is explicit.
+        assert!(parse_args(&args("campaign smoke --sampling auto"))
+            .unwrap()
+            .sampling
+            .unwrap()
+            .is_auto());
+        assert!(parse_args(&args("campaign smoke --sampling off"))
+            .unwrap()
+            .sampling
+            .is_none());
+        // Malformed plans are usage errors at parse time.
+        assert!(parse_args(&args("campaign smoke --sampling interval=0,gap=10")).is_err());
+        assert!(parse_args(&args("campaign smoke --sampling confidence=80")).is_err());
+        assert!(parse_args(&args("campaign smoke --sampling bogus=1")).is_err());
+
+        // `sample` takes a positional mode like `trace` does, and
+        // defaults to the paper's headline ZIV configuration —
+        // unless --mode was given explicitly.
+        let o = parse_args(&args("sample ziv-notinprc --accesses 500")).unwrap();
+        assert_eq!(o.command, "sample");
+        assert!(!o.mode_explicit);
+        assert!(
+            parse_args(&args("sample --mode qbs"))
+                .unwrap()
+                .mode_explicit
+        );
     }
 
     #[test]

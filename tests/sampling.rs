@@ -1,0 +1,269 @@
+//! Differential tests of the statistical sampling engine (DESIGN.md
+//! §"Statistical sampling"): functional warmup is provably
+//! timing-metric-silent, a sampled campaign pass leaves the full
+//! campaign's ledger and CSVs byte-identical, the sampled IPC
+//! estimates track the full-run values on the smoke grid, and the
+//! `zivsim sample` command reports a paired verdict end-to-end.
+
+use std::fs;
+use std::path::PathBuf;
+use ziv::harness::{
+    campaigns, run_campaign, run_campaign_sampled, CampaignParams, NullSink, RunnerConfig,
+};
+use ziv::prelude::*;
+use ziv::sim::{run_one_sampled, Confidence, RunOptions, RunSpec, SamplingPlan};
+use ziv::workloads::{apps, mixes, ScaleParams};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ziv-sampling-it")
+        .join(format!("{name}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn read(path: &std::path::Path) -> Vec<u8> {
+    fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn plan(interval: u64, gap: u64, warmup_per_mille: u16) -> SamplingPlan {
+    SamplingPlan {
+        interval,
+        gap,
+        warmup_per_mille,
+        window: 1,
+        head: 0,
+        confidence: Confidence::P95,
+        max_intervals: 0,
+    }
+}
+
+/// The warmup scope's contract: warm accesses update cache/directory/
+/// replacement state (they flow through `CacheHierarchy::access`), but
+/// the timing metrics admit only the timed accesses. The per-core
+/// demand counter makes that observable: it increments once per
+/// hierarchy access, so metric silence means it equals exactly the
+/// timed count — at every warmup fraction, including warm-the-whole-gap.
+#[test]
+fn functional_warmup_is_timing_metric_silent() {
+    let sys = SystemConfig::scaled();
+    let wl = mixes::homogeneous(apps::APPS[4], 2, 6_000, 3, ScaleParams::from_system(&sys));
+    let spec = RunSpec::new("I-LRU", sys);
+    for warm_pm in [0u16, 500, 1000] {
+        let opts = RunOptions {
+            sampling: Some(plan(64, 448, warm_pm)),
+            ..RunOptions::default()
+        };
+        let run = run_one_sampled(&spec, &wl, &opts).expect("sampled run");
+        let p = &run.profile;
+        assert_eq!(
+            p.timed_accesses + p.warm_accesses + p.skipped_accesses,
+            wl.total_accesses(),
+            "every access lands in exactly one phase (w={warm_pm}‰)"
+        );
+        let counted: u64 = run.result.metrics.per_core.iter().map(|c| c.accesses).sum();
+        assert_eq!(
+            counted, p.timed_accesses,
+            "warmup (w={warm_pm}‰) leaked into the demand counters"
+        );
+        assert!(run.result.metrics.llc_accesses <= p.timed_accesses);
+        match warm_pm {
+            0 => assert_eq!(p.warm_accesses, 0),
+            1000 => {
+                assert_eq!(
+                    p.skipped_accesses, 0,
+                    "warming the whole gap leaves no skip"
+                );
+                assert!(p.warm_accesses > 0);
+            }
+            _ => assert!(p.warm_accesses > 0 && p.skipped_accesses > 0),
+        }
+    }
+}
+
+/// The two halves of the acceptance criteria in one campaign: with
+/// sampling off nothing changes (a validated sampled pass embeds a full
+/// campaign whose ledger and CSVs are byte-identical to a plain run),
+/// and the sampled estimates it produces track the full-run IPC.
+#[test]
+fn sampled_campaign_leaves_full_artifacts_identical_and_tracks_ipc() {
+    let base = temp_dir("sampled-campaign");
+    let params = CampaignParams::tiny();
+    let campaign = campaigns::by_name("smoke", &params).expect("smoke exists");
+
+    // Single-threaded on both sides so the ledgers append in the same
+    // deterministic completion order.
+    let plain_cfg = RunnerConfig {
+        threads: 1,
+        ..RunnerConfig::new(base.join("plain"))
+    };
+    let plain = run_campaign(&campaign, &plain_cfg, &NullSink).expect("plain campaign");
+    assert!(plain.failures.is_empty());
+
+    let sampled_cfg = RunnerConfig {
+        threads: 1,
+        ..RunnerConfig::new(base.join("sampled"))
+    };
+    let outcome = run_campaign_sampled(
+        &campaign,
+        &sampled_cfg,
+        SamplingPlan::auto(),
+        true,
+        &NullSink,
+    )
+    .expect("sampled campaign");
+    assert!(outcome.failures.is_empty());
+    let validation = outcome
+        .validation
+        .as_ref()
+        .expect("validate=true attaches one");
+
+    // Sampling must not perturb the full-fidelity artifacts: the
+    // embedded full campaign's ledger and CSVs are byte-identical to a
+    // plain run's, and no sampled estimate reaches the ledger.
+    assert_eq!(
+        read(&plain.ledger_path),
+        read(&validation.full.ledger_path),
+        "ledger differs when a sampled pass rides along"
+    );
+    assert_eq!(read(&plain.grid_csv), read(&validation.full.grid_csv));
+    assert_eq!(read(&plain.summary_csv), read(&validation.full.summary_csv));
+
+    // sampling.csv: the documented header, one row per interval.
+    let sampling = String::from_utf8(read(&outcome.sampling_csv)).unwrap();
+    assert_eq!(
+        sampling.lines().next().unwrap(),
+        ziv::sim::SAMPLING_COLUMNS.join(",")
+    );
+    let interval_rows: usize = outcome
+        .cells
+        .iter()
+        .map(|c| c.sampled.intervals.len())
+        .sum();
+    assert_eq!(sampling.lines().count() - 1, interval_rows);
+
+    // validation.csv exists with its documented header.
+    let vcsv = String::from_utf8(read(&validation.validation_csv)).unwrap();
+    assert_eq!(
+        vcsv.lines().next().unwrap(),
+        ziv::sim::VALIDATION_COLUMNS.join(",")
+    );
+
+    // Every cell is compared, and each sampled estimate tracks the
+    // full-run IPC: inside its own confidence interval, or within 10%.
+    assert_eq!(validation.rows.len(), outcome.cells.len());
+    assert!(!validation.rows.is_empty());
+    for row in &validation.rows {
+        assert!(
+            row.within_ci() || row.rel_error() < 0.10,
+            "{} × {}: sampled {} vs full {} (CI {:?})",
+            row.config,
+            row.workload,
+            row.sampled_ipc,
+            row.full_ipc,
+            row.ipc_ci,
+        );
+    }
+    assert_eq!(
+        validation.cells_within_ci,
+        validation.rows.iter().filter(|r| r.within_ci()).count()
+    );
+
+    // The tiny grid's traces are far shorter than the LLC's warm
+    // horizon, so the auto resolver must have fallen back to
+    // warm-everything: no access is ever skipped (fast-but-wrong
+    // estimates are worse than slow-and-right ones out of regime).
+    for cell in &outcome.cells {
+        assert_eq!(
+            cell.sampled.profile.skipped_accesses, 0,
+            "{} × {} skipped out of regime",
+            cell.label, cell.workload
+        );
+        assert!(
+            cell.sampled.intervals.len() >= 2,
+            "enough intervals for a CI"
+        );
+    }
+    fs::remove_dir_all(&base).ok();
+}
+
+/// In the sampling regime proper — a trace several LLC warm horizons
+/// long — the auto plan must genuinely skip (that is the speedup) while
+/// the estimate still tracks a full run of the same cell, because each
+/// timed window is preceded by a capacity-sized functional warm span.
+#[test]
+fn in_regime_sampling_skips_and_tracks_the_full_run() {
+    let sys = SystemConfig::scaled();
+    let scale = ScaleParams::from_system(&sys);
+    for app in ["circset", "hotl2"] {
+        let wl = mixes::homogeneous(
+            apps::app_by_name(app).expect("known app"),
+            2,
+            60_000,
+            7,
+            scale,
+        );
+        let spec = RunSpec::new("I-LRU", sys.clone());
+        let full = ziv::sim::run_one(&spec, &wl);
+        let opts = RunOptions {
+            sampling: Some(SamplingPlan::auto()),
+            ..RunOptions::default()
+        };
+        let run = run_one_sampled(&spec, &wl, &opts).expect("sampled run");
+        let p = &run.profile;
+        assert!(p.skipped_accesses > 0, "{app}: in-regime plans skip");
+        assert!(
+            p.simulated_fraction() < 0.4,
+            "{app}: simulated {:.0}%",
+            p.simulated_fraction() * 100.0
+        );
+        assert!(
+            run.intervals.len() >= 4,
+            "{app}: {} intervals",
+            run.intervals.len()
+        );
+        let window = full.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+        let full_ipc = full.total_instructions() as f64 / window.max(1) as f64;
+        let ci = run.ipc_ci().expect("enough intervals");
+        let rel = (ci.mean - full_ipc).abs() / full_ipc;
+        assert!(
+            ci.contains(full_ipc) || rel < 0.10,
+            "{app}: sampled {} vs full {full_ipc} (CI ±{}, rel {rel:.3})",
+            ci.mean,
+            ci.half_width
+        );
+    }
+}
+
+/// `zivsim sample` end-to-end: the paired baseline-vs-target run
+/// completes, prints its interval table and a verdict, and exits 0.
+#[test]
+fn cli_sample_reports_a_paired_verdict() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_zivsim"))
+        .args([
+            "sample",
+            "--cores",
+            "2",
+            "--accesses",
+            "4000",
+            "--sampling",
+            "interval=64,gap=448",
+        ])
+        .env("ZIV_FAST", "1")
+        .output()
+        .expect("spawn zivsim");
+    assert!(
+        out.status.success(),
+        "zivsim sample failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("interval"),
+        "missing interval table:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("delta") || stdout.contains("Δ"),
+        "missing paired delta:\n{stdout}"
+    );
+}

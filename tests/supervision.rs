@@ -169,6 +169,52 @@ fn torn_ledger_tail_is_dropped_with_a_warning_and_resume_reruns_only_the_lost_ce
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn oversubscribed_but_progressing_pool_is_not_cancelled() {
+    // Regression for the stall-watchdog false positive: a pool with far
+    // more workers than hardware threads time-slices its cells, so each
+    // one advances in bursts separated by scheduling gaps. An
+    // uncontended stall budget misreads those gaps as hangs; the
+    // oversubscription-scaled default must ride them out. Every cell
+    // here makes genuine forward progress, so *any* failure is a false
+    // stall.
+    use ziv::harness::{
+        default_stall_window, run_cells_supervised, NoopSuperviseObserver, SuperviseConfig,
+    };
+    use ziv::sim::{RunOptions, RunSpec};
+    use ziv::workloads::{apps, mixes, ScaleParams};
+
+    let sys = ziv::common::config::SystemConfig::scaled();
+    let workload = mixes::homogeneous(apps::APPS[4], 2, 4_000, 7, ScaleParams::from_system(&sys));
+    let specs = vec![RunSpec::new("I-LRU", sys)];
+    let workloads = vec![workload];
+    // 16 workers on a small CI host is heavily oversubscribed; each
+    // runs the same healthy cell.
+    let workers = 16;
+    let cells: Vec<(usize, usize)> = (0..workers).map(|_| (0, 0)).collect();
+    let sup = SuperviseConfig {
+        stall_window: Some(default_stall_window(Duration::from_millis(250), workers)),
+        ..SuperviseConfig::default()
+    };
+    let runs = run_cells_supervised(
+        &specs,
+        &workloads,
+        &cells,
+        workers,
+        &RunOptions::default(),
+        &sup,
+        &NoopSuperviseObserver,
+    );
+    assert_eq!(runs.len(), workers);
+    for run in &runs {
+        let result = run
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("progressing cell cancelled as a false stall: {e}"));
+        assert!(result.total_instructions() > 0);
+    }
+}
+
 // ---------------------------------------------------------------------
 // The CLI exit-code contract (documented in the zivsim header and the
 // README): 0 clean, 2 usage, 3 isolated cell failures, 4 internal.
