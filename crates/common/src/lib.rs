@@ -32,6 +32,7 @@ pub mod fsutil;
 pub mod ids;
 pub mod json;
 pub mod rng;
+pub mod seqlock;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr};

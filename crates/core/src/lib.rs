@@ -65,6 +65,6 @@ pub use llc::{LlcMode, ZivProperty};
 pub use metrics::Metrics;
 pub use observe::{
     EventFilter, EventKind, EventTraceConfig, FlightRecorder, Heatmap, Observations, ObserveConfig,
-    TraceEvent,
+    ProbeSnapshot, SamplingProgress, TelemetryProbe, TraceEvent,
 };
 pub use profile::{ProfileReport, ProfileSection, SelfProfiler};

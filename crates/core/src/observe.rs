@@ -780,6 +780,83 @@ impl Observations {
     }
 }
 
+/// A point-in-time progress sample published from the driver's hot loop
+/// to a [`TelemetryProbe`].
+///
+/// All values are cheap running totals the driver already maintains; the
+/// probe implementation (the harness's shared-memory worker record)
+/// stores them with relaxed atomics under a seqlock, so publishing costs
+/// a handful of word stores — no locks, no allocation, no syscalls.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProbeSnapshot {
+    /// 0-based global index of the access just issued.
+    pub access_index: u64,
+    /// Instructions retired, summed over cores.
+    pub instructions: u64,
+    /// Cycles elapsed (max over core clocks, rounded down).
+    pub cycles: u64,
+    /// LLC accesses so far.
+    pub llc_accesses: u64,
+    /// LLC misses so far.
+    pub llc_misses: u64,
+    /// Inclusion victims so far.
+    pub inclusion_victims: u64,
+    /// ZIV relocations so far.
+    pub relocations: u64,
+    /// Sampling stratum code (0 = full-detail run; the sampling driver
+    /// publishes its phase: 1 head, 2 skip, 3 warm, 4 timed).
+    pub stratum: u64,
+}
+
+/// Sampling-convergence state published at each interval close.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SamplingProgress {
+    /// Closed measurement intervals so far.
+    pub intervals: u64,
+    /// Running mean of per-interval IPC.
+    pub ipc_mean: f64,
+    /// Half-width of the running IPC confidence interval (0 until at
+    /// least two intervals have closed).
+    pub ipc_half_width: f64,
+}
+
+/// Live-telemetry publication hook threaded through the sim driver.
+///
+/// Mirrors the [`CancelToken`](crate::CancelToken) pattern: the driver
+/// takes an `Option<&dyn TelemetryProbe>` and consults it on the same
+/// 256-access cadence as cancellation polling, so a `None` probe costs a
+/// single never-taken branch and the unwatched hot path is unchanged.
+/// Implementations must be cheap, lock-free, and allocation-free — they
+/// run inside the access loop.
+///
+/// The probe's outputs are observability-only: they must never feed back
+/// into simulation state, and nothing published through a probe may be
+/// digested, so probed and unprobed runs stay byte-identical in every
+/// recorded artifact.
+pub trait TelemetryProbe: Sync {
+    /// A cell (or cell attempt) is starting on this probe's worker.
+    #[allow(clippy::too_many_arguments)]
+    fn cell_begin(
+        &self,
+        _spec_index: u64,
+        _workload_index: u64,
+        _attempt: u64,
+        _expected_accesses: u64,
+        _label: &str,
+        _workload: &str,
+    ) {
+    }
+
+    /// Periodic progress sample from the access hot loop.
+    fn publish_progress(&self, snap: &ProbeSnapshot);
+
+    /// Sampling-interval convergence update (sampled runs only).
+    fn publish_sampling(&self, _progress: &SamplingProgress) {}
+
+    /// The current cell finished (successfully or not).
+    fn cell_end(&self) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

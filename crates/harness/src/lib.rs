@@ -34,6 +34,11 @@
 //! - [`ProgressSink`] / [`Telemetry`]: the observability layer —
 //!   per-cell wall-clock timing, a live progress line, and a
 //!   worker-utilization summary.
+//! - [`CampaignBus`]: the live telemetry bus — a seqlock shared-memory
+//!   segment (`results/<name>/telemetry.shm`) that `zivsim watch`
+//!   tails while the campaign runs, plus `--progress jsonl` heartbeat
+//!   lines for CI log scraping. Off by default and provably zero-cost
+//!   when off.
 //! - [`FailureRecord`] / [`replay`]: the robustness layer — a failing
 //!   cell (invariant-audit violation, watchdog trip) is isolated,
 //!   recorded as a ledger error entry that `--resume` retries, and
@@ -64,6 +69,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bus;
 mod campaign;
 mod failure;
 mod ledger;
@@ -72,6 +78,7 @@ mod soak;
 mod supervise;
 mod telemetry;
 
+pub use bus::{BusOptions, CampaignBus, WorkerProbe};
 pub use campaign::{campaigns, Campaign, CampaignParams, CellDigest, CELL_SCHEMA_VERSION};
 pub use failure::{replay, FailureRecord, ReplayReport, FAILURE_SCHEMA_VERSION};
 pub use ledger::{FailedCell, Ledger, LedgerRecovery, LedgerWriter};
@@ -82,6 +89,7 @@ pub use runner::{
 pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use supervise::{
     default_stall_window, execute_with_retry, oversubscription_factor, run_cells_supervised,
-    run_one_guarded, NoopSuperviseObserver, SuperviseConfig, SuperviseObserver, SupervisedRun,
+    run_cells_supervised_probed, run_one_guarded, NoopSuperviseObserver, SuperviseConfig,
+    SuperviseObserver, SupervisedRun,
 };
-pub use telemetry::{CellTiming, NullSink, ProgressSink, StderrProgress, Telemetry};
+pub use telemetry::{CellTiming, EtaEstimator, NullSink, ProgressSink, StderrProgress, Telemetry};

@@ -1,10 +1,11 @@
 //! The campaign runner: cache partition → parallel execution →
 //! ledger append → CSV export, with per-cell fault isolation.
 
+use crate::bus::{BusOptions, CampaignBus};
 use crate::campaign::{Campaign, CampaignParams, CellDigest};
 use crate::failure::FailureRecord;
 use crate::ledger::{Ledger, LedgerWriter};
-use crate::supervise::{run_cells_supervised, SuperviseConfig, SuperviseObserver};
+use crate::supervise::{run_cells_supervised_probed, SuperviseConfig, SuperviseObserver};
 use crate::telemetry::{CellTiming, ProgressSink, Telemetry};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -14,11 +15,11 @@ use ziv_common::json::JsonValue;
 use ziv_common::{RetryPolicy, SimError};
 use ziv_core::AuditCadence;
 use ziv_sim::{
-    run_one_sampled, run_one_traced, speedup_summary, write_grid_csv, write_heatmap_csv,
-    write_latency_csv, write_leakage_csv, write_sampling_csv, write_summary_csv,
+    run_one_sampled_instrumented, run_one_traced, speedup_summary, write_grid_csv,
+    write_heatmap_csv, write_latency_csv, write_leakage_csv, write_sampling_csv, write_summary_csv,
     write_timeseries_csv, write_validation_csv, CellBudget, EventTraceConfig, GridResult,
     Observations, ObserveConfig, ObservedCell, ProfileReport, RunOptions, RunResult, RunSpec,
-    SampledCell, SampledRun, SamplingPlan, TraceEvent, ValidationRow,
+    SampledCell, SampledRun, SamplingPlan, TelemetryProbe, TraceEvent, ValidationRow,
 };
 use ziv_workloads::Workload;
 
@@ -69,6 +70,16 @@ pub struct RunnerConfig {
     /// Only errors with [`SimError::is_transient`] are retried, under a
     /// deterministic backoff schedule seeded from the campaign seed.
     pub retries: u32,
+    /// Publish the live telemetry segment (`--telemetry on`):
+    /// `<results-dir>/telemetry.shm`, the seqlock shared-memory bus
+    /// that `zivsim watch` tails. Pure observability — never digested,
+    /// and zero-cost when off (no thread, no mmap, no extra work on
+    /// the simulation hot path).
+    pub telemetry: bool,
+    /// Emit one structured JSONL heartbeat line per ticker tick to
+    /// stderr (`--progress jsonl`) for CI log scraping. Independent of
+    /// `telemetry`; same zero-cost-when-off guarantee.
+    pub progress_jsonl: bool,
 }
 
 impl RunnerConfig {
@@ -88,6 +99,8 @@ impl RunnerConfig {
             cell_timeout: None,
             stall_window: None,
             retries: 0,
+            telemetry: false,
+            progress_jsonl: false,
         }
     }
 }
@@ -163,6 +176,7 @@ struct CampaignObserver<'a> {
     digests: &'a [Vec<CellDigest>],
     writer: &'a LedgerWriter,
     sink: &'a dyn ProgressSink,
+    bus: Option<&'a CampaignBus>,
     done: AtomicUsize,
     failed: AtomicUsize,
     total: usize,
@@ -177,6 +191,12 @@ impl CampaignObserver<'_> {
 }
 
 impl SuperviseObserver for CampaignObserver<'_> {
+    fn cell_started(&self, _spec_index: usize, _workload_index: usize) {
+        if let Some(bus) = self.bus {
+            bus.cell_started();
+        }
+    }
+
     fn cell_finished(
         &self,
         spec_index: usize,
@@ -205,6 +225,9 @@ impl SuperviseObserver for CampaignObserver<'_> {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         self.sink.cell_finished(&timing, done, self.total);
         self.timings.lock().unwrap().push(timing);
+        if let Some(bus) = self.bus {
+            bus.cell_finished(attempts);
+        }
     }
 
     fn cell_failed(
@@ -235,6 +258,9 @@ impl SuperviseObserver for CampaignObserver<'_> {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         self.sink
             .cell_failed(label, &workload, error, done, self.total);
+        if let Some(bus) = self.bus {
+            bus.cell_failed(attempts);
+        }
     }
 
     fn should_abort(&self) -> bool {
@@ -330,6 +356,20 @@ pub fn run_campaign(
     // Simulate the missing cells, appending each to the ledger as it
     // completes. Workloads are only regenerated when something runs.
     let workers = cfg.threads.max(1).min(missing.len().max(1));
+    // The live bus starts even when every cell is cached, so a watcher
+    // attached to an instant resume still sees a finished segment
+    // instead of nothing.
+    let bus = CampaignBus::start(
+        &cfg.results_dir,
+        workers,
+        campaign.total_cells(),
+        cached_cells,
+        &BusOptions {
+            telemetry: cfg.telemetry,
+            progress_jsonl: cfg.progress_jsonl,
+            ..BusOptions::default()
+        },
+    )?;
     let started = Instant::now();
     let mut timings = Vec::new();
     let mut failures: Vec<CellFailure> = Vec::new();
@@ -359,6 +399,7 @@ pub fn run_campaign(
             digests: &digests,
             writer: &writer,
             sink,
+            bus: bus.as_ref(),
             done: AtomicUsize::new(cached_cells),
             failed: AtomicUsize::new(0),
             total: campaign.total_cells(),
@@ -371,7 +412,8 @@ pub fn run_campaign(
             retry: RetryPolicy::with_retries(cfg.retries, cfg.params.map_or(0x2026, |p| p.seed)),
             poll: Duration::from_millis(5),
         };
-        let runs = run_cells_supervised(
+        let probes = bus.as_ref().and_then(|b| b.worker_probes());
+        let runs = run_cells_supervised_probed(
             &campaign.specs,
             &workloads,
             &missing,
@@ -379,6 +421,7 @@ pub fn run_campaign(
             &opts,
             &sup,
             &observer,
+            probes.as_deref(),
         );
         if let Some(e) = observer.io_error.into_inner().unwrap() {
             return Err(e);
@@ -537,6 +580,11 @@ pub fn run_campaign(
             telemetry.workers,
         ));
     }
+    // Final state goes out only after every artifact is on disk, so a
+    // watcher exiting on the finished flag can trust the CSVs.
+    if let Some(bus) = bus {
+        bus.finish();
+    }
     sink.campaign_finished(&telemetry);
     Ok(CampaignOutcome {
         grid,
@@ -668,29 +716,80 @@ pub fn run_campaign_sampled(
         observe: ObserveConfig::disabled(),
         sampling: Some(plan),
     };
+    // Sampled cells run sequentially, so the bus gets one worker slot
+    // and the campaign's solo probe. In validation mode the full pass
+    // above already published (and finished) its own session on the
+    // same segment path; this re-creates it for the sampled pass.
+    let bus = CampaignBus::start(
+        &cfg.results_dir,
+        1,
+        campaign.total_cells(),
+        0,
+        &BusOptions {
+            telemetry: cfg.telemetry,
+            progress_jsonl: cfg.progress_jsonl,
+            ..BusOptions::default()
+        },
+    )?;
+    let solo = bus.as_ref().and_then(|b| b.solo_probe());
+    let probe: Option<&dyn TelemetryProbe> = solo.as_ref().map(|p| p as &dyn TelemetryProbe);
     let mut cells = Vec::with_capacity(campaign.total_cells());
     let mut failures = Vec::new();
     for (s, w) in campaign.cells() {
         let started = Instant::now();
-        match run_one_sampled(&campaign.specs[s], &workloads[w], &opts) {
-            Ok(sampled) => cells.push(SampledCellResult {
-                spec_index: s,
-                workload_index: w,
-                label: campaign.specs[s].label.clone(),
-                workload: campaign.recipes[w].workload_name(),
-                sampled,
-                wall: started.elapsed(),
-            }),
-            Err(error) => failures.push(CellFailure {
-                spec_index: s,
-                workload_index: w,
-                digest: campaign.cell_digest(s, w),
-                label: campaign.specs[s].label.clone(),
-                workload: campaign.recipes[w].workload_name(),
-                error,
-                attempts: 1,
-                record_path: None,
-            }),
+        if let Some(b) = &bus {
+            b.cell_started();
+        }
+        if let Some(p) = probe {
+            p.cell_begin(
+                s as u64,
+                w as u64,
+                1,
+                workloads[w].total_accesses(),
+                &campaign.specs[s].label,
+                &campaign.recipes[w].workload_name(),
+            );
+        }
+        let outcome = run_one_sampled_instrumented(
+            &campaign.specs[s],
+            &workloads[w],
+            &opts,
+            None,
+            probe,
+            |_| false,
+        );
+        if let Some(p) = probe {
+            p.cell_end();
+        }
+        match outcome {
+            Ok(sampled) => {
+                if let Some(b) = &bus {
+                    b.cell_finished(1);
+                }
+                cells.push(SampledCellResult {
+                    spec_index: s,
+                    workload_index: w,
+                    label: campaign.specs[s].label.clone(),
+                    workload: campaign.recipes[w].workload_name(),
+                    sampled,
+                    wall: started.elapsed(),
+                });
+            }
+            Err(error) => {
+                if let Some(b) = &bus {
+                    b.cell_failed(1);
+                }
+                failures.push(CellFailure {
+                    spec_index: s,
+                    workload_index: w,
+                    digest: campaign.cell_digest(s, w),
+                    label: campaign.specs[s].label.clone(),
+                    workload: campaign.recipes[w].workload_name(),
+                    error,
+                    attempts: 1,
+                    record_path: None,
+                });
+            }
         }
     }
 
@@ -751,6 +850,9 @@ pub fn run_campaign_sampled(
         }
     };
 
+    if let Some(bus) = bus {
+        bus.finish();
+    }
     Ok(SampledCampaignOutcome {
         cells,
         failures,

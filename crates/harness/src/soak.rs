@@ -57,6 +57,13 @@ pub struct SoakConfig {
     pub stall_window: Duration,
     /// Extra attempts for transiently failing cells.
     pub retries: u32,
+    /// Publish the live telemetry segment for each pass
+    /// (`--telemetry on`). Each pass writes its own
+    /// `telemetry.shm` under its pass directory (`baseline/`,
+    /// `chaos/`), so `zivsim watch` follows whichever pass is running.
+    pub telemetry: bool,
+    /// Emit JSONL heartbeat lines to stderr (`--progress jsonl`).
+    pub progress_jsonl: bool,
 }
 
 impl SoakConfig {
@@ -75,6 +82,8 @@ impl SoakConfig {
                 threads,
             ),
             retries: 0,
+            telemetry: false,
+            progress_jsonl: false,
         }
     }
 }
@@ -163,6 +172,8 @@ pub fn run_soak(cfg: &SoakConfig, sink: &dyn ProgressSink) -> Result<SoakReport,
         cell_timeout: Some(cfg.cell_timeout),
         stall_window: Some(cfg.stall_window),
         retries: cfg.retries,
+        telemetry: cfg.telemetry,
+        progress_jsonl: cfg.progress_jsonl,
         ..RunnerConfig::new(dir)
     };
     let baseline_cfg = pass_cfg(cfg.results_dir.join("baseline"));

@@ -32,7 +32,10 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use ziv_common::{RetryPolicy, SimError};
 use ziv_core::CancelToken;
-use ziv_sim::{run_one_supervised, Observations, RunOptions, RunResult, RunSpec};
+use ziv_sim::{
+    run_one_instrumented, run_one_supervised, Observations, RunOptions, RunResult, RunSpec,
+    TelemetryProbe,
+};
 use ziv_workloads::Workload;
 
 /// Supervision knobs for a campaign run.
@@ -279,6 +282,7 @@ fn run_attempt(
     workload: &Workload,
     opts: &RunOptions,
     watch: Option<(&Mutex<Option<Watch>>, Option<Duration>)>,
+    probe: Option<&dyn TelemetryProbe>,
 ) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
     let token = watch.map(|(slot, timeout)| {
         let token = CancelToken::new();
@@ -286,7 +290,7 @@ fn run_attempt(
         token
     });
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        run_one_supervised(spec, workload, opts, token.as_ref())
+        run_one_instrumented(spec, workload, opts, token.as_ref(), probe)
     }));
     if let Some((slot, _)) = watch {
         *slot.lock().unwrap() = None;
@@ -312,7 +316,7 @@ pub fn run_one_guarded(
     timeout: Option<Duration>,
 ) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
     let Some(timeout) = timeout else {
-        return run_attempt(spec, workload, opts, None);
+        return run_attempt(spec, workload, opts, None, None);
     };
     let token = CancelToken::new();
     let done = std::sync::Arc::new(AtomicBool::new(false));
@@ -366,6 +370,31 @@ pub fn run_cells_supervised(
     sup: &SuperviseConfig,
     observer: &dyn SuperviseObserver,
 ) -> Vec<SupervisedRun> {
+    run_cells_supervised_probed(specs, workloads, cells, threads, opts, sup, observer, None)
+}
+
+/// [`run_cells_supervised`] plus optional per-worker live-telemetry
+/// probes: worker slot `i` uses `probes[i]` for every cell it claims,
+/// bracketing each retry attempt with `cell_begin`/`cell_end` and
+/// threading the probe into the sim driver's hot-loop publish site.
+/// Probes observe, never steer — results are byte-identical with and
+/// without them, and `probes == None` is the exact pre-telemetry path.
+///
+/// # Panics
+///
+/// Panics if a cell index is out of range for `specs` / `workloads`,
+/// or if fewer probes are supplied than worker slots.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cells_supervised_probed(
+    specs: &[RunSpec],
+    workloads: &[Workload],
+    cells: &[(usize, usize)],
+    threads: usize,
+    opts: &RunOptions,
+    sup: &SuperviseConfig,
+    observer: &dyn SuperviseObserver,
+    probes: Option<&[Box<dyn TelemetryProbe>]>,
+) -> Vec<SupervisedRun> {
     for &(s, w) in cells {
         assert!(s < specs.len(), "spec index {s} out of range");
         assert!(w < workloads.len(), "workload index {w} out of range");
@@ -375,8 +404,20 @@ pub fn run_cells_supervised(
     let aborted = AtomicBool::new(false);
     let results: Mutex<Vec<SupervisedRun>> = Mutex::new(Vec::with_capacity(total));
     let workers = threads.max(1).min(total.max(1));
+    if let Some(p) = probes {
+        assert!(
+            p.len() >= workers,
+            "{} probes for {workers} worker slots",
+            p.len()
+        );
+    }
     let active = AtomicUsize::new(workers);
     let slots: Vec<Mutex<Option<Watch>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+    // Worker i owns probe i for the whole pool lifetime — the
+    // segment's single-writer-per-record contract.
+    let worker_probes: Vec<Option<&dyn TelemetryProbe>> = (0..workers)
+        .map(|i| probes.map(|p| p[i].as_ref()))
+        .collect();
 
     std::thread::scope(|scope| {
         // One watchdog for the whole pool: scan the per-worker watch
@@ -395,8 +436,9 @@ pub fn run_cells_supervised(
                 }
             });
         }
-        for slot in &slots {
+        for (slot, probe) in slots.iter().zip(worker_probes.iter()) {
             scope.spawn(|| {
+                let probe = *probe;
                 loop {
                     if aborted.load(Ordering::Relaxed) || observer.should_abort() {
                         aborted.store(true, Ordering::Relaxed);
@@ -410,13 +452,27 @@ pub fn run_cells_supervised(
                     observer.cell_started(spec_index, workload_index);
                     let started = Instant::now();
                     let mut observations = None;
-                    let (outcome, attempts) = execute_with_retry(&sup.retry, |_attempt| {
+                    let (outcome, attempts) = execute_with_retry(&sup.retry, |attempt| {
+                        if let Some(p) = probe {
+                            p.cell_begin(
+                                spec_index as u64,
+                                workload_index as u64,
+                                attempt as u64,
+                                workloads[workload_index].total_accesses(),
+                                &specs[spec_index].label,
+                                &workloads[workload_index].name,
+                            );
+                        }
                         let (outcome, obs) = run_attempt(
                             &specs[spec_index],
                             &workloads[workload_index],
                             opts,
                             sup.watched().then_some((slot, sup.cell_timeout)),
+                            probe,
                         );
+                        if let Some(p) = probe {
+                            p.cell_end();
+                        }
                         observations = obs;
                         outcome
                     });

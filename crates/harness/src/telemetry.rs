@@ -110,6 +110,65 @@ impl Telemetry {
     }
 }
 
+/// Windowed-rate ETA estimator for campaign progress.
+///
+/// A naive ETA extrapolates from total elapsed time, which stays wrong
+/// for the rest of the campaign after a slow head cell or a burst of
+/// mid-campaign retries. This estimator instead keeps the completion
+/// times of the last `window` cells and projects the remaining work at
+/// the *recent* rate — `marks-in-window / (now - oldest mark)` — so the
+/// estimate recovers as soon as the window rolls past an outlier.
+///
+/// Time is injected explicitly (durations since an arbitrary campaign
+/// epoch), which keeps the estimator deterministic under test and free
+/// of clock syscalls at the recording site.
+#[derive(Debug, Clone)]
+pub struct EtaEstimator {
+    window: usize,
+    marks: std::collections::VecDeque<Duration>,
+}
+
+impl EtaEstimator {
+    /// Default window: recent-enough to forget a slow head quickly,
+    /// wide enough to smooth worker-count granularity.
+    pub const DEFAULT_WINDOW: usize = 16;
+
+    /// Create an estimator averaging over the last `window` completions
+    /// (at least 1).
+    pub fn new(window: usize) -> Self {
+        EtaEstimator {
+            window: window.max(1),
+            marks: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Record a cell completion at `at` (time since the campaign epoch).
+    pub fn record(&mut self, at: Duration) {
+        if self.marks.len() == self.window {
+            self.marks.pop_front();
+        }
+        self.marks.push_back(at);
+    }
+
+    /// Estimated time to finish `remaining` cells, judged at `now`.
+    ///
+    /// `None` until at least one completion has been recorded or when
+    /// the window carries no elapsed time to rate against. With `k`
+    /// marks in the window, the recent rate is `k / (now - oldest)`.
+    pub fn eta(&self, now: Duration, remaining: usize) -> Option<Duration> {
+        if remaining == 0 {
+            return Some(Duration::ZERO);
+        }
+        let oldest = *self.marks.front()?;
+        let span = now.checked_sub(oldest)?;
+        if span.is_zero() {
+            return None;
+        }
+        let rate = self.marks.len() as f64 / span.as_secs_f64();
+        Some(Duration::from_secs_f64(remaining as f64 / rate))
+    }
+}
+
 /// Receiver of campaign progress events. Called from worker threads;
 /// implementations must be `Sync`. All methods default to no-ops so a
 /// sink overrides only what it cares about.
@@ -264,6 +323,51 @@ mod tests {
         assert!(skewed.is_overcommitted());
         // Nothing executed: never overcommitted (capacity is 0).
         assert!(!telemetry(0, 0, 0, 0).is_overcommitted());
+    }
+
+    #[test]
+    fn eta_starts_unknown_and_learns_a_rate() {
+        let mut eta = EtaEstimator::new(4);
+        assert_eq!(eta.eta(Duration::from_secs(5), 10), None);
+        eta.record(Duration::from_secs(1));
+        eta.record(Duration::from_secs(2));
+        // 2 completions in the 2s window ending at t=3 → 1 cell/s.
+        let e = eta.eta(Duration::from_secs(3), 6).unwrap();
+        assert!((e.as_secs_f64() - 6.0).abs() < 1e-9, "{e:?}");
+        // Zero remaining is always "done now".
+        assert_eq!(eta.eta(Duration::from_secs(3), 0), Some(Duration::ZERO));
+        // A window with no elapsed span can't rate anything.
+        let mut flat = EtaEstimator::new(4);
+        flat.record(Duration::from_secs(7));
+        assert_eq!(flat.eta(Duration::from_secs(7), 3), None);
+    }
+
+    #[test]
+    fn eta_window_forgets_slow_head_cells() {
+        // One pathological 100s head cell, then steady 1s cells. A
+        // total-elapsed extrapolation would still charge the head to
+        // every remaining cell (~21s/cell here); the 4-wide window
+        // must recover to the recent ~1s cadence once it rolls.
+        let mut eta = EtaEstimator::new(4);
+        eta.record(Duration::from_secs(100));
+        for t in [101, 102, 103, 104] {
+            eta.record(Duration::from_secs(t));
+        }
+        let now = Duration::from_secs(105);
+        let e = eta.eta(now, 10).unwrap().as_secs_f64();
+        // 4 marks over the [101s, 105s] window → 1 cell/s → ~10s.
+        assert!((e - 10.0).abs() < 1e-9, "windowed eta was {e}s");
+        let naive = now.as_secs_f64() / 5.0 * 10.0;
+        assert!(naive > 200.0, "the naive estimate this guards against");
+
+        // Retries mid-campaign slow the window; the estimate tracks it.
+        let mut eta = EtaEstimator::new(2);
+        for t in [1, 2, 10, 18] {
+            eta.record(Duration::from_secs(t));
+        }
+        // Window is [10s, 18s]: 2 marks over 16s ending at t=26 → 8s/cell.
+        let e = eta.eta(Duration::from_secs(26), 2).unwrap().as_secs_f64();
+        assert!((e - 16.0).abs() < 1e-9, "{e}");
     }
 
     #[test]

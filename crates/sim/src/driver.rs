@@ -8,7 +8,9 @@
 
 use crate::spec::RunSpec;
 use ziv_common::SimError;
-use ziv_core::observe::{EpochSlicer, FlightRecorder, Observations, ObserveConfig};
+use ziv_core::observe::{
+    EpochSlicer, FlightRecorder, Observations, ObserveConfig, ProbeSnapshot, TelemetryProbe,
+};
 use ziv_core::profile::{ProfileSection, SelfProfiler};
 use ziv_core::{Access, AuditCadence, Auditor, CacheHierarchy, CancelToken, Metrics};
 use ziv_workloads::Workload;
@@ -250,6 +252,29 @@ pub(crate) fn collect_observations(
     }))
 }
 
+/// Build a [`ProbeSnapshot`] from the driver's running state — a few
+/// counter reads, no allocation. Shared with the sampling loop, which
+/// passes its current phase as `stratum`.
+pub(crate) fn probe_snapshot(
+    h: &CacheHierarchy,
+    instructions: &[u64],
+    cycles: &[f64],
+    issued: u64,
+    stratum: u64,
+) -> ProbeSnapshot {
+    let m = h.metrics();
+    ProbeSnapshot {
+        access_index: issued,
+        instructions: instructions.iter().sum(),
+        cycles: cycles.iter().copied().fold(0f64, f64::max) as u64,
+        llc_accesses: m.llc_accesses,
+        llc_misses: m.llc_misses,
+        inclusion_victims: m.inclusion_victims,
+        relocations: m.relocations,
+        stratum,
+    }
+}
+
 /// [`run_one_checked`] plus the flight-recorder payload: the second
 /// element carries the epoch time-series, retained events, and heatmaps
 /// when `opts.observe` enables any of them — **even when the run
@@ -282,6 +307,24 @@ pub fn run_one_supervised(
     workload: &Workload,
     opts: &RunOptions,
     cancel: Option<&CancelToken>,
+) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
+    run_one_instrumented(spec, workload, opts, cancel, None)
+}
+
+/// [`run_one_supervised`] plus an optional live-telemetry probe.
+///
+/// The probe mirrors the cancel token's cost model: when `probe` is
+/// `Some`, the access loop publishes a [`ProbeSnapshot`] every 256
+/// accesses (the cadence the supervisor already polls at); when `None`
+/// the publish site is a single never-taken branch, so unwatched runs
+/// add zero allocations and no mmap or clock syscalls to the hot path.
+/// Probes observe, never steer: results are byte-identical either way.
+pub fn run_one_instrumented(
+    spec: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+    cancel: Option<&CancelToken>,
+    probe: Option<&dyn TelemetryProbe>,
 ) -> (Result<RunResult, SimError>, Option<Box<Observations>>) {
     let hier_cfg = spec.build_hierarchy_config(workload);
     let mut h = CacheHierarchy::new(&hier_cfg);
@@ -365,6 +408,11 @@ pub fn run_one_supervised(
             // even in unoptimized builds.
             if issued & 0xFF == 0 {
                 tok.note_progress(issued);
+            }
+        }
+        if let Some(p) = probe {
+            if issued & 0xFF == 0 {
+                p.publish_progress(&probe_snapshot(&h, &instructions, &cycles, issued, 0));
             }
         }
         // Find the lagging unparked core.

@@ -41,14 +41,15 @@ pub use csv::{
     LEAKAGE_COLUMNS, SAMPLING_COLUMNS, VALIDATION_COLUMNS,
 };
 pub use driver::{
-    derived_budget, run_one, run_one_checked, run_one_supervised, run_one_traced, CellBudget,
-    CoreRunStats, RunOptions, RunResult,
+    derived_budget, run_one, run_one_checked, run_one_instrumented, run_one_supervised,
+    run_one_traced, CellBudget, CoreRunStats, RunOptions, RunResult,
 };
 pub use effort::Effort;
 pub use report::{normalized_metric, speedup_summary, NormalizedRows};
 pub use sampling::{
-    run_one_sampled, run_one_sampled_supervised, run_paired_sampled, IntervalEstimate,
-    PairedSampleReport, SampledRun, SamplingPlan, SamplingProfile, StopReason,
+    run_one_sampled, run_one_sampled_instrumented, run_one_sampled_supervised, run_paired_sampled,
+    run_paired_sampled_instrumented, IntervalEstimate, PairedSampleReport, SampledRun,
+    SamplingPlan, SamplingProfile, StopReason,
 };
 pub use spec::{
     default_threads, run_cells, run_cells_checked, run_grid, CellRun, GridObserver, GridResult,
@@ -56,7 +57,8 @@ pub use spec::{
 };
 pub use ziv_common::stats::{Confidence, ConfidenceInterval, RunningMoments};
 pub use ziv_core::observe::{
-    EventFilter, EventKind, EventTraceConfig, Observations, ObserveConfig, TraceEvent,
+    EventFilter, EventKind, EventTraceConfig, Observations, ObserveConfig, ProbeSnapshot,
+    SamplingProgress, TelemetryProbe, TraceEvent,
 };
 pub use ziv_core::{
     AccessClass, CancelToken, CoreLeakage, LatencyBreakdown, LatencyComponent, LatencyReport,

@@ -61,11 +61,13 @@
 //! IPC delta's confidence interval excludes zero (or its interval
 //! budget is exhausted).
 
-use crate::driver::{collect_observations, publish_core_clocks, RunOptions, RunResult};
+use crate::driver::{
+    collect_observations, probe_snapshot, publish_core_clocks, RunOptions, RunResult,
+};
 use crate::spec::RunSpec;
 use ziv_common::stats::{Confidence, ConfidenceInterval, RunningMoments};
 use ziv_common::SimError;
-use ziv_core::observe::{EpochSlicer, FlightRecorder};
+use ziv_core::observe::{EpochSlicer, FlightRecorder, SamplingProgress, TelemetryProbe};
 use ziv_core::profile::{ProfileSection, SelfProfiler};
 use ziv_core::{Access, Auditor, CacheHierarchy, CancelToken};
 use ziv_workloads::Workload;
@@ -636,6 +638,20 @@ fn phase_of(pos_in_period: u64, plan: &SamplingPlan) -> Phase {
     }
 }
 
+/// Telemetry stratum code for the current position (the values
+/// `ziv-telemetry`'s layout documents: 1 head, 2 skip, 3 warm,
+/// 4 timed; 0 is reserved for unsampled full runs).
+fn stratum_code(in_head: bool, phase: Phase) -> u64 {
+    if in_head {
+        return 1;
+    }
+    match phase {
+        Phase::Skip => 2,
+        Phase::Warm => 3,
+        Phase::Timed => 4,
+    }
+}
+
 /// Resolves `opts.sampling` against the workload: auto plans are sized
 /// from the stream length and de-aliased against the workload's phase
 /// period, derived from `spec`'s cache capacities (the same scale the
@@ -714,6 +730,33 @@ pub fn run_one_sampled_supervised(
     workload: &Workload,
     opts: &RunOptions,
     cancel: Option<&CancelToken>,
+    on_interval: impl FnMut(&IntervalEstimate) -> bool,
+) -> Result<SampledRun, SimError> {
+    run_one_sampled_instrumented(spec, workload, opts, cancel, None, on_interval)
+}
+
+/// [`run_one_sampled_supervised`] plus an optional live-telemetry
+/// probe (the same contract as
+/// [`run_one_instrumented`](crate::run_one_instrumented)): every 256
+/// accesses the loop publishes a progress sample carrying the current
+/// sampling stratum (head/skip/warm/timed), and each closed interval
+/// publishes the running per-interval IPC mean and confidence
+/// half-width so watchers can see CI convergence live. With `probe ==
+/// None` every publish site is a single never-taken branch.
+///
+/// # Errors
+///
+/// As [`run_one_sampled`].
+///
+/// # Panics
+///
+/// Panics if the workload's core count exceeds the system's.
+pub fn run_one_sampled_instrumented(
+    spec: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+    cancel: Option<&CancelToken>,
+    probe: Option<&dyn TelemetryProbe>,
     mut on_interval: impl FnMut(&IntervalEstimate) -> bool,
 ) -> Result<SampledRun, SimError> {
     let plan = resolve_plan(spec, workload, opts)?;
@@ -752,6 +795,11 @@ pub fn run_one_sampled_supervised(
     let mut slicer = opts.observe.epoch.map(|n| EpochSlicer::new(n, ncores));
 
     let mut intervals: Vec<IntervalEstimate> = Vec::new();
+    // Running per-interval IPC moments, published to the probe at each
+    // interval close so watchers can see CI convergence live. Advisory
+    // only: the rigorous stratified estimate stays in
+    // [`SampledRun::ipc_ci`].
+    let mut live_ipc = RunningMoments::new();
     let mut open: Option<IntervalOpen> = None;
     let mut timed_accesses = 0u64;
     let mut warm_accesses = 0u64;
@@ -786,6 +834,17 @@ pub fn run_one_sampled_supervised(
         } else {
             phase_of(pos, &plan)
         };
+        if let Some(p) = probe {
+            if issued & 0xFF == 0 {
+                p.publish_progress(&probe_snapshot(
+                    &h,
+                    &instructions,
+                    &cycles,
+                    issued,
+                    stratum_code(in_head, phase),
+                ));
+            }
+        }
 
         if phase == Phase::Skip {
             // Bulk fast-forward: skipped accesses never touch the
@@ -995,6 +1054,17 @@ pub fn run_one_sampled_supervised(
                     inclusion_victims: m.inclusion_victims - o.inclusion_victims,
                 };
                 intervals.push(iv);
+                if let Some(p) = probe {
+                    live_ipc.push(iv.ipc);
+                    let half = live_ipc
+                        .confidence_interval(plan.confidence)
+                        .map_or(0.0, |ci| (ci.high() - ci.low()) / 2.0);
+                    p.publish_sampling(&SamplingProgress {
+                        intervals: intervals.len() as u64,
+                        ipc_mean: live_ipc.mean().unwrap_or(0.0),
+                        ipc_half_width: half,
+                    });
+                }
                 if plan.max_intervals > 0 && intervals.len() as u32 >= plan.max_intervals {
                     stop = StopReason::MaxIntervals;
                     break 'sim;
@@ -1085,14 +1155,46 @@ pub fn run_paired_sampled(
     workload: &Workload,
     opts: &RunOptions,
 ) -> Result<PairedSampleReport, SimError> {
+    run_paired_sampled_instrumented(baseline, target, workload, opts, None)
+}
+
+/// [`run_paired_sampled`] plus an optional live-telemetry probe: the
+/// probe sees `cell_begin`/`cell_end` around each of the two runs
+/// (spec index 0 = baseline, 1 = target) and live stratum/CI progress
+/// from inside them, so `zivsim watch` can follow a paired sampling
+/// session like a two-cell campaign.
+///
+/// # Errors
+///
+/// As [`run_paired_sampled`].
+///
+/// # Panics
+///
+/// Panics if the workload's core count exceeds either spec's system
+/// core count.
+pub fn run_paired_sampled_instrumented(
+    baseline: &RunSpec,
+    target: &RunSpec,
+    workload: &Workload,
+    opts: &RunOptions,
+    probe: Option<&dyn TelemetryProbe>,
+) -> Result<PairedSampleReport, SimError> {
     let mut opts = *opts;
     opts.sampling = Some(resolve_plan(baseline, workload, &opts)?);
     let opts = &opts;
-    let base = run_one_sampled(baseline, workload, opts)?;
+    let expected = workload.total_accesses();
+    if let Some(p) = probe {
+        p.cell_begin(0, 0, 1, expected, &baseline.label, &workload.name);
+    }
+    let base = run_one_sampled_instrumented(baseline, workload, opts, None, probe, |_| false)?;
     let confidence = base.profile.plan.confidence;
     let base_ipcs: Vec<f64> = base.intervals.iter().map(|iv| iv.ipc).collect();
     let mut deltas = RunningMoments::new();
-    let tgt = run_one_sampled_supervised(target, workload, opts, None, |iv| {
+    if let Some(p) = probe {
+        p.cell_end();
+        p.cell_begin(1, 0, 1, expected, &target.label, &workload.name);
+    }
+    let tgt = run_one_sampled_instrumented(target, workload, opts, None, probe, |iv| {
         let Some(&b) = base_ipcs.get(iv.index as usize) else {
             return false;
         };
@@ -1101,6 +1203,9 @@ pub fn run_paired_sampled(
             .confidence_interval(confidence)
             .is_some_and(|ci| ci.excludes_zero())
     })?;
+    if let Some(p) = probe {
+        p.cell_end();
+    }
     let delta_ci = deltas.confidence_interval(confidence);
     let resolved = delta_ci.is_some_and(|ci| ci.excludes_zero());
     Ok(PairedSampleReport {

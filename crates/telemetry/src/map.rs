@@ -1,0 +1,212 @@
+//! Memory-mapped file segments viewed as `AtomicU64` words.
+//!
+//! The workspace is deliberately dependency-free, so instead of the
+//! `libc` crate this module declares the three C symbols it needs
+//! (`mmap`, `munmap`, `kill`) directly — they are part of the platform
+//! libc every Rust binary already links against on unix targets. On
+//! non-unix targets segment creation fails with a typed
+//! [`SimError::Config`]; nothing else in the workspace depends on it.
+
+use std::path::Path;
+use std::sync::atomic::AtomicU64;
+use ziv_common::SimError;
+
+/// A shared, file-backed mapping of `words` little-endian `u64` slots.
+///
+/// Writers map read-write; readers map read-only and must only ever
+/// *load* through the returned atomics (storing through a read-only
+/// mapping would fault).
+#[derive(Debug)]
+pub struct SharedMap {
+    ptr: *mut AtomicU64,
+    words: usize,
+}
+
+// The mapping is plain shared memory accessed exclusively through
+// atomics; the raw pointer is only non-Send/Sync by default.
+unsafe impl Send for SharedMap {}
+unsafe impl Sync for SharedMap {}
+
+impl SharedMap {
+    /// View the mapping as a slice of atomic words.
+    pub fn words(&self) -> &[AtomicU64] {
+        // SAFETY: `ptr` points at a live mapping of exactly `words`
+        // 8-byte slots, page-aligned (so u64-aligned), valid until Drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.words) }
+    }
+
+    /// Number of words in the mapping.
+    pub fn len(&self) -> usize {
+        self.words
+    }
+
+    /// Whether the mapping is empty (never true for a valid segment).
+    pub fn is_empty(&self) -> bool {
+        self.words == 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const PROT_WRITE: i32 = 0x2;
+    pub const MAP_SHARED: i32 = 0x01;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn kill(pid: i32, sig: i32) -> i32;
+    }
+}
+
+#[cfg(unix)]
+impl SharedMap {
+    fn map_fd(fd: i32, words: usize, writable: bool) -> Result<Self, SimError> {
+        let bytes = words * 8;
+        let prot = if writable {
+            sys::PROT_READ | sys::PROT_WRITE
+        } else {
+            sys::PROT_READ
+        };
+        // SAFETY: plain mmap of a regular file we own a handle to; the
+        // result is checked against MAP_FAILED before use.
+        let ptr = unsafe { sys::mmap(std::ptr::null_mut(), bytes, prot, sys::MAP_SHARED, fd, 0) };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(SimError::Config(format!(
+                "mmap of telemetry segment failed ({}): {}",
+                bytes,
+                std::io::Error::last_os_error()
+            )));
+        }
+        Ok(SharedMap {
+            ptr: ptr as *mut AtomicU64,
+            words,
+        })
+    }
+
+    /// Map an existing file of exactly `words * 8` bytes.
+    pub fn open(path: &Path, writable: bool) -> Result<Self, SimError> {
+        use std::os::unix::io::AsRawFd;
+        let file = if writable {
+            std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(path)
+        } else {
+            std::fs::File::open(path)
+        }
+        .map_err(|e| SimError::io("open telemetry segment", path, e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| SimError::io("stat telemetry segment", path, e))?
+            .len() as usize;
+        if len == 0 || !len.is_multiple_of(8) {
+            return Err(SimError::Config(format!(
+                "{}: not a telemetry segment ({len} bytes)",
+                path.display()
+            )));
+        }
+        Self::map_fd(file.as_raw_fd(), len / 8, writable)
+    }
+
+    /// Create (truncate) a file of `words * 8` zero bytes and map it
+    /// read-write.
+    pub fn create(path: &Path, words: usize) -> Result<Self, SimError> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| SimError::io("create telemetry segment", path, e))?;
+        file.set_len((words * 8) as u64)
+            .map_err(|e| SimError::io("size telemetry segment", path, e))?;
+        Self::map_fd(file.as_raw_fd(), words, true)
+    }
+}
+
+#[cfg(unix)]
+impl Drop for SharedMap {
+    fn drop(&mut self) {
+        // SAFETY: ptr/words came from a successful mmap of that length.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.words * 8);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+impl SharedMap {
+    /// Unsupported on non-unix targets.
+    pub fn open(_path: &Path, _writable: bool) -> Result<Self, SimError> {
+        Err(SimError::Config(
+            "live telemetry requires a unix host (mmap)".into(),
+        ))
+    }
+
+    /// Unsupported on non-unix targets.
+    pub fn create(_path: &Path, _words: usize) -> Result<Self, SimError> {
+        Err(SimError::Config(
+            "live telemetry requires a unix host (mmap)".into(),
+        ))
+    }
+}
+
+/// Whether a process with the given PID is still alive, judged by
+/// `kill(pid, 0)`. On non-unix targets this conservatively reports
+/// `false` (a stale heartbeat there always reads as a dead writer).
+pub fn process_alive(pid: u64) -> bool {
+    #[cfg(unix)]
+    {
+        if pid == 0 || pid > i32::MAX as u64 {
+            return false;
+        }
+        // SAFETY: signal 0 performs permission/existence checks only.
+        unsafe { sys::kill(pid as i32, 0) == 0 }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = pid;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn create_write_reopen_read() {
+        let dir = std::env::temp_dir().join(format!("ziv-map-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.shm");
+        {
+            let map = SharedMap::create(&path, 16).unwrap();
+            assert_eq!(map.len(), 16);
+            map.words()[3].store(0xDEAD_BEEF, Ordering::Relaxed);
+        }
+        {
+            let map = SharedMap::open(&path, false).unwrap();
+            assert_eq!(map.words()[3].load(Ordering::Relaxed), 0xDEAD_BEEF);
+            assert_eq!(map.words()[0].load(Ordering::Relaxed), 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn own_process_reads_alive() {
+        assert!(process_alive(std::process::id() as u64));
+        assert!(!process_alive(0));
+    }
+}

@@ -155,6 +155,38 @@ diff "$SAMP_PLAIN/ledger.jsonl" "$SAMP_DIR/ledger.jsonl"
 diff "$SAMP_PLAIN/grid.csv"     "$SAMP_DIR/grid.csv"
 diff "$SAMP_PLAIN/summary.csv"  "$SAMP_DIR/summary.csv"
 
+echo "== live-telemetry smoke campaign (watch gate: mid-run snapshot + byte-identity)"
+# The live telemetry bus through the release binary: the plain smoke
+# campaign again with the seqlock shared-memory segment and JSONL
+# progress heartbeats on, tailed the whole way by a concurrent
+# `zivsim watch --json` started first (it waits for the segment to
+# appear). The gate: the watcher streams at least one consistent
+# mid-run snapshot, exits 0 on the finished flag, the campaign's
+# stderr carries structured progress lines, a late watcher attaching
+# after the fact exits clean immediately, and — observe never steer —
+# ledger/grid/summary are byte-identical to the unwatched ZIV_FULL
+# run above.
+TELEM_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN" "$TELEM_DIR"' EXIT
+./target/release/zivsim watch "$TELEM_DIR/results" \
+    --json --refresh 10 --stale-after 30000 > "$TELEM_DIR/watch.jsonl" &
+WATCH_PID=$!
+ZIV_FULL=1 ./target/release/zivsim campaign smoke \
+    --threads 1 --results-dir "$TELEM_DIR/results" \
+    --telemetry on --progress jsonl 2> "$TELEM_DIR/progress.jsonl"
+# Exit 0 here means the watcher saw the finished flag — not a timeout.
+wait "$WATCH_PID"
+grep -q '"finished":false' "$TELEM_DIR/watch.jsonl"
+grep -q '"finished":true'  "$TELEM_DIR/watch.jsonl"
+grep -q '"type":"progress"' "$TELEM_DIR/progress.jsonl"
+# A watcher attaching after the campaign reads the persisted final
+# state and exits clean at once instead of spinning.
+./target/release/zivsim watch "$TELEM_DIR/results" --json --once \
+    | grep -q '"finished":true'
+diff "$SAMP_PLAIN/ledger.jsonl" "$TELEM_DIR/results/ledger.jsonl"
+diff "$SAMP_PLAIN/grid.csv"     "$TELEM_DIR/results/grid.csv"
+diff "$SAMP_PLAIN/summary.csv"  "$TELEM_DIR/results/summary.csv"
+
 echo "== attack-leakage invariant tests (release, debug assertions on)"
 # Explicit run of the ZIV-zero-leakage gate: the observatory's books
 # conserve against Metrics::inclusion_victims, the inclusive baseline
@@ -174,7 +206,7 @@ echo "== chaos-soak drill (supervision gate: every injected fault isolated)"
 # guarantee broke. Two threads: the drill's stall detector needs the
 # workers not to starve each other on small CI machines.
 SOAK_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR" "$SOAK_DIR"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN" "$TELEM_DIR" "$SOAK_DIR"' EXIT
 set +e
 ZIV_FAST=1 ./target/release/zivsim soak \
     --threads 2 --results-dir "$SOAK_DIR/results" > "$SOAK_DIR/soak.out" 2>&1

@@ -29,6 +29,11 @@
 //!                                         # that every fault was isolated and every healthy
 //!                                         # cell stayed byte-identical, then tear the
 //!                                         # ledger mid-record and prove --resume recovery
+//! zivsim watch <results-dir> [options]    # attach to a running campaign's live telemetry
+//!                                         # segment (<dir>/telemetry.shm) and render a
+//!                                         # refreshing progress view; exits 0 once the
+//!                                         # campaign publishes its final state, 4 if the
+//!                                         # writer dies without finishing
 //!
 //! exit codes:
 //!   0  clean run, nothing failed
@@ -101,6 +106,23 @@
 //!                                          per-cell IPC error, CI coverage, and the
 //!                                          wall-clock speedup of the sampled pass)
 //!
+//! live telemetry options (campaign + sample + soak):
+//!   --telemetry <off|on>                  (publish <results-dir>/telemetry.shm — the
+//!                                          seqlock shared-memory segment `zivsim watch`
+//!                                          attaches to; default off, and provably free
+//!                                          when off: no thread, no mmap, no hot-path work)
+//!   --progress <live|jsonl>               (live: the usual human progress lines, default;
+//!                                          jsonl: one machine-readable heartbeat JSON line
+//!                                          per ticker tick on stderr, for CI log scraping)
+//!
+//! watch options:
+//!   --json                                (emit one JSONL snapshot per refresh instead of
+//!                                          the live table)
+//!   --once                                (exit 0 after the first consistent snapshot)
+//!   --refresh <MS>                        (poll cadence; default 500)
+//!   --stale-after <MS>                    (heartbeat-staleness window; a stale heartbeat
+//!                                          whose writer PID is gone exits 4; default 5000)
+//!
 //! supervision options (campaign + soak):
 //!   --retries <N>                         (re-attempt transiently failing cells up to N
 //!                                          times with deterministic seeded backoff;
@@ -168,6 +190,12 @@ struct Options {
     traced: bool,
     sampling: Option<ziv::sim::SamplingPlan>,
     validate: bool,
+    telemetry: bool,
+    progress_jsonl: bool,
+    json: bool,
+    once: bool,
+    refresh_ms: u64,
+    stale_after_ms: u64,
 }
 
 impl Default for Options {
@@ -209,6 +237,12 @@ impl Default for Options {
             traced: false,
             sampling: None,
             validate: false,
+            telemetry: false,
+            progress_jsonl: false,
+            json: false,
+            once: false,
+            refresh_ms: 500,
+            stale_after_ms: 5000,
         }
     }
 }
@@ -365,7 +399,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
     let mut positionals_allowed: usize = match opts.command.as_str() {
-        "export" | "campaign" | "replay" | "trace" | "profile" | "attack" | "sample" => 1,
+        "export" | "campaign" | "replay" | "trace" | "profile" | "attack" | "sample" | "watch" => 1,
         "bench-compare" => 2,
         _ => 0,
     };
@@ -483,6 +517,44 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     ziv::sim::SamplingPlan::parse(&value()?).map_err(|e| e.to_string())?
             }
             "--validate" => opts.validate = true,
+            "--telemetry" => {
+                opts.telemetry = match value()?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!("--telemetry must be 'off' or 'on', not '{other}'"))
+                    }
+                }
+            }
+            "--progress" => {
+                opts.progress_jsonl = match value()?.as_str() {
+                    "jsonl" => true,
+                    "live" => false,
+                    other => {
+                        return Err(format!(
+                            "--progress must be 'live' or 'jsonl', not '{other}'"
+                        ))
+                    }
+                }
+            }
+            "--json" => opts.json = true,
+            "--once" => opts.once = true,
+            "--refresh" => {
+                let ms: u64 = value()?.parse().map_err(|e| format!("--refresh: {e}"))?;
+                if ms == 0 {
+                    return Err("--refresh must be at least 1 millisecond".into());
+                }
+                opts.refresh_ms = ms;
+            }
+            "--stale-after" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--stale-after: {e}"))?;
+                if ms == 0 {
+                    return Err("--stale-after must be at least 1 millisecond".into());
+                }
+                opts.stale_after_ms = ms;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -689,6 +761,8 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), CliError> {
         retries: opts.retries,
         params: Some(params),
         observe,
+        telemetry: opts.telemetry,
+        progress_jsonl: opts.progress_jsonl,
         ..RunnerConfig::new(
             opts.results_dir
                 .clone()
@@ -830,6 +904,50 @@ fn cmd_campaign_sampled(
     Ok(())
 }
 
+/// The `zivsim sample` telemetry probe: forwards everything to the
+/// bus's solo worker record and mirrors each `cell_begin`/`cell_end`
+/// pair into the campaign-level counters, so the paired session reads
+/// as a two-cell campaign.
+struct PairedSampleProbe<'a> {
+    bus: &'a ziv::harness::CampaignBus,
+    inner: ziv::harness::WorkerProbe,
+}
+
+impl ziv::sim::TelemetryProbe for PairedSampleProbe<'_> {
+    fn cell_begin(
+        &self,
+        spec_index: u64,
+        workload_index: u64,
+        attempt: u64,
+        expected_accesses: u64,
+        label: &str,
+        workload: &str,
+    ) {
+        self.bus.cell_started();
+        self.inner.cell_begin(
+            spec_index,
+            workload_index,
+            attempt,
+            expected_accesses,
+            label,
+            workload,
+        );
+    }
+
+    fn publish_progress(&self, snap: &ziv::sim::ProbeSnapshot) {
+        self.inner.publish_progress(snap);
+    }
+
+    fn publish_sampling(&self, progress: &ziv::sim::SamplingProgress) {
+        self.inner.publish_sampling(progress);
+    }
+
+    fn cell_end(&self) {
+        self.inner.cell_end();
+        self.bus.cell_finished(1);
+    }
+}
+
 /// A paired interval-sampled run: the target mode and an inclusive
 /// baseline sample the same trace, same-index intervals pair up, and
 /// the run reports whether the ZIV-vs-inclusive IPC delta resolved —
@@ -863,8 +981,33 @@ fn cmd_sample(args: &[String], opts: &Options) -> Result<(), String> {
         observe: ziv::sim::ObserveConfig::disabled(),
         sampling: Some(plan),
     };
-    let report = ziv::sim::run_paired_sampled(&baseline, &target, &wl, &run_opts)
+    // The paired session publishes like a two-cell campaign (spec 0 =
+    // baseline, 1 = target) so `zivsim watch` can follow it.
+    let results_dir = std::path::PathBuf::from(
+        opts.results_dir
+            .clone()
+            .unwrap_or_else(|| "results/sample".into()),
+    );
+    let bus_opts = ziv::harness::BusOptions {
+        telemetry: opts.telemetry,
+        progress_jsonl: opts.progress_jsonl,
+        ..Default::default()
+    };
+    let bus = ziv::harness::CampaignBus::start(&results_dir, 1, 2, 0, &bus_opts)
         .map_err(|e| e.to_string())?;
+    let paired = bus.as_ref().and_then(|b| {
+        b.solo_probe()
+            .map(|inner| PairedSampleProbe { bus: b, inner })
+    });
+    let probe: Option<&dyn ziv::sim::TelemetryProbe> =
+        paired.as_ref().map(|p| p as &dyn ziv::sim::TelemetryProbe);
+    let report =
+        ziv::sim::run_paired_sampled_instrumented(&baseline, &target, &wl, &run_opts, probe)
+            .map_err(|e| e.to_string())?;
+    drop(paired);
+    if let Some(b) = bus {
+        b.finish();
+    }
 
     println!(
         "sample {} vs {} on {} (plan '{plan}'):",
@@ -939,6 +1082,8 @@ fn cmd_soak(opts: &Options) -> Result<(), CliError> {
         cfg.stall_window = std::time::Duration::from_millis(ms);
     }
     cfg.retries = opts.retries;
+    cfg.telemetry = opts.telemetry;
+    cfg.progress_jsonl = opts.progress_jsonl;
     let report = run_soak(&cfg, &StderrProgress).map_err(|e| CliError::Internal(e.to_string()))?;
     println!(
         "chaos plan (seed {:#x}): {} injected fault(s)",
@@ -975,6 +1120,260 @@ fn cmd_soak(opts: &Options) -> Result<(), CliError> {
         )));
     }
     Ok(())
+}
+
+/// Worker-state / stratum tags for the watch views.
+fn stratum_tag(stratum: u64) -> &'static str {
+    use ziv::telemetry::layout as l;
+    match stratum {
+        l::STRATUM_HEAD => "head",
+        l::STRATUM_SKIP => "skip",
+        l::STRATUM_WARM => "warm",
+        l::STRATUM_TIMED => "timed",
+        _ => "full",
+    }
+}
+
+/// Unicode sparkline of the per-refresh access deltas (the "is it
+/// actually moving" strip of the watch table).
+fn spark(deltas: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = deltas.iter().copied().max().unwrap_or(0);
+    deltas
+        .iter()
+        .map(|&d| match (d * 7).checked_div(max) {
+            Some(i) => BARS[i as usize],
+            None => BARS[0],
+        })
+        .collect()
+}
+
+fn fmt_mmss(ms: u64) -> String {
+    let s = ms / 1000;
+    format!("{}:{:02}", s / 60, s % 60)
+}
+
+/// One machine-readable line per snapshot for `watch --json`.
+fn snapshot_json(s: &ziv::telemetry::Snapshot) -> String {
+    use ziv::common::json::JsonValue;
+    let workers = s
+        .workers
+        .iter()
+        .map(|w| {
+            JsonValue::Obj(vec![
+                ("state".into(), JsonValue::u64(w.state)),
+                ("label".into(), JsonValue::str(&w.label)),
+                ("workload".into(), JsonValue::str(&w.workload)),
+                ("spec_index".into(), JsonValue::u64(w.spec_index)),
+                ("workload_index".into(), JsonValue::u64(w.workload_index)),
+                ("attempt".into(), JsonValue::u64(w.attempt)),
+                ("access_index".into(), JsonValue::u64(w.access_index)),
+                (
+                    "expected_accesses".into(),
+                    JsonValue::u64(w.expected_accesses),
+                ),
+                ("instructions".into(), JsonValue::u64(w.instructions)),
+                ("cycles".into(), JsonValue::u64(w.cycles)),
+                ("llc_accesses".into(), JsonValue::u64(w.llc_accesses)),
+                ("llc_misses".into(), JsonValue::u64(w.llc_misses)),
+                (
+                    "inclusion_victims".into(),
+                    JsonValue::u64(w.inclusion_victims),
+                ),
+                ("relocations".into(), JsonValue::u64(w.relocations)),
+                ("stratum".into(), JsonValue::str(stratum_tag(w.stratum))),
+                ("intervals".into(), JsonValue::u64(w.intervals)),
+                ("ipc_mean".into(), JsonValue::f64(w.ipc_mean)),
+                ("ipc_half_width".into(), JsonValue::f64(w.ipc_half_width)),
+            ])
+        })
+        .collect();
+    let c = &s.campaign;
+    JsonValue::Obj(vec![
+        ("type".into(), JsonValue::str("snapshot")),
+        ("writer_pid".into(), JsonValue::u64(s.writer_pid)),
+        ("tick".into(), JsonValue::u64(s.heartbeat.tick)),
+        ("finished".into(), JsonValue::Bool(s.heartbeat.finished)),
+        ("elapsed_ms".into(), JsonValue::u64(s.heartbeat.elapsed_ms)),
+        ("total".into(), JsonValue::u64(c.total)),
+        ("cached".into(), JsonValue::u64(c.cached)),
+        ("done".into(), JsonValue::u64(c.done)),
+        ("failed".into(), JsonValue::u64(c.failed)),
+        ("retried".into(), JsonValue::u64(c.retried)),
+        ("running".into(), JsonValue::u64(c.running)),
+        (
+            "eta_ms".into(),
+            c.eta_ms.map_or(JsonValue::Null, JsonValue::u64),
+        ),
+        ("workers".into(), JsonValue::Arr(workers)),
+    ])
+    .to_string()
+}
+
+/// The human watch view: campaign counters + ETA, the access-rate
+/// sparkline, and one line per worker slot.
+fn render_snapshot(s: &ziv::telemetry::Snapshot, deltas: &[u64]) {
+    use std::io::IsTerminal;
+    use ziv::telemetry::layout as l;
+    if std::io::stdout().is_terminal() {
+        // Redraw in place on a real terminal; append when piped.
+        print!("\x1b[2J\x1b[H");
+    }
+    let c = &s.campaign;
+    println!(
+        "cells {}/{} done ({} cached, {} failed, {} retried, {} running)   \
+         elapsed {}   eta {}",
+        c.done,
+        c.total,
+        c.cached,
+        c.failed,
+        c.retried,
+        c.running,
+        fmt_mmss(s.heartbeat.elapsed_ms),
+        c.eta_ms.map_or("--:--".into(), fmt_mmss),
+    );
+    if deltas.len() > 1 {
+        println!("rate  {}", spark(deltas));
+    }
+    for (i, w) in s.workers.iter().enumerate() {
+        if w.generation == 0 {
+            println!("  w{i}  idle");
+            continue;
+        }
+        let state = match w.state {
+            l::WORKER_RUNNING => "run ",
+            l::WORKER_DONE => "done",
+            _ => "idle",
+        };
+        let pct = if w.expected_accesses > 0 {
+            format!(
+                "{:5.1}%",
+                100.0 * w.access_index as f64 / w.expected_accesses as f64
+            )
+        } else {
+            "    ?".into()
+        };
+        let mut line = format!(
+            "  w{i}  {state} {:<24} × {:<16} {:>9} acc {pct} [{}]",
+            w.label,
+            w.workload,
+            w.access_index,
+            stratum_tag(w.stratum),
+        );
+        if w.attempt > 1 {
+            line.push_str(&format!(" attempt {}", w.attempt));
+        }
+        if w.intervals > 0 {
+            line.push_str(&format!(
+                "  {} iv, ipc {:.4} ±{:.4}",
+                w.intervals, w.ipc_mean, w.ipc_half_width
+            ));
+        }
+        println!("{line}");
+    }
+}
+
+/// `zivsim watch <results-dir>`: attach to the `telemetry.shm` segment
+/// a campaign started with `--telemetry on` is writing, and follow it.
+///
+/// Exit contract — watch never spins forever:
+/// - **0** once the writer publishes its final (finished) state: every
+///   result artifact is already on disk at that point. `--once` also
+///   exits 0, after the first consistent snapshot.
+/// - **4** when the heartbeat goes stale past `--stale-after` and the
+///   writer PID is gone (the campaign died without finishing), or the
+///   heartbeat stays wedged for 10× the staleness window with the
+///   process still alive.
+fn cmd_watch(args: &[String], opts: &Options) -> Result<(), CliError> {
+    use std::time::{Duration, Instant};
+    use ziv::telemetry::{TelemetryReader, SEGMENT_FILE};
+    let dir = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| {
+            CliError::Usage(
+                "watch needs the campaign's results directory \
+             (the --results-dir of a run started with --telemetry on)"
+                    .into(),
+            )
+        })?;
+    let segment = std::path::Path::new(dir).join(SEGMENT_FILE);
+    let refresh = Duration::from_millis(opts.refresh_ms);
+    let stale_after = Duration::from_millis(opts.stale_after_ms);
+
+    // The campaign may not have created the segment yet (watch was
+    // started first): give it one staleness window to appear.
+    let deadline = Instant::now() + stale_after;
+    let reader = loop {
+        match TelemetryReader::open(&segment) {
+            Ok(r) => break r,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(CliError::Other(format!(
+                        "no telemetry segment at {} ({e}); was the campaign \
+                         started with --telemetry on?",
+                        segment.display()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+
+    let mut last_tick = u64::MAX;
+    let mut last_beat = Instant::now();
+    let mut prev_accesses: Option<u64> = None;
+    let mut deltas: Vec<u64> = Vec::new();
+    loop {
+        // A torn snapshot (writer mid-update) is not an error — skip
+        // the refresh and try again; the staleness clock still runs.
+        if let Some(snap) = reader.snapshot() {
+            if snap.heartbeat.tick != last_tick {
+                last_tick = snap.heartbeat.tick;
+                last_beat = Instant::now();
+            }
+            let accesses: u64 = snap.workers.iter().map(|w| w.access_index).sum();
+            if let Some(prev) = prev_accesses {
+                deltas.push(accesses.saturating_sub(prev));
+                if deltas.len() > 32 {
+                    deltas.remove(0);
+                }
+            }
+            prev_accesses = Some(accesses);
+            if opts.json {
+                println!("{}", snapshot_json(&snap));
+            } else {
+                render_snapshot(&snap, &deltas);
+            }
+            if snap.heartbeat.finished {
+                if !opts.json {
+                    println!("campaign finished cleanly; artifacts are on disk");
+                }
+                return Ok(());
+            }
+            if opts.once {
+                return Ok(());
+            }
+        }
+        let stale = last_beat.elapsed();
+        if stale >= stale_after && !reader.writer_alive() {
+            return Err(CliError::Internal(format!(
+                "telemetry writer (pid {}) is gone and the heartbeat stopped \
+                 {:.1}s ago without final state — the campaign died",
+                reader.writer_pid(),
+                stale.as_secs_f64()
+            )));
+        }
+        if stale >= stale_after * 10 {
+            return Err(CliError::Internal(format!(
+                "heartbeat wedged: no progress for {:.1}s (10x the staleness \
+                 window) while pid {} is still alive",
+                stale.as_secs_f64(),
+                reader.writer_pid()
+            )));
+        }
+        std::thread::sleep(refresh);
+    }
 }
 
 fn cmd_bench_throughput(opts: &Options) -> Result<(), String> {
@@ -1502,7 +1901,7 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 fn usage() {
     println!(
         "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|attack|sample|\
-         bench-throughput|bench-compare|soak> \
+         bench-throughput|bench-compare|soak|watch> \
          [options]   (see --help text in the source header; exit codes: \
          0 clean, 1 command failure, 2 usage, 3 isolated cell failures, 4 internal)"
     );
@@ -1519,6 +1918,7 @@ fn dispatch(args: &[String], opts: &Options) -> Result<(), CliError> {
         "export" => cmd_export(args, opts).map_err(CliError::Other),
         "campaign" => cmd_campaign(args, opts),
         "soak" => cmd_soak(opts),
+        "watch" => cmd_watch(args, opts),
         "replay" => cmd_replay(args).map_err(CliError::Other),
         "trace" => cmd_trace(args, opts).map_err(CliError::Other),
         "profile" => cmd_profile(args, opts).map_err(CliError::Other),
@@ -1613,6 +2013,80 @@ mod tests {
                 .unwrap()
                 .seed_explicit
         );
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let o = parse_args(&args("campaign smoke --telemetry on --progress jsonl")).unwrap();
+        assert!(o.telemetry);
+        assert!(o.progress_jsonl);
+        let o = parse_args(&args("campaign smoke --telemetry off --progress live")).unwrap();
+        assert!(!o.telemetry);
+        assert!(!o.progress_jsonl);
+        assert!(parse_args(&args("campaign smoke --telemetry maybe")).is_err());
+        assert!(parse_args(&args("campaign smoke --progress fancy")).is_err());
+    }
+
+    #[test]
+    fn parses_watch_flags() {
+        let o = parse_args(&args(
+            "watch results/smoke --json --once --refresh 50 --stale-after 2000",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "watch");
+        assert!(o.json);
+        assert!(o.once);
+        assert_eq!(o.refresh_ms, 50);
+        assert_eq!(o.stale_after_ms, 2000);
+        // Defaults.
+        let o = parse_args(&args("watch results/smoke")).unwrap();
+        assert!(!o.json && !o.once);
+        assert_eq!(o.refresh_ms, 500);
+        assert_eq!(o.stale_after_ms, 5000);
+        assert!(parse_args(&args("watch d --refresh 0")).is_err());
+        assert!(parse_args(&args("watch d --stale-after 0")).is_err());
+    }
+
+    #[test]
+    fn watch_render_helpers() {
+        assert_eq!(spark(&[0, 0, 0]), "▁▁▁");
+        let s = spark(&[1, 4, 8]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert_eq!(fmt_mmss(61_000), "1:01");
+        assert_eq!(stratum_tag(ziv::telemetry::layout::STRATUM_TIMED), "timed");
+        assert_eq!(stratum_tag(0), "full");
+    }
+
+    #[test]
+    fn watch_json_snapshot_is_parseable() {
+        let snap = ziv::telemetry::Snapshot {
+            writer_pid: 42,
+            heartbeat: ziv::telemetry::Heartbeat {
+                seq: 2,
+                tick: 7,
+                finished: false,
+                elapsed_ms: 1500,
+            },
+            campaign: ziv::telemetry::CampaignSnap {
+                seq: 2,
+                total: 6,
+                cached: 1,
+                done: 3,
+                failed: 0,
+                retried: 1,
+                running: 2,
+                eta_ms: None,
+            },
+            workers: vec![],
+        };
+        let v = ziv::common::json::parse(&snapshot_json(&snap)).unwrap();
+        use ziv::common::json::JsonValue;
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("snapshot"));
+        assert_eq!(v.get("tick").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(v.get("done").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(v.get("finished").and_then(JsonValue::as_bool), Some(false));
+        assert!(matches!(v.get("eta_ms"), Some(JsonValue::Null)));
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! - [`sim`] — the trace driver, parallel experiment grids, reporting.
 //! - [`harness`] — resumable experiment campaigns with a
 //!   content-addressed result cache and run telemetry.
+//! - [`telemetry`] — the live telemetry bus: a seqlock shared-memory
+//!   segment written by running campaigns and tailed by
+//!   `zivsim watch`.
 //! - [`bench`] — figure-regeneration plumbing and the hot-path
 //!   throughput baseline (`zivsim bench-throughput`).
 //!
@@ -62,6 +65,7 @@ pub use ziv_harness as harness;
 pub use ziv_noc as noc;
 pub use ziv_replacement as replacement;
 pub use ziv_sim as sim;
+pub use ziv_telemetry as telemetry;
 pub use ziv_workloads as workloads;
 
 /// The most commonly used items, for `use ziv::prelude::*`.
