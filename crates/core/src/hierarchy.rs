@@ -3,8 +3,9 @@
 //! engine, the mesh, and main memory — orchestrated access by access.
 
 use crate::audit::FaultInjection;
+use crate::forensics::{ChainKind, ProvenanceStamp};
 use crate::latency::{AccessClass, LatencyBreakdown};
-use crate::llc::{EvictedBlock, FillOutcome, LlcMode, SharedLlc, ZivProperty};
+use crate::llc::{EvictedBlock, FillOutcome, LlcMode, SharedLlc, VictimReason, ZivProperty};
 use crate::metrics::Metrics;
 use crate::observe::{EventKind, FlightRecorder, TraceEvent};
 use crate::prefetch::{PrefetchConfig, StridePrefetcher};
@@ -480,6 +481,7 @@ impl CacheHierarchy {
         let ci = a.core.index();
         self.metrics.per_core[ci].accesses += 1;
         let outcome = self.cores[ci].access(line, a.is_instr, a.is_write, &mut self.notice_buf);
+        let mut forensic_refetch = None;
         let (breakdown, class) = match outcome {
             PrivLookup::L1Hit => {
                 self.drain_notices(a.core, now);
@@ -521,6 +523,14 @@ impl CacheHierarchy {
                     .as_mut()
                     .and_then(|r| r.latency_mut())
                     .is_some_and(|l| l.take_victim(a.core, line));
+                // The forensics table mirrors the latency table entry for
+                // entry, but also remembers *who* instigated the
+                // victimization, closing the causal chain.
+                forensic_refetch = self
+                    .recorder
+                    .as_mut()
+                    .and_then(|r| r.forensics_mut())
+                    .and_then(|f| f.take_victim(a.core, line));
                 let (b, mut class) = self.llc_access(a, line, now, seq);
                 if refetch {
                     class = AccessClass::InclusionVictimRefetch;
@@ -531,6 +541,11 @@ impl CacheHierarchy {
         };
         let lat = breakdown.total();
         self.metrics.access_latency_cycles += lat;
+        if let Some((instigator, chain_seq)) = forensic_refetch {
+            if let Some(f) = self.recorder.as_mut().and_then(|r| r.forensics_mut()) {
+                f.record_refetch(instigator, a.core, chain_seq, lat);
+            }
+        }
         if let Some(obs) = self.recorder.as_mut().and_then(|r| r.latency_mut()) {
             obs.record(a.core, class, &breakdown);
         }
@@ -621,7 +636,7 @@ impl CacheHierarchy {
             self.span_end(t0, ProfileSection::Replacement);
             self.metrics.llc_writes_energy_events += 1;
             self.emit_event(EventKind::Fill, now, line, Some(core), Some(fill.loc));
-            self.apply_fill_outcome(line, fill, now);
+            self.apply_fill_outcome(line, fill, core, now);
             let t0 = self.span_start();
             let _ = self.dram.access(line, now, false);
             self.span_end(t0, ProfileSection::Dram);
@@ -742,7 +757,7 @@ impl CacheHierarchy {
             self.metrics.llc_writes_energy_events += 1;
             self.metrics.llc_demand_fills += 1;
             self.emit_event(EventKind::Fill, now, line, Some(a.core), Some(fill.loc));
-            self.apply_fill_outcome(line, fill, now);
+            self.apply_fill_outcome(line, fill, a.core, now);
             if owner_dirty {
                 self.llc.update_state(fill.loc, |s| s.dirty = true);
             }
@@ -763,7 +778,7 @@ impl CacheHierarchy {
         self.metrics.llc_writes_energy_events += 1;
         self.metrics.llc_demand_fills += 1;
         self.emit_event(EventKind::Fill, now, line, Some(a.core), Some(fill.loc));
-        self.apply_fill_outcome(line, fill, now);
+        self.apply_fill_outcome(line, fill, a.core, now);
         let t0 = self.span_start();
         let mem = self.dram.access(line, now + base, false);
         self.span_end(t0, ProfileSection::Dram);
@@ -845,8 +860,29 @@ impl CacheHierarchy {
 
     /// Applies the side effects of a [`FillOutcome`]: evictions (with
     /// back-invalidations where the mode demands them), relocations, and
-    /// their statistics.
-    fn apply_fill_outcome(&mut self, line: LineAddr, fill: FillOutcome, now: Cycle) {
+    /// their statistics. `core` is the core whose access performed the
+    /// fill — the *instigator* any resulting inclusion victims are blamed
+    /// on.
+    fn apply_fill_outcome(&mut self, line: LineAddr, fill: FillOutcome, core: CoreId, now: Cycle) {
+        // Forensics: stamp the freshly allocated line with its
+        // provenance — which access filled it, and why its way was free.
+        if self.recorder.is_some() {
+            let idx = self.accesses_done.saturating_sub(1);
+            if let Some(f) = self.recorder.as_mut().and_then(|r| r.forensics_mut()) {
+                f.stamp_fill(
+                    line,
+                    ProvenanceStamp {
+                        access_index: idx,
+                        cycle: now,
+                        core,
+                        bank: fill.loc.bank.index() as u16,
+                        set: fill.loc.set,
+                        way: fill.loc.way,
+                        reason: fill.victim_reason,
+                    },
+                );
+            }
+        }
         self.metrics.qbs_queries += fill.qbs_queries;
         if fill.sharp_alarm {
             self.metrics.sharp_alarms += 1;
@@ -867,7 +903,7 @@ impl CacheHierarchy {
             self.char_engine.request_lower_threshold(bank.index());
         }
         if let Some(candidate) = fill.eci_candidate {
-            self.eci_early_invalidate(candidate, now);
+            self.eci_early_invalidate(candidate, core, fill.victim_reason, now);
         }
         if let Some(rel) = fill.relocation {
             self.metrics.relocations += 1;
@@ -890,18 +926,26 @@ impl CacheHierarchy {
             }
             if let Some(ev) = rel.evicted_from_rs {
                 debug_assert!(!self.dir.is_privately_cached(ev.line));
-                self.handle_llc_eviction(ev, rel.to, now);
+                self.handle_llc_eviction(ev, rel.to, core, fill.victim_reason, now);
             }
         }
         if let Some(ev) = fill.evicted {
-            self.handle_llc_eviction(ev, fill.loc, now);
+            self.handle_llc_eviction(ev, fill.loc, core, fill.victim_reason, now);
         }
     }
 
     /// ECI: invalidate the next victim candidate's private copies while
     /// its LLC copy stays, making its future reuse visible to the LLC.
-    /// These forced invalidations are inclusion victims.
-    fn eci_early_invalidate(&mut self, line: LineAddr, now: Cycle) {
+    /// These forced invalidations are inclusion victims. `instigator` is
+    /// the core whose fill surfaced the candidate; `reason` its
+    /// victim-choice reason.
+    fn eci_early_invalidate(
+        &mut self,
+        line: LineAddr,
+        instigator: CoreId,
+        reason: VictimReason,
+        now: Cycle,
+    ) {
         let sharers = match self.dir.probe(line) {
             Some(e) => e.sharers,
             None => return,
@@ -914,6 +958,13 @@ impl CacheHierarchy {
         } else {
             None
         };
+        // Forensics: every sharer tear-out below is one chain victim —
+        // the note sites pair 1:1 with the `inclusion_victims` bumps, so
+        // the blame matrix conserves exactly.
+        let idx = self.accesses_done.saturating_sub(1);
+        if let Some(f) = self.recorder.as_mut().and_then(|r| r.forensics_mut()) {
+            f.open_chain(ChainKind::Eci, instigator, idx, now, line, reason);
+        }
         let mut any_dirty = false;
         for s in sharers.iter() {
             if self.cores[s.index()].invalidate(line).is_some_and(|d| d) {
@@ -929,6 +980,12 @@ impl CacheHierarchy {
             if let Some(obs) = self.recorder.as_mut().and_then(|r| r.leakage_mut()) {
                 obs.note_back_invalidation(s, line);
             }
+            if let Some(f) = self.recorder.as_mut().and_then(|r| r.forensics_mut()) {
+                f.chain_victim(s);
+            }
+        }
+        if let Some(f) = self.recorder.as_mut().and_then(|r| r.forensics_mut()) {
+            f.close_chain();
         }
         self.dir.free_line(line);
         if let Some(loc) = self.llc.probe(line) {
@@ -944,7 +1001,16 @@ impl CacheHierarchy {
     /// Handles a block leaving the LLC; `loc` is the (bank, set, way)
     /// the block occupied (the fill's target location, or the
     /// relocation destination for relocation-set evictions).
-    fn handle_llc_eviction(&mut self, ev: EvictedBlock, loc: LlcLocation, now: Cycle) {
+    /// `instigator` is the core whose fill forced the eviction and
+    /// `reason` its victim-choice reason (forensics).
+    fn handle_llc_eviction(
+        &mut self,
+        ev: EvictedBlock,
+        loc: LlcLocation,
+        instigator: CoreId,
+        reason: VictimReason,
+        now: Cycle,
+    ) {
         if self.recorder.is_some() {
             self.emit_event(EventKind::Eviction, now, ev.line, None, Some(loc));
             if let Some(hm) = self.recorder.as_mut().and_then(|r| r.heatmap_mut()) {
@@ -992,6 +1058,15 @@ impl CacheHierarchy {
                     self.fault = None;
                     return;
                 }
+                // Forensics: one causal chain per victimizing eviction,
+                // its victim notes paired 1:1 with the
+                // `inclusion_victims` bumps below (the conservation the
+                // tests pin). The fault path above returns before any
+                // bump, so a "lost" back-invalidation emits no chain.
+                let idx = self.accesses_done.saturating_sub(1);
+                if let Some(f) = self.recorder.as_mut().and_then(|r| r.forensics_mut()) {
+                    f.open_chain(ChainKind::Inclusive, instigator, idx, now, ev.line, reason);
+                }
                 let mut any_dirty = ev.dirty;
                 for s in sharers.iter() {
                     if self.cores[s.index()].invalidate(ev.line).is_some_and(|d| d) {
@@ -1012,6 +1087,12 @@ impl CacheHierarchy {
                     if let Some(obs) = self.recorder.as_mut().and_then(|r| r.leakage_mut()) {
                         obs.note_back_invalidation(s, ev.line);
                     }
+                    if let Some(f) = self.recorder.as_mut().and_then(|r| r.forensics_mut()) {
+                        f.chain_victim(s);
+                    }
+                }
+                if let Some(f) = self.recorder.as_mut().and_then(|r| r.forensics_mut()) {
+                    f.close_chain();
                 }
                 self.metrics.inclusion_victim_events += 1;
                 self.dir.free_line(ev.line);

@@ -248,6 +248,16 @@ impl LatencyObservatory {
 
     /// Remembers that `line` was just back-invalidated out of `core`'s
     /// private hierarchy by an inclusive LLC eviction.
+    ///
+    /// Mirror contract: the forensics observatory
+    /// (`crate::forensics::ForensicsObservatory`) keeps an identically
+    /// sized, identically indexed table written at exactly the same
+    /// call sites. The slot formula, the overwrite-on-collision
+    /// behavior, and the clear-on-take discipline below must stay bit
+    /// for bit in sync with it — that equivalence is what makes
+    /// `ForensicsReport::total_refetch_cycles()` conserve against
+    /// [`LatencyReport::inclusion_victim_refetch_cycles`]
+    /// (asserted per mode in `tests/forensics.rs`).
     #[inline]
     pub fn note_back_invalidation(&mut self, core: CoreId, line: LineAddr) {
         let slot = line.raw() as usize & (VICTIM_TABLE_SLOTS - 1);

@@ -46,6 +46,7 @@
 
 pub mod audit;
 pub mod cancel;
+pub mod forensics;
 mod hierarchy;
 pub mod latency;
 pub mod leakage;
@@ -58,10 +59,13 @@ pub mod profile;
 
 pub use audit::{AuditCadence, Auditor, FaultInjection};
 pub use cancel::CancelToken;
+pub use forensics::{
+    CausalChain, ChainKind, ForensicsObservatory, ForensicsReport, ProvenanceStamp,
+};
 pub use hierarchy::{Access, CacheHierarchy, HierarchyConfig};
 pub use latency::{AccessClass, LatencyBreakdown, LatencyComponent, LatencyReport};
 pub use leakage::{CoreLeakage, LeakageObservatory, LeakageReport};
-pub use llc::{LlcMode, ZivProperty};
+pub use llc::{LlcMode, VictimReason, ZivProperty};
 pub use metrics::Metrics;
 pub use observe::{
     EventFilter, EventKind, EventTraceConfig, FlightRecorder, Heatmap, Observations, ObserveConfig,

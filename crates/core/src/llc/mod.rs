@@ -157,6 +157,65 @@ pub enum GradedKind {
     MaxRrpv,
 }
 
+/// Why the victim-selection machinery picked the way it did, stamped on
+/// every [`FillOutcome`] so the forensics observatory can attach a
+/// human-readable cause to each eviction (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimReason {
+    /// An invalid way absorbed the fill; nothing was evicted.
+    InvalidWay,
+    /// The baseline policy's bottom-ranked block (inclusive,
+    /// non-inclusive, TLH, RIC, and ECI demand path).
+    #[default]
+    Baseline,
+    /// WayPartitioned: bottom-ranked block inside the requesting core's
+    /// way partition.
+    Partitioned,
+    /// QBS found a candidate with no private copies.
+    QbsClean,
+    /// QBS exhausted its queries; the baseline victim was evicted
+    /// despite private copies.
+    QbsFallback,
+    /// SHARP step 1: a block with no private copies.
+    SharpUnshared,
+    /// SHARP step 2: a block private only to the requesting core.
+    SharpSelf,
+    /// SHARP step 3: random victim (the alarm counter is raised).
+    SharpRandom,
+    /// CHARonBase: a likely-dead, not-privately-cached block was
+    /// preferred over the privately cached baseline victim.
+    CharLikelyDead,
+    /// ZIV: an alternate not-privately-cached victim existed in the
+    /// original set.
+    ZivInSet,
+    /// ZIV: the baseline victim was relocated; only a guaranteed
+    /// not-privately-cached relocation-set block could be evicted.
+    ZivRelocation,
+    /// ZIV defensive fallback: no `NotInPrC` block existed anywhere
+    /// (inclusive eviction; counted in `ziv_guarantee_fallbacks`).
+    ZivFallback,
+}
+
+impl VictimReason {
+    /// Short stable label used in `blame.csv` and the `blame` table.
+    pub fn label(self) -> &'static str {
+        match self {
+            VictimReason::InvalidWay => "invalid-way",
+            VictimReason::Baseline => "baseline",
+            VictimReason::Partitioned => "partitioned",
+            VictimReason::QbsClean => "qbs-clean",
+            VictimReason::QbsFallback => "qbs-fallback",
+            VictimReason::SharpUnshared => "sharp-unshared",
+            VictimReason::SharpSelf => "sharp-self",
+            VictimReason::SharpRandom => "sharp-random",
+            VictimReason::CharLikelyDead => "char-likely-dead",
+            VictimReason::ZivInSet => "ziv-in-set",
+            VictimReason::ZivRelocation => "ziv-relocation",
+            VictimReason::ZivFallback => "ziv-fallback",
+        }
+    }
+}
+
 /// The ZIV relocation performed as part of a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RelocationOutcome {
@@ -200,6 +259,8 @@ pub struct FillOutcome {
     /// ECI: the next victim candidate, whose private copies the
     /// hierarchy must invalidate early.
     pub eci_candidate: Option<LineAddr>,
+    /// Why the victim way was chosen (forensics provenance).
+    pub victim_reason: VictimReason,
 }
 
 /// The shared LLC: banks + mode + policy.
@@ -383,12 +444,14 @@ impl SharedLlc {
             ziv_fallback: false,
             likely_dead_pv_empty: false,
             eci_candidate: None,
+            victim_reason: VictimReason::Baseline,
         };
 
         // Invalid way: every mode's highest-priority choice.
         if let Some(way) = probe.invalid {
             self.install(bank_id, set, way, line, ctx);
             outcome.loc.way = way;
+            outcome.victim_reason = VictimReason::InvalidWay;
             return outcome;
         }
 
@@ -413,11 +476,14 @@ impl SharedLlc {
                 self.rank_scratch = order;
                 victim
             }
-            LlcMode::WayPartitioned => self.choose_partitioned(bank_id, set, ctx, core),
+            LlcMode::WayPartitioned => {
+                outcome.victim_reason = VictimReason::Partitioned;
+                self.choose_partitioned(bank_id, set, ctx, core)
+            }
             LlcMode::Qbs => self.choose_qbs(bank_id, set, ctx, dir, u8::MAX, &mut outcome),
             LlcMode::QbsBounded(n) => self.choose_qbs(bank_id, set, ctx, dir, n, &mut outcome),
             LlcMode::Sharp => self.choose_sharp(bank_id, set, ctx, dir, core, &mut outcome),
-            LlcMode::CharOnBase => self.choose_char_on_base(bank_id, set, ctx, dir),
+            LlcMode::CharOnBase => self.choose_char_on_base(bank_id, set, ctx, dir, &mut outcome),
             LlcMode::Ziv(prop) => {
                 match self.choose_ziv(bank_id, set, ctx, dir, prop, &mut outcome, now) {
                     ZivChoice::Evict(w) => w,
@@ -522,6 +588,11 @@ impl SharedLlc {
         self.rank_scratch = order;
         // Every block is privately cached: QBS gives up and victimizes
         // the baseline victim, generating inclusion victims.
+        outcome.victim_reason = if chosen.is_some() {
+            VictimReason::QbsClean
+        } else {
+            VictimReason::QbsFallback
+        };
         chosen.unwrap_or(fallback)
     }
 
@@ -541,6 +612,7 @@ impl SharedLlc {
             .iter()
             .copied()
             .find(|&w| !dir.is_privately_cached(self.line_at(bank, set, w)));
+        outcome.victim_reason = VictimReason::SharpUnshared;
         // Step 2: a block resident only in the requesting core's caches.
         if chosen.is_none() {
             chosen = order.iter().copied().find(|&w| {
@@ -548,6 +620,7 @@ impl SharedLlc {
                 dir.probe(line)
                     .is_some_and(|s| s.sharers.is_sole_sharer(core))
             });
+            outcome.victim_reason = VictimReason::SharpSelf;
         }
         self.rank_scratch = order;
         if let Some(w) = chosen {
@@ -555,6 +628,7 @@ impl SharedLlc {
         }
         // Step 3: a random block; raise the alarm counter.
         outcome.sharp_alarm = true;
+        outcome.victim_reason = VictimReason::SharpRandom;
         let ways = self.cfg.bank_geometry.ways as u64;
         self.rng.below(ways) as WayIdx
     }
@@ -565,6 +639,7 @@ impl SharedLlc {
         set: SetIdx,
         ctx: &AccessCtx,
         dir: &SparseDirectory,
+        outcome: &mut FillOutcome,
     ) -> WayIdx {
         let baseline = self.banks[bank.index()].policy.victim(set, ctx);
         if !dir.is_privately_cached(self.line_at(bank, set, baseline)) {
@@ -579,6 +654,9 @@ impl SharedLlc {
             !st.relocated && st.likely_dead && st.not_in_prc
         });
         self.rank_scratch = order;
+        if chosen.is_some() {
+            outcome.victim_reason = VictimReason::CharLikelyDead;
+        }
         chosen.unwrap_or(baseline)
     }
 
@@ -625,6 +703,7 @@ impl SharedLlc {
                     .relocation_victim(set, prop)
                     .expect("set property bit guaranteed a victim");
                 outcome.in_set_alternate = true;
+                outcome.victim_reason = VictimReason::ZivInSet;
                 return ZivChoice::Evict(w);
             }
             // Then the global PV of this bank.
@@ -636,6 +715,7 @@ impl SharedLlc {
                 // in-set case.
                 if let Some(w) = self.banks[bank.index()].relocation_victim(set, prop) {
                     outcome.in_set_alternate = true;
+                    outcome.victim_reason = VictimReason::ZivInSet;
                     return ZivChoice::Evict(w);
                 }
             }
@@ -672,6 +752,7 @@ impl SharedLlc {
         // violated (tiny test configurations only). Fall back to an
         // inclusive eviction and count it.
         outcome.ziv_fallback = true;
+        outcome.victim_reason = VictimReason::ZivFallback;
         ZivChoice::Evict(baseline)
     }
 
@@ -757,6 +838,7 @@ impl SharedLlc {
             .unwrap_or(now);
         bank_for_stats.record_relocation(now);
 
+        outcome.victim_reason = VictimReason::ZivRelocation;
         outcome.relocation = Some(RelocationOutcome {
             moved_line: moved.line,
             to: LlcLocation {

@@ -25,6 +25,7 @@
 //! (disabled) config the hierarchy carries a `None` recorder and the
 //! hot path pays a single branch per potential event.
 
+use crate::forensics::{ForensicsObservatory, ForensicsReport};
 use crate::latency::{LatencyObservatory, LatencyReport};
 use crate::leakage::{LeakageObservatory, LeakageReport};
 use crate::metrics::{core_metrics_u64_fields, metrics_u64_fields, CoreMetrics, Metrics};
@@ -450,6 +451,11 @@ impl TraceEvent {
 /// `--last K`.
 pub const DEFAULT_EVENT_CAPACITY: usize = 256;
 
+/// Largest ring capacity the CLI accepts for `--last K`. The ring is
+/// allocated up front, so an absurd K would pin memory for the whole
+/// run; the CLI clamps to this and warns on the sink.
+pub const MAX_EVENT_CAPACITY: usize = 1 << 20;
+
 /// A fixed-capacity ring buffer keeping the **last** `capacity` events.
 ///
 /// The buffer is allocated once at construction; pushes never allocate,
@@ -598,6 +604,10 @@ pub struct ObserveConfig {
     /// Only attack workloads (which carry role plans) produce a
     /// report; the flag is inert for every other workload.
     pub leakage: bool,
+    /// Run the forensics observatory (`--forensics`): per-line
+    /// allocation provenance, causal eviction chains, and the
+    /// instigator × victim blame matrix.
+    pub forensics: bool,
 }
 
 impl ObserveConfig {
@@ -610,14 +620,16 @@ impl ObserveConfig {
             latency: false,
             profile: false,
             leakage: false,
+            forensics: false,
         }
     }
 
     /// True when the hierarchy needs an attached [`FlightRecorder`]
-    /// (events, heatmaps, latency attribution, or leakage accounting;
-    /// epoch slicing and the self-profiler live in the driver).
+    /// (events, heatmaps, latency attribution, leakage accounting, or
+    /// forensics; epoch slicing and the self-profiler live in the
+    /// driver).
     pub fn wants_recorder(&self) -> bool {
-        self.events.is_some() || self.heatmap || self.latency || self.leakage
+        self.events.is_some() || self.heatmap || self.latency || self.leakage || self.forensics
     }
 
     /// True when any observation is requested.
@@ -637,6 +649,7 @@ pub struct FlightRecorder {
     heatmap: Option<Heatmap>,
     latency: Option<LatencyObservatory>,
     leakage: Option<LeakageObservatory>,
+    forensics: Option<ForensicsObservatory>,
 }
 
 impl FlightRecorder {
@@ -661,6 +674,9 @@ impl FlightRecorder {
             // the recorder cannot know; the driver attaches it when the
             // flag is on *and* the workload carries an attack plan.
             leakage: None,
+            forensics: cfg
+                .forensics
+                .then(|| ForensicsObservatory::new(cores, banks, sets)),
         }))
     }
 
@@ -713,9 +729,15 @@ impl FlightRecorder {
         self.leakage.as_mut()
     }
 
+    /// The forensics observatory, when enabled.
+    #[inline]
+    pub fn forensics_mut(&mut self) -> Option<&mut ForensicsObservatory> {
+        self.forensics.as_mut()
+    }
+
     /// Drains the recorder into its final observation payload:
     /// `(events oldest-first, total events recorded, heatmap, latency,
-    /// leakage)`.
+    /// leakage, forensics)`.
     #[allow(clippy::type_complexity)]
     pub fn finish(
         self,
@@ -725,6 +747,7 @@ impl FlightRecorder {
         Option<Heatmap>,
         Option<LatencyReport>,
         Option<LeakageReport>,
+        Option<ForensicsReport>,
     ) {
         let (events, recorded) = match &self.events {
             Some(ring) => (ring.ordered(), ring.recorded()),
@@ -736,6 +759,7 @@ impl FlightRecorder {
             self.heatmap,
             self.latency.map(LatencyObservatory::finish),
             self.leakage.map(LeakageObservatory::finish),
+            self.forensics.map(ForensicsObservatory::finish),
         )
     }
 }
@@ -761,6 +785,9 @@ pub struct Observations {
     /// The leakage report, when `--leakage` was on and the workload
     /// carried an attack plan.
     pub leakage: Option<LeakageReport>,
+    /// The forensics report (provenance, chains, blame matrix), when
+    /// `--forensics` was on.
+    pub forensics: Option<ForensicsReport>,
     /// End-of-run per-bank occupancy of the sparse directory's finite
     /// structure (spill entries excluded) — the directory-pressure
     /// summary printed by `zivsim trace`.
@@ -777,6 +804,7 @@ impl Observations {
             && self.latency.is_none()
             && self.profile.is_none()
             && self.leakage.is_none()
+            && self.forensics.is_none()
     }
 }
 
@@ -1016,13 +1044,14 @@ mod tests {
         rec.record(ev(EventKind::Eviction, 1));
         assert!(rec.heatmap_mut().is_none());
         assert!(rec.latency_mut().is_none());
-        let (events, recorded, heatmap, latency, leakage) = rec.finish();
+        let (events, recorded, heatmap, latency, leakage, forensics) = rec.finish();
         assert_eq!(recorded, 1);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::Eviction);
         assert!(heatmap.is_none());
         assert!(latency.is_none());
         assert!(leakage.is_none());
+        assert!(forensics.is_none());
         assert!(FlightRecorder::new(&ObserveConfig::disabled(), 2, 4, 16).is_none());
     }
 
@@ -1055,6 +1084,38 @@ mod tests {
             ..ObserveConfig::disabled()
         };
         assert!(leak.wants_recorder() && leak.is_enabled());
+        let forensics = ObserveConfig {
+            forensics: true,
+            ..ObserveConfig::disabled()
+        };
+        assert!(forensics.wants_recorder() && forensics.is_enabled());
+    }
+
+    #[test]
+    fn forensics_observatory_rides_the_recorder() {
+        use crate::forensics::ChainKind;
+        use crate::llc::VictimReason;
+        use ziv_common::CoreId;
+        let cfg = ObserveConfig {
+            forensics: true,
+            ..ObserveConfig::disabled()
+        };
+        let mut rec = FlightRecorder::new(&cfg, 2, 4, 16).unwrap();
+        let f = rec.forensics_mut().expect("forensics observatory attached");
+        f.open_chain(
+            ChainKind::Inclusive,
+            CoreId::new(0),
+            7,
+            70,
+            ziv_common::LineAddr::new(0x40),
+            VictimReason::Baseline,
+        );
+        f.chain_victim(CoreId::new(1));
+        f.close_chain();
+        let (_, _, _, _, _, forensics) = rec.finish();
+        let report = forensics.expect("forensics report produced");
+        assert_eq!(report.total_victims(), 1);
+        assert_eq!(report.chains_recorded, 1);
     }
 
     #[test]
@@ -1073,7 +1134,7 @@ mod tests {
         rec.leakage_mut()
             .unwrap()
             .note_back_invalidation(CoreId::new(1), ziv_common::Addr::new(3 << 6).line());
-        let (_, _, _, _, leakage) = rec.finish();
+        let (_, _, _, _, leakage, _) = rec.finish();
         let report = leakage.expect("leakage report produced");
         assert_eq!(report.observable_victim_evictions(), 1);
         assert_eq!(report.total_back_invalidations(), 1);
@@ -1097,7 +1158,7 @@ mod tests {
                 ..LatencyBreakdown::default()
             },
         );
-        let (_, _, _, report, _) = rec.finish();
+        let (_, _, _, report, _, _) = rec.finish();
         let report = report.expect("latency report produced");
         assert_eq!(report.total_cycles(), 3);
         assert_eq!(report.class_total(AccessClass::L1Hit).count, 1);

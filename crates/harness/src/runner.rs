@@ -15,11 +15,12 @@ use ziv_common::json::JsonValue;
 use ziv_common::{RetryPolicy, SimError};
 use ziv_core::AuditCadence;
 use ziv_sim::{
-    run_one_sampled_instrumented, run_one_traced, speedup_summary, write_grid_csv,
-    write_heatmap_csv, write_latency_csv, write_leakage_csv, write_sampling_csv, write_summary_csv,
-    write_timeseries_csv, write_validation_csv, CellBudget, EventTraceConfig, GridResult,
-    Observations, ObserveConfig, ObservedCell, ProfileReport, RunOptions, RunResult, RunSpec,
-    SampledCell, SampledRun, SamplingPlan, TelemetryProbe, TraceEvent, ValidationRow,
+    run_one_sampled_instrumented, run_one_traced, speedup_summary, write_blame_csv, write_grid_csv,
+    write_heatmap_csv, write_latency_csv, write_leakage_csv, write_perfetto_json,
+    write_sampling_csv, write_summary_csv, write_timeseries_csv, write_validation_csv, CellBudget,
+    EventFilter, EventTraceConfig, GridResult, Observations, ObserveConfig, ObservedCell,
+    ProfileReport, RunOptions, RunResult, RunSpec, SampledCell, SampledRun, SamplingPlan,
+    TelemetryProbe, TraceEvent, ValidationRow,
 };
 use ziv_workloads::Workload;
 
@@ -80,6 +81,11 @@ pub struct RunnerConfig {
     /// stderr (`--progress jsonl`) for CI log scraping. Independent of
     /// `telemetry`; same zero-cost-when-off guarantee.
     pub progress_jsonl: bool,
+    /// Export `<results-dir>/trace.json`, the Chrome trace-event /
+    /// Perfetto rendering of the executed cells' observability payload
+    /// (`--perfetto`). Ring events honor the `--events` filter; causal
+    /// chains appear as flow events when `observe.forensics` is on.
+    pub perfetto: bool,
 }
 
 impl RunnerConfig {
@@ -101,6 +107,7 @@ impl RunnerConfig {
             retries: 0,
             telemetry: false,
             progress_jsonl: false,
+            perfetto: false,
         }
     }
 }
@@ -165,6 +172,13 @@ pub struct CampaignOutcome {
     /// (`--profile`). Wall-clock data: nondeterministic by nature, like
     /// the BENCH files, and never part of the ledgered results.
     pub profile_json: Option<PathBuf>,
+    /// Path of the blame-matrix CSV, written when the forensics
+    /// observatory was on (`--forensics` / `--perfetto`). Same
+    /// executed-cells-only caveat as the time series.
+    pub blame_csv: Option<PathBuf>,
+    /// Path of the Perfetto / Chrome trace-event export, written when
+    /// `--perfetto` was requested. Observability only — never digested.
+    pub trace_json: Option<PathBuf>,
 }
 
 /// Forwards supervised-pool completions into the ledger and the
@@ -524,6 +538,8 @@ pub fn run_campaign(
     let mut latency_csv = None;
     let mut leakage_csv = None;
     let mut profile_json = None;
+    let mut blame_csv = None;
+    let mut trace_json = None;
     if cfg.observe.is_enabled() {
         observed.sort_by_key(|(s, w, _)| (*s, *w));
         let names: Vec<(String, String)> = observed
@@ -569,6 +585,21 @@ pub fn run_campaign(
             write_profile_json(&path, &cells)?;
             profile_json = Some(path);
         }
+        if cfg.observe.forensics {
+            let path = cfg.results_dir.join("blame.csv");
+            write_blame_csv(&path, &cells)?;
+            blame_csv = Some(path);
+        }
+        if cfg.perfetto {
+            let filter = cfg
+                .observe
+                .events
+                .map(|e| e.filter)
+                .unwrap_or_else(EventFilter::all);
+            let path = cfg.results_dir.join("trace.json");
+            write_perfetto_json(&path, &cells, filter)?;
+            trace_json = Some(path);
+        }
     }
 
     if telemetry.is_overcommitted() {
@@ -599,6 +630,8 @@ pub fn run_campaign(
         latency_csv,
         leakage_csv,
         profile_json,
+        blame_csv,
+        trace_json,
     })
 }
 

@@ -376,6 +376,51 @@ pub fn leakage_to_csv<W: Write>(cells: &[ObservedCell<'_>], mut out: W) -> std::
     Ok(())
 }
 
+/// The columns exported by [`blame_to_csv`].
+pub const BLAME_COLUMNS: [&str; 7] = [
+    "config",
+    "workload",
+    "instigator_core",
+    "victim_core",
+    "victims",
+    "refetches",
+    "refetch_cycles",
+];
+
+/// Writes the forensics blame matrix: for each cell with an attached
+/// [`ziv_core::ForensicsReport`], one row per (instigator, victim) core
+/// pair — **including all-zero cells**, so a ZIV run's provable absence
+/// of inclusion victims shows up as explicit zero rows rather than
+/// missing data (the ci.sh conservation gate sums the `victims` column
+/// per cell and checks it against the grid's `inclusion_victims`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn blame_to_csv<W: Write>(cells: &[ObservedCell<'_>], mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{}", BLAME_COLUMNS.join(","))?;
+    for cell in cells {
+        let Some(r) = cell.observations.forensics.as_ref() else {
+            continue;
+        };
+        for instigator in 0..r.cores {
+            for victim in 0..r.cores {
+                let row = [
+                    esc(cell.config),
+                    esc(cell.workload),
+                    instigator.to_string(),
+                    victim.to_string(),
+                    r.victims(instigator, victim).to_string(),
+                    r.refetches(instigator, victim).to_string(),
+                    r.refetch_cycles(instigator, victim).to_string(),
+                ];
+                writeln!(out, "{}", row.join(","))?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Writes the occupancy heatmaps as CSV grids: for each cell and each
 /// counter (`accesses`, `evictions`, `relocations`), one row per bank
 /// with one column per set.
@@ -483,6 +528,22 @@ pub fn write_leakage_csv(path: &Path, cells: &[ObservedCell<'_>]) -> Result<(), 
     leakage_to_csv(cells, &mut w).map_err(|e| SimError::io("write leakage CSV", path, e))?;
     w.flush()
         .map_err(|e| SimError::io("flush leakage CSV", path, e))
+}
+
+/// Writes the blame matrix CSV to `path`, creating missing parent
+/// directories first.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] naming `path` and the failing operation.
+pub fn write_blame_csv(path: &Path, cells: &[ObservedCell<'_>]) -> Result<(), SimError> {
+    create_parent_dirs(path)?;
+    let file =
+        std::fs::File::create(path).map_err(|e| SimError::io("create blame CSV", path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    blame_to_csv(cells, &mut w).map_err(|e| SimError::io("write blame CSV", path, e))?;
+    w.flush()
+        .map_err(|e| SimError::io("flush blame CSV", path, e))
 }
 
 /// Writes the grid CSV to `path`, with the file path attached to any
@@ -824,6 +885,7 @@ mod tests {
             heatmap: Some(heatmap),
             latency: None,
             leakage: None,
+            forensics: None,
             profile: None,
             dir_slice_occupancy: Vec::new(),
         }
@@ -862,6 +924,50 @@ mod tests {
         assert_eq!(lines.len(), 2, "cells without a report are skipped");
         assert!(lines[1].starts_with("I-LRU,attack-pp,1000000,1,1,0,1.000000,"));
         assert!(lines[1].contains(",1,1.000000,1"), "sharp alarm columns");
+    }
+
+    #[test]
+    fn blame_csv_emits_full_matrix_including_zero_rows() {
+        use ziv_common::{CoreId, LineAddr};
+        use ziv_core::{ChainKind, ForensicsObservatory, VictimReason};
+        let mut f = ForensicsObservatory::new(2, 2, 4);
+        f.open_chain(
+            ChainKind::Inclusive,
+            CoreId::new(0),
+            7,
+            70,
+            LineAddr::new(0x33),
+            VictimReason::Baseline,
+        );
+        f.chain_victim(CoreId::new(1));
+        f.close_chain();
+        let mut with_forensics = synthetic_observations();
+        with_forensics.forensics = Some(f.finish());
+        let without = synthetic_observations();
+        let cells = [
+            ObservedCell {
+                config: "I-LRU",
+                workload: "mix0",
+                observations: &with_forensics,
+            },
+            ObservedCell {
+                config: "ZIV",
+                workload: "mix0",
+                observations: &without,
+            },
+        ];
+        let mut out = Vec::new();
+        blame_to_csv(&cells, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], BLAME_COLUMNS.join(","));
+        // 2×2 matrix ⇒ 4 rows, zeros included; the report-less cell is
+        // skipped entirely.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1], "I-LRU,mix0,0,0,0,0,0");
+        assert_eq!(lines[2], "I-LRU,mix0,0,1,1,0,0");
+        assert_eq!(lines[3], "I-LRU,mix0,1,0,0,0,0");
+        assert_eq!(lines[4], "I-LRU,mix0,1,1,0,0,0");
     }
 
     #[test]

@@ -231,9 +231,9 @@ pub(crate) fn collect_observations(
     if !observing {
         return None;
     }
-    let (events, events_recorded, heatmap, latency, leakage) = match h.take_recorder() {
+    let (events, events_recorded, heatmap, latency, leakage, forensics) = match h.take_recorder() {
         Some(rec) => rec.finish(),
-        None => (Vec::new(), 0, None, None, None),
+        None => (Vec::new(), 0, None, None, None, None),
     };
     let leakage = leakage.map(|mut l| {
         l.cycles = window_cycles;
@@ -247,6 +247,7 @@ pub(crate) fn collect_observations(
         heatmap,
         latency,
         leakage,
+        forensics,
         profile,
         dir_slice_occupancy: h.directory().slice_occupancies(),
     }))

@@ -29,22 +29,25 @@
 mod csv;
 mod driver;
 mod effort;
+mod perfetto;
 mod report;
 mod sampling;
 mod spec;
 
 pub use csv::{
-    grid_to_csv, heatmap_to_csv, latency_to_csv, leakage_to_csv, sampling_to_csv, summary_to_csv,
-    timeseries_to_csv, validation_to_csv, write_grid_csv, write_heatmap_csv, write_latency_csv,
-    write_leakage_csv, write_sampling_csv, write_summary_csv, write_timeseries_csv,
-    write_validation_csv, ObservedCell, SampledCell, ValidationRow, GRID_COLUMNS, LATENCY_COLUMNS,
-    LEAKAGE_COLUMNS, SAMPLING_COLUMNS, VALIDATION_COLUMNS,
+    blame_to_csv, grid_to_csv, heatmap_to_csv, latency_to_csv, leakage_to_csv, sampling_to_csv,
+    summary_to_csv, timeseries_to_csv, validation_to_csv, write_blame_csv, write_grid_csv,
+    write_heatmap_csv, write_latency_csv, write_leakage_csv, write_sampling_csv, write_summary_csv,
+    write_timeseries_csv, write_validation_csv, ObservedCell, SampledCell, ValidationRow,
+    BLAME_COLUMNS, GRID_COLUMNS, LATENCY_COLUMNS, LEAKAGE_COLUMNS, SAMPLING_COLUMNS,
+    VALIDATION_COLUMNS,
 };
 pub use driver::{
     derived_budget, run_one, run_one_checked, run_one_instrumented, run_one_supervised,
     run_one_traced, CellBudget, CoreRunStats, RunOptions, RunResult,
 };
 pub use effort::Effort;
+pub use perfetto::{perfetto_to_json, write_perfetto_json};
 pub use report::{normalized_metric, speedup_summary, NormalizedRows};
 pub use sampling::{
     run_one_sampled, run_one_sampled_instrumented, run_one_sampled_supervised, run_paired_sampled,
@@ -61,6 +64,7 @@ pub use ziv_core::observe::{
     SamplingProgress, TelemetryProbe, TraceEvent,
 };
 pub use ziv_core::{
-    AccessClass, CancelToken, CoreLeakage, LatencyBreakdown, LatencyComponent, LatencyReport,
-    LeakageReport, ProfileReport, ProfileSection,
+    AccessClass, CancelToken, CausalChain, ChainKind, CoreLeakage, ForensicsReport,
+    LatencyBreakdown, LatencyComponent, LatencyReport, LeakageReport, ProfileReport,
+    ProfileSection, VictimReason,
 };

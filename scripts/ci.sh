@@ -37,6 +37,13 @@ echo "== latency-attribution conservation (release, debug assertions on)"
 # inclusion-victim refetch cycles.
 RUSTFLAGS="-C debug-assertions" cargo test -q --release --test latency_attribution
 
+echo "== causal-forensics conservation (release, debug assertions on)"
+# The blame matrix must account for every inclusion victim exactly,
+# its refetch cycles must agree with the latency observatory, ZIV
+# modes must record zero chains, and the blame.csv / trace.json
+# exports must be byte-identical across thread counts.
+RUSTFLAGS="-C debug-assertions" cargo test -q --release --test forensics
+
 echo "== audit-enabled smoke campaign"
 # End-to-end through the release binary: every cell of the smallest
 # campaign under the sampled invariant auditor, into a throwaway
@@ -77,13 +84,59 @@ diff "$SMOKE_DIR/grid.csv"     "$PROFILED_DIR/grid.csv"
 test -s "$PROFILED_DIR/latency.csv"
 test -s "$PROFILED_DIR/profile.json"
 
+echo "== forensics smoke campaign (blame conservation + perfetto validity)"
+# The same campaign with the forensics observatory and the Perfetto
+# exporter on. Three gates: (1) result artifacts stay byte-identical —
+# ledger, grid.csv, AND summary.csv; (2) the blame matrix conserves —
+# per campaign cell, the sum of blame.csv victim cells equals the
+# grid.csv inclusion_victims column exactly, with every ZIV row
+# exactly zero (zeros are emitted explicitly, so the guarantee is
+# checked positively); (3) trace.json is one valid JSON document.
+FORENSICS_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$FORENSICS_DIR"' EXIT
+ZIV_FAST=1 ./target/release/zivsim campaign smoke \
+    --audit sampled --threads 1 --results-dir "$FORENSICS_DIR" \
+    --forensics --perfetto
+diff "$SMOKE_DIR/ledger.jsonl" "$FORENSICS_DIR/ledger.jsonl"
+diff "$SMOKE_DIR/grid.csv"     "$FORENSICS_DIR/grid.csv"
+diff "$SMOKE_DIR/summary.csv"  "$FORENSICS_DIR/summary.csv"
+awk -F, '
+    FNR == 1 {
+        file++
+        if (file == 1) { for (i = 1; i <= NF; i++) if ($i == "inclusion_victims") g = i }
+        else           { for (i = 1; i <= NF; i++) if ($i == "victims") v = i }
+        next
+    }
+    file == 1 { want[$1 "," $2] = $g + 0 }
+    file == 2 {
+        got[$1 "," $2] += $v + 0
+        seen[$1 "," $2] = 1
+        if ($1 ~ /^ZIV/ && $v + 0 != 0) { print "FAIL ZIV blame row nonzero: " $0; bad = 1 }
+    }
+    END {
+        if (!g) { print "FAIL no inclusion_victims column in grid.csv"; exit 1 }
+        if (!v) { print "FAIL no victims column in blame.csv"; exit 1 }
+        cells = 0
+        for (k in want) {
+            cells++
+            if (!(k in seen)) { print "FAIL cell missing from blame.csv: " k; bad = 1 }
+            else if (got[k] != want[k]) {
+                print "FAIL blame does not conserve for " k ": grid=" want[k] " blame=" got[k]
+                bad = 1
+            }
+        }
+        if (!cells) { print "FAIL empty grid.csv"; exit 1 }
+        if (bad) exit 1
+    }' "$FORENSICS_DIR/grid.csv" "$FORENSICS_DIR/blame.csv"
+python3 -m json.tool "$FORENSICS_DIR/trace.json" > /dev/null
+
 echo "== attack-eval smoke campaign (leakage gate + resume byte-identity)"
 # The side-channel acceptance invariant through the release binary:
 # every attack scenario under every defense mode, audited. The gate is
 # the paper's security claim — inclusive rows must show a nonzero
 # attacker-observable signal and every ZIV row must be exactly zero.
 ATK_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$FORENSICS_DIR" "$ATK_DIR"' EXIT
 ZIV_FAST=1 ./target/release/zivsim campaign attack-eval \
     --audit sampled --threads 1 --results-dir "$ATK_DIR"
 awk -F, '
@@ -119,7 +172,7 @@ echo "== sampled smoke campaign (sampling gate: accuracy, speedup, byte-identity
 # Estimates are deterministic; only the wall-clock ratio varies.
 SAMP_DIR="$(mktemp -d)"
 SAMP_PLAIN="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$FORENSICS_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN"' EXIT
 ZIV_FULL=1 ./target/release/zivsim campaign smoke \
     --sampling auto --validate --threads 1 --results-dir "$SAMP_DIR"
 awk -F, '
@@ -167,7 +220,7 @@ echo "== live-telemetry smoke campaign (watch gate: mid-run snapshot + byte-iden
 # ledger/grid/summary are byte-identical to the unwatched ZIV_FULL
 # run above.
 TELEM_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN" "$TELEM_DIR"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$FORENSICS_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN" "$TELEM_DIR"' EXIT
 ./target/release/zivsim watch "$TELEM_DIR/results" \
     --json --refresh 10 --stale-after 30000 > "$TELEM_DIR/watch.jsonl" &
 WATCH_PID=$!
@@ -206,7 +259,7 @@ echo "== chaos-soak drill (supervision gate: every injected fault isolated)"
 # guarantee broke. Two threads: the drill's stall detector needs the
 # workers not to starve each other on small CI machines.
 SOAK_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN" "$TELEM_DIR" "$SOAK_DIR"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$TRACED_DIR" "$PROFILED_DIR" "$FORENSICS_DIR" "$ATK_DIR" "$SAMP_DIR" "$SAMP_PLAIN" "$TELEM_DIR" "$SOAK_DIR"' EXIT
 set +e
 ZIV_FAST=1 ./target/release/zivsim soak \
     --threads 2 --results-dir "$SOAK_DIR/results" > "$SOAK_DIR/soak.out" 2>&1

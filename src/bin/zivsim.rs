@@ -10,6 +10,13 @@
 //! zivsim trace [<mode>] [options]         # one traced run; drain the event ring as JSONL
 //! zivsim profile [<mode>] [options]       # one run with the latency observatory + self-
 //!                                         # profiler on; print the attribution tables
+//! zivsim blame [<mode>] [options]         # one run with the forensics observatory on;
+//!                                         # print the top causal chains (instigator
+//!                                         # access → eviction → victimized cores →
+//!                                         # refetch cost) and the instigator × victim
+//!                                         # blame matrix, conservation-checked against
+//!                                         # the metrics + latency observatories
+//!                                         # (--out <FILE> also writes blame.csv)
 //! zivsim attack [<scenario>] [options]    # one attack co-schedule (primeprobe | hammer)
 //!                                         # under --mode with the leakage observatory on;
 //!                                         # print the attacker-observable signal summary
@@ -73,6 +80,18 @@
 //!                                          signal counters on attack workloads; campaigns
 //!                                          export leakage.csv — forced on for the
 //!                                          attack-eval campaign and `zivsim attack`)
+//!   --forensics                           (causal forensics observatory: per-line fill
+//!                                          provenance + back-invalidation causal chains
+//!                                          + the instigator × victim blame matrix;
+//!                                          campaigns export blame.csv — forced on for
+//!                                          `zivsim blame` and by --perfetto)
+//!   --perfetto                            (export a Chrome trace-event JSON document —
+//!                                          profiler spans, epoch counter tracks, ring
+//!                                          events, and causal chains as flow events —
+//!                                          viewable at ui.perfetto.dev; campaigns write
+//!                                          trace.json, `trace --perfetto` replaces the
+//!                                          JSONL output; implies --forensics; honors
+//!                                          --events as an event filter)
 //!   trace always records events (default --events all) and writes them
 //!   as JSONL to stdout, or to --out <FILE>. Observability never changes
 //!   results: ledgers and grid CSVs stay byte-identical with it on.
@@ -185,6 +204,8 @@ struct Options {
     latency: bool,
     profile: bool,
     leakage: bool,
+    forensics: bool,
+    perfetto: bool,
     sets: u32,
     threshold: Option<f64>,
     traced: bool,
@@ -232,6 +253,8 @@ impl Default for Options {
             latency: false,
             profile: false,
             leakage: false,
+            forensics: false,
+            perfetto: false,
             sets: 8,
             threshold: None,
             traced: false,
@@ -271,13 +294,17 @@ impl Options {
         };
         let profiling = self.command == "profile";
         let attacking = self.command == "attack";
+        let blaming = self.command == "blame";
         Ok(ziv::sim::ObserveConfig {
             epoch: self.epoch,
             events,
             heatmap: self.heatmap,
-            latency: self.latency || profiling,
+            latency: self.latency || profiling || blaming,
             profile: self.profile || profiling,
             leakage: self.leakage || attacking,
+            // A Perfetto export without chains would be blind to the
+            // paper's causal story, so --perfetto arms forensics too.
+            forensics: self.forensics || self.perfetto || blaming,
         })
     }
 }
@@ -399,7 +426,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     opts.command = it.next().cloned().unwrap_or_else(|| "help".into());
     let mut positionals_allowed: usize = match opts.command.as_str() {
-        "export" | "campaign" | "replay" | "trace" | "profile" | "attack" | "sample" | "watch" => 1,
+        "export" | "campaign" | "replay" | "trace" | "profile" | "blame" | "attack" | "sample"
+        | "watch" => 1,
         "bench-compare" => 2,
         _ => 0,
     };
@@ -491,12 +519,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 if k == 0 {
                     return Err("--last must be at least 1".into());
                 }
-                opts.last = Some(k);
+                let cap = ziv::core::observe::MAX_EVENT_CAPACITY;
+                opts.last = Some(if k > cap {
+                    eprintln!(
+                        "warning: --last {k} exceeds the event-ring limit; clamping to {cap}"
+                    );
+                    cap
+                } else {
+                    k
+                });
             }
             "--heatmap" => opts.heatmap = true,
             "--latency" => opts.latency = true,
             "--profile" => opts.profile = true,
             "--leakage" => opts.leakage = true,
+            "--forensics" => opts.forensics = true,
+            "--perfetto" => opts.perfetto = true,
             "--sets" => {
                 let n: u32 = value()?.parse().map_err(|e| format!("--sets: {e}"))?;
                 if n == 0 {
@@ -763,6 +801,7 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), CliError> {
         observe,
         telemetry: opts.telemetry,
         progress_jsonl: opts.progress_jsonl,
+        perfetto: opts.perfetto,
         ..RunnerConfig::new(
             opts.results_dir
                 .clone()
@@ -800,6 +839,12 @@ fn cmd_campaign(args: &[String], opts: &Options) -> Result<(), CliError> {
         println!("wrote {}", path.display());
     }
     if let Some(path) = &outcome.profile_json {
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &outcome.blame_csv {
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &outcome.trace_json {
         println!("wrote {}", path.display());
     }
     println!("ledger {}", outcome.ledger_path.display());
@@ -1480,11 +1525,31 @@ fn cmd_trace(args: &[String], opts: &Options) -> Result<(), String> {
     let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
     let obs = observations.ok_or("trace produced no observations (recorder disabled?)")?;
 
-    let mut jsonl = String::new();
-    for ev in &obs.events {
-        jsonl.push_str(&ev.to_json().to_string());
-        jsonl.push('\n');
-    }
+    // With --perfetto the export is one Chrome trace-event document
+    // (load it at ui.perfetto.dev) instead of raw JSONL events; the
+    // --events filter applies to both renderings.
+    let jsonl = if opts.perfetto {
+        let filter = match &opts.events {
+            Some(spec) => ziv::sim::EventFilter::parse(spec).map_err(|e| e.to_string())?,
+            None => ziv::sim::EventFilter::all(),
+        };
+        let cell = ziv::sim::ObservedCell {
+            config: &spec.label,
+            workload: &wl.name,
+            observations: &obs,
+        };
+        format!(
+            "{}\n",
+            ziv::sim::perfetto_to_json(std::slice::from_ref(&cell), filter)
+        )
+    } else {
+        let mut jsonl = String::new();
+        for ev in &obs.events {
+            jsonl.push_str(&ev.to_json().to_string());
+            jsonl.push('\n');
+        }
+        jsonl
+    };
     match &opts.out {
         Some(path) => {
             ziv::common::fsutil::create_parent_dirs(path).map_err(|e| e.to_string())?;
@@ -1644,6 +1709,152 @@ fn cmd_profile(args: &[String], opts: &Options) -> Result<(), String> {
         ziv::common::fsutil::create_parent_dirs(path).map_err(|e| e.to_string())?;
         std::fs::write(path, format!("{doc}\n"))
             .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// One run with the forensics observatory (and the latency observatory,
+/// for the refetch-cycle cross-check) forced on: prints the top-K causal
+/// chains — instigator access → eviction decision → victimized cores →
+/// attributed refetch cost — and the instigator × victim blame matrix,
+/// then asserts both conservation laws (victims vs
+/// `Metrics::inclusion_victims`, refetch cycles vs the latency
+/// observatory). `--out <FILE>` additionally writes the matrix as
+/// blame.csv.
+fn cmd_blame(args: &[String], opts: &Options) -> Result<(), String> {
+    // Optional positional mode spec: `zivsim blame inclusive ...`.
+    let mut opts = opts.clone();
+    if let Some(mode) = args.get(1).filter(|a| !a.starts_with("--")) {
+        opts.mode = parse_mode(mode)?;
+    }
+    let wl = build_workload(&opts)?;
+    let sys = system_for(&opts);
+    let mut spec = RunSpec::new(
+        format!("{}-{}", opts.mode.label(), opts.policy.label()),
+        sys,
+    )
+    .with_mode(opts.mode)
+    .with_policy(opts.policy)
+    .with_seed(opts.seed);
+    if opts.prefetch {
+        spec = spec.with_prefetch(ziv::core::prefetch::PrefetchConfig::default());
+    }
+    let run_opts = ziv::sim::RunOptions {
+        audit: opts.audit,
+        budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
+        observe: opts.observe_config()?,
+        sampling: None,
+    };
+    let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
+    let result = outcome.map_err(|e| e.to_string())?;
+    let obs = observations.ok_or("blame produced no observations (observatory disabled?)")?;
+    let report = obs
+        .forensics
+        .as_ref()
+        .ok_or("blame produced no forensics report (observatory disabled?)")?;
+
+    println!("causal forensics: {} × {}", spec.label, wl.name);
+    println!(
+        "chains: {} recorded ({} inclusive evictions, {} ECI tear-outs), last {} retained; \
+         {} fill(s) stamped with provenance",
+        report.chains_recorded,
+        report.inclusive_chains,
+        report.eci_chains,
+        report.chains.len(),
+        report.fills_stamped,
+    );
+
+    // Both conservation laws, checked live: the blame matrix must
+    // account for every inclusion victim, and its refetch-cycle total
+    // must agree with the latency observatory's independent accounting.
+    let victims = report.total_victims();
+    if victims != result.metrics.inclusion_victims {
+        return Err(format!(
+            "conservation violated: blame matrix holds {victims} victim(s) but \
+             Metrics::inclusion_victims is {}",
+            result.metrics.inclusion_victims
+        ));
+    }
+    let refetch_cycles = report.total_refetch_cycles();
+    if let Some(lat) = obs.latency.as_ref() {
+        let independent = lat.inclusion_victim_refetch_cycles();
+        if refetch_cycles != independent {
+            return Err(format!(
+                "conservation violated: blame matrix attributes {refetch_cycles} refetch \
+                 cycle(s) but the latency observatory measured {independent}"
+            ));
+        }
+    }
+    println!(
+        "conserved: {victims} victim(s) == Metrics::inclusion_victims; \
+         {} refetch(es) costing {refetch_cycles} cycle(s) == latency observatory",
+        report.total_refetches(),
+    );
+
+    if report.chains_recorded == 0 {
+        println!(
+            "no causal chains: this configuration never reached into a private cache \
+             (ZIV's zero-inclusion-victim guarantee when the mode is ziv-*)"
+        );
+    } else {
+        const TOP_K: usize = 10;
+        println!("top {} chain(s) by damage:", TOP_K.min(report.chains.len()));
+        println!(
+            "  {:>6} {:<9} {:>10} {:>5} {:>12} {:<16} {:>7} {:>9} {:>12}  allocated-by",
+            "seq", "kind", "access", "core", "line", "reason", "victims", "refetches", "cycles",
+        );
+        for c in report.top_chains(TOP_K) {
+            let alloc = match &c.alloc {
+                Some(a) => format!("core {} @ access {}", a.core.index(), a.access_index),
+                None => "(stamp displaced)".into(),
+            };
+            println!(
+                "  {:>6} {:<9} {:>10} {:>5} {:>#12x} {:<16} {:>7} {:>9} {:>12}  {alloc}",
+                c.seq,
+                c.kind.label(),
+                c.instigator_access,
+                c.instigator_core.index(),
+                c.line.raw(),
+                c.reason.label(),
+                c.victim_count,
+                c.refetches,
+                c.refetch_cycles,
+            );
+        }
+    }
+
+    println!("blame matrix (rows instigate, columns pay; victims / refetch cycles):");
+    print!("  {:>14}", "");
+    for v in 0..report.cores {
+        print!(" {:>16}", format!("core {v}"));
+    }
+    println!();
+    for i in 0..report.cores {
+        print!("  {:>14}", format!("core {i}"));
+        for v in 0..report.cores {
+            print!(
+                " {:>16}",
+                format!("{} / {}", report.victims(i, v), report.refetch_cycles(i, v))
+            );
+        }
+        println!();
+    }
+    for i in 0..report.cores {
+        let cross = report.cross_core_victims(i);
+        if cross > 0 {
+            println!("  core {i} victimized other cores {cross} time(s)");
+        }
+    }
+
+    if let Some(path) = &opts.out {
+        let cell = ziv::sim::ObservedCell {
+            config: &spec.label,
+            workload: &wl.name,
+            observations: &obs,
+        };
+        ziv::sim::write_blame_csv(std::path::Path::new(path), std::slice::from_ref(&cell))
+            .map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -1809,14 +2020,27 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let run_opts = ziv::sim::RunOptions {
         audit: opts.audit,
         budget: opts.cell_budget.map(ziv::sim::CellBudget::Cycles),
-        observe: ziv::sim::ObserveConfig::disabled(),
+        observe: opts.observe_config()?,
         sampling: None,
     };
-    let baseline = ziv::sim::run_one_checked(&baseline_spec, &wl, &run_opts)
+    let baseline_opts = ziv::sim::RunOptions {
+        observe: ziv::sim::ObserveConfig::disabled(),
+        ..run_opts
+    };
+    let baseline = ziv::sim::run_one_checked(&baseline_spec, &wl, &baseline_opts)
         .map_err(|e| format!("baseline run: {e}"))?;
-    let result =
-        ziv::sim::run_one_checked(&spec, &wl, &run_opts).map_err(|e| format!("run: {e}"))?;
+    let (outcome, observations) = ziv::sim::run_one_traced(&spec, &wl, &run_opts);
+    let result = outcome.map_err(|e| format!("run: {e}"))?;
     print_result(&result, Some(&baseline));
+    if let Some(f) = observations.as_ref().and_then(|o| o.forensics.as_ref()) {
+        println!(
+            "forensics: {} causal chain(s), {} private-copy victim(s), \
+             {} attributed refetch cycle(s) (full tables: `zivsim blame`)",
+            f.chains_recorded,
+            f.total_victims(),
+            f.total_refetch_cycles()
+        );
+    }
     Ok(())
 }
 
@@ -1900,8 +2124,8 @@ fn cmd_export(args: &[String], opts: &Options) -> Result<(), String> {
 
 fn usage() {
     println!(
-        "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|attack|sample|\
-         bench-throughput|bench-compare|soak|watch> \
+        "usage: zivsim <list|run|compare|export|campaign|replay|trace|profile|blame|attack|\
+         sample|bench-throughput|bench-compare|soak|watch> \
          [options]   (see --help text in the source header; exit codes: \
          0 clean, 1 command failure, 2 usage, 3 isolated cell failures, 4 internal)"
     );
@@ -1922,6 +2146,7 @@ fn dispatch(args: &[String], opts: &Options) -> Result<(), CliError> {
         "replay" => cmd_replay(args).map_err(CliError::Other),
         "trace" => cmd_trace(args, opts).map_err(CliError::Other),
         "profile" => cmd_profile(args, opts).map_err(CliError::Other),
+        "blame" => cmd_blame(args, opts).map_err(CliError::Other),
         "attack" => cmd_attack(args, opts).map_err(CliError::Other),
         "sample" => cmd_sample(args, opts).map_err(CliError::Other),
         "bench-throughput" => cmd_bench_throughput(opts).map_err(CliError::Other),
@@ -2289,6 +2514,44 @@ mod tests {
         assert!(cfg.profile);
         // Forcing the observatory must not drag the event ring along.
         assert!(cfg.events.is_none());
+    }
+
+    #[test]
+    fn parses_forensics_flags() {
+        let o = parse_args(&args("campaign smoke --forensics")).unwrap();
+        assert!(o.forensics);
+        let cfg = o.observe_config().unwrap();
+        assert!(cfg.forensics);
+        assert!(cfg.is_enabled());
+
+        // Off by default everywhere...
+        let o = parse_args(&args("campaign smoke")).unwrap();
+        assert!(!o.forensics && !o.perfetto);
+        assert!(!o.observe_config().unwrap().forensics);
+        // ...except the `blame` command, which forces forensics AND the
+        // latency observatory (for the refetch-cycle conservation check).
+        let o = parse_args(&args("blame ziv-likelydead --accesses 100")).unwrap();
+        assert_eq!(o.command, "blame");
+        let cfg = o.observe_config().unwrap();
+        assert!(cfg.forensics);
+        assert!(cfg.latency);
+        assert!(!o.forensics, "the flag itself stays off");
+
+        // --perfetto implies forensics: a trace without causal chains
+        // would be blind to the paper's story.
+        let o = parse_args(&args("campaign smoke --perfetto")).unwrap();
+        assert!(o.perfetto);
+        assert!(!o.forensics);
+        assert!(o.observe_config().unwrap().forensics);
+    }
+
+    #[test]
+    fn last_clamps_to_the_event_ring_limit() {
+        let cap = ziv::core::observe::MAX_EVENT_CAPACITY;
+        let o = parse_args(&args(&format!("trace --last {}", cap + 1))).unwrap();
+        assert_eq!(o.last, Some(cap), "oversized --last clamps, not errors");
+        let o = parse_args(&args(&format!("trace --last {cap}"))).unwrap();
+        assert_eq!(o.last, Some(cap), "the limit itself is accepted verbatim");
     }
 
     #[test]

@@ -393,3 +393,73 @@ fn trace_cli_emits_parseable_jsonl_and_creates_parent_dirs() {
     ziv::common::json::parse(&report).expect("report is valid JSON");
     std::fs::remove_dir_all(&base).ok();
 }
+
+/// The event ring is a *last-K* window, not a first-K one: once it
+/// overflows, what survives is exactly the tail of the full event
+/// stream. Proven by running the same deterministic workload twice —
+/// once with a ring big enough to hold everything, once with a tiny
+/// one — and comparing the tiny ring against the big run's tail.
+#[test]
+fn event_ring_overflow_keeps_exactly_the_last_k_events() {
+    let wl = workload_of(2, 2_000);
+    let spec = RunSpec::new("I", SystemConfig::scaled()); // inclusive default: rich event mix
+    let ring_of = |capacity: usize| {
+        let opts = traced_opts(ObserveConfig {
+            events: Some(EventTraceConfig {
+                capacity,
+                ..EventTraceConfig::default()
+            }),
+            ..ObserveConfig::disabled()
+        });
+        let (result, obs) = run_one_traced(&spec, &wl, &opts);
+        result.unwrap();
+        obs.expect("recorder on").events
+    };
+    let full = ring_of(1 << 16);
+    assert!(
+        full.len() > 32,
+        "the workload must overflow the small ring ({} events)",
+        full.len()
+    );
+    let small = ring_of(32);
+    assert_eq!(small.len(), 32, "an overflowed ring reports exactly K");
+    assert_eq!(
+        small,
+        full[full.len() - 32..],
+        "the retained window must be the last K events, oldest first"
+    );
+}
+
+/// `--last` beyond the ring limit clamps (with a stderr warning) rather
+/// than erroring or allocating unboundedly.
+#[test]
+fn trace_cli_clamps_oversized_last_with_a_warning() {
+    let cap = ziv::core::observe::MAX_EVENT_CAPACITY;
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_zivsim"))
+        .args([
+            "trace",
+            "inclusive",
+            "--workload",
+            "homo:circset",
+            "--accesses",
+            "200",
+            "--cores",
+            "2",
+            "--last",
+            &(cap + 1).to_string(),
+            "--out",
+        ])
+        .arg(std::env::temp_dir().join(format!("ziv-obs-clamp-{}.jsonl", std::process::id())))
+        .output()
+        .expect("zivsim trace runs");
+    assert!(
+        out.status.success(),
+        "oversized --last must clamp, not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("clamping") && stderr.contains(&cap.to_string()),
+        "stderr must warn about the clamp and name the limit, got: {stderr}"
+    );
+}
